@@ -1,0 +1,31 @@
+"""Shared fixtures and scale knobs for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures.  The
+measurement windows are laptop-scale by default; set the environment
+variable ``REPRO_BENCH_SCALE`` (float, default 1.0) to grow or shrink
+every window proportionally, e.g.::
+
+    REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+from repro.workloads import WorkloadSuite
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    return max(200, int(n * SCALE))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return WorkloadSuite()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

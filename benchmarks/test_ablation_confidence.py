@@ -1,0 +1,35 @@
+"""Ablation (ours, E6) — fork-gating confidence threshold sweep.
+
+The paper forks only low-confidence branches (Jacobsen-style resetting
+counters).  This ablation sweeps the threshold from "fork almost never"
+(1 — only branches with no correct streak) to "fork almost always" (15)
+and reports the average REC/RS/RU IPC, exposing the selectivity/
+resource-contention tradeoff the design point balances.
+"""
+
+from repro.sim import ablation_confidence, format_ablation_confidence
+
+from .conftest import run_once, scaled
+
+KERNELS = ("compress", "gcc", "go", "perl")
+
+
+def test_ablation_confidence(benchmark, suite):
+    data = run_once(
+        benchmark,
+        ablation_confidence,
+        thresholds=(1, 4, 8, 12, 15),
+        commit_target=scaled(1500),
+        kernels=KERNELS,
+        suite=suite,
+    )
+    text = format_ablation_confidence(data)
+    print("\n=== Ablation: confidence threshold (avg IPC, REC/RS/RU) ===")
+    print(text)
+    benchmark.extra_info["table"] = text
+
+    assert all(ipc > 0 for ipc in data.values())
+    # The sweep should show sensitivity but no collapse anywhere.
+    spread = max(data.values()) / min(data.values())
+    benchmark.extra_info["spread"] = round(spread, 3)
+    assert spread < 1.5

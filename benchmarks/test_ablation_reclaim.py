@@ -1,0 +1,47 @@
+"""Ablation (ours, E7) — inactive-context retention vs immediate squash.
+
+The recycle architecture's central resource decision: keep resolved
+alternate paths parked in their contexts (recyclable, but holding
+registers and contexts) versus squashing them immediately (plain TME).
+We approximate the "no retention" end with TME and the full policy with
+REC/RS/RU, then quantify where retention pays: the unpredictable
+kernels (merges available) versus the predictable ones (retention is
+pure overhead).
+"""
+
+from repro.sim import RunSpec, run_spec
+
+from .conftest import run_once, scaled
+
+HARD = ("compress", "go", "li")  # low prediction accuracy: merges abound
+EASY = ("vortex", "tomcatv")  # near-perfect prediction: few forks
+
+
+def _sweep(suite, commit_target):
+    out = {}
+    for kernel in HARD + EASY:
+        row = {}
+        for features in ("TME", "REC/RS/RU"):
+            spec = RunSpec((kernel,), features=features, commit_target=commit_target)
+            row[features] = run_spec(spec, suite).ipc
+        out[kernel] = row
+    return out
+
+
+def test_ablation_reclaim(benchmark, suite):
+    data = run_once(benchmark, _sweep, suite, scaled(1800))
+    print("\n=== Ablation: trace retention (REC/RS/RU) vs immediate squash (TME) ===")
+    gains = {}
+    for kernel, row in data.items():
+        gain = 100 * (row["REC/RS/RU"] / row["TME"] - 1)
+        gains[kernel] = gain
+        print(f"{kernel:<10s} TME={row['TME']:.3f}  REC/RS/RU={row['REC/RS/RU']:.3f}  {gain:+.1f}%")
+    benchmark.extra_info["gains_pct"] = {k: round(v, 1) for k, v in gains.items()}
+
+    hard_avg = sum(gains[k] for k in HARD) / len(HARD)
+    easy_avg = sum(gains[k] for k in EASY) / len(EASY)
+    # Retention must pay off on hard-branch kernels...
+    assert hard_avg > 0
+    # ...and must never cost much on predictable ones.
+    assert easy_avg > -5.0
+    assert hard_avg >= easy_avg - 1.0

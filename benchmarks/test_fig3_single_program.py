@@ -1,0 +1,34 @@
+"""Figure 3 — per-program IPC of the six variants, single program.
+
+Paper shape: SMT is the floor; TME lifts programs with poor branch
+prediction; recycling variants add on top, with REC alone sometimes
+under TME (compress) and REC/RS/RU the best combination on average
+(+7% over TME in the paper).
+"""
+
+from repro.sim import VARIANTS, figure3, format_figure3
+
+from .conftest import run_once, scaled
+
+
+def test_figure3(benchmark, suite):
+    data = run_once(
+        benchmark, figure3, commit_target=scaled(2500), suite=suite
+    )
+    table = format_figure3(data)
+    print("\n=== Figure 3: per-program IPC (1 program) ===")
+    print(table)
+    benchmark.extra_info["table"] = table
+
+    for kernel, row in data.items():
+        assert set(row) == set(VARIANTS)
+        assert all(ipc > 0 for ipc in row.values()), kernel
+
+    # Robust shape checks.
+    avg = {v: sum(row[v] for row in data.values()) / len(data) for v in VARIANTS}
+    assert avg["TME"] >= avg["SMT"], "TME should not lose to SMT on average"
+    assert avg["REC/RS/RU"] >= avg["TME"], "full recycling should beat TME on average"
+    # The unpredictable kernels benefit most from multipath execution.
+    assert data["go"]["TME"] > data["go"]["SMT"]
+    # tomcatv barely forks (near-perfect prediction): TME ~ SMT.
+    assert abs(data["tomcatv"]["TME"] - data["tomcatv"]["SMT"]) / data["tomcatv"]["SMT"] < 0.10

@@ -1,0 +1,42 @@
+"""Figure 4 — average IPC at 1, 2 and 4 programs, six variants.
+
+Paper shape: total throughput rises with program count; TME's gain over
+SMT shrinks as programs are added (fetch contention starves alternate
+paths) while recycling's gain over TME holds or grows (+12% at four
+programs in the paper).
+"""
+
+from repro.sim import VARIANTS, figure4, format_figure4
+
+from .conftest import run_once, scaled
+
+
+def test_figure4(benchmark, suite):
+    data = run_once(
+        benchmark,
+        figure4,
+        commit_target=scaled(1500),
+        num_mixes=4,
+        suite=suite,
+    )
+    table = format_figure4(data)
+    print("\n=== Figure 4: average IPC vs number of programs ===")
+    print(table)
+    benchmark.extra_info["table"] = table
+
+    for width, row in data.items():
+        assert set(row) == set(VARIANTS)
+    # Throughput grows with programs.
+    assert data[4]["SMT"] > data[2]["SMT"] > data[1]["SMT"]
+    # Single program: the paper's ordering SMT <= TME <= REC/RS/RU.
+    assert data[1]["TME"] >= data[1]["SMT"] * 0.98
+    assert data[1]["REC/RS/RU"] >= data[1]["TME"] * 0.98
+    # TME's *relative* gain over SMT shrinks with more programs.
+    gain1 = data[1]["TME"] / data[1]["SMT"]
+    gain4 = data[4]["TME"] / data[4]["SMT"]
+    assert gain4 <= gain1 + 0.02
+
+    summary = {
+        w: {v: round(row[v], 3) for v in VARIANTS} for w, row in data.items()
+    }
+    benchmark.extra_info["ipc"] = summary

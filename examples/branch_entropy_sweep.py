@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Where does multipath + recycling win?  A branch-entropy sweep.
+
+Uses the parametric workload generator to scan programs from perfectly
+loop-structured branches (entropy 0) to coin-flip data-dependent
+branches (entropy 1), and shows the SMT → TME → REC/RS/RU progression
+at each point.  TME and recycling pay off exactly where prediction
+fails — the paper's motivating observation.
+
+Run:  python examples/branch_entropy_sweep.py [iterations]
+"""
+
+import sys
+
+from repro import Core, Features, MachineConfig
+from repro.workloads import GeneratorConfig, generate_program
+
+VARIANTS = [
+    ("SMT", Features.smt()),
+    ("TME", Features.tme_only()),
+    ("REC/RS/RU", Features.rec_rs_ru()),
+]
+
+
+def run(entropy: float, features, iterations: int) -> float:
+    config = GeneratorConfig(
+        seed=7,
+        iterations=iterations,
+        body_size=20,
+        branch_entropy=entropy,
+        ilp=4,
+        mem_fraction=0.15,
+    )
+    core = Core(MachineConfig(features=features))
+    core.load([generate_program(config)])
+    stats = core.run(max_cycles=2_000_000)
+    return stats.ipc
+
+
+def main() -> None:
+    iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    print(f"{'entropy':<9s}" + "".join(f"{label:>12s}" for label, _ in VARIANTS)
+          + f"{'multipath gain':>16s}")
+    for entropy in (0.0, 0.25, 0.5, 0.75, 1.0):
+        ipcs = [run(entropy, features, iterations) for _, features in VARIANTS]
+        gain = 100 * (ipcs[2] / ipcs[0] - 1)
+        print(f"{entropy:<9.2f}" + "".join(f"{ipc:12.3f}" for ipc in ipcs)
+              + f"{gain:+15.1f}%")
+    print(
+        "\nAt low entropy the predictor already wins and multipath is"
+        "\nmoot; as entropy rises, forking + recycling recover the lost"
+        "\nmisprediction cycles."
+    )
+
+
+if __name__ == "__main__":
+    main()

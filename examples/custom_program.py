@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Bring your own assembly: write, emulate, then simulate a program.
+
+Shows the full user workflow on a hand-written RRISC kernel with a
+reuse-friendly "diamond" (each branch arm defines its own registers
+from the zero register, so the other arm's results stay valid and the
+recycled instructions can skip execution entirely).
+
+Run:  python examples/custom_program.py
+"""
+
+from repro import Core, Emulator, Features, MachineConfig, assemble
+
+SOURCE = """
+# A branchy kernel whose diamond arms are register-disjoint.
+        .data
+seed:   .word 424242
+        .text
+main:   movi r1, seed
+        ld   r3, 0(r1)      # PRNG state
+        movi r2, 4000       # iterations
+loop:   slli r4, r3, 13     # xorshift
+        xor  r3, r3, r4
+        srli r4, r3, 7
+        xor  r3, r3, r4
+        andi r5, r3, 3      # data-dependent, hard-to-predict
+        beq  r5, left
+right:  addi r6, r31, 3     # this arm only writes r6/r8
+        addi r8, r31, 11
+        br   join
+left:   addi r7, r31, 7     # this arm only writes r7/r9
+        addi r9, r31, 13
+join:   add  r10, r10, r6
+        add  r10, r10, r7
+        subi r2, r2, 1
+        bgt  r2, loop
+        halt
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="diamond")
+    print("=== listing (head) ===")
+    print("\n".join(program.listing().splitlines()[:12]))
+
+    # 1. Architectural run on the golden emulator.
+    emulator = Emulator(program)
+    executed = emulator.run_to_halt()
+    print(f"\nemulator: {executed} instructions, r10 = {emulator.state.regs[10]}")
+
+    # 2. Cycle-level simulation with and without recycling+reuse.
+    for label, features in [
+        ("TME", Features.tme_only()),
+        ("REC/RU", Features.rec_ru()),
+        ("REC/RS/RU", Features.rec_rs_ru()),
+    ]:
+        core = Core(MachineConfig(features=features))
+        core.load([assemble(SOURCE, name="diamond")], commit_target=4000)
+        stats = core.run()
+        print(
+            f"{label:<10s} IPC={stats.ipc:.3f}  "
+            f"recycled={stats.pct_recycled:.1f}%  reused={stats.pct_reused:.2f}%  "
+            f"merges={stats.merges} respawns={stats.respawns}"
+        )
+
+    print(
+        "\nBecause the arms are register-disjoint, recycled instructions"
+        "\nfrom the stored alternate paths pass the written-bit test and"
+        "\nare reused — they bypass the issue queues and execution entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Alternate-path fetch-limit policies (the paper's Figure 5 question).
+
+Once a forked branch resolves correctly, its alternate path is known to
+be wrong — but with recycling those instructions may still be useful
+later.  How long should the machine keep fetching/executing them?
+
+  stop-N    stop immediately at resolution (and cap paths at N)
+  fetch-N   keep fetching up to N instructions, execute nothing new
+  nostop-N  keep fetching and executing up to N instructions
+
+Run:  python examples/fetch_policies.py [kernel] [commit_target]
+"""
+
+import sys
+
+from repro import RunSpec, run_spec
+from repro.sim import POLICIES
+from repro.workloads import WorkloadSuite
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "go"
+    commit_target = int(sys.argv[2]) if len(sys.argv) > 2 else 2500
+    suite = WorkloadSuite()
+
+    print(f"kernel={kernel}, REC/RS/RU, window={commit_target}\n")
+    print(f"{'policy':<11s} {'IPC':>7s} {'recycled':>9s} {'merges':>7s} {'respawns':>9s}")
+    results = {}
+    for policy in POLICIES:
+        spec = RunSpec(
+            (kernel,), features="REC/RS/RU", policy=policy, commit_target=commit_target
+        )
+        result = run_spec(spec, suite)
+        results[policy] = result
+        print(
+            f"{policy:<11s} {result.ipc:7.3f} {result.stats.pct_recycled:8.1f}% "
+            f"{result.stats.merges:7d} {result.stats.respawns:9d}"
+        )
+
+    best = max(results, key=lambda p: results[p].ipc)
+    worst = min(results, key=lambda p: results[p].ipc)
+    spread = 100 * (results[best].ipc / results[worst].ipc - 1)
+    print(f"\nbest={best}, worst={worst}, spread={spread:.1f}%")
+    print(
+        "The paper found this is not a major performance factor — all"
+        "\npolicies land in a band, and conservative stop-8 performs well."
+    )
+
+
+if __name__ == "__main__":
+    main()

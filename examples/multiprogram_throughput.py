@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The paper's headline story: recycling rescues TME under multiprogramming.
+
+TME speculatively executes both sides of hard branches — great when the
+machine is underutilised (one program), but with several programs the
+fetch unit is already saturated and alternate paths starve.  Recycling
+re-injects stored traces at the rename stage without consuming fetch
+slots, which is why its advantage *grows* with program count (Figure 4).
+
+This example measures SMT, TME and REC/RS/RU on 1, 2 and 4 program
+mixes and prints the relative gains.
+
+Run:  python examples/multiprogram_throughput.py [num_mixes] [commit_target]
+"""
+
+import sys
+
+from repro import RunSpec, run_spec
+from repro.workloads import WorkloadSuite
+
+
+def average_over_mixes(suite, width, features, num_mixes, commit_target):
+    if width == 1:
+        mixes = [[name] for name in suite.names[:num_mixes]]
+    else:
+        mixes = suite.mixes(width, num_mixes)
+    total = 0.0
+    for mix in mixes:
+        spec = RunSpec(tuple(mix), features=features, commit_target=commit_target)
+        total += run_spec(spec, suite).ipc
+    return total / len(mixes)
+
+
+def main() -> None:
+    num_mixes = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    commit_target = int(sys.argv[2]) if len(sys.argv) > 2 else 1500
+    suite = WorkloadSuite()
+
+    variants = ["SMT", "TME", "REC/RS/RU"]
+    print(f"averaging over {num_mixes} mixes, {commit_target} commits/program\n")
+    print(f"{'programs':<9s}" + "".join(f"{v:>12s}" for v in variants)
+          + f"{'TME gain':>10s}{'REC gain':>10s}")
+
+    for width in (1, 2, 4):
+        ipcs = {
+            v: average_over_mixes(suite, width, v, num_mixes, commit_target)
+            for v in variants
+        }
+        tme_gain = 100 * (ipcs["TME"] / ipcs["SMT"] - 1)
+        rec_gain = 100 * (ipcs["REC/RS/RU"] / ipcs["TME"] - 1)
+        print(
+            f"{width:<9d}"
+            + "".join(f"{ipcs[v]:12.3f}" for v in variants)
+            + f"{tme_gain:+9.1f}%{rec_gain:+9.1f}%"
+        )
+
+    print(
+        "\nExpected shape (paper, Section 5.1): the TME gain shrinks as"
+        "\nprograms are added while the recycling gain holds or grows —"
+        "\nfetch-bandwidth conservation matters most when fetch is contended."
+    )
+
+
+if __name__ == "__main__":
+    main()

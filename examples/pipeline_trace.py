@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Watch recycling happen: trace events and a pipeline diagram.
+
+Attaches a :class:`repro.debug.CoreTracer` to a REC/RS/RU run, prints
+the fork/swap/stream event log around the action, and renders a
+pipeview window where recycled (and reused) instructions are visibly
+entering the pipe at rename with no fetch stage at all.
+
+Run:  python examples/pipeline_trace.py [kernel]
+"""
+
+import sys
+
+from repro import Core, Features, MachineConfig, WorkloadSuite
+from repro.debug import CoreTracer, pipeview
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "compress"
+    suite = WorkloadSuite()
+
+    core = Core(MachineConfig(features=Features.rec_rs_ru()))
+    core.load(suite.single(kernel), commit_target=600)
+    tracer = CoreTracer(
+        core, kinds={"fork", "swap", "respawn", "stream_open", "stream_end"}
+    )
+    core.run()
+
+    print(f"=== {kernel}: multipath/recycling event log (first 25) ===")
+    print(tracer.format(limit=25))
+
+    counts = tracer.counts()
+    print("\nevent totals:", ", ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+
+    recycled = [u for u in tracer.committed_uops if u.recycled]
+    print(f"\n=== pipeline view around recycled instructions "
+          f"({len(recycled)} recycled commits captured) ===")
+    if recycled:
+        first = tracer.committed_uops.index(recycled[0])
+        window = tracer.committed_uops[max(0, first - 4) : first + 16]
+        print(pipeview(window, max_rows=20))
+    print(
+        "\nRows marked [rec] entered at rename (R) straight from a stored"
+        "\nactive list — no fetch, no decode.  Rows marked U were *reused*:"
+        "\nthe old result was still valid, so they never issued at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Branch target buffer: 256 entries, 4-way set associative, LRU.
+
+Decoupled from the PHT per Calder & Grunwald: the PHT decides the
+direction, the BTB supplies the target for predicted-taken fetch
+redirection.  A taken prediction that misses in the BTB cannot redirect
+fetch until decode; the pipeline charges a bubble for that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class BranchTargetBuffer:
+    def __init__(self, entries: int = 256, assoc: int = 4):
+        if entries % assoc:
+            raise ValueError("BTB entries must be divisible by associativity")
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        self._mask = self.num_sets - 1
+        if self.num_sets & self._mask:
+            raise ValueError("BTB sets must be a power of two")
+        # set -> list of (tag, target), MRU last
+        self._sets: Dict[int, List[Tuple[int, int]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _split(self, pc: int, space: int) -> Tuple[int, int]:
+        word = (pc >> 2) | (space << 48)
+        return word & self._mask, word >> self.num_sets.bit_length() - 1
+
+    def lookup(self, pc: int, space: int = 0) -> Optional[int]:
+        """Predicted target for the branch at ``pc``, or None on miss."""
+        idx, tag = self._split(pc, space)
+        ways = self._sets.get(idx)
+        if ways:
+            for i, (t, target) in enumerate(ways):
+                if t == tag:
+                    ways.append(ways.pop(i))
+                    self.hits += 1
+                    return target
+        self.misses += 1
+        return None
+
+    def update(self, pc: int, target: int, space: int = 0) -> None:
+        """Install/refresh the target of a taken branch."""
+        idx, tag = self._split(pc, space)
+        ways = self._sets.setdefault(idx, [])
+        for i, (t, _) in enumerate(ways):
+            if t == tag:
+                ways.pop(i)
+                break
+        ways.append((tag, target))
+        if len(ways) > self.assoc:
+            ways.pop(0)

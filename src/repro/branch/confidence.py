@@ -1,0 +1,120 @@
+"""Branch-confidence estimation (Jacobsen, Rotenberg & Smith).
+
+TME forks only *low-confidence* branches.  Jacobsen et al. describe a
+family of estimators; three are implemented here:
+
+* ``resetting`` (the default, a.k.a. miss-distance counters): a correct
+  prediction increments a small saturating counter, an incorrect one
+  resets it to zero.  High confidence = a streak of ``threshold``
+  correct predictions.  This is the variant the paper's fork gating
+  assumes.
+* ``saturating``: increment on correct, decrement on incorrect — a
+  slower-decaying estimate.
+* ``ones``: an n-bit correctness shift register; high confidence when
+  at least ``threshold`` of the last n predictions were correct.
+
+All are indexed gshare-style (branch address XOR global history) so
+correlated instances of one static branch get separate estimates.
+"""
+
+from __future__ import annotations
+
+
+class ConfidenceEstimator:
+    """Base: resetting counters (the paper's estimator)."""
+
+    kind = "resetting"
+
+    def __init__(self, entries: int = 1024, counter_bits: int = 4, threshold: int = 8):
+        if entries & (entries - 1):
+            raise ValueError("confidence table entries must be a power of two")
+        self._mask = entries - 1
+        self._max = (1 << counter_bits) - 1
+        if not 0 < threshold <= self._max:
+            raise ValueError("threshold must fit in the counter")
+        self.threshold = threshold
+        self._table = [0] * entries
+        self.low_confidence_seen = 0
+        self.high_confidence_seen = 0
+
+    def _index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ history) & self._mask
+
+    def is_low_confidence(self, pc: int, history: int) -> bool:
+        """Query at prediction time: should TME consider forking this branch?"""
+        low = not self._confident(self._table[self._index(pc, history)])
+        if low:
+            self.low_confidence_seen += 1
+        else:
+            self.high_confidence_seen += 1
+        return low
+
+    def update(self, pc: int, history: int, correct: bool) -> None:
+        """Train at resolution time."""
+        idx = self._index(pc, history)
+        self._table[idx] = self._next_state(self._table[idx], correct)
+
+    def counter(self, pc: int, history: int) -> int:
+        return self._table[self._index(pc, history)]
+
+    # -- variant hooks --------------------------------------------------
+    def _confident(self, state: int) -> bool:
+        return state >= self.threshold
+
+    def _next_state(self, state: int, correct: bool) -> int:
+        if correct:
+            return min(self._max, state + 1)
+        return 0
+
+
+class SaturatingConfidenceEstimator(ConfidenceEstimator):
+    """Increment on correct, decrement (not reset) on incorrect."""
+
+    kind = "saturating"
+
+    def _next_state(self, state: int, correct: bool) -> int:
+        if correct:
+            return min(self._max, state + 1)
+        return max(0, state - 1)
+
+
+class OnesConfidenceEstimator(ConfidenceEstimator):
+    """Shift register of recent correctness; confident when the number
+    of correct outcomes among the last ``history_bits`` is at least the
+    threshold."""
+
+    kind = "ones"
+
+    def __init__(self, entries: int = 1024, history_bits: int = 8, threshold: int = 7):
+        if not 0 < threshold <= history_bits:
+            raise ValueError("threshold must fit in the history register")
+        super().__init__(entries=entries, counter_bits=history_bits, threshold=threshold)
+        self._bits = history_bits
+
+    def _confident(self, state: int) -> bool:
+        return bin(state).count("1") >= self.threshold
+
+    def _next_state(self, state: int, correct: bool) -> int:
+        return ((state << 1) | int(correct)) & self._max
+
+
+CONFIDENCE_KINDS = {
+    "resetting": ConfidenceEstimator,
+    "saturating": SaturatingConfidenceEstimator,
+    "ones": OnesConfidenceEstimator,
+}
+
+
+def make_confidence(
+    kind: str = "resetting", entries: int = 1024, threshold: int = 8
+) -> ConfidenceEstimator:
+    """Factory over the three Jacobsen-style estimator variants."""
+    try:
+        cls = CONFIDENCE_KINDS[kind]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown confidence estimator {kind!r}; know {sorted(CONFIDENCE_KINDS)}"
+        ) from exc
+    if cls is OnesConfidenceEstimator:
+        return cls(entries=entries, threshold=min(threshold, 8))
+    return cls(entries=entries, threshold=threshold)

@@ -1,0 +1,47 @@
+"""Gshare pattern history table.
+
+The paper's direction predictor: a 2K-entry table of 2-bit saturating
+counters indexed by the XOR of the branch address's low bits with the
+global history register (McFarling combining / Yeh-Patt style).
+"""
+
+from __future__ import annotations
+
+
+class PatternHistoryTable:
+    """2-bit saturating counter table with gshare indexing."""
+
+    def __init__(self, entries: int = 2048, counter_bits: int = 2):
+        if entries & (entries - 1):
+            raise ValueError("PHT entries must be a power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self._max = (1 << counter_bits) - 1
+        self._taken_threshold = 1 << (counter_bits - 1)
+        # Initialise weakly taken: loop-closing branches warm up fast.
+        self._table = [self._taken_threshold] * entries
+        self.lookups = 0
+        self.updates = 0
+
+    def index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ history) & self._mask
+
+    def predict(self, pc: int, history: int) -> bool:
+        """Predicted direction for a branch at ``pc`` under ``history``."""
+        self.lookups += 1
+        return self._table[self.index(pc, history)] >= self._taken_threshold
+
+    def update(self, pc: int, history: int, taken: bool) -> None:
+        """Train the counter the prediction used."""
+        self.updates += 1
+        idx = self.index(pc, history)
+        counter = self._table[idx]
+        if taken:
+            if counter < self._max:
+                self._table[idx] = counter + 1
+        elif counter > 0:
+            self._table[idx] = counter - 1
+
+    def counter(self, pc: int, history: int) -> int:
+        """Raw counter value (for tests/inspection)."""
+        return self._table[self.index(pc, history)]

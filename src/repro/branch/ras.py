@@ -1,0 +1,46 @@
+"""Return-address stack, 12 entries per hardware context.
+
+A circular stack: pushes past capacity overwrite the oldest entry,
+pops from empty return None (the pipeline then falls back to the BTB
+or stalls until resolution).  Supports snapshot/restore so alternate
+paths spawned by TME start with a copy of the primary's stack and
+mispredict recovery can undo speculative pushes/pops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class ReturnAddressStack:
+    def __init__(self, entries: int = 12):
+        self.entries = entries
+        self._stack: List[int] = []
+
+    def push(self, address: int) -> None:
+        self._stack.append(address)
+        if len(self._stack) > self.entries:
+            self._stack.pop(0)
+
+    def pop(self) -> Optional[int]:
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def peek(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    def snapshot(self) -> Tuple[int, ...]:
+        return tuple(self._stack)
+
+    def restore(self, snap: Tuple[int, ...]) -> None:
+        self._stack = list(snap)
+
+    def copy_from(self, other: "ReturnAddressStack") -> None:
+        self._stack = list(other._stack)
+
+    def clear(self) -> None:
+        self._stack.clear()
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,236 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-sim list
+    repro-sim run --workload compress --features REC/RS/RU
+    repro-sim run --workload gcc go li perl --machine big.2.16
+    repro-sim experiment fig3 --commit-target 2000
+    repro-sim experiment table1
+    repro-sim asm path/to/program.s --run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .emulator import Emulator
+from .isa.assembler import assemble
+from .sim.experiments import EXPERIMENTS, MACHINES, POLICIES, VARIANTS
+from .sim.runner import RunSpec, run_spec
+from .workloads.suite import WorkloadSuite
+
+
+def _cmd_list(_args) -> int:
+    suite = WorkloadSuite()
+    print("kernels:   ", ", ".join(suite.names))
+    print("variants:  ", ", ".join(VARIANTS))
+    print("machines:  ", ", ".join(MACHINES))
+    print("policies:  ", ", ".join(POLICIES))
+    print("experiments:", ", ".join(EXPERIMENTS))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = RunSpec(
+        workload=tuple(args.workload),
+        machine=args.machine,
+        features=args.features,
+        policy=args.policy,
+        commit_target=args.commit_target,
+    )
+    started = time.time()
+    result = run_spec(spec)
+    elapsed = time.time() - started
+    if args.json:
+        import json
+
+        from .stats import stats_to_dict
+
+        payload = {
+            "spec": {
+                "workload": list(spec.workload),
+                "machine": spec.machine,
+                "features": spec.features,
+                "policy": spec.policy,
+                "commit_target": spec.commit_target,
+            },
+            "stats": stats_to_dict(result.stats),
+            "per_program_ipc": result.per_program_ipc,
+            "wall_seconds": elapsed,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(result.summary_line())
+    for name, ipc in result.per_program_ipc.items():
+        print(f"  {name:<12s} per-program IPC = {ipc:.3f}")
+    print(result.stats.summary())
+    print(f"[{elapsed:.1f}s wall, {result.stats.cycles / max(elapsed, 1e-9):,.0f} cycles/s]")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    try:
+        runner, formatter = EXPERIMENTS[args.name]
+    except KeyError:
+        print(f"unknown experiment {args.name!r}; know {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.commit_target is not None:
+        kwargs["commit_target"] = args.commit_target
+    if args.num_mixes is not None and args.name in ("fig4", "fig5", "fig6", "table1"):
+        kwargs["num_mixes"] = args.num_mixes
+    started = time.time()
+    data = runner(**kwargs)
+    print(formatter(data))
+    print(f"[{time.time() - started:.1f}s wall]")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .branch.analysis import profile_branches
+
+    suite = WorkloadSuite(iters=args.iters)
+    names = args.workload or suite.names
+    for name in names:
+        profile = profile_branches(suite.program(name), args.max_instructions)
+        print(profile.summary())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .sim.report import ReportConfig, generate_report
+
+    config = ReportConfig(
+        commit_target=args.commit_target,
+        num_mixes=args.num_mixes,
+        sections=tuple(args.sections) if args.sections else ReportConfig().sections,
+    )
+    text = generate_report(config)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .debug import CoreTracer, pipeview
+    from .pipeline.core import Core
+
+    spec = RunSpec(
+        workload=tuple(args.workload),
+        machine=args.machine,
+        features=args.features,
+        commit_target=args.commit_target,
+    )
+    suite = WorkloadSuite()
+    core = Core(spec.build_config())
+    core.load(suite.mix(spec.workload), commit_target=spec.commit_target)
+    kinds = set(args.kinds) if args.kinds else None
+    tracer = CoreTracer(core, kinds=kinds)
+    core.run(max_cycles=spec.max_cycles)
+    print(tracer.format(limit=args.events))
+    if args.pipeview:
+        print()
+        print(pipeview(tracer.committed_uops, max_rows=args.pipeview))
+    counts = tracer.counts()
+    print("\nevent totals:", ", ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+    return 0
+
+
+def _cmd_asm(args) -> int:
+    with open(args.path) as handle:
+        source = handle.read()
+    program = assemble(source, name=args.path)
+    print(program.listing())
+    if args.run:
+        emulator = Emulator(program)
+        if args.trace:
+            for _ in range(min(args.trace, args.limit)):
+                if emulator.halted:
+                    break
+                rec = emulator.step()
+                print(f"  {rec.pc:#08x}  {rec.instr}")
+        executed = emulator.run_to_halt(limit=args.limit)
+        print(f"\nexecuted {executed} instructions")
+        for i in range(8):
+            print(f"  r{i} = {emulator.state.regs[i]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="SMT/TME instruction-recycling simulator (HPCA 1999 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show kernels, variants, machines, experiments")
+
+    run_parser = sub.add_parser("run", help="run one simulation")
+    run_parser.add_argument(
+        "--workload", nargs="+", required=True, help="kernel name(s); >1 = multiprogrammed"
+    )
+    run_parser.add_argument("--machine", default="big.2.16", choices=MACHINES)
+    run_parser.add_argument("--features", default="REC/RS/RU", choices=VARIANTS)
+    run_parser.add_argument("--policy", default=None, help="e.g. stop-8 / fetch-16 / nostop-32")
+    run_parser.add_argument("--commit-target", type=int, default=3000)
+    run_parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+    exp_parser = sub.add_parser("experiment", help="reproduce a paper table/figure")
+    exp_parser.add_argument("name", help="fig3 | fig4 | fig5 | fig6 | table1 | ...")
+    exp_parser.add_argument("--commit-target", type=int, default=None)
+    exp_parser.add_argument("--num-mixes", type=int, default=None)
+
+    profile_parser = sub.add_parser("profile", help="offline branch-behaviour profile")
+    profile_parser.add_argument("--workload", nargs="*", default=None)
+    profile_parser.add_argument("--iters", type=int, default=5000)
+    profile_parser.add_argument("--max-instructions", type=int, default=25_000)
+
+    report_parser = sub.add_parser("report", help="generate a markdown results report")
+    report_parser.add_argument("--commit-target", type=int, default=1500)
+    report_parser.add_argument("--num-mixes", type=int, default=3)
+    report_parser.add_argument("--sections", nargs="*", default=None,
+                               help="subset of: fig3 fig4 fig5 fig6 table1")
+    report_parser.add_argument("--output", "-o", default=None)
+
+    trace_parser = sub.add_parser("trace", help="trace a run (events + pipeline view)")
+    trace_parser.add_argument("--workload", nargs="+", required=True)
+    trace_parser.add_argument("--machine", default="big.2.16", choices=MACHINES)
+    trace_parser.add_argument("--features", default="REC/RS/RU", choices=VARIANTS)
+    trace_parser.add_argument("--commit-target", type=int, default=600)
+    trace_parser.add_argument("--events", type=int, default=40)
+    trace_parser.add_argument("--kinds", nargs="*", default=["fork", "swap", "respawn", "stream_open", "stream_end"])
+    trace_parser.add_argument("--pipeview", type=int, default=0, help="render N committed uops")
+
+    asm_parser = sub.add_parser("asm", help="assemble (and optionally emulate) a file")
+    asm_parser.add_argument("path")
+    asm_parser.add_argument("--run", action="store_true")
+    asm_parser.add_argument("--limit", type=int, default=1_000_000)
+    asm_parser.add_argument("--trace", type=int, default=0, help="print the first N executed instructions")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "profile": _cmd_profile,
+        "trace": _cmd_trace,
+        "report": _cmd_report,
+        "asm": _cmd_asm,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

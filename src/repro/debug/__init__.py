@@ -1,0 +1,6 @@
+"""Observability: event tracing and a text pipeline viewer."""
+
+from .pipeview import pipeview, render_uop_row
+from .tracer import ALL_KINDS, CoreTracer, TraceEvent
+
+__all__ = ["pipeview", "render_uop_row", "ALL_KINDS", "CoreTracer", "TraceEvent"]

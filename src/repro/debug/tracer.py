@@ -1,0 +1,183 @@
+"""Non-intrusive pipeline tracing.
+
+``CoreTracer`` instruments a :class:`~repro.pipeline.core.Core` by
+wrapping its stage methods, recording a structured event stream —
+fetch blocks, renames, issues, completions, commits, squashes, forks,
+primaryship swaps, and recycle-stream lifecycles — without the core
+paying any cost when tracing is off.
+
+Typical use::
+
+    core = Core(config)
+    core.load(programs)
+    tracer = CoreTracer(core, kinds={"commit", "swap", "stream"})
+    core.run(max_cycles=...)
+    for event in tracer.events:
+        print(event)
+
+Events are lightweight tuples (cycle, kind, payload dict).  The tracer
+also exposes filtered views and simple summaries used by the pipeline
+viewer and by debugging sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from ..pipeline.core import Core
+from ..pipeline.uop import Uop
+
+ALL_KINDS = {
+    "fetch",
+    "rename",
+    "issue",
+    "complete",
+    "commit",
+    "squash",
+    "fork",
+    "respawn",
+    "swap",
+    "stream_open",
+    "stream_end",
+}
+
+
+@dataclass
+class TraceEvent:
+    cycle: int
+    kind: str
+    info: Dict
+
+    def __str__(self) -> str:
+        payload = " ".join(f"{k}={v}" for k, v in self.info.items())
+        return f"[{self.cycle:>7d}] {self.kind:<11s} {payload}"
+
+
+def _uop_info(uop: Uop) -> Dict:
+    return {
+        "seq": uop.seq,
+        "ctx": uop.ctx,
+        "pc": hex(uop.pc),
+        "instr": str(uop.instr),
+        "recycled": uop.recycled,
+        "reused": uop.reused,
+    }
+
+
+class CoreTracer:
+    """Wraps a core's stage methods and records an event stream."""
+
+    def __init__(
+        self,
+        core: Core,
+        kinds: Optional[Iterable[str]] = None,
+        max_events: int = 200_000,
+        keep_uops: bool = True,
+    ):
+        self.core = core
+        self.kinds: Set[str] = set(kinds) if kinds is not None else set(ALL_KINDS)
+        unknown = self.kinds - ALL_KINDS
+        if unknown:
+            raise ValueError(f"unknown trace kinds: {sorted(unknown)}")
+        self.max_events = max_events
+        self.keep_uops = keep_uops
+        self.events: List[TraceEvent] = []
+        #: Committed uops in commit order (for the pipeline viewer).
+        self.committed_uops: List[Uop] = []
+        self._install()
+
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, info: Dict) -> None:
+        if kind in self.kinds and len(self.events) < self.max_events:
+            self.events.append(TraceEvent(self.core.cycle, kind, info))
+
+    def _wrap(self, name: str, after: Callable) -> None:
+        original = getattr(self.core, name)
+
+        def wrapper(*args, **kwargs):
+            result = original(*args, **kwargs)
+            after(result, *args, **kwargs)
+            return result
+
+        setattr(self.core, name, wrapper)
+
+    def _install(self) -> None:
+        self._wrap("_fetch_block", self._after_fetch_block)
+        self._wrap("_rename_one", self._after_rename)
+        self._wrap("_rename_reused", self._after_rename_reused)
+        self._wrap("_execute", self._after_execute)
+        self._wrap("_retire", self._after_retire)
+        self._wrap("_squash_uop", self._after_squash)
+        self._wrap("_spawn", self._after_spawn)
+        self._wrap("_respawn", self._after_respawn)
+        self._wrap("_swap_primaryship", self._after_swap)
+        self._wrap("_open_stream", self._after_open_stream)
+        self._wrap("_end_stream", self._after_end_stream)
+
+    # ------------------------------------------------------------------
+    def _after_fetch_block(self, count, ctx, budget) -> None:
+        if count:
+            self._emit("fetch", {"ctx": ctx.id, "count": count, "next_pc": hex(ctx.pc)})
+
+    def _after_rename(self, uop, *args, **kwargs) -> None:
+        self._emit("rename", _uop_info(uop))
+
+    def _after_rename_reused(self, uop, *args, **kwargs) -> None:
+        self._emit("rename", _uop_info(uop))
+
+    def _after_execute(self, _result, uop) -> None:
+        self._emit("issue", {"seq": uop.seq, "ctx": uop.ctx, "pc": hex(uop.pc)})
+
+    def _after_retire(self, _result, instance, ctx, uop) -> None:
+        self._emit("commit", _uop_info(uop))
+        if self.keep_uops and len(self.committed_uops) < self.max_events:
+            self.committed_uops.append(uop)
+
+    def _after_squash(self, _result, uop) -> None:
+        self._emit("squash", {"seq": uop.seq, "ctx": uop.ctx, "pc": hex(uop.pc)})
+
+    def _after_spawn(self, _result, parent, branch, spare, alt_pc) -> None:
+        self._emit(
+            "fork",
+            {"parent": parent.id, "spare": spare.id, "branch": hex(branch.pc),
+             "alt_pc": hex(alt_pc)},
+        )
+
+    def _after_respawn(self, _result, parent, branch, existing, alt_pc) -> None:
+        self._emit(
+            "respawn",
+            {"parent": parent.id, "ctx": existing.id, "alt_pc": hex(alt_pc)},
+        )
+
+    def _after_swap(self, _result, old, branch, alt) -> None:
+        self._emit(
+            "swap", {"old": old.id, "new": alt.id, "branch": hex(branch.pc)}
+        )
+
+    def _after_open_stream(self, stream, dst, src, mp, kind) -> None:
+        if stream is not None:
+            self._emit(
+                "stream_open",
+                {"dst": dst.id, "src": src.id, "kind": kind.value,
+                 "pc": hex(mp.pc), "len": len(stream.entries)},
+            )
+
+    def _after_end_stream(self, _result, stream, dst, reason) -> None:
+        self._emit(
+            "stream_end",
+            {"dst": dst.id, "reason": reason, "delivered": stream.index},
+        )
+
+    # ------------------------------------------------------------------
+    def filter(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def format(self, limit: int = 100) -> str:
+        return "\n".join(str(e) for e in self.events[:limit])

@@ -1,0 +1,14 @@
+"""Golden functional emulator for RRISC programs."""
+
+from .emulator import EmulationError, Emulator, StepRecord, branch_trace
+from .memory import SparseMemory
+from .state import ArchState
+
+__all__ = [
+    "EmulationError",
+    "Emulator",
+    "StepRecord",
+    "branch_trace",
+    "SparseMemory",
+    "ArchState",
+]

@@ -1,0 +1,65 @@
+"""Sparse 64-bit-word memory contents.
+
+This is the *data* half of the memory system: a dictionary of aligned
+byte address → raw unsigned 64-bit word.  The timing half (caches,
+banks, latencies) lives in :mod:`repro.memory` and never holds data —
+the classic timing/functional split used by execution-driven
+simulators.
+
+Unwritten locations read as zero, which also makes wrong-path wild
+loads harmless (they return 0 and fault nothing), matching how the
+paper's simulator must behave when executing down incorrect paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+
+class SparseMemory:
+    """Byte-addressed, word-grained sparse memory."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+
+    def load_image(self, base: int, image: bytes) -> None:
+        """Copy ``image`` into memory starting at byte address ``base``."""
+        if base & 0x7:
+            raise ValueError("image base must be 8-byte aligned")
+        padded = image + b"\x00" * ((-len(image)) % 8)
+        for off in range(0, len(padded), 8):
+            word = int.from_bytes(padded[off : off + 8], "little")
+            if word:
+                self._words[base + off] = word
+
+    def read64(self, addr: int) -> int:
+        """Raw unsigned word at (aligned-down) byte address ``addr``."""
+        return self._words.get(addr & ~0x7, 0)
+
+    def write64(self, addr: int, bits: int) -> None:
+        addr &= ~0x7
+        bits &= (1 << 64) - 1
+        if bits:
+            self._words[addr] = bits
+        else:
+            # Keep the store sparse: zero is the default.
+            self._words.pop(addr, None)
+
+    def copy(self) -> "SparseMemory":
+        clone = SparseMemory()
+        clone._words = dict(self._words)
+        return clone
+
+    def nonzero_words(self) -> Iterable[Tuple[int, int]]:
+        """(address, bits) pairs of all nonzero words, unsorted."""
+        return self._words.items()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseMemory):
+            return NotImplemented
+        return self._words == other._words
+
+    def __len__(self) -> int:
+        return len(self._words)

@@ -1,0 +1,54 @@
+"""Architectural state for the functional emulator."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.program import Program, STACK_TOP
+from ..isa.registers import (
+    FP_BASE,
+    FP_ZERO_REG,
+    NUM_LOGICAL_REGS,
+    STACK_POINTER_REG,
+    ZERO_REG,
+    is_zero,
+)
+from .memory import SparseMemory
+
+
+class ArchState:
+    """Registers + memory + PC of one running program instance.
+
+    Registers live in the unified logical space: indices below
+    ``FP_BASE`` are integers (Python ints), the rest are floats.  The
+    two hardwired-zero registers are enforced on write.
+    """
+
+    __slots__ = ("regs", "memory", "pc", "halted", "program")
+
+    def __init__(self, program: Program, memory: Optional[SparseMemory] = None):
+        self.program = program
+        self.regs: List = [0] * FP_BASE + [0.0] * (NUM_LOGICAL_REGS - FP_BASE)
+        self.regs[STACK_POINTER_REG] = STACK_TOP
+        self.memory = memory if memory is not None else SparseMemory()
+        if memory is None and program.data:
+            self.memory.load_image(program.data_base, program.data)
+        self.pc = program.entry
+        self.halted = False
+
+    def read_reg(self, index: int):
+        return self.regs[index]
+
+    def write_reg(self, index: int, value) -> None:
+        if is_zero(index):
+            return
+        self.regs[index] = value
+
+    def initial_reg_value(self, index: int):
+        """Reset value of a logical register (what a fresh context holds)."""
+        if index == STACK_POINTER_REG:
+            return STACK_TOP
+        return 0.0 if index >= FP_BASE else 0
+
+    def snapshot_regs(self) -> List:
+        return list(self.regs)

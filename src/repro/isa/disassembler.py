@@ -1,0 +1,33 @@
+"""Disassembler: 32-bit words back to assembly text.
+
+Primarily a debugging and round-trip-testing aid for the binary
+encoding; the simulator itself operates on decoded
+:class:`~repro.isa.instruction.Instruction` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .encoding import decode
+from .instruction import INSTRUCTION_BYTES, Instruction
+
+
+def disassemble_word(word: int, pc: int) -> str:
+    """Disassemble one encoded instruction word at byte address ``pc``."""
+    return str(decode(word, pc))
+
+
+def disassemble(words: Iterable[int], base: int = 0) -> List[str]:
+    """Disassemble a sequence of words starting at byte address ``base``."""
+    out = []
+    pc = base
+    for word in words:
+        out.append(f"{pc:#8x}  {disassemble_word(word, pc)}")
+        pc += INSTRUCTION_BYTES
+    return out
+
+
+def format_instruction(ins: Instruction, pc: int) -> str:
+    """Render a decoded instruction with its address."""
+    return f"{pc:#8x}  {ins}"

@@ -1,0 +1,121 @@
+"""Binary encoding and decoding of RRISC instructions.
+
+Instructions are fixed 32-bit words:
+
+====================  =============================================
+bits                  meaning
+====================  =============================================
+``[31:26]``           opcode (6 bits)
+``[25:21]``           ``rd`` (or the data register of a store)
+``[20:16]``           ``ra``
+``[15:11]``           ``rb`` (register formats)
+``[15:0]``            signed 16-bit immediate (immediate formats)
+``[15:0]``            signed word offset from PC+4 (conditional branch)
+``[20:0]``            signed word offset from PC+4 (BR/JSR)
+====================  =============================================
+
+Decoding a direct branch needs the instruction's own address to
+reconstruct the absolute target, so :func:`decode` takes ``pc``.
+"""
+
+from __future__ import annotations
+
+from .instruction import INSTRUCTION_BYTES, Instruction
+from .opcodes import Format, Op, info
+
+_OPC_SHIFT = 26
+_RD_SHIFT = 21
+_RA_SHIFT = 16
+_RB_SHIFT = 11
+_IMM16_MASK = 0xFFFF
+_OFF21_MASK = 0x1FFFFF
+
+IMM16_MIN = -(1 << 15)
+IMM16_MAX = (1 << 15) - 1
+OFF21_MIN = -(1 << 20)
+OFF21_MAX = (1 << 20) - 1
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be represented in 32 bits."""
+
+
+def _check_imm16(value: int) -> int:
+    if not IMM16_MIN <= value <= IMM16_MAX:
+        raise EncodingError(f"immediate out of 16-bit range: {value}")
+    return value & _IMM16_MASK
+
+
+def _word_offset(target: int, pc: int, lo: int, hi: int) -> int:
+    delta = target - (pc + INSTRUCTION_BYTES)
+    if delta % INSTRUCTION_BYTES:
+        raise EncodingError(f"branch target {target:#x} not word aligned vs pc {pc:#x}")
+    words = delta // INSTRUCTION_BYTES
+    if not lo <= words <= hi:
+        raise EncodingError(f"branch offset out of range: {words} words")
+    return words
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def encode(ins: Instruction, pc: int) -> int:
+    """Encode ``ins`` (located at byte address ``pc``) into a 32-bit word."""
+    oi = info(ins.op)
+    word = int(ins.op) << _OPC_SHIFT
+    f = oi.fmt
+    if f is Format.R3:
+        word |= (ins.rd << _RD_SHIFT) | (ins.ra << _RA_SHIFT) | (ins.rb << _RB_SHIFT)
+    elif f in (Format.R2I, Format.LOAD):
+        word |= (ins.rd << _RD_SHIFT) | (ins.ra << _RA_SHIFT) | _check_imm16(ins.imm)
+    elif f is Format.RI:
+        word |= (ins.rd << _RD_SHIFT) | _check_imm16(ins.imm)
+    elif f is Format.STORE:
+        word |= (ins.rb << _RD_SHIFT) | (ins.ra << _RA_SHIFT) | _check_imm16(ins.imm)
+    elif f is Format.BRANCH:
+        off = _word_offset(ins.target, pc, IMM16_MIN, IMM16_MAX)
+        word |= (ins.ra << _RA_SHIFT) | (off & _IMM16_MASK)
+    elif f is Format.JUMP:
+        off = _word_offset(ins.target, pc, OFF21_MIN, OFF21_MAX)
+        word |= off & _OFF21_MASK
+        if oi.is_call:
+            word |= ins.rd << _RD_SHIFT
+    elif f is Format.JUMP_REG:
+        word |= ins.ra << _RA_SHIFT
+    # Format.NONE encodes as the bare opcode.
+    return word
+
+
+def decode(word: int, pc: int) -> Instruction:
+    """Decode a 32-bit ``word`` fetched from byte address ``pc``."""
+    opc = (word >> _OPC_SHIFT) & 0x3F
+    try:
+        op = Op(opc)
+    except ValueError as exc:
+        raise EncodingError(f"unknown opcode {opc} in word {word:#010x}") from exc
+    oi = info(op)
+    rd = (word >> _RD_SHIFT) & 0x1F
+    ra = (word >> _RA_SHIFT) & 0x1F
+    rb = (word >> _RB_SHIFT) & 0x1F
+    f = oi.fmt
+    if f is Format.R3:
+        return Instruction(op, rd=rd, ra=ra, rb=rb)
+    if f in (Format.R2I, Format.LOAD):
+        return Instruction(op, rd=rd, ra=ra, imm=_sext(word, 16))
+    if f is Format.RI:
+        return Instruction(op, rd=rd, imm=_sext(word, 16))
+    if f is Format.STORE:
+        return Instruction(op, rb=rd, ra=ra, imm=_sext(word, 16))
+    if f is Format.BRANCH:
+        target = pc + INSTRUCTION_BYTES + _sext(word, 16) * INSTRUCTION_BYTES
+        return Instruction(op, ra=ra, target=target)
+    if f is Format.JUMP:
+        target = pc + INSTRUCTION_BYTES + _sext(word, 21) * INSTRUCTION_BYTES
+        if oi.is_call:
+            return Instruction(op, rd=rd, target=target)
+        return Instruction(op, target=target)
+    if f is Format.JUMP_REG:
+        return Instruction(op, ra=ra)
+    return Instruction(op)

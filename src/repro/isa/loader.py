@@ -1,0 +1,108 @@
+"""Binary program images: save/load assembled programs.
+
+A simple container format ("RRX") holding the encoded text segment, the
+data image, segment bases, the entry point and the label table — enough
+to assemble once and reload later, and a genuine end-to-end exercise of
+the 32-bit instruction encoding (every instruction round-trips through
+:mod:`repro.isa.encoding` on save/load).
+
+Layout (all little-endian):
+
+====================  =================================================
+field                 size
+====================  =================================================
+magic ``b"RRX1"``     4
+text_base             8
+data_base             8
+entry                 8
+text word count       4
+data byte count       4
+label count           4
+text words            4 × count
+data bytes            count
+labels                per label: u16 name length, name utf-8, u64 addr
+====================  =================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from .encoding import decode, encode
+from .instruction import INSTRUCTION_BYTES
+from .program import Program
+
+MAGIC = b"RRX1"
+
+
+class LoaderError(ValueError):
+    """Malformed image or unencodable program."""
+
+
+def save_program(program: Program) -> bytes:
+    """Serialise ``program`` into an RRX image."""
+    words = []
+    for i, ins in enumerate(program.instructions):
+        pc = program.text_base + i * INSTRUCTION_BYTES
+        try:
+            words.append(encode(ins, pc))
+        except ValueError as exc:
+            raise LoaderError(f"instruction at {pc:#x} not encodable: {ins}") from exc
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack(
+        "<QQQIII",
+        program.text_base,
+        program.data_base,
+        program.entry,
+        len(words),
+        len(program.data),
+        len(program.labels),
+    )
+    for word in words:
+        out += struct.pack("<I", word)
+    out += program.data
+    for name, addr in sorted(program.labels.items()):
+        encoded = name.encode("utf-8")
+        out += struct.pack("<H", len(encoded))
+        out += encoded
+        out += struct.pack("<Q", addr)
+    return bytes(out)
+
+
+def load_program(image: bytes, name: str = "loaded") -> Program:
+    """Reconstruct a :class:`Program` from an RRX image."""
+    if image[:4] != MAGIC:
+        raise LoaderError("bad magic: not an RRX image")
+    header = struct.unpack_from("<QQQIII", image, 4)
+    text_base, data_base, entry, n_words, n_data, n_labels = header
+    offset = 4 + struct.calcsize("<QQQIII")
+    instructions = []
+    for i in range(n_words):
+        (word,) = struct.unpack_from("<I", image, offset)
+        offset += 4
+        pc = text_base + i * INSTRUCTION_BYTES
+        instructions.append(decode(word, pc))
+    data = bytes(image[offset : offset + n_data])
+    offset += n_data
+    labels: Dict[str, int] = {}
+    for _ in range(n_labels):
+        (length,) = struct.unpack_from("<H", image, offset)
+        offset += 2
+        label = image[offset : offset + length].decode("utf-8")
+        offset += length
+        (addr,) = struct.unpack_from("<Q", image, offset)
+        offset += 8
+        labels[label] = addr
+    if offset != len(image):
+        raise LoaderError(f"trailing bytes in image ({len(image) - offset})")
+    return Program(
+        name=name,
+        instructions=instructions,
+        text_base=text_base,
+        data=data,
+        data_base=data_base,
+        entry=entry,
+        labels=labels,
+    )

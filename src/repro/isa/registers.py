@@ -1,0 +1,91 @@
+"""Logical register definitions for the RRISC ISA.
+
+The simulated ISA has 32 integer registers (``r0`` .. ``r31``) and 32
+floating-point registers (``f0`` .. ``f31``).  Following the Alpha
+convention used by the paper's compiler toolchain, the highest-numbered
+register of each file reads as zero and ignores writes.
+
+Internally the simulator uses a *unified* logical register index space:
+integer register ``rN`` is index ``N`` and floating-point register
+``fN`` is index ``32 + N``.  The unified space keeps the rename map a
+single flat array per hardware context while the physical register
+files (and free lists) remain split per class, matching the paper's
+"each register file (fp and integer)" sizing.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_LOGICAL_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Index of the hardwired-zero integer register (``r31``).
+ZERO_REG = 31
+#: Unified index of the hardwired-zero floating-point register (``f31``).
+FP_ZERO_REG = NUM_INT_REGS + 31
+
+#: Conventional role assignments (mirrors the Alpha calling convention
+#: closely enough for the synthetic workloads).
+RETURN_ADDRESS_REG = 26  # ra
+STACK_POINTER_REG = 30  # sp
+
+FP_BASE = NUM_INT_REGS
+
+
+def is_fp(index: int) -> bool:
+    """Return True when a unified logical register index names an FP register."""
+    return index >= FP_BASE
+
+
+def is_zero(index: int) -> bool:
+    """Return True for either hardwired-zero register."""
+    return index == ZERO_REG or index == FP_ZERO_REG
+
+
+def int_reg(n: int) -> int:
+    """Unified index of integer register ``rN``."""
+    if not 0 <= n < NUM_INT_REGS:
+        raise ValueError(f"integer register out of range: r{n}")
+    return n
+
+
+def fp_reg(n: int) -> int:
+    """Unified index of floating-point register ``fN``."""
+    if not 0 <= n < NUM_FP_REGS:
+        raise ValueError(f"fp register out of range: f{n}")
+    return FP_BASE + n
+
+
+def reg_name(index: int) -> str:
+    """Human-readable name for a unified logical register index."""
+    if not 0 <= index < NUM_LOGICAL_REGS:
+        raise ValueError(f"logical register out of range: {index}")
+    if index < FP_BASE:
+        return f"r{index}"
+    return f"f{index - FP_BASE}"
+
+
+def parse_reg(name: str) -> int:
+    """Parse ``rN`` / ``fN`` (case-insensitive) into a unified index.
+
+    Also accepts the conventional aliases ``ra`` (return address),
+    ``sp`` (stack pointer) and ``zero``.
+    """
+    text = name.strip().lower()
+    if text == "ra":
+        return RETURN_ADDRESS_REG
+    if text == "sp":
+        return STACK_POINTER_REG
+    if text == "zero":
+        return ZERO_REG
+    if text == "fzero":
+        return FP_ZERO_REG
+    if len(text) < 2 or text[0] not in "rf":
+        raise ValueError(f"bad register name: {name!r}")
+    try:
+        n = int(text[1:])
+    except ValueError as exc:
+        raise ValueError(f"bad register name: {name!r}") from exc
+    if text[0] == "r":
+        return int_reg(n)
+    return fp_reg(n)

@@ -1,0 +1,8 @@
+"""Timing model of the memory hierarchy (tags only; data lives in
+:class:`repro.emulator.memory.SparseMemory`)."""
+
+from .cache import Cache
+from .config import CacheConfig, HierarchyConfig
+from .hierarchy import MemoryHierarchy
+
+__all__ = ["Cache", "CacheConfig", "HierarchyConfig", "MemoryHierarchy"]

@@ -1,0 +1,94 @@
+"""Timing-only set-associative cache with banking and LRU replacement.
+
+The cache tracks *tags only* — data contents live in
+:class:`repro.emulator.memory.SparseMemory`.  ``lookup``/``fill`` are
+split so the hierarchy can model miss latencies; ``bank_delay`` models
+per-bank structural hazards (each bank services one access per cycle,
+the paper's "throughput as well as latency constraints are carefully
+modeled").
+
+Address spaces of different programs are disambiguated by mixing a
+per-program ``space`` id into the tag, the standard trick for
+multiprogrammed timing simulation without page tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .config import CacheConfig
+
+
+class Cache:
+    """One level of timing cache."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._line_shift = config.line_size.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        self._bank_mask = config.banks - 1
+        # set index -> list of tags, most-recently-used last
+        self._sets: Dict[int, List[int]] = {}
+        self._bank_busy: List[int] = [0] * config.banks
+        self.hits = 0
+        self.misses = 0
+
+    def _line_addr(self, addr: int, space: int) -> int:
+        return (addr >> self._line_shift) | (space << 48)
+
+    def probe(self, addr: int, space: int = 0) -> bool:
+        """Non-destructive hit test (no LRU update, no stats)."""
+        line = self._line_addr(addr, space)
+        ways = self._sets.get(line & self._set_mask)
+        return bool(ways) and line in ways
+
+    def lookup(self, addr: int, space: int = 0) -> bool:
+        """Access the cache: returns hit/miss and updates LRU + stats."""
+        line = self._line_addr(addr, space)
+        idx = line & self._set_mask
+        ways = self._sets.get(idx)
+        if ways and line in ways:
+            ways.remove(line)
+            ways.append(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, addr: int, space: int = 0) -> None:
+        """Install the line containing ``addr`` (evicting LRU if needed)."""
+        line = self._line_addr(addr, space)
+        idx = line & self._set_mask
+        ways = self._sets.setdefault(idx, [])
+        if line in ways:
+            ways.remove(line)
+        ways.append(line)
+        if len(ways) > self.config.assoc:
+            ways.pop(0)
+
+    def bank_delay(self, addr: int, cycle: int, queue: bool = True) -> int:
+        """Structural delay (cycles) before a bank can service ``addr``.
+
+        With ``queue=True`` (data accesses) the bank is reserved even
+        when busy — the access waits its turn.  With ``queue=False``
+        (fetch) a busy bank is reported without reserving it, because
+        the fetch unit simply retries next cycle.
+        """
+        bank = (addr >> self._line_shift) & self._bank_mask
+        start = max(cycle, self._bank_busy[bank])
+        if not queue and start > cycle:
+            return start - cycle
+        self._bank_busy[bank] = start + 1
+        return start - cycle
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,104 @@
+"""The full memory hierarchy: L1I / L1D / shared L2 / L3 / main memory.
+
+All methods return *latency in cycles* for an access issued at a given
+cycle; the caller schedules completion.  MSHR-style merging is applied
+at the L1s: a second miss to a line already in flight completes when
+the first fill arrives instead of paying the full penalty again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .cache import Cache
+from .config import HierarchyConfig
+
+
+class MemoryHierarchy:
+    """Timing model of the paper's three-level cache hierarchy."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None):
+        self.config = config or HierarchyConfig.big()
+        self.icache = Cache(self.config.icache)
+        self.dcache = Cache(self.config.dcache)
+        self.l2 = Cache(self.config.l2)
+        self.l3 = Cache(self.config.l3)
+        self._memory_busy = 0
+        # (cache name, line address, space) -> fill-complete cycle
+        self._inflight: Dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    def _beyond_l1(self, addr: int, space: int, cycle: int) -> int:
+        """Latency beyond an L1 miss (L2 → L3 → memory)."""
+        latency = self.config.l2_penalty
+        if self.l2.lookup(addr, space):
+            return latency
+        latency += self.config.l3_penalty
+        if self.l3.lookup(addr, space):
+            self.l2.fill(addr, space)
+            return latency
+        latency += self.config.memory_penalty
+        # Memory channel throughput: serialised bus occupancy.
+        start = max(cycle + latency, self._memory_busy)
+        self._memory_busy = start + self.config.memory_bus_occupancy
+        latency = start - cycle
+        self.l3.fill(addr, space)
+        self.l2.fill(addr, space)
+        return latency
+
+    def _l1_access(
+        self, l1: Cache, name: str, addr: int, space: int, cycle: int, queue: bool = True
+    ) -> int:
+        latency = l1.bank_delay(addr, cycle, queue=queue) + l1.config.hit_latency
+        now = cycle + latency
+        key = (name, addr >> 6, space)
+        ready = self._inflight.get(key)
+        if ready is not None and ready > now:
+            # The line is still being filled: complete with that fill
+            # instead of paying a fresh miss (MSHR merge).
+            return ready - cycle
+        if l1.lookup(addr, space):
+            return latency
+        latency += self._beyond_l1(addr, space, now)
+        self._inflight[key] = cycle + latency
+        l1.fill(addr, space)
+        if len(self._inflight) > 512:
+            self._prune_inflight(cycle)
+        return latency
+
+    def _prune_inflight(self, cycle: int) -> None:
+        self._inflight = {k: v for k, v in self._inflight.items() if v > cycle}
+
+    # ------------------------------------------------------------------
+    def fetch_latency(self, addr: int, cycle: int, space: int = 0) -> int:
+        """Instruction-fetch access; 0 means the block is usable this cycle.
+
+        A simple next-line prefetcher (stream-buffer style, standard for
+        the paper's era) starts filling the sequentially next line so
+        straight-line fetch is not one-full-miss-per-line."""
+        latency = self._l1_access(self.icache, "i", addr, space, cycle, queue=False)
+        nxt = (addr | (self.icache.config.line_size - 1)) + 1
+        key = ("i", nxt >> 6, space)
+        if not self.icache.probe(nxt, space) and self._inflight.get(key, -1) <= cycle:
+            delay = self._beyond_l1(nxt, space, cycle)
+            self._inflight[key] = cycle + delay
+            self.icache.fill(nxt, space)
+        return latency
+
+    def data_latency(self, addr: int, cycle: int, space: int = 0, store: bool = False) -> int:
+        """Data access latency (same path for loads and stores)."""
+        return self._l1_access(self.dcache, "d", addr, space, cycle)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "icache_miss_rate": self.icache.miss_rate,
+            "dcache_miss_rate": self.dcache.miss_rate,
+            "l2_miss_rate": self.l2.miss_rate,
+            "l3_miss_rate": self.l3.miss_rate,
+            "icache_accesses": self.icache.accesses,
+            "dcache_accesses": self.dcache.accesses,
+        }
+
+    def reset_stats(self) -> None:
+        for cache in (self.icache, self.dcache, self.l2, self.l3):
+            cache.reset_stats()

@@ -1,0 +1,31 @@
+"""The out-of-order SMT/TME/Recycle pipeline."""
+
+from .active_list import ActiveList
+from .config import Features, MachineConfig, PolicyKind, RecyclePolicy
+from .context import CtxState, HardwareContext
+from .core import Core, SimulationError
+from .instance import ProgramInstance
+from .queues import FunctionalUnits, InstructionQueue
+from .regfile import OutOfRegistersError, PhysicalRegisterFile
+from .rename import RenameMap
+from .uop import Uop, UopState
+
+__all__ = [
+    "ActiveList",
+    "Features",
+    "MachineConfig",
+    "PolicyKind",
+    "RecyclePolicy",
+    "CtxState",
+    "HardwareContext",
+    "Core",
+    "SimulationError",
+    "ProgramInstance",
+    "FunctionalUnits",
+    "InstructionQueue",
+    "OutOfRegistersError",
+    "PhysicalRegisterFile",
+    "RenameMap",
+    "Uop",
+    "UopState",
+]

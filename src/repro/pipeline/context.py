@@ -1,0 +1,175 @@
+"""Hardware contexts and their lifecycle.
+
+A TME/Recycle context is *idle* (empty, synchronised, ready to spawn),
+*active* (running the primary or an alternate path), or *inactive*
+(finished executing but retained — its active list and registers are
+kept for recycling until the context is reclaimed).  Section 3.1.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from ..branch.predictor import Prediction
+from ..isa.instruction import Instruction
+from .active_list import ActiveList
+from .rename import RenameMap
+from .uop import Uop
+
+
+class CtxState(enum.Enum):
+    IDLE = "idle"
+    ACTIVE = "active"
+    INACTIVE = "inactive"
+
+
+@dataclass
+class FetchedInstr:
+    """One instruction sitting in a context's fetch/decode buffer."""
+
+    instr: Instruction
+    pc: int
+    next_pc: int  # predicted successor (the recorded path geometry)
+    pred: Optional[Prediction]
+    ready_cycle: int  # earliest cycle rename may consume it
+
+
+@dataclass
+class MergePoint:
+    """A recyclable trace entry point: (pc to match, active-list position)."""
+
+    pc: int
+    pos: int
+
+
+class HardwareContext:
+    """All per-context state outside the shared structures."""
+
+    def __init__(self, ctx_id: int, regfile, active_list_size: int):
+        self.id = ctx_id
+        self.map = RenameMap(regfile)
+        self.active_list = ActiveList(active_list_size)
+        self.state = CtxState.IDLE
+        self.is_primary = False
+        self.instance = None  # ProgramInstance
+        # Fetch state -----------------------------------------------------
+        self.pc: int = 0
+        self.fetch_stall_until: int = 0
+        self.fetch_stopped = False  # halted, off-text, or policy-stopped
+        # Outstanding I-fetch fill: the block at ``fill_pc`` is delivered
+        # to the fetch unit at ``fill_ready`` even if the line is evicted
+        # meanwhile (prevents thrash livelock between contexts).
+        self.fill_pc: int = -1
+        self.fill_ready: int = 0
+        self.decode_buffer: Deque[FetchedInstr] = deque()
+        # Execution bookkeeping -------------------------------------------
+        self.store_buffer: List[Uop] = []  # own in-flight stores
+        self.inherited_stores: List[Uop] = []  # pre-fork stores of the parent
+        self.n_queued = 0  # renamed-but-not-issued uops (ICOUNT)
+        # TME state --------------------------------------------------------
+        self.fork_uop: Optional[Uop] = None  # branch this alternate covers
+        self.parent_ctx: Optional[int] = None
+        self.alt_fetched = 0  # instructions fetched along this alternate path
+        self.path_start_pos = 0  # active-list position where this path began
+        # Commit chain (architectural stream handover) ----------------------
+        self.commit_limit_pos: Optional[int] = None
+        self.commit_successor: Optional[int] = None
+        # Recycling state ----------------------------------------------------
+        self.first_merge: Optional[MergePoint] = None
+        self.back_merge: Optional[MergePoint] = None
+        self.inactive_since = -1
+        #: Sequence numbers of in-flight primary-path uops that reuse
+        #: this context's register mappings — the context is pinned
+        #: (unreclaimable) until they retire or squash.  A set keyed by
+        #: uop seq makes pin release idempotent across squash orderings.
+        self.reuse_pins: set = set()
+        self.was_used_tme = False
+        self.was_recycled = False
+        self.was_respawned = False
+        self.merge_count = 0  # non-back merges served from this path
+        #: Logical registers written since this context's path started —
+        #: folded into the written-bit array at primaryship swaps.
+        self.self_written: set = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def is_alternate(self) -> bool:
+        return self.state is CtxState.ACTIVE and not self.is_primary
+
+    @property
+    def pending_reuse(self) -> int:
+        """Outstanding reuses of this context's mappings by the primary."""
+        return len(self.reuse_pins)
+
+    @property
+    def icount(self) -> int:
+        """Pre-issue instruction count (ICOUNT fetch priority)."""
+        return len(self.decode_buffer) + self.n_queued
+
+    def can_fetch(self, cycle: int, decode_cap: int) -> bool:
+        # INACTIVE contexts may keep fetching under the FETCH/NOSTOP
+        # policies (Section 5.2); ``fetch_stopped`` gates them.
+        return (
+            self.state in (CtxState.ACTIVE, CtxState.INACTIVE)
+            and not self.fetch_stopped
+            and cycle >= self.fetch_stall_until
+            and len(self.decode_buffer) < decode_cap
+        )
+
+    # ------------------------------------------------------------------
+    def merge_point_valid(self, mp: Optional[MergePoint]) -> bool:
+        if mp is None:
+            return False
+        uop = self.active_list.try_entry(mp.pos)
+        return uop is not None and uop.pc == mp.pc and not uop.squashed
+
+    def set_back_merge(self, target_pc: int) -> None:
+        """Record the target of the last backward branch (Section 3.2)."""
+        pos = self.active_list.find_pc(target_pc)
+        if pos is not None:
+            self.back_merge = MergePoint(target_pc, pos)
+        else:
+            self.back_merge = None
+
+    def note_first_entry(self, uop: Uop, pos: int) -> None:
+        if self.first_merge is None:
+            self.first_merge = MergePoint(uop.pc, pos)
+            self.path_start_pos = pos
+
+    # ------------------------------------------------------------------
+    def reset_for_reclaim(self) -> None:
+        """Return to IDLE after the core has released all resources."""
+        self.active_list.clear()
+        self.state = CtxState.IDLE
+        self.is_primary = False
+        self.instance = None
+        self.decode_buffer.clear()
+        self.store_buffer.clear()
+        self.inherited_stores.clear()
+        self.n_queued = 0
+        self.fork_uop = None
+        self.parent_ctx = None
+        self.alt_fetched = 0
+        self.path_start_pos = 0
+        self.commit_limit_pos = None
+        self.commit_successor = None
+        self.first_merge = None
+        self.back_merge = None
+        self.inactive_since = -1
+        self.reuse_pins = set()
+        self.was_used_tme = False
+        self.was_recycled = False
+        self.was_respawned = False
+        self.merge_count = 0
+        self.self_written = set()
+        self.fetch_stopped = False
+        self.fetch_stall_until = 0
+        self.fill_pc = -1
+        self.fill_ready = 0
+
+    def __repr__(self) -> str:
+        role = "P" if self.is_primary else ("A" if self.is_alternate else "-")
+        return f"<ctx{self.id} {self.state.value}/{role} pc={self.pc:#x}>"

@@ -1,0 +1,52 @@
+"""Running program instances and their architectural state.
+
+A :class:`ProgramInstance` is one program of a (possibly
+multiprogrammed) workload: its committed memory image, its golden
+co-simulation emulator, its Memory Disambiguation Buffer, and the
+*commit chain* — the linked list of contexts that together hold the
+program's architectural instruction stream.  TME migrates primaryship
+between contexts at mispredicted forked branches; commits follow the
+chain so retirement stays program-ordered across migrations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..emulator.emulator import Emulator
+from ..emulator.memory import SparseMemory
+from ..isa.program import Program
+from ..recycle.mdb import MemoryDisambiguationBuffer
+
+
+class ProgramInstance:
+    def __init__(self, instance_id: int, program: Program, mdb_entries: int = 64):
+        self.id = instance_id  # also the cache "space" id
+        self.program = program
+        #: Committed memory state (what stores drain into at retirement).
+        self.memory = SparseMemory()
+        if program.data:
+            self.memory.load_image(program.data_base, program.data)
+        #: Golden model with its own private memory image.
+        self.golden = Emulator(program)
+        self.mdb = MemoryDisambiguationBuffer(mdb_entries)
+        self.partition = None  # assigned by the core
+        self.primary_ctx: Optional[int] = None
+        self.commit_ctx: Optional[int] = None
+        self.committed = 0
+        self.halted = False
+        # Measurement window bookkeeping.
+        self.commit_target: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def reached_target(self) -> bool:
+        return self.commit_target is not None and self.committed >= self.commit_target
+
+    def __repr__(self) -> str:
+        return (
+            f"<instance {self.id}:{self.name} committed={self.committed}"
+            f"{' HALTED' if self.halted else ''}>"
+        )

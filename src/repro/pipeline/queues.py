@@ -1,0 +1,108 @@
+"""Instruction queues and functional-unit accounting.
+
+Two queues (integer and floating point, 21264-style, 64 entries each in
+the big machine) hold renamed uops until their source physical
+registers are ready.  Issue selects oldest-first across all contexts,
+bounded by functional-unit availability: ``int_units`` integer units of
+which ``ldst_ports`` may perform loads/stores, and ``fp_units`` FP
+units, all fully pipelined (new op each cycle).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.opcodes import FuClass
+from .regfile import PhysicalRegisterFile
+from .uop import Uop, UopState
+
+
+class InstructionQueue:
+    """One issue queue; selection is oldest-ready-first."""
+
+    def __init__(self, name: str, size: int):
+        self.name = name
+        self.size = size
+        self._entries: List[Uop] = []
+
+    def has_room(self) -> bool:
+        return len(self._entries) < self.size
+
+    def insert(self, uop: Uop) -> None:
+        assert self.has_room(), f"{self.name} queue overflow"
+        self._entries.append(uop)
+
+    def remove(self, uop: Uop) -> None:
+        try:
+            self._entries.remove(uop)
+        except ValueError:
+            pass
+
+    def remove_squashed(self) -> int:
+        before = len(self._entries)
+        self._entries = [u for u in self._entries if not u.squashed]
+        return before - len(self._entries)
+
+    def ready_uops(self, regfile: PhysicalRegisterFile, extra_ok, cycle: int) -> List[Uop]:
+        """Uops whose sources are ready at ``cycle``, oldest first.
+
+        Readiness uses per-register ready cycles, modelling the bypass
+        network: a dependent may issue as soon as its producer's result
+        is forwardable, not when it reaches the register file.
+        ``extra_ok(uop)`` applies non-register issue constraints (memory
+        ordering for loads).
+        """
+        ready = []
+        ready_cycles = regfile.ready_cycle
+        for uop in self._entries:
+            if uop.state is not UopState.RENAMED:
+                continue
+            if all(ready_cycles[p] <= cycle for p in uop.phys_srcs) and extra_ok(uop):
+                ready.append(uop)
+        ready.sort(key=lambda u: u.seq)
+        return ready
+
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, uop: Uop) -> bool:
+        return uop in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class FunctionalUnits:
+    """Per-cycle issue-slot accounting for the three unit classes."""
+
+    def __init__(self, int_units: int, fp_units: int, ldst_ports: int):
+        self.int_units = int_units
+        self.fp_units = fp_units
+        self.ldst_ports = ldst_ports
+        self._int_used = 0
+        self._fp_used = 0
+        self._ldst_used = 0
+
+    def new_cycle(self) -> None:
+        self._int_used = 0
+        self._fp_used = 0
+        self._ldst_used = 0
+
+    def try_issue(self, fu: FuClass) -> bool:
+        """Claim a unit of class ``fu``; False when none left this cycle."""
+        if fu is FuClass.FP:
+            if self._fp_used < self.fp_units:
+                self._fp_used += 1
+                return True
+            return False
+        if fu is FuClass.LDST:
+            # Load/store ops need an integer unit that has a memory port.
+            if self._ldst_used < self.ldst_ports and self._int_used < self.int_units:
+                self._ldst_used += 1
+                self._int_used += 1
+                return True
+            return False
+        if self._int_used < self.int_units:
+            self._int_used += 1
+            return True
+        return False

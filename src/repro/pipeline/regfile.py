@@ -1,0 +1,126 @@
+"""Shared physical register file with reference counting.
+
+An SMT/TME processor has a single physical register file shared by all
+contexts (Section 2); duplicating register state at a fork is just a
+map copy.  That sharing is exactly what makes freeing hard — a register
+may be referenced by several contexts' maps, by checkpoints of inactive
+threads, and (with reuse) by mappings the primary path re-installed.
+
+We make the ownership rules explicit with a reference count per
+physical register:
+
+* allocation (rename) creates one reference, held by the map entry;
+* replacing a map entry moves that reference into the displacing uop's
+  ``prev_map`` slot (released when the uop commits, moved back on
+  squash);
+* forking a context's map increments every mapped register;
+* discarding a map (context reclaim / resync) decrements every entry;
+* instruction reuse installs an old mapping into a new map entry —
+  one more reference.
+
+A register returns to the free list only at refcount zero, which is
+what guarantees the paper's constraint that "we do not free a register
+which another context is still accessing due to re-use of the register
+mapping".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class OutOfRegistersError(RuntimeError):
+    """Free list exhausted (callers should stall or reclaim instead)."""
+
+
+class PhysicalRegisterFile:
+    """Two pools (int / fp) of value+ready+refcount registers.
+
+    Register ids are global: ``0 .. nint-1`` integer,
+    ``nint .. nint+nfp-1`` floating point.
+    """
+
+    #: Sentinel ready-cycle for a register whose producer has not issued.
+    NEVER = 1 << 60
+
+    def __init__(self, int_regs: int, fp_regs: int):
+        self.nint = int_regs
+        self.nfp = fp_regs
+        total = int_regs + fp_regs
+        self.values: List = [0] * total
+        #: Cycle at which the value becomes visible to consumers (models
+        #: the bypass network: producers mark this at issue time).
+        self.ready_cycle: List[int] = [self.NEVER] * total
+        self.refcount: List[int] = [0] * total
+        self._free_int: List[int] = list(range(int_regs - 1, -1, -1))
+        self._free_fp: List[int] = list(range(total - 1, int_regs - 1, -1))
+        self.allocations = 0
+
+    # ------------------------------------------------------------------
+    def free_count(self, fp: bool) -> int:
+        return len(self._free_fp) if fp else len(self._free_int)
+
+    def can_alloc(self, fp: bool) -> bool:
+        return bool(self._free_fp if fp else self._free_int)
+
+    def alloc(self, fp: bool) -> int:
+        """Pop a free register; it starts not-ready with refcount 1."""
+        pool = self._free_fp if fp else self._free_int
+        if not pool:
+            raise OutOfRegistersError("fp" if fp else "int")
+        reg = pool.pop()
+        assert self.refcount[reg] == 0, f"allocating live register p{reg}"
+        self.refcount[reg] = 1
+        self.ready_cycle[reg] = self.NEVER
+        self.values[reg] = 0.0 if fp else 0
+        self.allocations += 1
+        return reg
+
+    def alloc_ready(self, fp: bool, value) -> int:
+        """Allocate a register that already holds an architectural value."""
+        reg = self.alloc(fp)
+        self.values[reg] = value
+        self.ready_cycle[reg] = 0
+        return reg
+
+    def incref(self, reg: int) -> None:
+        assert self.refcount[reg] > 0, f"incref on dead register p{reg}"
+        self.refcount[reg] += 1
+
+    def decref(self, reg: int) -> None:
+        count = self.refcount[reg]
+        assert count > 0, f"decref on dead register p{reg}"
+        count -= 1
+        self.refcount[reg] = count
+        if count == 0:
+            (self._free_fp if reg >= self.nint else self._free_int).append(reg)
+
+    # ------------------------------------------------------------------
+    def write(self, reg: int, value, ready_at: int = 0) -> None:
+        """Install a value, visible to consumers from cycle ``ready_at``."""
+        self.values[reg] = value
+        self.ready_cycle[reg] = ready_at
+
+    def is_ready(self, reg: int, cycle: int) -> bool:
+        return self.ready_cycle[reg] <= cycle
+
+    def read(self, reg: int):
+        assert self.ready_cycle[reg] < self.NEVER, f"reading not-ready register p{reg}"
+        return self.values[reg]
+
+    def is_fp(self, reg: int) -> bool:
+        return reg >= self.nint
+
+    def live_count(self) -> int:
+        """Registers currently referenced (sanity checks in tests)."""
+        return sum(1 for c in self.refcount if c > 0)
+
+    def check_consistency(self) -> None:
+        """Invariant: every register is either free exactly once or live."""
+        free = set(self._free_int) | set(self._free_fp)
+        assert len(free) == len(self._free_int) + len(self._free_fp), "dup free entry"
+        for reg, count in enumerate(self.refcount):
+            if count == 0:
+                assert reg in free, f"p{reg} dead but not free"
+            else:
+                assert reg not in free, f"p{reg} live but on free list"

@@ -1,0 +1,97 @@
+"""Per-context register rename maps (R10000-style mapping regions).
+
+Each hardware context owns one 64-entry region of the mapping table
+(Figure 1 of the paper).  The region maps unified logical registers to
+physical registers in the shared file.  Fork/discard operations keep
+the physical file's reference counts consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.registers import FP_BASE, NUM_LOGICAL_REGS
+from .regfile import PhysicalRegisterFile
+
+
+class RenameMap:
+    """One context's mapping region."""
+
+    __slots__ = ("regfile", "table", "valid")
+
+    def __init__(self, regfile: PhysicalRegisterFile):
+        self.regfile = regfile
+        self.table: List[Optional[int]] = [None] * NUM_LOGICAL_REGS
+        self.valid = False
+
+    # ------------------------------------------------------------------
+    def init_fresh(self, initial_value_of) -> None:
+        """Allocate ready registers holding a fresh thread's state.
+
+        ``initial_value_of(logical)`` supplies the architectural reset
+        value for each logical register.
+        """
+        assert not self.valid, "init on a live map"
+        for logical in range(NUM_LOGICAL_REGS):
+            self.table[logical] = self.regfile.alloc_ready(
+                fp=logical >= FP_BASE, value=initial_value_of(logical)
+            )
+        self.valid = True
+
+    def fork_from(self, other: "RenameMap") -> None:
+        """Duplicate ``other``'s region (the MSB's map copy at a spawn)."""
+        assert not self.valid, "fork onto a live map"
+        assert other.valid, "fork from a dead map"
+        for logical in range(NUM_LOGICAL_REGS):
+            reg = other.table[logical]
+            self.regfile.incref(reg)
+            self.table[logical] = reg
+        self.valid = True
+
+    def discard(self) -> None:
+        """Release every mapping (context reclaim / resynchronisation)."""
+        assert self.valid, "discard of a dead map"
+        for logical in range(NUM_LOGICAL_REGS):
+            self.regfile.decref(self.table[logical])
+            self.table[logical] = None
+        self.valid = False
+
+    # ------------------------------------------------------------------
+    def lookup(self, logical: int) -> int:
+        reg = self.table[logical]
+        assert reg is not None, f"lookup of unmapped logical {logical}"
+        return reg
+
+    def define(self, logical: int, fp: bool) -> "tuple[int, int]":
+        """Allocate a new mapping for a write to ``logical``.
+
+        Returns ``(new_phys, displaced_phys)``.  The displaced register's
+        reference transfers to the caller (stored in the uop's
+        ``prev_map`` and released at commit).
+        """
+        new_reg = self.regfile.alloc(fp)
+        displaced = self.table[logical]
+        self.table[logical] = new_reg
+        return new_reg, displaced
+
+    def install(self, logical: int, phys: int) -> int:
+        """Install an existing register as the mapping (instruction reuse).
+
+        Takes a new reference on ``phys``; returns the displaced
+        register whose reference transfers to the caller.
+        """
+        self.regfile.incref(phys)
+        displaced = self.table[logical]
+        self.table[logical] = phys
+        return displaced
+
+    def restore(self, logical: int, phys: int) -> None:
+        """Undo a ``define``/``install`` during a squash walk.
+
+        The current mapping's reference dies; ``phys``'s reference
+        transfers back from the squashed uop to the map entry.
+        """
+        current = self.table[logical]
+        assert current is not None
+        self.regfile.decref(current)
+        self.table[logical] = phys

@@ -1,0 +1,124 @@
+"""In-flight instruction records (micro-ops).
+
+A :class:`Uop` is one dynamic instance of an instruction travelling
+through the pipeline.  Uops live in the per-context active lists, which
+double as the paper's recycling trace storage: each entry carries the
+decoded opcode, logical and physical operands, the path's recorded
+next-PC, and (after execution) the computed value — everything the
+recycle datapath and reuse test need.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import List, Optional
+
+from ..branch.predictor import Prediction
+from ..isa.instruction import INSTRUCTION_BYTES, Instruction
+
+_seq_counter = itertools.count(1)
+
+
+class UopState(enum.Enum):
+    RENAMED = "renamed"  # in active list, maybe queued
+    ISSUED = "issued"  # sent to a functional unit
+    COMPLETED = "completed"  # result available
+    COMMITTED = "committed"  # architecturally retired
+    SQUASHED = "squashed"  # cancelled
+
+
+class Uop:
+    """One dynamic instruction instance."""
+
+    __slots__ = (
+        "seq",
+        "ctx",
+        "instance",
+        "instr",
+        "pc",
+        "next_pc",
+        "state",
+        "dst",
+        "phys_dst",
+        "prev_map",
+        "phys_srcs",
+        "value",
+        "eff_addr",
+        "store_bits",
+        "pred",
+        "taken",
+        "target",
+        "forked_ctx",
+        "recycled",
+        "reused",
+        "reuse_src_ctx",
+        "no_execute",
+        "rename_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "back_merge",
+        "al_pos",
+        "in_queue",
+    )
+
+    def __init__(self, instr: Instruction, pc: int, ctx: int, instance) -> None:
+        self.seq: int = next(_seq_counter)
+        self.ctx = ctx
+        self.instance = instance
+        self.instr = instr
+        self.pc = pc
+        #: Recorded next PC along the fetched/recycled path (the trace
+        #: geometry recycling replays).
+        self.next_pc: int = pc + INSTRUCTION_BYTES
+        self.state = UopState.RENAMED
+        self.dst: Optional[int] = instr.dst
+        self.phys_dst: Optional[int] = None
+        self.prev_map: Optional[int] = None
+        self.phys_srcs: List[int] = []
+        self.value = None
+        self.eff_addr: Optional[int] = None
+        self.store_bits: Optional[int] = None
+        self.pred: Optional[Prediction] = None
+        self.taken: Optional[bool] = None  # resolved direction
+        self.target: Optional[int] = None  # resolved target
+        self.forked_ctx: Optional[int] = None  # TME alternate spawned here
+        self.recycled = False
+        self.reused = False
+        self.reuse_src_ctx: Optional[int] = None
+        self.no_execute = False  # FETCH-policy instructions never issue
+        self.rename_cycle = -1
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.back_merge = False  # entered via a backward-branch merge
+        self.al_pos = -1  # position in the owning context's active list
+        self.in_queue = False
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> bool:
+        return self.state in (UopState.COMPLETED, UopState.COMMITTED)
+
+    @property
+    def squashed(self) -> bool:
+        return self.state is UopState.SQUASHED
+
+    @property
+    def executed_on_path(self) -> bool:
+        """Did this uop actually produce a result usable for reuse?"""
+        return self.completed and not self.no_execute
+
+    def __repr__(self) -> str:  # debug aid
+        flags = "".join(
+            c
+            for c, cond in (
+                ("R", self.recycled),
+                ("U", self.reused),
+                ("N", self.no_execute),
+            )
+            if cond
+        )
+        return (
+            f"<uop#{self.seq} ctx{self.ctx} {self.pc:#x} {self.instr} "
+            f"{self.state.value}{' ' + flags if flags else ''}>"
+        )

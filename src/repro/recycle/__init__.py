@@ -1,0 +1,14 @@
+"""Instruction recycling and reuse: merge streams, the written-bit
+array, and the Memory Disambiguation Buffer."""
+
+from .mdb import MemoryDisambiguationBuffer
+from .stream import RecycleStream, StreamKind, TraceEntry
+from .written_bits import WrittenBitArray
+
+__all__ = [
+    "MemoryDisambiguationBuffer",
+    "RecycleStream",
+    "StreamKind",
+    "TraceEntry",
+    "WrittenBitArray",
+]

@@ -1,0 +1,71 @@
+"""Memory Disambiguation Buffer (Section 3.5).
+
+Tracks loads whose values are still valid for reuse: executing a load
+records ``(load PC → effective address)``; executing a store to that
+address removes the entry.  A recycled load may reuse its old value
+only if its PC is still present *with the same address* (the
+address-register-unchanged test is done separately via the written-bit
+array).
+
+Finite capacity with FIFO replacement models the hardware table.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+class MemoryDisambiguationBuffer:
+    """Entries are (load PC → (address, token)).
+
+    The optional ``token`` (the executing uop's sequence number in the
+    pipeline) ties an entry to one *dynamic* execution of the load:
+    reuse validates the exact instance whose value would be reused, so
+    a later re-execution of the same static load cannot re-validate a
+    stale older trace.
+    """
+
+    def __init__(self, entries: int = 64):
+        self.entries = entries
+        self._table: "OrderedDict[int, Tuple[int, Optional[int]]]" = OrderedDict()
+        self.inserts = 0
+        self.store_invalidations = 0
+        self.reuse_hits = 0
+        self.reuse_misses = 0
+
+    def record_load(self, load_pc: int, address: int, token: Optional[int] = None) -> None:
+        """A load executed: (re)install its entry."""
+        if load_pc in self._table:
+            self._table.move_to_end(load_pc)
+        elif len(self._table) >= self.entries:
+            self._table.popitem(last=False)
+        self._table[load_pc] = (address, token)
+        self.inserts += 1
+
+    def record_store(self, address: int) -> None:
+        """A store executed/retired: kill load entries matching its address."""
+        stale = [pc for pc, (addr, _) in self._table.items() if addr == address]
+        for pc in stale:
+            del self._table[pc]
+            self.store_invalidations += 1
+
+    def can_reuse(self, load_pc: int, address: int, token: Optional[int] = None) -> bool:
+        """Is the old value of this *instance* of the load still valid?"""
+        entry = self._table.get(load_pc)
+        ok = entry is not None and entry == (address, token)
+        if ok:
+            self.reuse_hits += 1
+        else:
+            self.reuse_misses += 1
+        return ok
+
+    def lookup(self, load_pc: int) -> Optional[int]:
+        entry = self._table.get(load_pc)
+        return entry[0] if entry is not None else None
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()

@@ -1,0 +1,43 @@
+"""The written bit-array that gates instruction reuse (Section 3.5).
+
+One bit per (logical register, context): "has the primary path created
+a new instance of this register since this context's path started?"
+
+* New path starts on context ``c`` → clear column ``c``.
+* Primary (or anything renamed into the primary, i.e. re-executed
+  recycled instructions) defines register ``L`` → set row ``L`` for all
+  spare contexts.
+* A recycled instruction from context ``c`` may only reuse its result
+  if every source register's bit for ``c`` is still clear.
+
+Rows are stored as per-register bitmasks over context ids.
+"""
+
+from __future__ import annotations
+
+from ..isa.registers import NUM_LOGICAL_REGS
+
+
+class WrittenBitArray:
+    def __init__(self, num_contexts: int = 8):
+        self.num_contexts = num_contexts
+        self._rows = [0] * NUM_LOGICAL_REGS
+
+    def start_path(self, ctx: int) -> None:
+        """Reset the column for a context beginning a new path."""
+        clear = ~(1 << ctx)
+        rows = self._rows
+        for logical in range(NUM_LOGICAL_REGS):
+            rows[logical] &= clear
+
+    def primary_defined(self, logical: int, spare_mask: int) -> None:
+        """The primary path wrote ``logical``; set bits for all spares."""
+        self._rows[logical] |= spare_mask
+
+    def unchanged_for(self, logical: int, ctx: int) -> bool:
+        return not (self._rows[logical] >> ctx) & 1
+
+    def sources_unchanged(self, srcs, ctx: int) -> bool:
+        rows = self._rows
+        bit = 1 << ctx
+        return all(not rows[s] & bit for s in srcs)

@@ -1,0 +1,281 @@
+"""The paper's experiments, one function per table/figure.
+
+Every function returns plain data structures (dicts keyed by the
+paper's own axis labels) plus has a companion ``format_*`` renderer
+that prints the same rows/series the paper reports.  The benchmark
+harness under ``benchmarks/`` and the CLI both call these.
+
+Scaling: the ``commit_target`` (per-program measurement window) and
+``num_mixes`` arguments trade fidelity against wall-clock; defaults are
+sized for a laptop-minutes run, not paper-scale days.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..pipeline.config import PolicyKind
+from ..workloads.suite import WorkloadSuite
+from .runner import RunSpec, run_spec
+
+#: Figure 3/4 variant order, exactly as plotted in the paper.
+VARIANTS = ["SMT", "TME", "REC", "REC/RU", "REC/RS", "REC/RS/RU"]
+#: Figure 5 policies.
+POLICIES = [f"{kind.value}-{limit}" for kind in PolicyKind for limit in (8, 16, 32)]
+#: Figure 6 machines.
+MACHINES = ["small.1.8", "small.2.8", "big.1.8", "big.2.16"]
+#: Program counts for the multiprogram figures.
+WIDTHS = (1, 2, 4)
+
+
+# ======================================================================
+# Figure 3 — per-program IPC, single program, six variants
+# ======================================================================
+def figure3(
+    commit_target: int = 3000,
+    variants: Sequence[str] = VARIANTS,
+    kernels: Optional[Sequence[str]] = None,
+    suite: Optional[WorkloadSuite] = None,
+) -> Dict[str, Dict[str, float]]:
+    suite = suite or WorkloadSuite()
+    kernels = list(kernels or suite.names)
+    out: Dict[str, Dict[str, float]] = {}
+    for kernel in kernels:
+        out[kernel] = {}
+        for variant in variants:
+            spec = RunSpec((kernel,), features=variant, commit_target=commit_target)
+            out[kernel][variant] = run_spec(spec, suite).ipc
+    return out
+
+
+def format_figure3(data: Dict[str, Dict[str, float]]) -> str:
+    variants = list(next(iter(data.values())))
+    header = f"{'program':<10s}" + "".join(f"{v:>11s}" for v in variants)
+    lines = [header]
+    for kernel, row in data.items():
+        lines.append(f"{kernel:<10s}" + "".join(f"{row[v]:11.3f}" for v in variants))
+    return "\n".join(lines)
+
+
+# ======================================================================
+# Figure 4 — average IPC at 1, 2 and 4 programs, six variants
+# ======================================================================
+def figure4(
+    commit_target: int = 2000,
+    num_mixes: int = 8,
+    variants: Sequence[str] = VARIANTS,
+    widths: Sequence[int] = WIDTHS,
+    suite: Optional[WorkloadSuite] = None,
+) -> Dict[int, Dict[str, float]]:
+    suite = suite or WorkloadSuite()
+    out: Dict[int, Dict[str, float]] = {}
+    for width in widths:
+        mixes = (
+            [[k] for k in suite.names[:num_mixes]]
+            if width == 1
+            else suite.mixes(width, num_mixes)
+        )
+        out[width] = {}
+        for variant in variants:
+            total = 0.0
+            for mix in mixes:
+                spec = RunSpec(tuple(mix), features=variant, commit_target=commit_target)
+                total += run_spec(spec, suite).ipc
+            out[width][variant] = total / len(mixes)
+    return out
+
+
+def format_figure4(data: Dict[int, Dict[str, float]]) -> str:
+    variants = list(next(iter(data.values())))
+    header = f"{'programs':<10s}" + "".join(f"{v:>11s}" for v in variants)
+    lines = [header]
+    for width, row in data.items():
+        lines.append(f"{width:<10d}" + "".join(f"{row[v]:11.3f}" for v in variants))
+    return "\n".join(lines)
+
+
+# ======================================================================
+# Figure 5 — recycling fetch limits (stop/fetch/nostop × 8/16/32)
+# ======================================================================
+def figure5(
+    commit_target: int = 2000,
+    num_mixes: int = 4,
+    widths: Sequence[int] = WIDTHS,
+    policies: Sequence[str] = POLICIES,
+    suite: Optional[WorkloadSuite] = None,
+) -> Dict[str, Dict[int, float]]:
+    suite = suite or WorkloadSuite()
+    out: Dict[str, Dict[int, float]] = {policy: {} for policy in policies}
+    for width in widths:
+        mixes = (
+            [[k] for k in suite.names[:num_mixes]]
+            if width == 1
+            else suite.mixes(width, num_mixes)
+        )
+        for policy in policies:
+            total = 0.0
+            for mix in mixes:
+                spec = RunSpec(
+                    tuple(mix),
+                    features="REC/RS/RU",
+                    policy=policy,
+                    commit_target=commit_target,
+                )
+                total += run_spec(spec, suite).ipc
+            out[policy][width] = total / len(mixes)
+    return out
+
+
+def format_figure5(data: Dict[str, Dict[int, float]]) -> str:
+    widths = list(next(iter(data.values())))
+    header = f"{'policy':<12s}" + "".join(f"{w:>10d}p" for w in widths)
+    lines = [header]
+    for policy, row in data.items():
+        lines.append(f"{policy:<12s}" + "".join(f"{row[w]:11.3f}" for w in widths))
+    return "\n".join(lines)
+
+
+# ======================================================================
+# Figure 6 — four machines × {SMT, TME, REC/RS/RU} × {1, 2, 4} programs
+# ======================================================================
+def figure6(
+    commit_target: int = 2000,
+    num_mixes: int = 4,
+    machines: Sequence[str] = MACHINES,
+    widths: Sequence[int] = WIDTHS,
+    suite: Optional[WorkloadSuite] = None,
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    suite = suite or WorkloadSuite()
+    variants = ["SMT", "TME", "REC/RS/RU"]
+    out: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for machine in machines:
+        out[machine] = {v: {} for v in variants}
+        for width in widths:
+            mixes = (
+                [[k] for k in suite.names[:num_mixes]]
+                if width == 1
+                else suite.mixes(width, num_mixes)
+            )
+            for variant in variants:
+                total = 0.0
+                for mix in mixes:
+                    spec = RunSpec(
+                        tuple(mix),
+                        machine=machine,
+                        features=variant,
+                        commit_target=commit_target,
+                    )
+                    total += run_spec(spec, suite).ipc
+                out[machine][variant][width] = total / len(mixes)
+    return out
+
+
+def format_figure6(data: Dict[str, Dict[str, Dict[int, float]]]) -> str:
+    lines = []
+    for machine, variants in data.items():
+        for variant, by_width in variants.items():
+            row = "".join(f"{ipc:10.3f}" for ipc in by_width.values())
+            lines.append(f"{machine:<11s} {variant:<10s}{row}")
+    widths = list(next(iter(next(iter(data.values())).values())))
+    header = f"{'machine':<11s} {'variant':<10s}" + "".join(f"{w:>9d}p" for w in widths)
+    return "\n".join([header] + lines)
+
+
+# ======================================================================
+# Table 1 — recycling statistics
+# ======================================================================
+TABLE1_COLUMNS = [
+    ("pct_recycled", "%Recyc"),
+    ("pct_reused", "%Reuse"),
+    ("branch_miss_cov", "MissCov"),
+    ("pct_forks_tme", "%FkTME"),
+    ("pct_forks_recycled", "%FkRec"),
+    ("pct_forks_respawned", "%FkResp"),
+    ("merges_per_alt_path", "Mrg/Alt"),
+    ("pct_back_merges", "%BackM"),
+]
+
+
+def table1(
+    commit_target: int = 3000,
+    num_mixes: int = 4,
+    widths: Sequence[int] = (2, 4),
+    suite: Optional[WorkloadSuite] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Per-kernel rows plus 1/2/4-program averages, REC/RS/RU."""
+    suite = suite or WorkloadSuite()
+    rows: Dict[str, Dict[str, float]] = {}
+    singles: List[Dict[str, float]] = []
+    for kernel in suite.names:
+        spec = RunSpec((kernel,), features="REC/RS/RU", commit_target=commit_target)
+        row = run_spec(spec, suite).stats.table1_row()
+        rows[kernel] = row
+        singles.append(row)
+    rows["1 prog avg"] = _avg_rows(singles)
+    for width in widths:
+        mixes = suite.mixes(width, num_mixes)
+        width_rows = []
+        for mix in mixes:
+            spec = RunSpec(tuple(mix), features="REC/RS/RU", commit_target=commit_target)
+            width_rows.append(run_spec(spec, suite).stats.table1_row())
+        rows[f"{width} progs avg"] = _avg_rows(width_rows)
+    return rows
+
+
+def _avg_rows(rows: List[Dict[str, float]]) -> Dict[str, float]:
+    keys = rows[0].keys()
+    return {k: sum(r[k] for r in rows) / len(rows) for k in keys}
+
+
+def format_table1(rows: Dict[str, Dict[str, float]]) -> str:
+    header = f"{'Program':<12s}" + "".join(f"{label:>9s}" for _, label in TABLE1_COLUMNS)
+    lines = [header]
+    for name, row in rows.items():
+        cells = "".join(f"{row[key]:9.1f}" for key, _ in TABLE1_COLUMNS)
+        lines.append(f"{name:<12s}{cells}")
+    return "\n".join(lines)
+
+
+# ======================================================================
+# Ablations (beyond the paper; design-choice sensitivity)
+# ======================================================================
+def ablation_confidence(
+    thresholds: Sequence[int] = (1, 4, 8, 12, 15),
+    commit_target: int = 2000,
+    kernels: Optional[Sequence[str]] = None,
+    suite: Optional[WorkloadSuite] = None,
+) -> Dict[int, float]:
+    """Sweep the fork-gating confidence threshold (REC/RS/RU average)."""
+    suite = suite or WorkloadSuite()
+    kernels = list(kernels or suite.names)
+    out: Dict[int, float] = {}
+    for threshold in thresholds:
+        total = 0.0
+        for kernel in kernels:
+            spec = RunSpec(
+                (kernel,),
+                features="REC/RS/RU",
+                commit_target=commit_target,
+                confidence_threshold=threshold,
+            )
+            total += run_spec(spec, suite).ipc
+        out[threshold] = total / len(kernels)
+    return out
+
+
+def format_ablation_confidence(data: Dict[int, float]) -> str:
+    lines = [f"{'threshold':<11s}{'avg IPC':>9s}"]
+    for threshold, ipc in data.items():
+        lines.append(f"{threshold:<11d}{ipc:9.3f}")
+    return "\n".join(lines)
+
+
+#: Experiment registry used by the CLI.
+EXPERIMENTS = {
+    "fig3": (figure3, format_figure3),
+    "fig4": (figure4, format_figure4),
+    "fig5": (figure5, format_figure5),
+    "fig6": (figure6, format_figure6),
+    "table1": (table1, format_table1),
+    "ablation-confidence": (ablation_confidence, format_ablation_confidence),
+}

@@ -1,0 +1,149 @@
+"""Markdown report generation.
+
+Runs (a configurable subset of) the paper's experiments and renders a
+self-contained markdown report with the same tables EXPERIMENTS.md
+records — so a user can regenerate the whole paper-vs-measured story
+with one call or ``repro-sim report``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..workloads.suite import WorkloadSuite
+from . import experiments as exp
+
+
+@dataclass(frozen=True)
+class ReportConfig:
+    """Scale knobs for a report run."""
+
+    commit_target: int = 1500
+    num_mixes: int = 3
+    sections: Sequence[str] = ("fig3", "fig4", "fig5", "fig6", "table1")
+
+    def __post_init__(self):
+        unknown = set(self.sections) - set(exp.EXPERIMENTS)
+        if unknown:
+            raise ValueError(f"unknown sections: {sorted(unknown)}")
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def _fig3_section(data: Dict[str, Dict[str, float]]) -> str:
+    variants = list(next(iter(data.values())))
+    rows = [
+        [kernel] + [f"{row[v]:.3f}" for v in variants] for kernel, row in data.items()
+    ]
+    return "## Figure 3 — per-program IPC (1 program)\n\n" + _md_table(
+        ["program"] + variants, rows
+    )
+
+
+def _fig4_section(data: Dict[int, Dict[str, float]]) -> str:
+    variants = list(next(iter(data.values())))
+    rows = [
+        [str(width)] + [f"{row[v]:.3f}" for v in variants]
+        for width, row in data.items()
+    ]
+    body = _md_table(["programs"] + variants, rows)
+    gains = []
+    for width, row in data.items():
+        if row.get("TME") and row.get("REC/RS/RU"):
+            gains.append(
+                f"* {width} program(s): REC/RS/RU is "
+                f"{100 * (row['REC/RS/RU'] / row['TME'] - 1):+.1f}% vs TME, "
+                f"{100 * (row['REC/RS/RU'] / row['SMT'] - 1):+.1f}% vs SMT"
+            )
+    return "## Figure 4 — average IPC vs program count\n\n" + body + "\n\n" + "\n".join(gains)
+
+
+def _fig5_section(data: Dict[str, Dict[int, float]]) -> str:
+    widths = list(next(iter(data.values())))
+    rows = [
+        [policy] + [f"{row[w]:.3f}" for w in widths] for policy, row in data.items()
+    ]
+    return "## Figure 5 — recycling fetch limits\n\n" + _md_table(
+        ["policy"] + [f"{w}p" for w in widths], rows
+    )
+
+
+def _fig6_section(data) -> str:
+    widths = list(next(iter(next(iter(data.values())).values())))
+    rows = []
+    for machine, variants in data.items():
+        for variant, by_width in variants.items():
+            rows.append(
+                [machine, variant] + [f"{by_width[w]:.3f}" for w in widths]
+            )
+    return "## Figure 6 — machine configurations\n\n" + _md_table(
+        ["machine", "variant"] + [f"{w}p" for w in widths], rows
+    )
+
+
+def _table1_section(rows: Dict[str, Dict[str, float]]) -> str:
+    headers = ["Program"] + [label for _, label in exp.TABLE1_COLUMNS]
+    body = [
+        [name] + [f"{row[key]:.1f}" for key, _ in exp.TABLE1_COLUMNS]
+        for name, row in rows.items()
+    ]
+    return "## Table 1 — recycling statistics (REC/RS/RU)\n\n" + _md_table(headers, body)
+
+
+_SECTION_BUILDERS = {
+    "fig3": (lambda cfg, suite: exp.figure3(commit_target=cfg.commit_target, suite=suite), _fig3_section),
+    "fig4": (
+        lambda cfg, suite: exp.figure4(
+            commit_target=cfg.commit_target, num_mixes=cfg.num_mixes, suite=suite
+        ),
+        _fig4_section,
+    ),
+    "fig5": (
+        lambda cfg, suite: exp.figure5(
+            commit_target=cfg.commit_target, num_mixes=cfg.num_mixes, suite=suite
+        ),
+        _fig5_section,
+    ),
+    "fig6": (
+        lambda cfg, suite: exp.figure6(
+            commit_target=cfg.commit_target, num_mixes=cfg.num_mixes, suite=suite
+        ),
+        _fig6_section,
+    ),
+    "table1": (
+        lambda cfg, suite: exp.table1(
+            commit_target=cfg.commit_target, num_mixes=cfg.num_mixes, suite=suite
+        ),
+        _table1_section,
+    ),
+}
+
+
+def generate_report(
+    config: Optional[ReportConfig] = None,
+    suite: Optional[WorkloadSuite] = None,
+) -> str:
+    """Run the selected experiments and render a markdown report."""
+    config = config or ReportConfig()
+    suite = suite or WorkloadSuite()
+    started = time.time()
+    sections = []
+    for name in config.sections:
+        runner, renderer = _SECTION_BUILDERS[name]
+        sections.append(renderer(runner(config, suite)))
+    elapsed = time.time() - started
+    header = (
+        "# Instruction Recycling — measured results\n\n"
+        f"Windows: {config.commit_target} commits/program, "
+        f"{config.num_mixes} mixes per multiprogram point. "
+        f"Generated in {elapsed:.0f}s by `repro.sim.report`.\n"
+    )
+    return "\n\n".join([header] + sections) + "\n"

@@ -1,0 +1,99 @@
+"""Run specifications and results: one simulation = one RunSpec.
+
+This is the layer the experiment registry, the CLI, the examples and
+the benchmark harness all share: describe a run declaratively, get back
+IPC plus the paper's statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..pipeline.config import Features, MachineConfig, RecyclePolicy
+from ..pipeline.core import Core
+from ..stats.counters import SimStats
+from ..workloads.suite import WorkloadSuite
+
+#: Default measurement window per program (committed instructions).
+DEFAULT_COMMIT_TARGET = 3000
+DEFAULT_MAX_CYCLES = 2_000_000
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A declarative simulation request."""
+
+    workload: Sequence[str]  # kernel names; len > 1 = multiprogrammed
+    machine: str = "big.2.16"
+    features: str = "REC/RS/RU"  # a Features label from Figures 3-4
+    policy: Optional[str] = None  # e.g. "stop-8"; None = machine default
+    commit_target: int = DEFAULT_COMMIT_TARGET
+    max_cycles: int = DEFAULT_MAX_CYCLES
+    confidence_threshold: Optional[int] = None
+
+    def label(self) -> str:
+        wl = "+".join(self.workload)
+        return f"{self.machine}/{self.features}/{wl}"
+
+    def build_config(self) -> MachineConfig:
+        variants = Features.all_variants()
+        try:
+            features = variants[self.features]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown features {self.features!r}; know {sorted(variants)}"
+            ) from exc
+        overrides = {"features": features}
+        if self.policy is not None:
+            overrides["policy"] = RecyclePolicy.parse(self.policy)
+        if self.confidence_threshold is not None:
+            overrides["confidence_threshold"] = self.confidence_threshold
+        return MachineConfig.by_name(self.machine, **overrides)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation."""
+
+    spec: RunSpec
+    stats: SimStats
+    per_program_ipc: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.spec.label():<44s} IPC={self.ipc:6.3f} "
+            f"rec={self.stats.pct_recycled:5.1f}% reuse={self.stats.pct_reused:5.2f}% "
+            f"cov={self.stats.branch_miss_coverage:5.1f}%"
+        )
+
+
+def run_spec(spec: RunSpec, suite: Optional[WorkloadSuite] = None) -> RunResult:
+    """Execute one simulation described by ``spec``."""
+    suite = suite or WorkloadSuite()
+    core = Core(spec.build_config())
+    programs = suite.mix(spec.workload)
+    core.load(programs, commit_target=spec.commit_target)
+    stats = core.run(max_cycles=spec.max_cycles)
+    result = RunResult(spec=spec, stats=stats)
+    for instance in core.instances:
+        result.per_program_ipc[instance.name] = stats.instance_ipc(instance.id)
+    return result
+
+
+def run_matrix(
+    specs: Sequence[RunSpec], suite: Optional[WorkloadSuite] = None
+) -> List[RunResult]:
+    """Run a batch of specs against one shared (cached) workload suite."""
+    suite = suite or WorkloadSuite()
+    return [run_spec(spec, suite) for spec in specs]
+
+
+def average_ipc(results: Sequence[RunResult]) -> float:
+    if not results:
+        return 0.0
+    return sum(r.ipc for r in results) / len(results)

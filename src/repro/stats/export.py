@@ -1,0 +1,69 @@
+"""Structured export of simulation statistics (JSON-ready dicts)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .counters import SimStats
+
+
+def stats_to_dict(stats: SimStats) -> Dict:
+    """Flatten a :class:`SimStats` into a JSON-serialisable dict.
+
+    Includes both the raw counters and the derived percentages the
+    paper reports, so downstream analysis never recomputes them
+    differently.
+    """
+    return {
+        "cycles": stats.cycles,
+        "committed": stats.committed,
+        "ipc": stats.ipc,
+        "renamed": stats.renamed,
+        "fetched": stats.fetched,
+        "squashed": stats.squashed,
+        "recycled": {
+            "renamed_recycled": stats.renamed_recycled,
+            "renamed_reused": stats.renamed_reused,
+            "pct_recycled": stats.pct_recycled,
+            "pct_reused": stats.pct_reused,
+            "merges": stats.merges,
+            "back_merges": stats.back_merges,
+            "pct_back_merges": stats.pct_back_merges,
+            "respawns": stats.respawns,
+            "respawn_streams": stats.respawn_streams,
+            "streams_ended": {
+                "branch_mismatch": stats.streams_ended_branch_mismatch,
+                "exhausted": stats.streams_ended_exhausted,
+                "squashed": stats.streams_ended_squashed,
+            },
+        },
+        "branches": {
+            "resolved": stats.cond_branches_resolved,
+            "mispredicts": stats.mispredicts,
+            "mispredicts_covered": stats.mispredicts_covered,
+            "accuracy_pct": stats.branch_prediction_accuracy,
+            "miss_coverage_pct": stats.branch_miss_coverage,
+        },
+        "forks": {
+            "total": stats.forks,
+            "used_tme": stats.forks_used_tme,
+            "pct_used_tme": stats.pct_forks_used_tme,
+            "suppressed_duplicate": stats.fork_suppressed_duplicate,
+            "alt_paths_deleted": stats.alt_paths_deleted,
+            "pct_recycled": stats.pct_forks_recycled,
+            "pct_respawned": stats.pct_forks_respawned,
+            "merges_per_alt_path": stats.merges_per_alt_path,
+        },
+        "reclaims": {
+            "for_spawn": stats.reclaim_for_spawn,
+            "for_pressure": stats.reclaim_for_pressure,
+        },
+        "per_instance": {
+            str(k): {
+                "committed": stats.per_instance_committed.get(k, 0),
+                "cycles": stats.per_instance_cycles.get(k, stats.cycles),
+                "ipc": stats.instance_ipc(k),
+            }
+            for k in stats.per_instance_committed
+        },
+    }

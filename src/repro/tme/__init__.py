@@ -1,0 +1,5 @@
+"""Threaded Multipath Execution support structures."""
+
+from .partition import Partition
+
+__all__ = ["Partition"]

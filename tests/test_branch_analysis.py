@@ -1,0 +1,79 @@
+"""Tests for offline branch profiling."""
+
+from repro.branch.analysis import BranchProfile, profile_branches, profile_suite
+from repro.isa import assemble
+from repro.workloads import WorkloadSuite
+
+
+class TestProfileBranches:
+    def test_counted_loop_highly_predictable(self):
+        prog = assemble(
+            """
+            main: movi r2, 500
+            loop: addi r1, r1, 1
+                  subi r2, r2, 1
+                  bgt  r2, loop
+                  halt
+            """,
+            name="loop",
+        )
+        profile = profile_branches(prog)
+        assert profile.dynamic_branches == 500
+        assert profile.accuracy > 0.95
+        assert profile.taken_rate > 0.95
+        assert len(profile.static_sites) == 1
+
+    def test_random_branch_unpredictable(self):
+        prog = assemble(
+            """
+            main: movi r1, 999
+                  movi r2, 600
+            loop: slli r3, r1, 13
+                  xor  r1, r1, r3
+                  srli r3, r1, 7
+                  xor  r1, r1, r3
+                  andi r4, r1, 1
+                  beq  r4, skip
+                  addi r5, r5, 1
+            skip: subi r2, r2, 1
+                  bgt  r2, loop
+                  halt
+            """,
+            name="rng",
+        )
+        profile = profile_branches(prog)
+        # The data-dependent beq drags accuracy well below the loop branch.
+        assert profile.accuracy < 0.9
+        assert profile.low_confidence_rate > 0.1
+        assert 0.0 <= profile.fork_coverage_bound <= 1.0
+
+    def test_instruction_budget_respected(self):
+        prog = assemble("main: movi r2, 100000\nloop: subi r2, r2, 1\nbgt r2, loop\nhalt")
+        profile = profile_branches(prog, max_instructions=500)
+        assert profile.instructions == 500
+
+    def test_no_branches_program(self):
+        profile = profile_branches(assemble("main: movi r1, 1\nhalt"))
+        assert profile.dynamic_branches == 0
+        assert profile.accuracy == 1.0
+        assert profile.taken_rate == 0.0
+        assert profile.branch_density == 0.0
+
+    def test_summary_text(self):
+        profile = profile_branches(assemble("main: halt", name="tiny"))
+        assert "tiny" in profile.summary()
+
+
+class TestProfileSuite:
+    def test_profiles_all_kernels(self):
+        suite = WorkloadSuite(iters=300)
+        profiles = profile_suite(suite, max_instructions=6000)
+        assert set(profiles) == set(suite.names)
+
+    def test_suite_profile_matches_paper_character(self):
+        suite = WorkloadSuite(iters=2000)
+        profiles = profile_suite(suite, max_instructions=10000)
+        # go is among the hardest, vortex among the easiest.
+        assert profiles["go"].accuracy < profiles["vortex"].accuracy
+        # tomcatv's branches are counted loops: very high accuracy.
+        assert profiles["tomcatv"].accuracy > 0.9

@@ -1,0 +1,175 @@
+"""Tests for PHT, BTB, RAS and the confidence estimator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.branch import (
+    BranchTargetBuffer,
+    ConfidenceEstimator,
+    PatternHistoryTable,
+    ReturnAddressStack,
+)
+
+
+class TestPht:
+    def test_learns_always_taken(self):
+        pht = PatternHistoryTable(64)
+        for _ in range(4):
+            pht.update(0x1000, 0, True)
+        assert pht.predict(0x1000, 0)
+
+    def test_learns_never_taken(self):
+        pht = PatternHistoryTable(64)
+        for _ in range(4):
+            pht.update(0x1000, 0, False)
+        assert not pht.predict(0x1000, 0)
+
+    def test_counter_saturates(self):
+        pht = PatternHistoryTable(64)
+        for _ in range(10):
+            pht.update(0x1000, 0, True)
+        assert pht.counter(0x1000, 0) == 3
+        pht.update(0x1000, 0, False)
+        assert pht.predict(0x1000, 0)  # hysteresis: still weakly taken
+
+    def test_history_separates_patterns(self):
+        pht = PatternHistoryTable(64)
+        # Alternating branch: taken under history 0, not under history 1.
+        for _ in range(4):
+            pht.update(0x1000, 0b0, True)
+            pht.update(0x1000, 0b1, False)
+        assert pht.predict(0x1000, 0b0)
+        assert not pht.predict(0x1000, 0b1)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            PatternHistoryTable(100)
+
+    @given(
+        outcomes=st.lists(st.booleans(), min_size=1, max_size=50),
+        pc=st.integers(0, 1 << 20).map(lambda x: x * 4),
+    )
+    @settings(max_examples=40)
+    def test_constant_branch_converges(self, outcomes, pc):
+        pht = PatternHistoryTable(256)
+        direction = outcomes[0]
+        for _ in range(4):
+            pht.update(pc, 7, direction)
+        assert pht.predict(pc, 7) == direction
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer()
+        assert btb.lookup(0x1000) is None
+        btb.update(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_target_replacement(self):
+        btb = BranchTargetBuffer()
+        btb.update(0x1000, 0x2000)
+        btb.update(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(entries=8, assoc=2)  # 4 sets
+        stride = 4 * 4  # pcs mapping to the same set: (pc>>2) & 3
+        pcs = [0x1000, 0x1000 + stride, 0x1000 + 2 * stride]
+        btb.update(pcs[0], 0xA)
+        btb.update(pcs[1], 0xB)
+        btb.lookup(pcs[0])  # refresh
+        btb.update(pcs[2], 0xC)  # evicts pcs[1]
+        assert btb.lookup(pcs[0]) == 0xA
+        assert btb.lookup(pcs[1]) is None
+
+    def test_stats_counted(self):
+        btb = BranchTargetBuffer()
+        btb.lookup(0x1000)
+        btb.update(0x1000, 0x2000)
+        btb.lookup(0x1000)
+        assert btb.misses == 1 and btb.hits == 1
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=10, assoc=4)
+
+
+class TestRas:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x10)
+        ras.push(0x20)
+        assert ras.pop() == 0x20
+        assert ras.pop() == 0x10
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        for a in (1, 2, 3):
+            ras.push(a)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_snapshot_restore(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        snap = ras.snapshot()
+        ras.push(2)
+        ras.pop()
+        ras.pop()
+        ras.restore(snap)
+        assert ras.peek() == 1 and len(ras) == 1
+
+    def test_copy_from(self):
+        a = ReturnAddressStack(4)
+        a.push(7)
+        b = ReturnAddressStack(4)
+        b.copy_from(a)
+        a.pop()
+        assert b.pop() == 7  # independent copy
+
+    @given(ops=st.lists(st.one_of(st.integers(1, 100), st.none()), max_size=60))
+    @settings(max_examples=40)
+    def test_never_exceeds_capacity(self, ops):
+        ras = ReturnAddressStack(12)
+        for op in ops:
+            if op is None:
+                ras.pop()
+            else:
+                ras.push(op)
+            assert len(ras) <= 12
+
+
+class TestConfidence:
+    def test_starts_low_confidence(self):
+        conf = ConfidenceEstimator(threshold=8)
+        assert conf.is_low_confidence(0x1000, 0)
+
+    def test_becomes_confident_after_streak(self):
+        conf = ConfidenceEstimator(threshold=4)
+        for _ in range(4):
+            conf.update(0x1000, 0, correct=True)
+        assert not conf.is_low_confidence(0x1000, 0)
+
+    def test_reset_on_mispredict(self):
+        conf = ConfidenceEstimator(threshold=4)
+        for _ in range(10):
+            conf.update(0x1000, 0, correct=True)
+        conf.update(0x1000, 0, correct=False)
+        assert conf.is_low_confidence(0x1000, 0)
+        assert conf.counter(0x1000, 0) == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(counter_bits=2, threshold=10)
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(entries=100)
+
+    def test_query_stats(self):
+        conf = ConfidenceEstimator(threshold=1)
+        conf.is_low_confidence(0x1000, 0)
+        conf.update(0x1000, 0, True)
+        conf.is_low_confidence(0x1000, 0)
+        assert conf.low_confidence_seen == 1
+        assert conf.high_confidence_seen == 1

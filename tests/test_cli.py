@@ -1,0 +1,78 @@
+"""CLI tests (argument parsing and end-to-end subcommands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses_multi_workload(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "gcc", "go", "--features", "SMT"]
+        )
+        assert args.workload == ["gcc", "go"]
+        assert args.features == "SMT"
+
+    def test_run_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "gcc", "--machine", "mega"])
+
+    def test_experiment_parses(self):
+        args = build_parser().parse_args(["experiment", "fig3", "--commit-target", "100"])
+        assert args.name == "fig3" and args.commit_target == 100
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestEndToEnd:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out and "REC/RS/RU" in out
+
+    def test_run_command(self, capsys):
+        rc = main(["run", "--workload", "vortex", "--commit-target", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "IPC=" in out and "vortex" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_asm_command(self, tmp_path, capsys):
+        path = tmp_path / "prog.s"
+        path.write_text("main: movi r1, 5\naddi r1, r1, 2\nhalt\n")
+        assert main(["asm", str(path), "--run"]) == 0
+        out = capsys.readouterr().out
+        assert "movi" in out
+        assert "r1 = 7" in out
+
+
+class TestTraceAndProfile:
+    def test_trace_command(self, capsys):
+        rc = main([
+            "trace", "--workload", "compress", "--commit-target", "250",
+            "--events", "5", "--pipeview", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "event totals:" in out
+        assert "cycles" in out  # pipeview header
+
+    def test_profile_command(self, capsys):
+        rc = main(["profile", "--workload", "vortex", "--iters", "300"])
+        assert rc == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_run_json(self, capsys):
+        import json
+        rc = main(["run", "--workload", "vortex", "--commit-target", "250", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["committed"] >= 250

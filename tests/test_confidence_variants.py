@@ -1,0 +1,114 @@
+"""Tests for the Jacobsen confidence-estimator variants and the
+recycled-branch prediction policy ("former" vs "latter" method)."""
+
+import pytest
+
+from repro.branch import (
+    CONFIDENCE_KINDS,
+    OnesConfidenceEstimator,
+    SaturatingConfidenceEstimator,
+    make_confidence,
+)
+from repro.isa import assemble
+from repro.pipeline import Core, Features, MachineConfig
+
+RNG = """
+main:  movi r1, 4242
+       movi r2, 200
+loop:  slli r3, r1, 13
+       xor  r1, r1, r3
+       srli r3, r1, 7
+       xor  r1, r1, r3
+       andi r4, r1, 1
+       beq  r4, skip
+       addi r5, r5, 1
+skip:  subi r2, r2, 1
+       bgt  r2, loop
+       halt
+"""
+
+
+class TestSaturating:
+    def test_decrements_instead_of_reset(self):
+        conf = SaturatingConfidenceEstimator(threshold=4)
+        for _ in range(6):
+            conf.update(0x1000, 0, correct=True)
+        conf.update(0x1000, 0, correct=False)
+        assert conf.counter(0x1000, 0) == 5  # one step down, not zero
+        assert not conf.is_low_confidence(0x1000, 0)
+
+    def test_eventually_loses_confidence(self):
+        conf = SaturatingConfidenceEstimator(threshold=4)
+        for _ in range(6):
+            conf.update(0x1000, 0, correct=True)
+        for _ in range(10):
+            conf.update(0x1000, 0, correct=False)
+        assert conf.is_low_confidence(0x1000, 0)
+
+
+class TestOnes:
+    def test_counts_recent_correctness(self):
+        conf = OnesConfidenceEstimator(history_bits=4, threshold=3)
+        for correct in (True, True, True, True):
+            conf.update(0x1000, 0, correct)
+        assert not conf.is_low_confidence(0x1000, 0)
+        conf.update(0x1000, 0, False)
+        conf.update(0x1000, 0, False)
+        assert conf.is_low_confidence(0x1000, 0)
+
+    def test_window_slides(self):
+        conf = OnesConfidenceEstimator(history_bits=4, threshold=4)
+        conf.update(0x1000, 0, False)
+        for _ in range(4):
+            conf.update(0x1000, 0, True)
+        # The old miss has slid out of the 4-bit window.
+        assert not conf.is_low_confidence(0x1000, 0)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            OnesConfidenceEstimator(history_bits=4, threshold=9)
+
+
+class TestFactory:
+    def test_all_kinds_constructible(self):
+        for kind in CONFIDENCE_KINDS:
+            est = make_confidence(kind)
+            assert est.kind == kind
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_confidence("psychic")
+
+    @pytest.mark.parametrize("kind", sorted(CONFIDENCE_KINDS))
+    def test_full_run_golden_clean(self, kind):
+        cfg = MachineConfig(features=Features.rec_rs_ru(), confidence_kind=kind)
+        core = Core(cfg)
+        core.load([assemble(RNG, name="rng")])
+        stats = core.run(max_cycles=300_000)
+        assert core.instances[0].halted
+        assert stats.forks > 0, kind
+
+
+class TestRecycleBranchPolicy:
+    def test_former_method_golden_clean(self):
+        cfg = MachineConfig(features=Features.rec_rs_ru(), recycle_repredict=False)
+        core = Core(cfg)
+        core.load([assemble(RNG, name="rng")])
+        stats = core.run(max_cycles=300_000)
+        assert core.instances[0].halted
+        assert stats.pct_recycled > 0
+
+    def test_former_method_never_stops_on_mismatch(self):
+        cfg = MachineConfig(features=Features.rec_rs_ru(), recycle_repredict=False)
+        core = Core(cfg)
+        core.load([assemble(RNG, name="rng")])
+        stats = core.run(max_cycles=300_000)
+        assert stats.streams_ended_branch_mismatch == 0
+
+    def test_latter_method_stops_on_mismatch(self):
+        cfg = MachineConfig(features=Features.rec_rs_ru(), recycle_repredict=True)
+        core = Core(cfg)
+        core.load([assemble(RNG, name="rng")])
+        stats = core.run(max_cycles=300_000)
+        # The rng kernel's data-dependent branch guarantees disagreements.
+        assert stats.streams_ended_branch_mismatch > 0

@@ -1,0 +1,201 @@
+"""Surgical scenario tests of TME/recycling mechanics.
+
+Each test builds a small program whose control structure provokes one
+specific mechanism, runs it with a tracer attached, and asserts on the
+observable event sequence — complementing the statistical behaviour
+tests with causal ones.
+"""
+
+from repro.debug import CoreTracer
+from repro.isa import assemble
+from repro.pipeline import Core, CtxState, Features, MachineConfig
+from repro.pipeline.config import PolicyKind, RecyclePolicy
+
+
+def run_traced(src, features, kinds=None, config_kwargs=None, commit_target=None):
+    cfg = MachineConfig(features=features, **(config_kwargs or {}))
+    core = Core(cfg)
+    core.load([assemble(src, name="scn")], commit_target=commit_target)
+    tracer = CoreTracer(core, kinds=kinds)
+    core.run(max_cycles=400_000)
+    return core, tracer
+
+
+# A loop whose only branch is perfectly predictable after warmup.
+PREDICTABLE = """
+main: movi r2, 300
+loop: addi r1, r1, 1
+      add  r3, r1, r1
+      xor  r4, r3, r1
+      subi r2, r2, 1
+      bgt  r2, loop
+      halt
+"""
+
+# A 50/50 data-dependent branch inside a loop.
+COINFLIP = """
+main:  movi r1, 31415
+       movi r2, 300
+loop:  slli r3, r1, 13
+       xor  r1, r1, r3
+       srli r3, r1, 7
+       xor  r1, r1, r3
+       andi r4, r1, 1
+       beq  r4, odd
+       addi r5, r5, 3
+       br   join
+odd:   addi r5, r5, 7
+join:  subi r2, r2, 1
+       bgt  r2, loop
+       halt
+"""
+
+
+class TestForkGating:
+    def test_predictable_loop_forks_rarely(self):
+        core, tracer = run_traced(PREDICTABLE, Features.tme_only(), kinds={"fork"})
+        # After the confidence warms up, the loop branch is high
+        # confidence: forks happen only during warmup.
+        assert len(tracer.filter("fork")) < 30
+
+    def test_coinflip_forks_throughout(self):
+        core, tracer = run_traced(COINFLIP, Features.tme_only(), kinds={"fork"})
+        forks = tracer.filter("fork")
+        assert len(forks) > 50
+        # Forks target the data-dependent branch region.
+        branch_pcs = {e.info["branch"] for e in forks}
+        assert len(branch_pcs) >= 1
+
+    def test_forks_always_into_spare_contexts(self):
+        core, tracer = run_traced(COINFLIP, Features.tme_only(), kinds={"fork"})
+        for event in tracer.filter("fork"):
+            assert event.info["spare"] != event.info["parent"]
+
+
+class TestSwapMechanics:
+    def test_swaps_follow_forks(self):
+        core, tracer = run_traced(COINFLIP, Features.tme_only(), kinds={"fork", "swap"})
+        swaps = tracer.filter("swap")
+        assert swaps, "a coin-flip branch must mispredict and swap"
+        forked = {(e.info["parent"], e.info["spare"]) for e in tracer.filter("fork")}
+        for swap in swaps:
+            assert (swap.info["old"], swap.info["new"]) in forked
+
+    def test_commit_stream_unbroken_across_swaps(self):
+        """PCs of committed instructions must follow architectural
+        semantics across any number of primaryship migrations — enforced
+        per commit by the golden check, asserted here end-to-end."""
+        core, tracer = run_traced(COINFLIP, Features.tme_only(), kinds={"commit", "swap"})
+        assert core.instances[0].halted
+        assert tracer.filter("swap")
+
+    def test_primary_follows_swap(self):
+        core, tracer = run_traced(COINFLIP, Features.tme_only(), kinds={"swap"})
+        last = tracer.filter("swap")[-1]
+        # After the last swap the instance's primary should have been
+        # updated to the promoted context at that time.
+        assert last.info["new"] != last.info["old"]
+
+
+class TestRecyclingScenarios:
+    def test_self_back_merge_on_plain_loop(self):
+        """A predictable loop recycles itself through the backward-branch
+        merge point without any forking at all."""
+        core, tracer = run_traced(
+            PREDICTABLE, Features.rec(), kinds={"stream_open", "fork"}
+        )
+        opens = tracer.filter("stream_open")
+        back = [e for e in opens if e.info["kind"] == "back"]
+        assert back, "expected backward-branch self-recycling"
+        assert all(e.info["src"] == e.info["dst"] for e in back)
+
+    def test_alternate_merge_after_coinflip(self):
+        core, tracer = run_traced(
+            COINFLIP, Features.rec(), kinds={"stream_open"}
+        )
+        kinds = {e.info["kind"] for e in tracer.filter("stream_open")}
+        assert "alternate" in kinds
+
+    def test_respawn_reuses_context(self):
+        core, tracer = run_traced(
+            COINFLIP, Features.rec_rs(), kinds={"respawn", "fork"}
+        )
+        respawns = tracer.filter("respawn")
+        assert respawns
+        # A respawn re-activates an existing context id.
+        assert all(0 <= e.info["ctx"] < 8 for e in respawns)
+
+    def test_stream_end_reasons_observed(self):
+        core, tracer = run_traced(COINFLIP, Features.rec_rs_ru(), kinds={"stream_end"})
+        reasons = {e.info["reason"] for e in tracer.filter("stream_end")}
+        assert "exhausted" in reasons or "branch_mismatch" in reasons
+
+    def test_stop_policy_quiesces_inactive_contexts(self):
+        core, tracer = run_traced(
+            COINFLIP,
+            Features.rec(),
+            config_kwargs={"policy": RecyclePolicy(PolicyKind.STOP, 8)},
+            kinds={"fork"},
+        )
+        assert core.instances[0].halted
+        # Under stop-8 no alternate path may ever exceed 8 instructions.
+        for ctx in core.contexts:
+            assert ctx.alt_fetched <= 8 or ctx.is_primary
+
+
+class TestResourceScenarios:
+    def test_tiny_active_list_limits_recycling(self):
+        _, tracer_small = run_traced(
+            COINFLIP, Features.rec(), config_kwargs={"active_list_size": 8},
+            kinds={"stream_open"},
+        )
+        _, tracer_big = run_traced(
+            COINFLIP, Features.rec(), config_kwargs={"active_list_size": 128},
+            kinds={"stream_open"},
+        )
+        small_lens = [e.info["len"] for e in tracer_small.filter("stream_open")]
+        big_lens = [e.info["len"] for e in tracer_big.filter("stream_open")]
+        if small_lens and big_lens:
+            assert max(big_lens) >= max(small_lens)
+
+    def test_scarce_registers_still_golden_clean(self):
+        core, _ = run_traced(
+            COINFLIP, Features.rec_rs_ru(), config_kwargs={"extra_phys_regs": 8}
+        )
+        assert core.instances[0].halted
+
+    def test_one_wide_machine_still_golden_clean(self):
+        cfg = dict(
+            fetch_threads=1, fetch_block=4, fetch_total=4, rename_width=4,
+            commit_width=4, int_queue_size=8, fp_queue_size=8,
+            int_units=2, fp_units=1, ldst_ports=1, active_list_size=16,
+        )
+        core, _ = run_traced(COINFLIP, Features.rec_rs_ru(), config_kwargs=cfg)
+        assert core.instances[0].halted
+
+    def test_two_contexts_only(self):
+        core, tracer = run_traced(
+            COINFLIP, Features.rec_rs_ru(), config_kwargs={"num_contexts": 2},
+            kinds={"fork"},
+        )
+        assert core.instances[0].halted
+        assert tracer.filter("fork")  # one spare is enough to fork
+
+
+class TestRecoveryModel:
+    def test_checkpoint_recovery_is_default(self):
+        assert MachineConfig().squash_penalty_per_uop == 0.0
+
+    def test_walkback_penalty_costs_cycles(self):
+        base, _ = run_traced(COINFLIP, Features.smt())
+        slow, _ = run_traced(
+            COINFLIP, Features.smt(), config_kwargs={"squash_penalty_per_uop": 1.0}
+        )
+        assert slow.stats.cycles > base.stats.cycles
+
+    def test_walkback_still_golden_clean_with_recycling(self):
+        core, _ = run_traced(
+            COINFLIP, Features.rec_rs_ru(),
+            config_kwargs={"squash_penalty_per_uop": 0.5},
+        )
+        assert core.instances[0].halted

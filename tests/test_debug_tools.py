@@ -1,0 +1,125 @@
+"""Tests for the tracer and pipeline viewer."""
+
+import pytest
+
+from repro.debug import ALL_KINDS, CoreTracer, pipeview
+from repro.isa import assemble
+from repro.pipeline import Core, Features, MachineConfig
+
+SRC = """
+main:  movi r1, 777
+       movi r2, 120
+loop:  slli r3, r1, 13
+       xor  r1, r1, r3
+       srli r3, r1, 7
+       xor  r1, r1, r3
+       andi r4, r1, 1
+       beq  r4, skip
+       addi r5, r5, 1
+skip:  subi r2, r2, 1
+       bgt  r2, loop
+       halt
+"""
+
+
+def traced_run(features=Features.rec_rs_ru(), kinds=None):
+    core = Core(MachineConfig(features=features))
+    core.load([assemble(SRC, name="t")])
+    tracer = CoreTracer(core, kinds=kinds)
+    core.run(max_cycles=200_000)
+    return core, tracer
+
+
+class TestTracer:
+    def test_records_commits(self):
+        core, tracer = traced_run(kinds={"commit"})
+        commits = tracer.filter("commit")
+        assert len(commits) == core.stats.committed
+
+    def test_kinds_filtering(self):
+        _, tracer = traced_run(kinds={"fork"})
+        assert set(e.kind for e in tracer.events) <= {"fork"}
+        assert tracer.filter("commit") == []
+
+    def test_unknown_kind_rejected(self):
+        core = Core(MachineConfig())
+        with pytest.raises(ValueError):
+            CoreTracer(core, kinds={"teleport"})
+
+    def test_stream_lifecycle_events(self):
+        _, tracer = traced_run(kinds={"stream_open", "stream_end"})
+        opens = tracer.filter("stream_open")
+        assert opens, "recycling should open streams on this kernel"
+        assert all("kind" in e.info for e in opens)
+
+    def test_fork_and_swap_events(self):
+        _, tracer = traced_run(kinds={"fork", "swap"})
+        assert tracer.filter("fork")
+        # At least some forks should swap (mispredicted covered branches).
+        assert tracer.filter("swap")
+
+    def test_counts_summary(self):
+        _, tracer = traced_run(kinds={"commit", "squash"})
+        counts = tracer.counts()
+        assert counts.get("commit", 0) > 0
+
+    def test_event_str(self):
+        _, tracer = traced_run(kinds={"commit"})
+        text = str(tracer.events[0])
+        assert "commit" in text and "pc=" in text
+
+    def test_format_respects_limit(self):
+        _, tracer = traced_run(kinds={"commit"})
+        assert len(tracer.format(limit=5).splitlines()) == 5
+
+    def test_max_events_cap(self):
+        core = Core(MachineConfig(features=Features.smt()))
+        core.load([assemble(SRC, name="t")])
+        tracer = CoreTracer(core, kinds={"rename"}, max_events=10)
+        core.run(max_cycles=200_000)
+        assert len(tracer.events) == 10
+
+    def test_all_kinds_constant(self):
+        assert "commit" in ALL_KINDS and "stream_open" in ALL_KINDS
+
+
+class TestPipeview:
+    def test_renders_rows(self):
+        _, tracer = traced_run()
+        text = pipeview(tracer.committed_uops, max_rows=10)
+        lines = text.splitlines()
+        assert len(lines) == 12  # header + rule + 10 rows
+        assert "R" in text and "x" in text
+
+    def test_marks_recycled(self):
+        _, tracer = traced_run()
+        text = pipeview(tracer.committed_uops, max_rows=200)
+        assert "[rec" in text
+
+    def test_empty_input(self):
+        assert "no committed uops" in pipeview([])
+
+    def test_reused_marked_u(self):
+        src = """
+        main:  movi r1, 98765
+               movi r2, 200
+        loop:  slli r3, r1, 13
+               xor  r1, r1, r3
+               srli r3, r1, 7
+               xor  r1, r1, r3
+               andi r4, r1, 3
+               beq  r4, odd
+               addi r6, r31, 3
+               br   join
+        odd:   addi r7, r31, 7
+        join:  subi r2, r2, 1
+               bgt  r2, loop
+               halt
+        """
+        core = Core(MachineConfig(features=Features.rec_ru()))
+        core.load([assemble(src, name="d")])
+        tracer = CoreTracer(core)
+        core.run(max_cycles=200_000)
+        if any(u.reused for u in tracer.committed_uops):
+            text = pipeview([u for u in tracer.committed_uops if u.reused], max_rows=3)
+            assert "U" in text

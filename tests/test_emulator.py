@@ -1,0 +1,186 @@
+"""Functional emulator tests on small assembled programs."""
+
+import pytest
+
+from repro.emulator import EmulationError, Emulator, SparseMemory, branch_trace
+from repro.isa import assemble
+from repro.isa.program import STACK_TOP
+from repro.isa.registers import STACK_POINTER_REG, fp_reg
+
+
+def run(source: str, limit: int = 100_000) -> Emulator:
+    emu = Emulator(assemble(source))
+    emu.run_to_halt(limit)
+    return emu
+
+
+class TestStraightLine:
+    def test_arithmetic_chain(self):
+        emu = run(
+            """
+            movi r1, 6
+            movi r2, 7
+            mul  r3, r1, r2
+            addi r3, r3, -2
+            halt
+            """
+        )
+        assert emu.state.regs[3] == 40
+
+    def test_zero_register_write_ignored(self):
+        emu = run("movi r31, 99\nadd r1, r31, r31\nhalt")
+        assert emu.state.regs[31] == 0
+        assert emu.state.regs[1] == 0
+
+    def test_stack_pointer_initialised(self):
+        emu = Emulator(assemble("halt"))
+        assert emu.state.regs[STACK_POINTER_REG] == STACK_TOP
+
+
+class TestLoops:
+    def test_counted_loop_sum(self):
+        emu = run(
+            """
+            movi r1, 0      # sum
+            movi r2, 10     # i
+            loop: add r1, r1, r2
+            subi r2, r2, 1
+            bgt  r2, loop
+            halt
+            """
+        )
+        assert emu.state.regs[1] == 55
+
+    def test_instret_counts(self):
+        emu = run("movi r1, 3\nl: subi r1, r1, 1\nbgt r1, l\nhalt")
+        # movi + 3*(subi+bgt) + halt
+        assert emu.instret == 8
+
+
+class TestMemory:
+    def test_store_then_load(self):
+        emu = run(
+            """
+            .data
+            buf: .space 64
+            .text
+            movi r1, buf
+            movi r2, -42
+            st   r2, 8(r1)
+            ld   r3, 8(r1)
+            halt
+            """
+        )
+        assert emu.state.regs[3] == -42
+
+    def test_data_image_visible(self):
+        emu = run(
+            """
+            .data
+            vals: .word 11, 22
+            .text
+            movi r1, vals
+            ld   r2, 0(r1)
+            ld   r3, 8(r1)
+            halt
+            """
+        )
+        assert (emu.state.regs[2], emu.state.regs[3]) == (11, 22)
+
+    def test_fp_memory_roundtrip(self):
+        emu = run(
+            """
+            .data
+            x: .double 1.25
+            buf: .space 8
+            .text
+            movi r1, x
+            fld  f1, 0(r1)
+            fadd f2, f1, f1
+            fst  f2, 8(r1)
+            fld  f3, 8(r1)
+            halt
+            """
+        )
+        assert emu.state.regs[fp_reg(3)] == 2.5
+
+    def test_uninitialised_reads_zero(self):
+        emu = run("movi r1, 0x3000\nld r2, 0(r1)\nhalt")
+        assert emu.state.regs[2] == 0
+
+
+class TestControl:
+    def test_call_return(self):
+        emu = run(
+            """
+            main: movi r1, 5
+                  jsr  ra, double
+                  halt
+            double: add r1, r1, r1
+                  ret (ra)
+            """
+        )
+        assert emu.state.regs[1] == 10
+
+    def test_nested_calls_via_stack(self):
+        emu = run(
+            """
+            main:  movi r1, 1
+                   jsr ra, f
+                   halt
+            f:     subi sp, sp, 8
+                   st  ra, 0(sp)
+                   jsr ra, g
+                   ld  ra, 0(sp)
+                   addi sp, sp, 8
+                   ret (ra)
+            g:     addi r1, r1, 100
+                   ret (ra)
+            """
+        )
+        assert emu.state.regs[1] == 101
+        assert emu.state.regs[STACK_POINTER_REG] == STACK_TOP
+
+    def test_indirect_jump(self):
+        emu = run(
+            """
+            main: movi r1, tgt
+                  jmp (r1)
+                  movi r2, 1
+            tgt:  movi r2, 2
+                  halt
+            """
+        )
+        assert emu.state.regs[2] == 2
+
+    def test_pc_out_of_text_raises(self):
+        emu = Emulator(assemble("movi r1, 0x9000\njmp (r1)"))
+        with pytest.raises(EmulationError):
+            emu.run(10)
+
+    def test_run_to_halt_limit(self):
+        emu = Emulator(assemble("l: br l"))
+        with pytest.raises(EmulationError):
+            emu.run_to_halt(limit=100)
+
+    def test_halted_step_is_noop(self):
+        emu = run("halt")
+        pc = emu.state.pc
+        emu.step()
+        assert emu.state.pc == pc and emu.halted
+
+
+class TestTracing:
+    def test_branch_trace(self):
+        trace = branch_trace(
+            assemble("movi r1, 3\nl: subi r1, r1, 1\nbgt r1, l\nhalt"),
+            1000,
+        )
+        assert [t for _, t in trace] == [True, True, False]
+
+    def test_shared_memory_injection(self):
+        mem = SparseMemory()
+        mem.write64(0x3000, 123)
+        emu = Emulator(assemble("movi r1, 0x3000\nld r2, 0(r1)\nhalt"), memory=mem)
+        emu.run_to_halt()
+        assert emu.state.regs[2] == 123

@@ -1,0 +1,95 @@
+"""Tests for SparseMemory (the data half of the memory system)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.emulator import SparseMemory
+
+u64 = st.integers(0, (1 << 64) - 1)
+addrs = st.integers(0, 1 << 20).map(lambda a: a * 8)
+
+
+class TestBasics:
+    def test_uninitialised_reads_zero(self):
+        assert SparseMemory().read64(0x1234560) == 0
+
+    def test_write_read(self):
+        m = SparseMemory()
+        m.write64(0x100, 42)
+        assert m.read64(0x100) == 42
+
+    def test_unaligned_access_aligns_down(self):
+        m = SparseMemory()
+        m.write64(0x105, 7)
+        assert m.read64(0x100) == 7
+        assert m.read64(0x107) == 7
+
+    def test_zero_write_stays_sparse(self):
+        m = SparseMemory()
+        m.write64(0x100, 5)
+        m.write64(0x100, 0)
+        assert len(m) == 0
+        assert m.read64(0x100) == 0
+
+    def test_truncates_to_64_bits(self):
+        m = SparseMemory()
+        m.write64(0x100, 1 << 64)
+        assert m.read64(0x100) == 0
+
+
+class TestImages:
+    def test_load_image(self):
+        m = SparseMemory()
+        m.load_image(0x1000, (1234).to_bytes(8, "little") + (5678).to_bytes(8, "little"))
+        assert m.read64(0x1000) == 1234
+        assert m.read64(0x1008) == 5678
+
+    def test_image_padding(self):
+        m = SparseMemory()
+        m.load_image(0x1000, b"\x01\x02\x03")  # 3 bytes, padded to a word
+        assert m.read64(0x1000) == 0x030201
+
+    def test_unaligned_base_rejected(self):
+        m = SparseMemory()
+        try:
+            m.load_image(0x1001, b"\x00" * 8)
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError")
+
+    def test_copy_is_independent(self):
+        m = SparseMemory()
+        m.write64(0x100, 1)
+        c = m.copy()
+        c.write64(0x100, 2)
+        assert m.read64(0x100) == 1
+        assert c.read64(0x100) == 2
+
+    def test_equality(self):
+        a, b = SparseMemory(), SparseMemory()
+        a.write64(0x10, 3)
+        assert a != b
+        b.write64(0x10, 3)
+        assert a == b
+
+
+class TestProperties:
+    @given(ops=st.lists(st.tuples(addrs, u64), max_size=60))
+    @settings(max_examples=40)
+    def test_last_write_wins(self, ops):
+        m = SparseMemory()
+        model = {}
+        for addr, value in ops:
+            m.write64(addr, value)
+            model[addr] = value
+        for addr, value in model.items():
+            assert m.read64(addr) == value
+
+    @given(ops=st.lists(st.tuples(addrs, u64), max_size=40))
+    @settings(max_examples=30)
+    def test_nonzero_words_matches_contents(self, ops):
+        m = SparseMemory()
+        for addr, value in ops:
+            m.write64(addr, value)
+        for addr, bits in m.nonzero_words():
+            assert bits != 0
+            assert m.read64(addr) == bits

@@ -1,0 +1,130 @@
+"""Property-based tests: generated programs must run golden-clean.
+
+The generator produces arbitrary-but-valid programs; the pipeline's
+commit-time golden check turns every run into a full architectural
+equivalence test.  This is the broadest correctness net in the suite —
+random control flow, random memory traffic, random ILP, through every
+architecture variant.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.emulator import Emulator
+from repro.pipeline import Core, Features, MachineConfig
+from repro.workloads import GeneratorConfig, generate_program, generate_source
+
+FAST = dict(
+    deadline=None,
+    max_examples=12,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+configs = st.builds(
+    GeneratorConfig,
+    seed=st.integers(0, 10_000),
+    iterations=st.just(60),
+    body_size=st.integers(4, 32),
+    branch_entropy=st.floats(0, 1),
+    ilp=st.integers(1, 8),
+    mem_fraction=st.floats(0, 0.4),
+    fp_fraction=st.floats(0, 0.3),
+)
+
+
+class TestGeneratorValidity:
+    @given(config=configs)
+    @settings(**FAST)
+    def test_generated_program_halts_architecturally(self, config):
+        emu = Emulator(generate_program(config))
+        emu.run_to_halt(limit=500_000)
+
+    @given(config=configs)
+    @settings(**FAST)
+    def test_generated_source_is_deterministic(self, config):
+        assert generate_source(config) == generate_source(config)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(branch_entropy=1.5)
+        with pytest.raises(ValueError):
+            GeneratorConfig(ilp=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(mem_fraction=-0.1)
+
+
+class TestPipelineGoldenCleanOnRandomPrograms:
+    """The heavyweight property: any generated program, any variant,
+    the pipeline commits exactly the architectural instruction stream."""
+
+    @given(seed=st.integers(0, 10_000), entropy=st.floats(0, 1))
+    @settings(**FAST)
+    def test_smt_golden_clean(self, seed, entropy):
+        config = GeneratorConfig(seed=seed, iterations=40, branch_entropy=entropy)
+        core = Core(MachineConfig(features=Features.smt()))
+        core.load([generate_program(config)])
+        core.run(max_cycles=300_000)
+        assert core.instances[0].halted
+
+    @given(seed=st.integers(0, 10_000), entropy=st.floats(0, 1))
+    @settings(**FAST)
+    def test_rec_rs_ru_golden_clean(self, seed, entropy):
+        config = GeneratorConfig(
+            seed=seed, iterations=40, branch_entropy=entropy, mem_fraction=0.2
+        )
+        core = Core(MachineConfig(features=Features.rec_rs_ru()))
+        core.load([generate_program(config)])
+        core.run(max_cycles=300_000)
+        assert core.instances[0].halted
+
+    @given(seed=st.integers(0, 5_000))
+    @settings(deadline=None, max_examples=6, suppress_health_check=[HealthCheck.too_slow])
+    def test_tme_golden_clean_high_entropy(self, seed):
+        config = GeneratorConfig(seed=seed, iterations=50, branch_entropy=1.0, body_size=16)
+        core = Core(MachineConfig(features=Features.tme_only()))
+        core.load([generate_program(config)])
+        core.run(max_cycles=300_000)
+        assert core.instances[0].halted
+
+    @given(seed=st.integers(0, 5_000))
+    @settings(deadline=None, max_examples=6, suppress_health_check=[HealthCheck.too_slow])
+    def test_multiprogram_golden_clean(self, seed):
+        programs = []
+        for i in range(2):
+            config = GeneratorConfig(seed=seed + i, iterations=40, branch_entropy=0.7)
+            programs.append(
+                generate_program(
+                    config,
+                    text_base=0x1000 + i * 0x21040,
+                    data_base=0x9000 + i * 0x21040,
+                )
+            )
+        core = Core(MachineConfig(features=Features.rec_rs_ru()))
+        core.load(programs)
+        core.run(max_cycles=400_000)
+        assert all(inst.halted for inst in core.instances)
+
+
+class TestGeneratedCalls:
+    @given(seed=st.integers(0, 5000), calls=st.floats(0.05, 0.4))
+    @settings(deadline=None, max_examples=8, suppress_health_check=[HealthCheck.too_slow])
+    def test_call_heavy_programs_golden_clean_under_recycling(self, seed, calls):
+        config = GeneratorConfig(
+            seed=seed, iterations=40, branch_entropy=0.8,
+            call_fraction=calls, body_size=16,
+        )
+        core = Core(MachineConfig(features=Features.rec_rs_ru()))
+        core.load([generate_program(config)])
+        core.run(max_cycles=400_000)
+        assert core.instances[0].halted
+
+    def test_helpers_emitted(self):
+        config = GeneratorConfig(seed=3, call_fraction=0.3, num_helpers=3)
+        source = generate_source(config)
+        assert "helper0:" in source and "helper2:" in source
+        assert "jsr  ra, helper" in source
+
+    def test_call_fraction_validated(self):
+        import pytest
+        with pytest.raises(ValueError):
+            GeneratorConfig(call_fraction=1.5)

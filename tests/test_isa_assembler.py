@@ -1,0 +1,191 @@
+"""Tests for the two-pass assembler."""
+
+import struct
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instruction import INSTRUCTION_BYTES
+from repro.isa.opcodes import Op
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+class TestBasics:
+    def test_single_instruction(self):
+        prog = assemble("add r1, r2, r3")
+        assert len(prog) == 1
+        assert prog.instructions[0].op is Op.ADD
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble(
+            """
+            # leading comment
+            movi r1, 5   # trailing comment
+
+            halt
+            """
+        )
+        assert [i.op for i in prog.instructions] == [Op.MOVI, Op.HALT]
+
+    def test_label_addresses(self):
+        prog = assemble(
+            """
+            main:  movi r1, 0
+            loop:  addi r1, r1, 1
+                   bne  r1, loop
+            """
+        )
+        assert prog.labels["main"] == TEXT_BASE
+        assert prog.labels["loop"] == TEXT_BASE + INSTRUCTION_BYTES
+        assert prog.entry == TEXT_BASE
+
+    def test_branch_target_resolution(self):
+        prog = assemble(
+            """
+            loop: addi r1, r1, 1
+                  bne  r1, loop
+            """
+        )
+        assert prog.instructions[1].target == TEXT_BASE
+
+    def test_forward_reference(self):
+        prog = assemble(
+            """
+            br done
+            addi r1, r1, 1
+            done: halt
+            """
+        )
+        assert prog.instructions[0].target == TEXT_BASE + 2 * INSTRUCTION_BYTES
+
+    def test_memory_operands(self):
+        prog = assemble("ld r1, -8(r2)\nst r3, 16(sp)")
+        ld, st_ = prog.instructions
+        assert (ld.ra, ld.imm) == (2, -8)
+        assert (st_.rb, st_.ra, st_.imm) == (3, 30, 16)
+
+    def test_movi_label_immediate(self):
+        prog = assemble(
+            """
+            .data
+            tab: .word 1, 2
+            .text
+            movi r1, tab
+            """
+        )
+        assert prog.instructions[0].imm == DATA_BASE
+
+    def test_jsr_and_ret(self):
+        prog = assemble(
+            """
+            main: jsr ra, fn
+                  halt
+            fn:   ret (ra)
+            """
+        )
+        jsr, _, ret = prog.instructions
+        assert jsr.op is Op.JSR and jsr.rd == 26
+        assert jsr.target == prog.labels["fn"]
+        assert ret.op is Op.RET and ret.ra == 26
+
+
+class TestDataSection:
+    def test_word_values(self):
+        prog = assemble(
+            """
+            .data
+            vals: .word 10, -3, 0x20
+            """
+        )
+        assert len(prog.data) == 24
+        assert struct.unpack("<3q", prog.data) == (10, -3, 0x20)
+
+    def test_double_values(self):
+        prog = assemble(".data\npi: .double 3.5")
+        assert struct.unpack("<d", prog.data)[0] == 3.5
+
+    def test_space_zero_filled(self):
+        prog = assemble(".data\nbuf: .space 32")
+        assert prog.data == b"\x00" * 32
+
+    def test_align(self):
+        prog = assemble(
+            """
+            .data
+            a: .space 3
+            .align 8
+            b: .word 7
+            """
+        )
+        assert prog.labels["b"] == DATA_BASE + 8
+        assert len(prog.data) == 16
+
+    def test_word_label_value(self):
+        prog = assemble(
+            """
+            .data
+            ptr: .word tgt
+            tgt: .word 0
+            """
+        )
+        assert struct.unpack("<q", prog.data[:8])[0] == DATA_BASE + 8
+
+    def test_data_label_layout(self):
+        prog = assemble(
+            """
+            .data
+            a: .word 1
+            b: .space 16
+            c: .word 2
+            """
+        )
+        assert prog.labels["a"] == DATA_BASE
+        assert prog.labels["b"] == DATA_BASE + 8
+        assert prog.labels["c"] == DATA_BASE + 24
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate r1, r2")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("a: nop\na: nop")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2")
+
+    def test_fp_int_mismatch(self):
+        with pytest.raises(AssemblerError):
+            assemble("fadd f1, r2, f3")
+        with pytest.raises(AssemblerError):
+            assemble("add r1, f2, r3")
+
+    def test_instruction_in_data_section(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nadd r1, r2, r3")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble("ld r1, r2")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\n.quad 3")
+
+    def test_error_reports_line(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("nop\nbogus r1")
+
+    def test_undefined_label_is_error(self):
+        with pytest.raises(AssemblerError):
+            assemble("br nowhere")
+
+
+class TestListing:
+    def test_listing_contains_labels(self):
+        prog = assemble("main: movi r1, 1\nhalt")
+        text = prog.listing()
+        assert "main:" in text and "movi" in text and "halt" in text

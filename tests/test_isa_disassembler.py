@@ -1,0 +1,51 @@
+"""Tests for the disassembler."""
+
+from repro.isa import assemble, encode
+from repro.isa.disassembler import disassemble, disassemble_word, format_instruction
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+class TestDisassembler:
+    def test_single_word(self):
+        ins = Instruction(Op.ADD, rd=1, ra=2, rb=3)
+        text = disassemble_word(encode(ins, 0x1000), 0x1000)
+        assert text == "add r1, r2, r3"
+
+    def test_branch_target_reconstructed(self):
+        ins = Instruction(Op.BNE, ra=4, target=0x1000)
+        text = disassemble_word(encode(ins, 0x1010), 0x1010)
+        assert "0x1000" in text
+
+    def test_sequence_with_addresses(self):
+        prog = assemble("main: movi r1, 5\naddi r1, r1, 2\nhalt")
+        words = [encode(ins, prog.text_base + 4 * i) for i, ins in enumerate(prog.instructions)]
+        lines = disassemble(words, base=prog.text_base)
+        assert len(lines) == 3
+        assert lines[0].startswith(f"{prog.text_base:#8x}")
+        assert "movi" in lines[0] and "halt" in lines[2]
+
+    def test_round_trip_every_opcode_class(self):
+        src = """
+        main: add r1, r2, r3
+              addi r4, r5, -9
+              movi r6, 100
+              ld  r7, 8(r1)
+              st  r7, 16(r1)
+              fadd f1, f2, f3
+              beq r1, main
+              jsr ra, main
+              ret (ra)
+              div r8, r1, r2
+              fsqrt f4, f1
+              nop
+              halt
+        """
+        prog = assemble(src)
+        for i, ins in enumerate(prog.instructions):
+            pc = prog.text_base + 4 * i
+            assert disassemble_word(encode(ins, pc), pc) == str(ins)
+
+    def test_format_instruction(self):
+        text = format_instruction(Instruction(Op.NOP), 0x2000)
+        assert "0x2000" in text and "nop" in text

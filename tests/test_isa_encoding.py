@@ -1,0 +1,138 @@
+"""Round-trip and boundary tests for the binary encoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.encoding import (
+    EncodingError,
+    IMM16_MAX,
+    IMM16_MIN,
+    OFF21_MAX,
+    decode,
+    encode,
+)
+from repro.isa.instruction import INSTRUCTION_BYTES, Instruction
+from repro.isa.opcodes import Format, Op, info
+
+PC = 0x1000
+
+_R3_OPS = [op for op in Op if info(op).fmt is Format.R3]
+_R2I_OPS = [op for op in Op if info(op).fmt is Format.R2I]
+_COND_OPS = [op for op in Op if info(op).is_cond_branch]
+
+
+def roundtrip(ins: Instruction, pc: int = PC) -> Instruction:
+    return decode(encode(ins, pc), pc)
+
+
+class TestRoundTripExamples:
+    def test_r3(self):
+        ins = Instruction(Op.ADD, rd=1, ra=2, rb=3)
+        assert roundtrip(ins) == ins
+
+    def test_r2i_negative_imm(self):
+        ins = Instruction(Op.ADDI, rd=1, ra=2, imm=-7)
+        assert roundtrip(ins) == ins
+
+    def test_movi(self):
+        ins = Instruction(Op.MOVI, rd=9, imm=1234)
+        assert roundtrip(ins) == ins
+
+    def test_load_store(self):
+        ld = Instruction(Op.LD, rd=4, ra=5, imm=-16)
+        st_ = Instruction(Op.ST, rb=6, ra=7, imm=24)
+        assert roundtrip(ld) == ld
+        assert roundtrip(st_) == st_
+
+    def test_fp_mem(self):
+        fld = Instruction(Op.FLD, rd=1, ra=2, imm=8)
+        fst = Instruction(Op.FST, rb=3, ra=4, imm=8)
+        assert roundtrip(fld) == fld
+        assert roundtrip(fst) == fst
+
+    def test_cond_branch_backward(self):
+        ins = Instruction(Op.BNE, ra=3, target=PC - 12 * INSTRUCTION_BYTES)
+        assert roundtrip(ins) == ins
+
+    def test_br_forward(self):
+        ins = Instruction(Op.BR, target=PC + 100 * INSTRUCTION_BYTES)
+        assert roundtrip(ins) == ins
+
+    def test_jsr_keeps_link_reg(self):
+        ins = Instruction(Op.JSR, rd=26, target=PC + 40)
+        out = roundtrip(ins)
+        assert out == ins and out.rd == 26
+
+    def test_jump_reg(self):
+        for op in (Op.JMP, Op.RET):
+            ins = Instruction(op, ra=26)
+            assert roundtrip(ins) == ins
+
+    def test_none_format(self):
+        assert roundtrip(Instruction(Op.NOP)) == Instruction(Op.NOP)
+        assert roundtrip(Instruction(Op.HALT)) == Instruction(Op.HALT)
+
+
+class TestBoundaries:
+    def test_imm16_limits(self):
+        for imm in (IMM16_MIN, IMM16_MAX):
+            ins = Instruction(Op.ADDI, rd=1, ra=1, imm=imm)
+            assert roundtrip(ins) == ins
+
+    def test_imm16_overflow_raises(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.ADDI, rd=1, ra=1, imm=IMM16_MAX + 1), PC)
+
+    def test_branch_offset_overflow_raises(self):
+        far = PC + (IMM16_MAX + 10) * INSTRUCTION_BYTES
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.BEQ, ra=1, target=far), PC)
+
+    def test_jump_reaches_farther_than_branch(self):
+        far = PC + (OFF21_MAX - 1) * INSTRUCTION_BYTES
+        ins = Instruction(Op.BR, target=far)
+        assert roundtrip(ins) == ins
+
+    def test_unaligned_target_raises(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.BEQ, ra=1, target=PC + 6), PC)
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(EncodingError):
+            decode(0x3F << 26, PC)
+
+
+class TestRoundTripProperties:
+    @given(
+        op=st.sampled_from(_R3_OPS),
+        rd=st.integers(0, 31),
+        ra=st.integers(0, 31),
+        rb=st.integers(0, 31),
+    )
+    @settings(max_examples=60)
+    def test_r3_roundtrip(self, op, rd, ra, rb):
+        ins = Instruction(op, rd=rd, ra=ra, rb=rb)
+        assert roundtrip(ins) == ins
+
+    @given(
+        op=st.sampled_from(_R2I_OPS),
+        rd=st.integers(0, 31),
+        ra=st.integers(0, 31),
+        imm=st.integers(IMM16_MIN, IMM16_MAX),
+    )
+    @settings(max_examples=60)
+    def test_r2i_roundtrip(self, op, rd, ra, imm):
+        ins = Instruction(op, rd=rd, ra=ra, imm=imm)
+        assert roundtrip(ins) == ins
+
+    @given(
+        op=st.sampled_from(_COND_OPS),
+        ra=st.integers(0, 31),
+        words=st.integers(IMM16_MIN, IMM16_MAX),
+        pc=st.integers(0, 1 << 20).map(lambda x: x * 4),
+    )
+    @settings(max_examples=60)
+    def test_branch_roundtrip(self, op, ra, words, pc):
+        target = pc + INSTRUCTION_BYTES + words * INSTRUCTION_BYTES
+        ins = Instruction(op, ra=ra, target=target)
+        assert roundtrip(ins, pc) == ins

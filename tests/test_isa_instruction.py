@@ -1,0 +1,92 @@
+"""Tests for decoded-instruction operand derivation."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.registers import FP_BASE, FP_ZERO_REG, ZERO_REG, fp_reg
+
+
+class TestOperandRoles:
+    def test_r3_int(self):
+        ins = Instruction(Op.ADD, rd=1, ra=2, rb=3)
+        assert ins.srcs == (2, 3)
+        assert ins.dst == 1
+
+    def test_r3_fp(self):
+        ins = Instruction(Op.FADD, rd=1, ra=2, rb=3)
+        assert ins.srcs == (fp_reg(2), fp_reg(3))
+        assert ins.dst == fp_reg(1)
+
+    def test_fcmp_writes_int(self):
+        ins = Instruction(Op.FCMPLT, rd=4, ra=1, rb=2)
+        assert ins.dst == 4  # integer register
+        assert ins.srcs == (fp_reg(1), fp_reg(2))
+
+    def test_cvtif_reads_int_writes_fp(self):
+        ins = Instruction(Op.CVTIF, rd=5, ra=6, rb=31)
+        assert ins.dst == fp_reg(5)
+        assert ins.srcs[0] == 6
+
+    def test_load_int(self):
+        ins = Instruction(Op.LD, rd=7, ra=8, imm=16)
+        assert ins.dst == 7
+        assert ins.srcs == (8,)
+
+    def test_store_sources(self):
+        ins = Instruction(Op.ST, rb=9, ra=10, imm=-8)
+        assert ins.dst is None
+        assert ins.srcs == (10, 9)
+
+    def test_fst_data_is_fp(self):
+        ins = Instruction(Op.FST, rb=2, ra=3, imm=0)
+        assert ins.srcs == (3, fp_reg(2))
+
+    def test_branch_reads_one(self):
+        ins = Instruction(Op.BNE, ra=4, target=0x1000)
+        assert ins.dst is None
+        assert ins.srcs == (4,)
+
+    def test_jsr_writes_link(self):
+        ins = Instruction(Op.JSR, rd=26, target=0x2000)
+        assert ins.dst == 26
+        assert ins.srcs == ()
+
+    def test_ret_reads_link(self):
+        ins = Instruction(Op.RET, ra=26)
+        assert ins.srcs == (26,)
+        assert ins.dst is None
+
+    def test_nop_no_operands(self):
+        ins = Instruction(Op.NOP)
+        assert ins.srcs == () and ins.dst is None
+
+
+class TestZeroRegister:
+    def test_write_to_r31_dropped(self):
+        ins = Instruction(Op.ADD, rd=31, ra=1, rb=2)
+        assert ins.dst is None
+
+    def test_write_to_f31_dropped(self):
+        ins = Instruction(Op.FADD, rd=31, ra=1, rb=2)
+        assert ins.dst is None
+
+    def test_zero_still_a_source(self):
+        ins = Instruction(Op.ADD, rd=1, ra=31, rb=2)
+        assert ZERO_REG in ins.srcs
+
+    def test_fp_zero_index(self):
+        assert FP_ZERO_REG == FP_BASE + 31
+
+
+class TestRendering:
+    def test_str_contains_mnemonic(self):
+        assert "add" in str(Instruction(Op.ADD, rd=1, ra=2, rb=3))
+        assert "fmul" in str(Instruction(Op.FMUL, rd=1, ra=2, rb=3))
+        assert "halt" in str(Instruction(Op.HALT))
+
+    def test_branch_renders_target(self):
+        s = str(Instruction(Op.BEQ, ra=1, target=0x1040))
+        assert "0x1040" in s
+
+    def test_operand_names(self):
+        names = Instruction(Op.ADD, rd=1, ra=2, rb=3).operand_names()
+        assert "dst=r1" in names and "r2" in names

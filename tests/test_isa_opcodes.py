@@ -1,0 +1,73 @@
+"""Tests for opcode metadata consistency."""
+
+from repro.isa.opcodes import (
+    Format,
+    FuClass,
+    LAT_ALU,
+    LAT_FDIV,
+    LAT_FP,
+    LAT_MUL,
+    MNEMONICS,
+    OP_INFO,
+    Op,
+    info,
+)
+
+
+class TestTableCompleteness:
+    def test_every_opcode_has_info(self):
+        for op in Op:
+            assert op in OP_INFO
+
+    def test_mnemonics_unique_and_complete(self):
+        assert len(MNEMONICS) == len(Op)
+        for name, op in MNEMONICS.items():
+            assert info(op).name == name
+
+
+class TestClassification:
+    def test_branch_predicates(self):
+        assert info(Op.BEQ).is_cond_branch and info(Op.BEQ).is_branch
+        assert info(Op.BR).is_uncond_branch and not info(Op.BR).is_cond_branch
+        assert info(Op.JSR).is_call
+        assert info(Op.RET).is_return and info(Op.RET).is_indirect
+        assert not info(Op.ADD).is_branch
+
+    def test_memory_predicates(self):
+        assert info(Op.LD).is_load and not info(Op.LD).is_store
+        assert info(Op.ST).is_store and info(Op.ST).is_mem
+        assert info(Op.FLD).dst_fp
+        assert info(Op.FST).src_fp
+
+    def test_mem_ops_use_ldst_units(self):
+        for op in (Op.LD, Op.ST, Op.FLD, Op.FST):
+            assert info(op).fu is FuClass.LDST
+
+    def test_fp_ops_use_fp_units(self):
+        for op in (Op.FADD, Op.FMUL, Op.FDIV, Op.FCMPEQ, Op.CVTIF):
+            assert info(op).fu is FuClass.FP
+
+    def test_has_dst(self):
+        assert info(Op.ADD).has_dst
+        assert info(Op.LD).has_dst
+        assert info(Op.JSR).has_dst
+        assert not info(Op.ST).has_dst
+        assert not info(Op.BEQ).has_dst
+        assert not info(Op.BR).has_dst
+
+
+class TestLatencies:
+    def test_alpha_21264_latencies(self):
+        assert info(Op.ADD).latency == LAT_ALU == 1
+        assert info(Op.MUL).latency == LAT_MUL == 7
+        assert info(Op.FADD).latency == LAT_FP == 4
+        assert info(Op.FMUL).latency == LAT_FP == 4
+        assert info(Op.FDIV).latency == LAT_FDIV == 12
+
+    def test_all_latencies_positive(self):
+        for op in Op:
+            assert info(op).latency >= 1
+
+    def test_formats_assigned(self):
+        for op in Op:
+            assert isinstance(info(op).fmt, Format)

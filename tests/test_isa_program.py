@@ -1,0 +1,63 @@
+"""Tests for Program image helpers."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.instruction import INSTRUCTION_BYTES
+from repro.isa.program import Program, TEXT_BASE
+
+
+def prog():
+    return assemble("main: movi r1, 1\naddi r1, r1, 2\nhalt", name="p")
+
+
+class TestAddressing:
+    def test_text_end(self):
+        p = prog()
+        assert p.text_end == TEXT_BASE + 3 * INSTRUCTION_BYTES
+
+    def test_instr_index_aligned(self):
+        p = prog()
+        assert p.instr_index(TEXT_BASE) == 0
+        assert p.instr_index(TEXT_BASE + 8) == 2
+
+    def test_instr_index_unaligned_is_none(self):
+        assert prog().instr_index(TEXT_BASE + 2) is None
+
+    def test_instr_index_out_of_range(self):
+        p = prog()
+        assert p.instr_index(TEXT_BASE - 4) is None
+        assert p.instr_index(p.text_end) is None
+
+    def test_instr_at(self):
+        p = prog()
+        assert p.instr_at(TEXT_BASE) is p.instructions[0]
+        assert p.instr_at(0) is None
+
+    def test_addr_of(self):
+        p = prog()
+        assert p.addr_of("main") == TEXT_BASE
+        with pytest.raises(KeyError):
+            p.addr_of("nowhere")
+
+    def test_len(self):
+        assert len(prog()) == 3
+
+
+class TestEntry:
+    def test_entry_defaults_to_main(self):
+        assert prog().entry == TEXT_BASE
+
+    def test_entry_defaults_to_text_base_without_main(self):
+        p = assemble("start: halt")
+        assert p.entry == TEXT_BASE
+
+    def test_explicit_entry_kept(self):
+        p = Program(name="x", instructions=prog().instructions, entry=0x1004)
+        assert p.entry == 0x1004
+
+
+class TestListing:
+    def test_listing_one_line_per_instruction(self):
+        p = prog()
+        assert len(p.listing().splitlines()) == len(p)

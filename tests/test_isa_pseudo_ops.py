@@ -1,0 +1,82 @@
+"""Tests for assembler pseudo-instructions."""
+
+import pytest
+
+from repro.emulator import Emulator
+from repro.isa import assemble
+from repro.isa.assembler import AssemblerError, PSEUDO_OPS
+from repro.isa.opcodes import Op
+
+
+def run(src):
+    emu = Emulator(assemble(src))
+    emu.run_to_halt()
+    return emu.state.regs
+
+
+class TestExpansion:
+    def test_mov(self):
+        regs = run("main: movi r1, 42\nmov r2, r1\nhalt")
+        assert regs[2] == 42
+
+    def test_fmov(self):
+        prog = assemble(".data\nx: .double 2.5\n.text\nmovi r1, x\nfld f1, 0(r1)\nfmov f2, f1\nhalt")
+        emu = Emulator(prog)
+        emu.run_to_halt()
+        assert emu.state.regs[32 + 2] == 2.5
+
+    def test_neg(self):
+        regs = run("main: movi r1, 7\nneg r2, r1\nhalt")
+        assert regs[2] == -7
+
+    def test_not(self):
+        regs = run("main: movi r1, 0\nnot r2, r1\nhalt")
+        assert regs[2] == -1
+
+    def test_clr(self):
+        regs = run("main: movi r1, 99\nclr r1\nhalt")
+        assert regs[1] == 0
+
+    def test_inc_dec(self):
+        regs = run("main: movi r1, 10\ninc r1\ninc r1\ndec r1\nhalt")
+        assert regs[1] == 11
+
+    def test_bz_bnz(self):
+        regs = run(
+            """
+            main: movi r1, 0
+                  bz   r1, taken
+                  movi r2, 1
+            taken: movi r3, 5
+                  bnz  r3, done
+                  movi r2, 2
+            done: halt
+            """
+        )
+        assert regs[2] == 0 and regs[3] == 5
+
+    def test_j(self):
+        regs = run("main: j over\nmovi r1, 1\nover: movi r2, 2\nhalt")
+        assert regs[1] == 0 and regs[2] == 2
+
+
+class TestStructure:
+    def test_pseudo_is_single_instruction(self):
+        """Labels after pseudos must land exactly one word later."""
+        prog = assemble("a: mov r1, r2\nb: halt")
+        assert prog.labels["b"] - prog.labels["a"] == 4
+
+    def test_expansion_uses_real_opcodes(self):
+        prog = assemble("mov r1, r2")
+        assert prog.instructions[0].op is Op.OR
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("mov r1")
+        with pytest.raises(AssemblerError):
+            assemble("clr r1, r2")
+
+    def test_all_pseudos_have_templates(self):
+        for name, (arity, template) in PSEUDO_OPS.items():
+            for i in range(arity):
+                assert "{%d}" % i in template, name

@@ -1,0 +1,57 @@
+"""Tests for the unified logical register space."""
+
+import pytest
+
+from repro.isa import registers as R
+
+
+class TestIndexing:
+    def test_int_reg_range(self):
+        assert R.int_reg(0) == 0
+        assert R.int_reg(31) == 31
+
+    def test_fp_reg_offset(self):
+        assert R.fp_reg(0) == 32
+        assert R.fp_reg(31) == 63
+
+    def test_int_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            R.int_reg(32)
+
+    def test_fp_reg_out_of_range(self):
+        with pytest.raises(ValueError):
+            R.fp_reg(-1)
+
+    def test_is_fp(self):
+        assert not R.is_fp(31)
+        assert R.is_fp(32)
+
+    def test_zero_registers(self):
+        assert R.is_zero(R.ZERO_REG)
+        assert R.is_zero(R.FP_ZERO_REG)
+        assert not R.is_zero(0)
+        assert not R.is_zero(R.fp_reg(0))
+
+
+class TestNames:
+    def test_round_trip_all(self):
+        for idx in range(R.NUM_LOGICAL_REGS):
+            assert R.parse_reg(R.reg_name(idx)) == idx
+
+    def test_aliases(self):
+        assert R.parse_reg("ra") == R.RETURN_ADDRESS_REG
+        assert R.parse_reg("sp") == R.STACK_POINTER_REG
+        assert R.parse_reg("zero") == R.ZERO_REG
+
+    def test_case_insensitive(self):
+        assert R.parse_reg("R5") == 5
+        assert R.parse_reg("F3") == R.fp_reg(3)
+
+    def test_bad_names(self):
+        for bad in ("x1", "r", "r99", "f32", "", "rfoo"):
+            with pytest.raises(ValueError):
+                R.parse_reg(bad)
+
+    def test_reg_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            R.reg_name(64)

@@ -1,0 +1,145 @@
+"""Unit and property tests for the shared instruction semantics."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import semantics as S
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+i64 = st.integers(-(1 << 63), (1 << 63) - 1)
+
+
+class TestIntegerAlu:
+    def test_add_wraps(self):
+        ins = Instruction(Op.ADD, rd=1, ra=2, rb=3)
+        assert S.compute_value(ins, ((1 << 63) - 1, 1), 0) == -(1 << 63)
+
+    def test_sub(self):
+        ins = Instruction(Op.SUB, rd=1, ra=2, rb=3)
+        assert S.compute_value(ins, (5, 9), 0) == -4
+
+    def test_mul_wraps(self):
+        ins = Instruction(Op.MUL, rd=1, ra=2, rb=3)
+        assert S.compute_value(ins, (1 << 62, 4), 0) == 0
+
+    def test_logical(self):
+        assert S.compute_value(Instruction(Op.AND, rd=1, ra=2, rb=3), (0b1100, 0b1010), 0) == 0b1000
+        assert S.compute_value(Instruction(Op.OR, rd=1, ra=2, rb=3), (0b1100, 0b1010), 0) == 0b1110
+        assert S.compute_value(Instruction(Op.XOR, rd=1, ra=2, rb=3), (0b1100, 0b1010), 0) == 0b0110
+
+    def test_shifts(self):
+        assert S.compute_value(Instruction(Op.SLL, rd=1, ra=2, rb=3), (1, 4), 0) == 16
+        assert S.compute_value(Instruction(Op.SRL, rd=1, ra=2, rb=3), (-1, 60), 0) == 15
+        assert S.compute_value(Instruction(Op.SRA, rd=1, ra=2, rb=3), (-16, 2), 0) == -4
+
+    def test_compares(self):
+        assert S.compute_value(Instruction(Op.CMPLT, rd=1, ra=2, rb=3), (-1, 0), 0) == 1
+        assert S.compute_value(Instruction(Op.CMPULT, rd=1, ra=2, rb=3), (-1, 0), 0) == 0
+        assert S.compute_value(Instruction(Op.CMPEQ, rd=1, ra=2, rb=3), (7, 7), 0) == 1
+        assert S.compute_value(Instruction(Op.CMPLE, rd=1, ra=2, rb=3), (7, 7), 0) == 1
+
+    def test_immediates_match_register_forms(self):
+        a = 123456
+        ri = Instruction(Op.ADDI, rd=1, ra=2, imm=-77)
+        rr = Instruction(Op.ADD, rd=1, ra=2, rb=3)
+        assert S.compute_value(ri, (a,), 0) == S.compute_value(rr, (a, -77), 0)
+
+    def test_movi(self):
+        assert S.compute_value(Instruction(Op.MOVI, rd=1, imm=-5), (), 0) == -5
+
+    @given(a=i64, b=i64)
+    @settings(max_examples=100)
+    def test_add_stays_in_64_bit_range(self, a, b):
+        v = S.compute_value(Instruction(Op.ADD, rd=1, ra=2, rb=3), (a, b), 0)
+        assert -(1 << 63) <= v < (1 << 63)
+
+    @given(a=i64, b=i64)
+    @settings(max_examples=100)
+    def test_add_sub_inverse(self, a, b):
+        add = S.compute_value(Instruction(Op.ADD, rd=1, ra=2, rb=3), (a, b), 0)
+        back = S.compute_value(Instruction(Op.SUB, rd=1, ra=2, rb=3), (add, b), 0)
+        assert back == a
+
+    @given(a=i64)
+    @settings(max_examples=100)
+    def test_signed_unsigned_roundtrip(self, a):
+        assert S.to_signed(S.to_unsigned(a)) == a
+
+
+class TestFloat:
+    def test_fp_ops(self):
+        assert S.compute_value(Instruction(Op.FADD, rd=1, ra=2, rb=3), (1.5, 2.5), 0) == 4.0
+        assert S.compute_value(Instruction(Op.FMUL, rd=1, ra=2, rb=3), (3.0, -2.0), 0) == -6.0
+        assert S.compute_value(Instruction(Op.FDIV, rd=1, ra=2, rb=3), (1.0, 4.0), 0) == 0.25
+
+    def test_fdiv_by_zero_is_inf(self):
+        v = S.compute_value(Instruction(Op.FDIV, rd=1, ra=2, rb=3), (1.0, 0.0), 0)
+        assert math.isinf(v) and v > 0
+
+    def test_fdiv_zero_by_zero_is_nan(self):
+        v = S.compute_value(Instruction(Op.FDIV, rd=1, ra=2, rb=3), (0.0, 0.0), 0)
+        assert math.isnan(v)
+
+    def test_fcmp(self):
+        assert S.compute_value(Instruction(Op.FCMPLT, rd=1, ra=2, rb=3), (1.0, 2.0), 0) == 1
+        assert S.compute_value(Instruction(Op.FCMPEQ, rd=1, ra=2, rb=3), (1.0, 2.0), 0) == 0
+
+    def test_conversions(self):
+        assert S.compute_value(Instruction(Op.CVTIF, rd=1, ra=2, rb=31), (7,), 0) == 7.0
+        assert S.compute_value(Instruction(Op.CVTFI, rd=1, ra=2, rb=31), (-2.9,), 0) == -2
+
+    def test_cvtfi_saturates(self):
+        assert S.compute_value(Instruction(Op.CVTFI, rd=1, ra=2, rb=31), (1e300,), 0) == (1 << 63) - 1
+        assert S.compute_value(Instruction(Op.CVTFI, rd=1, ra=2, rb=31), (float("nan"),), 0) == 0
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100)
+    def test_float_bits_roundtrip(self, f):
+        assert S.bits_to_float(S.float_to_bits(f)) == f
+
+
+class TestBranches:
+    def test_conditional_outcomes(self):
+        cases = [
+            (Op.BEQ, 0, True), (Op.BEQ, 1, False),
+            (Op.BNE, 0, False), (Op.BNE, -3, True),
+            (Op.BLT, -1, True), (Op.BLT, 0, False),
+            (Op.BLE, 0, True), (Op.BLE, 1, False),
+            (Op.BGT, 1, True), (Op.BGT, 0, False),
+            (Op.BGE, 0, True), (Op.BGE, -1, False),
+        ]
+        for op, val, expect in cases:
+            ins = Instruction(op, ra=1, target=0x2000)
+            taken, target = S.branch_outcome(ins, (val,), 0x1000)
+            assert taken is expect, (op, val)
+            assert target == (0x2000 if expect else 0x1004)
+
+    def test_unconditional(self):
+        taken, target = S.branch_outcome(Instruction(Op.BR, target=0x3000), (), 0x1000)
+        assert taken and target == 0x3000
+
+    def test_indirect_masks_alignment(self):
+        taken, target = S.branch_outcome(Instruction(Op.JMP, ra=1), (0x2002,), 0)
+        assert taken and target == 0x2000
+
+    def test_jsr_link_value(self):
+        ins = Instruction(Op.JSR, rd=26, target=0x4000)
+        assert S.compute_value(ins, (), 0x1000) == 0x1004
+
+
+class TestMemoryHelpers:
+    def test_effective_address_aligns(self):
+        ins = Instruction(Op.LD, rd=1, ra=2, imm=5)
+        assert S.effective_address(ins, 0x100) == 0x100
+
+    def test_negative_offset(self):
+        ins = Instruction(Op.LD, rd=1, ra=2, imm=-8)
+        assert S.effective_address(ins, 0x100) == 0xF8
+
+    def test_store_load_bits_int(self):
+        assert S.load_value(S.store_bits(-123, False), False) == -123
+
+    def test_store_load_bits_fp(self):
+        assert S.load_value(S.store_bits(2.75, True), True) == 2.75

@@ -1,0 +1,170 @@
+"""Tests for the timing cache and hierarchy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import Cache, CacheConfig, HierarchyConfig, MemoryHierarchy
+
+
+def tiny_cache(assoc=2, sets=4, banks=2):
+    cfg = CacheConfig("T", size=64 * assoc * sets, assoc=assoc, banks=banks)
+    return Cache(cfg)
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig("L1", 64 * 1024, 1)
+        assert cfg.num_sets == 1024
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", size=100, assoc=1)
+
+    def test_bad_banks_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", size=1024, assoc=1, banks=3)
+
+    def test_paper_geometries(self):
+        big = HierarchyConfig.big()
+        assert big.icache.size == 64 * 1024 and big.icache.assoc == 1
+        assert big.l2.size == 256 * 1024 and big.l2.assoc == 4
+        assert big.l3.size == 4 * 1024 * 1024
+        assert (big.l2_penalty, big.l3_penalty, big.memory_penalty) == (6, 12, 62)
+
+    def test_small_is_half(self):
+        small = HierarchyConfig.small()
+        big = HierarchyConfig.big()
+        assert small.icache.size * 2 == big.icache.size
+        assert small.l2.size * 2 == big.l2.size
+
+
+class TestCacheBehaviour:
+    def test_miss_then_hit_after_fill(self):
+        c = tiny_cache()
+        assert not c.lookup(0x1000)
+        c.fill(0x1000)
+        assert c.lookup(0x1000)
+
+    def test_same_line_hits(self):
+        c = tiny_cache()
+        c.fill(0x1000)
+        assert c.lookup(0x1000 + 63)
+        assert not c.lookup(0x1000 + 64)
+
+    def test_lru_eviction(self):
+        c = tiny_cache(assoc=2, sets=1)
+        c.fill(0x0)
+        c.fill(0x40)
+        c.lookup(0x0)  # make 0x0 MRU
+        c.fill(0x80)  # evicts 0x40
+        assert c.probe(0x0)
+        assert not c.probe(0x40)
+        assert c.probe(0x80)
+
+    def test_direct_mapped_conflict(self):
+        c = tiny_cache(assoc=1, sets=4)
+        c.fill(0x0)
+        c.fill(0x100)  # same set (4 sets * 64B line = 256B stride)
+        assert not c.probe(0x0)
+
+    def test_spaces_do_not_alias(self):
+        c = tiny_cache()
+        c.fill(0x1000, space=0)
+        assert not c.lookup(0x1000, space=1)
+        assert c.lookup(0x1000, space=0)
+
+    def test_stats(self):
+        c = tiny_cache()
+        c.lookup(0x0)
+        c.fill(0x0)
+        c.lookup(0x0)
+        assert (c.hits, c.misses) == (1, 1)
+        assert c.miss_rate == 0.5
+        c.reset_stats()
+        assert c.accesses == 0
+
+    def test_bank_conflict_delay(self):
+        c = tiny_cache(banks=2)
+        assert c.bank_delay(0x0, cycle=10) == 0
+        assert c.bank_delay(0x0, cycle=10) == 1  # same bank, same cycle
+        assert c.bank_delay(0x40, cycle=10) == 0  # other bank
+
+    def test_bank_frees_up(self):
+        c = tiny_cache(banks=2)
+        c.bank_delay(0x0, cycle=10)
+        assert c.bank_delay(0x0, cycle=12) == 0
+
+    @given(addrs=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+    @settings(max_examples=30)
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        c = tiny_cache(assoc=2, sets=4)
+        for a in addrs:
+            if not c.lookup(a):
+                c.fill(a)
+        assert all(len(ways) <= 2 for ways in c._sets.values())
+
+    @given(addrs=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=100))
+    @settings(max_examples=30)
+    def test_fill_then_immediate_probe_hits(self, addrs):
+        c = tiny_cache(assoc=4, sets=8)
+        for a in addrs:
+            c.fill(a)
+            assert c.probe(a)
+
+
+class TestHierarchy:
+    def test_l1_hit_latency(self):
+        h = MemoryHierarchy()
+        h.dcache.fill(0x1000)
+        assert h.data_latency(0x1000, cycle=0) == 2
+
+    def test_icache_hit_is_free(self):
+        h = MemoryHierarchy()
+        h.icache.fill(0x1000)
+        assert h.fetch_latency(0x1000, cycle=0) == 0
+
+    def test_miss_latencies_stack(self):
+        h = MemoryHierarchy()
+        # Cold access goes all the way to memory.
+        cold = h.data_latency(0x10000, cycle=0)
+        assert cold >= 2 + 6 + 12 + 62
+
+    def test_l2_hit_after_l1_evict(self):
+        h = MemoryHierarchy()
+        h.l2.fill(0x2000)
+        lat = h.data_latency(0x2000, cycle=0)
+        assert lat == 2 + 6
+
+    def test_fill_propagates(self):
+        h = MemoryHierarchy()
+        h.data_latency(0x3000, cycle=0)
+        assert h.dcache.probe(0x3000)
+        assert h.l2.probe(0x3000)
+        assert h.l3.probe(0x3000)
+
+    def test_second_access_hits(self):
+        h = MemoryHierarchy()
+        h.data_latency(0x4000, cycle=0)
+        assert h.data_latency(0x4000, cycle=200) == 2
+
+    def test_mshr_merging(self):
+        h = MemoryHierarchy()
+        first = h.fetch_latency(0x5000, cycle=0)
+        # A second request for the same line two cycles later completes
+        # with the first fill, not with a fresh full miss.
+        second = h.fetch_latency(0x5000, cycle=2)
+        assert second <= first
+        assert 2 + second <= 0 + first + 1
+
+    def test_memory_bus_serialises(self):
+        h = MemoryHierarchy()
+        a = h.data_latency(0x10000, cycle=0)
+        b = h.data_latency(0x20000, cycle=0)
+        assert b > a  # second miss waits on the channel
+
+    def test_stats_dict(self):
+        h = MemoryHierarchy()
+        h.data_latency(0x1000, 0)
+        s = h.stats()
+        assert s["dcache_accesses"] == 1
+        assert 0 <= s["dcache_miss_rate"] <= 1

@@ -1,0 +1,153 @@
+"""Model-based property tests: hardware structures vs reference models."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.branch import BranchTargetBuffer
+from repro.memory import Cache, CacheConfig
+from repro.recycle.mdb import MemoryDisambiguationBuffer
+
+
+class LruModel:
+    """Reference set-associative LRU cache."""
+
+    def __init__(self, sets, ways, line):
+        self.sets, self.ways, self.line = sets, ways, line
+        self.state = {i: OrderedDict() for i in range(sets)}
+
+    def access(self, addr):
+        lineno = addr // self.line
+        idx = lineno % self.sets
+        ways = self.state[idx]
+        if lineno in ways:
+            ways.move_to_end(lineno)
+            return True
+        ways[lineno] = True
+        if len(ways) > self.ways:
+            ways.popitem(last=False)
+        return False
+
+
+class TestCacheVsModel:
+    @given(addrs=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=300))
+    @settings(max_examples=60)
+    def test_hit_miss_sequence_matches_lru_model(self, addrs):
+        cfg = CacheConfig("T", size=64 * 2 * 8, assoc=2, banks=1)  # 8 sets, 2 ways
+        cache = Cache(cfg)
+        model = LruModel(sets=8, ways=2, line=64)
+        for addr in addrs:
+            hit = cache.lookup(addr)
+            if not hit:
+                cache.fill(addr)
+            assert hit == model.access(addr), hex(addr)
+
+    @given(addrs=st.lists(st.integers(0, 1 << 12), min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_direct_mapped_matches_model(self, addrs):
+        cfg = CacheConfig("T", size=64 * 4, assoc=1, banks=1)  # 4 sets, DM
+        cache = Cache(cfg)
+        model = LruModel(sets=4, ways=1, line=64)
+        for addr in addrs:
+            hit = cache.lookup(addr)
+            if not hit:
+                cache.fill(addr)
+            assert hit == model.access(addr)
+
+
+class BtbModel:
+    """Reference 4-set, 2-way LRU target buffer."""
+
+    def __init__(self, sets, ways):
+        self.sets, self.ways = sets, ways
+        self.state = {i: OrderedDict() for i in range(sets)}
+
+    def lookup(self, pc):
+        word = pc >> 2
+        ways = self.state[word % self.sets]
+        if word in ways:
+            ways.move_to_end(word)
+            return ways[word]
+        return None
+
+    def update(self, pc, target):
+        word = pc >> 2
+        ways = self.state[word % self.sets]
+        if word in ways:
+            del ways[word]
+        ways[word] = target
+        if len(ways) > self.ways:
+            ways.popitem(last=False)
+
+
+class TestBtbVsModel:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.booleans(),  # lookup vs update
+                st.integers(0, 255).map(lambda x: 0x1000 + 4 * x),
+                st.integers(0, 1 << 16),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50)
+    def test_lookup_update_matches_model(self, ops):
+        btb = BranchTargetBuffer(entries=8, assoc=2)  # 4 sets
+        model = BtbModel(sets=4, ways=2)
+        for is_lookup, pc, target in ops:
+            if is_lookup:
+                assert btb.lookup(pc) == model.lookup(pc)
+            else:
+                btb.update(pc, target)
+                model.update(pc, target)
+
+
+class MdbModel:
+    """Reference FIFO-capped load table."""
+
+    def __init__(self, entries):
+        self.entries = entries
+        self.state = OrderedDict()
+
+    def load(self, pc, addr):
+        if pc in self.state:
+            self.state.move_to_end(pc)
+        elif len(self.state) >= self.entries:
+            self.state.popitem(last=False)
+        self.state[pc] = addr
+
+    def store(self, addr):
+        for pc in [p for p, a in self.state.items() if a == addr]:
+            del self.state[pc]
+
+    def can_reuse(self, pc, addr):
+        return self.state.get(pc) == addr
+
+
+class TestMdbVsModel:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 2),  # 0 load, 1 store, 2 query
+                st.integers(0, 15).map(lambda x: 0x1000 + 4 * x),  # pc
+                st.integers(0, 7).map(lambda x: 0x8000 + 8 * x),  # addr
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50)
+    def test_mdb_matches_model(self, ops):
+        mdb = MemoryDisambiguationBuffer(entries=4)
+        model = MdbModel(entries=4)
+        for kind, pc, addr in ops:
+            if kind == 0:
+                mdb.record_load(pc, addr)
+                model.load(pc, addr)
+            elif kind == 1:
+                mdb.record_store(addr)
+                model.store(addr)
+            else:
+                assert mdb.can_reuse(pc, addr) == model.can_reuse(pc, addr)

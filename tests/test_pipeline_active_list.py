@@ -1,0 +1,129 @@
+"""Tests for the ring-buffer active list (trace retention semantics)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.pipeline.active_list import ActiveList
+from repro.pipeline.uop import Uop
+
+
+def mk_uop(pc=0x1000):
+    return Uop(Instruction(Op.NOP), pc, ctx=0, instance=None)
+
+
+class TestBasics:
+    def test_append_returns_positions(self):
+        al = ActiveList(4)
+        assert al.append(mk_uop()) == 0
+        assert al.append(mk_uop()) == 1
+        assert al.uncommitted == 2
+
+    def test_entry_lookup(self):
+        al = ActiveList(4)
+        u = mk_uop(0x2000)
+        pos = al.append(u)
+        assert al.entry(pos) is u
+
+    def test_stale_position_raises(self):
+        al = ActiveList(4)
+        with pytest.raises(AssertionError):
+            al.entry(0)
+
+    def test_commit_advances(self):
+        al = ActiveList(4)
+        u = mk_uop()
+        al.append(u)
+        assert al.oldest_uncommitted() is u
+        assert al.advance_commit() is u
+        assert al.oldest_uncommitted() is None
+        assert al.retained == 1  # still retained for recycling
+
+
+class TestCapacity:
+    def test_full_uncommitted_blocks(self):
+        al = ActiveList(2)
+        al.append(mk_uop())
+        al.append(mk_uop())
+        assert not al.has_room()
+
+    def test_committed_entries_get_overwritten(self):
+        al = ActiveList(2)
+        first = al.append(mk_uop(0x1000))
+        al.advance_commit()
+        al.append(mk_uop(0x1004))
+        al.append(mk_uop(0x1008))  # overwrites the committed first entry
+        assert al.try_entry(first) is None
+        assert al.start_pos == 1
+
+    def test_retained_bounded_by_capacity(self):
+        al = ActiveList(4)
+        for i in range(10):
+            al.append(mk_uop(0x1000 + 4 * i))
+            al.advance_commit()
+        assert al.retained == 4
+
+
+class TestTruncate:
+    def test_truncate_returns_youngest_first(self):
+        al = ActiveList(8)
+        uops = [mk_uop(0x1000 + 4 * i) for i in range(4)]
+        for u in uops:
+            al.append(u)
+        dropped = al.truncate(2)
+        assert dropped == [uops[3], uops[2]]
+        assert al.tail_pos == 2
+
+    def test_truncate_below_commit_asserts(self):
+        al = ActiveList(4)
+        al.append(mk_uop())
+        al.advance_commit()
+        with pytest.raises(AssertionError):
+            al.truncate(0)
+
+    def test_append_after_truncate(self):
+        al = ActiveList(4)
+        for i in range(3):
+            al.append(mk_uop(0x1000 + 4 * i))
+        al.truncate(1)
+        pos = al.append(mk_uop(0x2000))
+        assert pos == 1
+        assert al.entry(pos).pc == 0x2000
+
+
+class TestSearch:
+    def test_find_pc(self):
+        al = ActiveList(8)
+        for i in range(4):
+            al.append(mk_uop(0x1000 + 4 * i))
+        assert al.find_pc(0x1008) == 2
+        assert al.find_pc(0x9999) is None
+
+    def test_find_pc_oldest_match(self):
+        al = ActiveList(8)
+        al.append(mk_uop(0x1000))
+        al.append(mk_uop(0x1004))
+        al.append(mk_uop(0x1000))  # loop iteration
+        assert al.find_pc(0x1000) == 0
+
+
+class TestProperties:
+    @given(
+        ops=st.lists(
+            st.sampled_from(["append", "commit", "truncate"]), min_size=1, max_size=120
+        )
+    )
+    @settings(max_examples=40)
+    def test_invariants_hold(self, ops):
+        al = ActiveList(8)
+        for op in ops:
+            if op == "append" and al.has_room():
+                al.append(mk_uop())
+            elif op == "commit" and al.oldest_uncommitted() is not None:
+                al.advance_commit()
+            elif op == "truncate" and al.tail_pos > al.commit_pos:
+                al.truncate(al.commit_pos + (al.tail_pos - al.commit_pos) // 2)
+            assert al.start_pos <= al.commit_pos <= al.tail_pos
+            assert al.retained <= al.capacity
+            assert al.uncommitted <= al.capacity

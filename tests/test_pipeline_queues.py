@@ -1,0 +1,100 @@
+"""Tests for instruction queues and functional-unit accounting."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import FuClass, Op
+from repro.pipeline.queues import FunctionalUnits, InstructionQueue
+from repro.pipeline.regfile import PhysicalRegisterFile
+from repro.pipeline.uop import Uop, UopState
+
+
+def mk_uop(op=Op.ADD, srcs=()):
+    u = Uop(Instruction(op, rd=1, ra=2, rb=3), 0x1000, 0, None)
+    u.phys_srcs = list(srcs)
+    return u
+
+
+class TestQueue:
+    def test_capacity(self):
+        q = InstructionQueue("int", 2)
+        q.insert(mk_uop())
+        q.insert(mk_uop())
+        assert not q.has_room()
+
+    def test_ready_requires_sources(self):
+        rf = PhysicalRegisterFile(8, 8)
+        a = rf.alloc(fp=False)
+        q = InstructionQueue("int", 8)
+        u = mk_uop(srcs=[a])
+        q.insert(u)
+        assert q.ready_uops(rf, lambda _: True, 0) == []
+        rf.write(a, 5)
+        assert q.ready_uops(rf, lambda _: True, 0) == [u]
+
+    def test_ready_oldest_first(self):
+        rf = PhysicalRegisterFile(8, 8)
+        q = InstructionQueue("int", 8)
+        u1, u2 = mk_uop(), mk_uop()
+        q.insert(u2)
+        q.insert(u1)
+        ready = q.ready_uops(rf, lambda _: True, 0)
+        assert ready == sorted([u1, u2], key=lambda u: u.seq)
+
+    def test_extra_constraint_filters(self):
+        rf = PhysicalRegisterFile(8, 8)
+        q = InstructionQueue("int", 8)
+        u = mk_uop()
+        q.insert(u)
+        assert q.ready_uops(rf, lambda _: False, 0) == []
+
+    def test_issued_uops_not_ready(self):
+        rf = PhysicalRegisterFile(8, 8)
+        q = InstructionQueue("int", 8)
+        u = mk_uop()
+        u.state = UopState.ISSUED
+        q.insert(u)
+        assert q.ready_uops(rf, lambda _: True, 0) == []
+
+    def test_remove_absent_is_noop(self):
+        q = InstructionQueue("int", 8)
+        q.remove(mk_uop())
+
+
+class TestFunctionalUnits:
+    def test_int_units_limit(self):
+        fus = FunctionalUnits(2, 1, 1)
+        assert fus.try_issue(FuClass.INT)
+        assert fus.try_issue(FuClass.INT)
+        assert not fus.try_issue(FuClass.INT)
+
+    def test_fp_units_independent(self):
+        fus = FunctionalUnits(1, 1, 1)
+        assert fus.try_issue(FuClass.INT)
+        assert fus.try_issue(FuClass.FP)
+        assert not fus.try_issue(FuClass.INT)
+
+    def test_ldst_consumes_int_unit(self):
+        fus = FunctionalUnits(2, 0, 2)
+        assert fus.try_issue(FuClass.LDST)
+        assert fus.try_issue(FuClass.LDST)
+        # Both integer units consumed by the two memory ops.
+        assert not fus.try_issue(FuClass.INT)
+
+    def test_ldst_port_limit(self):
+        fus = FunctionalUnits(12, 6, 1)
+        assert fus.try_issue(FuClass.LDST)
+        assert not fus.try_issue(FuClass.LDST)
+        assert fus.try_issue(FuClass.INT)
+
+    def test_new_cycle_resets(self):
+        fus = FunctionalUnits(1, 1, 1)
+        fus.try_issue(FuClass.INT)
+        fus.new_cycle()
+        assert fus.try_issue(FuClass.INT)
+
+    def test_paper_configuration(self):
+        """12 int, 6 fp, 8 ld/st → 18 issues max, 8 of them memory."""
+        fus = FunctionalUnits(12, 6, 8)
+        mem = sum(fus.try_issue(FuClass.LDST) for _ in range(10))
+        ints = sum(fus.try_issue(FuClass.INT) for _ in range(10))
+        fps = sum(fus.try_issue(FuClass.FP) for _ in range(10))
+        assert mem == 8 and ints == 4 and fps == 6

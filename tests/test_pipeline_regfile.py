@@ -1,0 +1,124 @@
+"""Tests for the reference-counted physical register file."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline.regfile import OutOfRegistersError, PhysicalRegisterFile
+
+
+class TestAllocation:
+    def test_alloc_starts_not_ready_refcount_one(self):
+        rf = PhysicalRegisterFile(8, 8)
+        reg = rf.alloc(fp=False)
+        assert rf.refcount[reg] == 1
+        assert not rf.is_ready(reg, cycle=10)
+
+    def test_pools_are_separate(self):
+        rf = PhysicalRegisterFile(4, 4)
+        ints = [rf.alloc(fp=False) for _ in range(4)]
+        assert all(r < 4 for r in ints)
+        with pytest.raises(OutOfRegistersError):
+            rf.alloc(fp=False)
+        assert rf.can_alloc(fp=True)
+
+    def test_alloc_ready_holds_value(self):
+        rf = PhysicalRegisterFile(8, 8)
+        reg = rf.alloc_ready(fp=True, value=2.5)
+        assert rf.is_ready(reg, cycle=0)
+        assert rf.read(reg) == 2.5
+
+    def test_free_count(self):
+        rf = PhysicalRegisterFile(8, 8)
+        rf.alloc(fp=False)
+        assert rf.free_count(False) == 7
+        assert rf.free_count(True) == 8
+
+
+class TestRefcounting:
+    def test_decref_to_zero_frees(self):
+        rf = PhysicalRegisterFile(2, 0)
+        a = rf.alloc(fp=False)
+        b = rf.alloc(fp=False)
+        assert not rf.can_alloc(fp=False)
+        rf.decref(a)
+        assert rf.can_alloc(fp=False)
+        c = rf.alloc(fp=False)
+        assert c == a  # recycled
+        rf.decref(b)
+        rf.decref(c)
+
+    def test_incref_prevents_free(self):
+        rf = PhysicalRegisterFile(2, 0)
+        a = rf.alloc(fp=False)
+        rf.incref(a)
+        rf.decref(a)
+        assert rf.refcount[a] == 1
+        rf.decref(a)
+        assert rf.refcount[a] == 0
+
+    def test_decref_dead_register_asserts(self):
+        rf = PhysicalRegisterFile(2, 0)
+        a = rf.alloc(fp=False)
+        rf.decref(a)
+        with pytest.raises(AssertionError):
+            rf.decref(a)
+
+    def test_incref_dead_register_asserts(self):
+        rf = PhysicalRegisterFile(2, 0)
+        a = rf.alloc(fp=False)
+        rf.decref(a)
+        with pytest.raises(AssertionError):
+            rf.incref(a)
+
+    def test_consistency_check(self):
+        rf = PhysicalRegisterFile(4, 4)
+        a = rf.alloc(fp=False)
+        rf.alloc(fp=True)
+        rf.decref(a)
+        rf.check_consistency()
+
+    @given(ops=st.lists(st.integers(0, 2), min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_random_ops_keep_invariants(self, ops):
+        rf = PhysicalRegisterFile(8, 8)
+        live = []
+        for op in ops:
+            if op == 0 and rf.can_alloc(False):
+                live.append(rf.alloc(False))
+            elif op == 1 and live:
+                rf.incref(live[0])
+                live.append(live[0])
+            elif op == 2 and live:
+                rf.decref(live.pop())
+        rf.check_consistency()
+        # Live references match refcounts.
+        from collections import Counter
+        counts = Counter(live)
+        for reg, n in counts.items():
+            assert rf.refcount[reg] == n
+
+
+class TestValues:
+    def test_write_sets_ready(self):
+        rf = PhysicalRegisterFile(4, 4)
+        reg = rf.alloc(fp=False)
+        rf.write(reg, 42)
+        assert rf.is_ready(reg, cycle=0) and rf.read(reg) == 42
+
+    def test_write_with_future_ready_cycle(self):
+        rf = PhysicalRegisterFile(4, 4)
+        reg = rf.alloc(fp=False)
+        rf.write(reg, 42, ready_at=7)
+        assert not rf.is_ready(reg, cycle=6)
+        assert rf.is_ready(reg, cycle=7)
+
+    def test_read_not_ready_asserts(self):
+        rf = PhysicalRegisterFile(4, 4)
+        reg = rf.alloc(fp=False)
+        with pytest.raises(AssertionError):
+            rf.read(reg)
+
+    def test_is_fp(self):
+        rf = PhysicalRegisterFile(4, 4)
+        assert not rf.is_fp(rf.alloc(fp=False))
+        assert rf.is_fp(rf.alloc(fp=True))

@@ -1,0 +1,164 @@
+"""Tests for rename maps: define/install/restore and fork refcounting."""
+
+import pytest
+
+from repro.isa.registers import NUM_LOGICAL_REGS
+from repro.pipeline.regfile import PhysicalRegisterFile
+from repro.pipeline.rename import RenameMap
+
+
+def fresh(rf=None):
+    rf = rf or PhysicalRegisterFile(256, 256)
+    m = RenameMap(rf)
+    m.init_fresh(lambda logical: 0.0 if logical >= 32 else 0)
+    return m, rf
+
+
+class TestLifecycle:
+    def test_init_maps_every_logical(self):
+        m, rf = fresh()
+        for logical in range(NUM_LOGICAL_REGS):
+            reg = m.lookup(logical)
+            assert rf.refcount[reg] == 1
+            assert rf.is_ready(reg, cycle=0)
+
+    def test_double_init_asserts(self):
+        m, _ = fresh()
+        with pytest.raises(AssertionError):
+            m.init_fresh(lambda logical: 0)
+
+    def test_discard_frees_everything(self):
+        m, rf = fresh()
+        m.discard()
+        assert rf.live_count() == 0
+        assert not m.valid
+
+    def test_define_returns_displaced(self):
+        m, rf = fresh()
+        old = m.lookup(5)
+        new, displaced = m.define(5, fp=False)
+        assert displaced == old
+        assert m.lookup(5) == new
+        # Displaced reference transferred to caller: count unchanged.
+        assert rf.refcount[old] == 1
+
+    def test_restore_undoes_define(self):
+        m, rf = fresh()
+        old = m.lookup(5)
+        new, displaced = m.define(5, fp=False)
+        m.restore(5, displaced)
+        assert m.lookup(5) == old
+        assert rf.refcount[new] == 0  # freed
+
+
+class TestFork:
+    def test_fork_shares_registers(self):
+        m, rf = fresh()
+        m2 = RenameMap(rf)
+        m2.fork_from(m)
+        for logical in range(NUM_LOGICAL_REGS):
+            assert m2.lookup(logical) == m.lookup(logical)
+            assert rf.refcount[m.lookup(logical)] == 2
+
+    def test_fork_then_discard_leaves_parent_live(self):
+        m, rf = fresh()
+        m2 = RenameMap(rf)
+        m2.fork_from(m)
+        m2.discard()
+        for logical in range(NUM_LOGICAL_REGS):
+            assert rf.refcount[m.lookup(logical)] == 1
+
+    def test_parent_commit_does_not_free_shared(self):
+        """The paper's reuse-safety property: a register still referenced
+        by a forked map survives the parent's old-mapping free."""
+        m, rf = fresh()
+        m2 = RenameMap(rf)
+        m2.fork_from(m)
+        old = m.lookup(7)
+        _, displaced = m.define(7, fp=False)
+        # Parent commits the redefining instruction: frees its displaced ref.
+        rf.decref(displaced)
+        # The child still references the old register.
+        assert rf.refcount[old] == 1
+        assert m2.lookup(7) == old
+
+
+class TestInstall:
+    def test_install_increfs(self):
+        m, rf = fresh()
+        m2 = RenameMap(rf)
+        m2.fork_from(m)
+        src_reg, _ = m2.define(3, fp=False)
+        rf.write(src_reg, 99)
+        displaced = m.install(3, src_reg)
+        assert m.lookup(3) == src_reg
+        assert rf.refcount[src_reg] == 2  # child map + parent map
+        # Squash path: restore puts the displaced mapping back.
+        m.restore(3, displaced)
+        assert rf.refcount[src_reg] == 1
+
+
+class TestModelBasedProperty:
+    """Random define/install/restore/fork sequences against a reference
+    model of (map contents × refcounts)."""
+
+    def test_random_operations_match_model(self):
+        import random
+        from collections import Counter
+
+        from repro.pipeline.regfile import PhysicalRegisterFile
+        from repro.pipeline.rename import RenameMap
+
+        rng = random.Random(7)
+        rf = PhysicalRegisterFile(512, 512)
+        maps = []
+        for _ in range(3):
+            m = RenameMap(rf)
+            m.init_fresh(lambda logical: 0)
+            maps.append(m)
+        # model: per-map table + global refcounts
+        model_tables = [[m.lookup(i) for i in range(64)] for m in maps]
+        model_refs = Counter()
+        for table in model_tables:
+            for reg in table:
+                model_refs[reg] += 1
+        undo = []  # (map idx, logical, displaced)
+
+        for _ in range(600):
+            op = rng.randrange(4)
+            mi = rng.randrange(3)
+            logical = rng.randrange(64)
+            m, table = maps[mi], model_tables[mi]
+            if op == 0 and rf.can_alloc(logical >= 32):  # define
+                new, displaced = m.define(logical, fp=logical >= 32)
+                assert displaced == table[logical]
+                table[logical] = new
+                model_refs[new] += 1  # map ref; displaced ref moves to undo
+                undo.append((mi, logical, displaced, new))
+            elif op == 1 and undo:  # commit oldest (free displaced)
+                mj, lg, displaced, new = undo.pop(0)
+                rf.decref(displaced)
+                model_refs[displaced] -= 1
+            elif op == 2 and undo:  # squash youngest (restore)
+                mj, lg, displaced, new = undo.pop()
+                # only restorable if still the current mapping
+                if model_tables[mj][lg] == new:
+                    maps[mj].restore(lg, displaced)
+                    model_tables[mj][lg] = displaced
+                    model_refs[new] -= 1
+                else:
+                    undo.append((mj, lg, displaced, new))
+            else:  # install (reuse-style) from another map
+                src = model_tables[(mi + 1) % 3][logical]
+                displaced = m.install(logical, src)
+                assert displaced == table[logical]
+                table[logical] = src
+                model_refs[src] += 1
+                undo.append((mi, logical, displaced, src))
+
+        for mi, m in enumerate(maps):
+            for logical in range(64):
+                assert m.lookup(logical) == model_tables[mi][logical]
+        for reg, count in model_refs.items():
+            assert rf.refcount[reg] == count, reg
+        rf.check_consistency()

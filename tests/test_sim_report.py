@@ -1,0 +1,67 @@
+"""Tests for the markdown report generator and its CLI hook."""
+
+import pytest
+
+from repro.cli import main
+from repro.sim import ReportConfig, generate_report
+from repro.workloads import WorkloadSuite
+
+SUITE = WorkloadSuite()
+
+
+class TestReportConfig:
+    def test_defaults_cover_paper(self):
+        cfg = ReportConfig()
+        assert set(cfg.sections) == {"fig3", "fig4", "fig5", "fig6", "table1"}
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError):
+            ReportConfig(sections=("fig3", "fig99"))
+
+
+class TestGenerateReport:
+    def test_fig3_section(self):
+        text = generate_report(
+            ReportConfig(commit_target=250, num_mixes=1, sections=("fig3",)), SUITE
+        )
+        assert "# Instruction Recycling — measured results" in text
+        assert "## Figure 3" in text
+        assert "compress" in text
+        assert "| program |" in text
+
+    def test_fig4_section_includes_gains(self):
+        text = generate_report(
+            ReportConfig(commit_target=250, num_mixes=1, sections=("fig4",)), SUITE
+        )
+        assert "## Figure 4" in text
+        assert "vs TME" in text
+
+    def test_table1_section(self):
+        text = generate_report(
+            ReportConfig(commit_target=250, num_mixes=1, sections=("table1",)), SUITE
+        )
+        assert "## Table 1" in text
+        assert "%Recyc" in text
+
+    def test_markdown_table_well_formed(self):
+        text = generate_report(
+            ReportConfig(commit_target=250, num_mixes=1, sections=("fig3",)), SUITE
+        )
+        table_lines = [l for l in text.splitlines() if l.startswith("|")]
+        widths = {l.count("|") for l in table_lines}
+        assert len(widths) == 1  # every row has the same column count
+
+
+class TestReportCli:
+    def test_report_to_stdout(self, capsys):
+        rc = main(["report", "--commit-target", "250", "--num-mixes", "1",
+                   "--sections", "fig3"])
+        assert rc == 0
+        assert "## Figure 3" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        rc = main(["report", "--commit-target", "250", "--num-mixes", "1",
+                   "--sections", "fig3", "-o", str(out)])
+        assert rc == 0
+        assert "## Figure 3" in out.read_text()

@@ -1,0 +1,118 @@
+"""Tests for the run-spec layer and the experiment registry."""
+
+import pytest
+
+from repro.sim import (
+    EXPERIMENTS,
+    VARIANTS,
+    RunSpec,
+    ablation_confidence,
+    average_ipc,
+    figure3,
+    figure4,
+    format_figure3,
+    format_figure4,
+    format_table1,
+    run_matrix,
+    run_spec,
+    table1,
+)
+from repro.workloads import WorkloadSuite
+
+SUITE = WorkloadSuite()
+FAST = dict(commit_target=400)
+
+
+class TestRunSpec:
+    def test_build_config_features(self):
+        spec = RunSpec(("compress",), features="REC/RU")
+        cfg = spec.build_config()
+        assert cfg.features.reuse and not cfg.features.respawn
+
+    def test_build_config_policy(self):
+        spec = RunSpec(("compress",), policy="stop-8")
+        cfg = spec.build_config()
+        assert cfg.policy.limit == 8
+
+    def test_unknown_features_rejected(self):
+        with pytest.raises(ValueError):
+            RunSpec(("compress",), features="MAGIC").build_config()
+
+    def test_label(self):
+        spec = RunSpec(("gcc", "go"), features="SMT")
+        assert "gcc+go" in spec.label() and "SMT" in spec.label()
+
+    def test_confidence_override(self):
+        spec = RunSpec(("compress",), confidence_threshold=3)
+        assert spec.build_config().confidence_threshold == 3
+
+
+class TestRunExecution:
+    def test_single_run(self):
+        result = run_spec(RunSpec(("compress",), **FAST), SUITE)
+        assert result.ipc > 0
+        assert result.stats.committed >= 400
+        assert "compress" in result.per_program_ipc
+
+    def test_multiprogram_run(self):
+        result = run_spec(RunSpec(("gcc", "go"), **FAST), SUITE)
+        assert len(result.per_program_ipc) == 2
+        assert result.ipc > 0
+
+    def test_run_matrix_and_average(self):
+        specs = [RunSpec((k,), features="SMT", **FAST) for k in ("gcc", "perl")]
+        results = run_matrix(specs, SUITE)
+        assert len(results) == 2
+        assert average_ipc(results) > 0
+        assert average_ipc([]) == 0.0
+
+    def test_summary_line_readable(self):
+        result = run_spec(RunSpec(("vortex",), **FAST), SUITE)
+        line = result.summary_line()
+        assert "IPC=" in line and "vortex" in line
+
+
+class TestExperiments:
+    def test_registry_complete(self):
+        assert {"fig3", "fig4", "fig5", "fig6", "table1"} <= set(EXPERIMENTS)
+
+    def test_figure3_shape(self):
+        data = figure3(
+            commit_target=300, variants=("SMT", "TME"), kernels=("compress", "go"),
+            suite=SUITE,
+        )
+        assert set(data) == {"compress", "go"}
+        assert set(data["go"]) == {"SMT", "TME"}
+        text = format_figure3(data)
+        assert "compress" in text and "SMT" in text
+
+    def test_figure4_shape(self):
+        data = figure4(
+            commit_target=300, num_mixes=2, variants=("SMT", "REC/RS/RU"),
+            widths=(1, 2), suite=SUITE,
+        )
+        assert set(data) == {1, 2}
+        assert all(set(row) == {"SMT", "REC/RS/RU"} for row in data.values())
+        assert "programs" in format_figure4(data)
+
+    def test_table1_shape(self):
+        rows = table1(commit_target=300, num_mixes=1, widths=(2,), suite=SUITE)
+        assert "compress" in rows and "1 prog avg" in rows and "2 progs avg" in rows
+        for row in rows.values():
+            assert set(row) == {
+                "pct_recycled", "pct_reused", "branch_miss_cov", "pct_forks_tme",
+                "pct_forks_recycled", "pct_forks_respawned",
+                "merges_per_alt_path", "pct_back_merges",
+            }
+        assert "%Recyc" in format_table1(rows)
+
+    def test_ablation_confidence_shape(self):
+        data = ablation_confidence(
+            thresholds=(1, 15), commit_target=300, kernels=("go",), suite=SUITE
+        )
+        assert set(data) == {1, 15}
+        assert all(v > 0 for v in data.values())
+
+    def test_variants_constant_matches_features(self):
+        from repro.pipeline.config import Features
+        assert VARIANTS == list(Features.all_variants())

@@ -1,0 +1,69 @@
+"""Tests for the generic parameter-sweep utility."""
+
+import pytest
+
+from repro.sim.sweep import Sweep, SweepRow
+from repro.workloads import WorkloadSuite
+
+SUITE = WorkloadSuite()
+
+
+def small_sweep(**kwargs):
+    defaults = dict(
+        workloads=[("compress",)],
+        grid={"active_list_size": [32, 64]},
+        commit_target=300,
+    )
+    defaults.update(kwargs)
+    return Sweep(**defaults)
+
+
+class TestGrid:
+    def test_points_cartesian(self):
+        sweep = small_sweep(grid={"active_list_size": [32, 64], "fetch_total": [8, 16]})
+        points = sweep.points()
+        assert len(points) == 4
+        assert {"active_list_size", "fetch_total"} == set(points[0])
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            small_sweep(grid={"warp_drive": [1]})
+
+    def test_empty_grid_single_point(self):
+        sweep = small_sweep(grid={})
+        assert sweep.points() == [{}]
+
+
+class TestRun:
+    def test_rows_cover_grid_times_workloads(self):
+        sweep = small_sweep(workloads=[("compress",), ("vortex",)])
+        rows = sweep.run(SUITE)
+        assert len(rows) == 4  # 2 sizes × 2 workloads
+        assert all(isinstance(r, SweepRow) and r.ipc > 0 for r in rows)
+
+    def test_params_attached(self):
+        rows = small_sweep().run(SUITE)
+        assert {r.params["active_list_size"] for r in rows} == {32, 64}
+
+    def test_summarize_averages(self):
+        sweep = small_sweep(workloads=[("compress",), ("vortex",)])
+        rows = sweep.run(SUITE)
+        summary = sweep.summarize(rows)
+        assert len(summary) == 2
+        assert all(v > 0 for v in summary.values())
+
+
+class TestCsv:
+    def test_csv_shape(self):
+        sweep = small_sweep()
+        rows = sweep.run(SUITE)
+        csv = sweep.to_csv(rows)
+        lines = csv.strip().splitlines()
+        assert len(lines) == 1 + len(rows)
+        assert lines[0].startswith("active_list_size,workload,ipc")
+        assert all(line.count(",") == lines[0].count(",") for line in lines)
+
+    def test_multiprogram_workload_label(self):
+        sweep = small_sweep(workloads=[("gcc", "go")], grid={})
+        rows = sweep.run(SUITE)
+        assert "gcc+go" in sweep.to_csv(rows)

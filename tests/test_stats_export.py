@@ -1,0 +1,58 @@
+"""Tests for the structured stats export."""
+
+import json
+
+from repro.isa import assemble
+from repro.pipeline import Core, Features, MachineConfig
+from repro.stats import SimStats, stats_to_dict
+
+SRC = """
+main:  movi r1, 4242
+       movi r2, 120
+loop:  slli r3, r1, 13
+       xor  r1, r1, r3
+       srli r3, r1, 7
+       xor  r1, r1, r3
+       andi r4, r1, 1
+       beq  r4, skip
+       addi r5, r5, 1
+skip:  subi r2, r2, 1
+       bgt  r2, loop
+       halt
+"""
+
+
+class TestStatsToDict:
+    def test_empty_stats_serialisable(self):
+        payload = stats_to_dict(SimStats())
+        json.dumps(payload)
+        assert payload["ipc"] == 0.0
+
+    def test_real_run_round_numbers(self):
+        core = Core(MachineConfig(features=Features.rec_rs_ru()))
+        core.load([assemble(SRC, name="x")])
+        stats = core.run(max_cycles=300_000)
+        payload = stats_to_dict(stats)
+        json.dumps(payload)  # fully serialisable
+        assert payload["committed"] == stats.committed
+        assert payload["recycled"]["pct_recycled"] == stats.pct_recycled
+        assert payload["branches"]["mispredicts"] == stats.mispredicts
+        assert payload["forks"]["total"] == stats.forks
+
+    def test_per_instance_section(self):
+        core = Core(MachineConfig(features=Features.smt()))
+        core.load([assemble(SRC, name="x")])
+        stats = core.run(max_cycles=300_000)
+        payload = stats_to_dict(stats)
+        assert "0" in payload["per_instance"]
+        inst = payload["per_instance"]["0"]
+        assert inst["committed"] == stats.per_instance_committed[0]
+        assert inst["ipc"] > 0
+
+    def test_stream_end_counters_partition(self):
+        core = Core(MachineConfig(features=Features.rec_rs_ru()))
+        core.load([assemble(SRC, name="x")])
+        stats = core.run(max_cycles=300_000)
+        payload = stats_to_dict(stats)
+        ends = payload["recycled"]["streams_ended"]
+        assert set(ends) == {"branch_mismatch", "exhausted", "squashed"}

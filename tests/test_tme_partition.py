@@ -1,0 +1,124 @@
+"""Tests for TME context partitions and the stats counters."""
+
+import pytest
+
+from repro.pipeline.context import CtxState, HardwareContext
+from repro.pipeline.regfile import PhysicalRegisterFile
+from repro.stats import SimStats
+from repro.tme import Partition
+
+
+def make_contexts(n=4):
+    rf = PhysicalRegisterFile(64, 64)
+    return [HardwareContext(i, rf, 16) for i in range(n)]
+
+
+class TestPartition:
+    def test_primary_must_belong(self):
+        ctxs = make_contexts()
+        outsider = make_contexts(1)[0]
+        with pytest.raises(ValueError):
+            Partition(ctxs, outsider)
+
+    def test_spare_mask_excludes_primary(self):
+        ctxs = make_contexts(4)
+        p = Partition(ctxs, ctxs[0])
+        assert p.spare_mask == 0b1110
+
+    def test_spare_mask_tracks_primary_change(self):
+        ctxs = make_contexts(4)
+        p = Partition(ctxs, ctxs[0])
+        p.set_primary(ctxs[2])
+        assert p.spare_mask == 0b1011
+
+    def test_set_primary_requires_membership(self):
+        ctxs = make_contexts(4)
+        p = Partition(ctxs, ctxs[0])
+        with pytest.raises(ValueError):
+            p.set_primary(make_contexts(1)[0])
+
+    def test_idle_context_lookup(self):
+        ctxs = make_contexts(3)
+        p = Partition(ctxs, ctxs[0])
+        assert p.idle_context() is ctxs[1]
+        ctxs[1].state = CtxState.ACTIVE
+        assert p.idle_context() is ctxs[2]
+        ctxs[2].state = CtxState.ACTIVE
+        assert p.idle_context() is None
+
+    def test_lru_inactive_ordering(self):
+        ctxs = make_contexts(4)
+        p = Partition(ctxs, ctxs[0])
+        for i, when in ((1, 50), (2, 10), (3, 30)):
+            ctxs[i].state = CtxState.INACTIVE
+            ctxs[i].inactive_since = when
+        assert p.lru_inactive() is ctxs[2]
+
+    def test_lru_inactive_skips_pinned(self):
+        ctxs = make_contexts(3)
+        p = Partition(ctxs, ctxs[0])
+        ctxs[1].state = CtxState.INACTIVE
+        ctxs[1].inactive_since = 1
+        ctxs[1].reuse_pins.add(99)
+        ctxs[2].state = CtxState.INACTIVE
+        ctxs[2].inactive_since = 2
+        assert p.lru_inactive() is ctxs[2]
+        assert p.lru_inactive(allow_pinned=True) is ctxs[1]
+
+    def test_find_path_with_start(self):
+        from repro.isa.instruction import Instruction
+        from repro.isa.opcodes import Op
+        from repro.pipeline.uop import Uop
+
+        ctxs = make_contexts(3)
+        p = Partition(ctxs, ctxs[0])
+        alt = ctxs[1]
+        alt.state = CtxState.INACTIVE
+        uop = Uop(Instruction(Op.NOP), 0x2000, alt.id, None)
+        pos = alt.active_list.append(uop)
+        alt.note_first_entry(uop, pos)
+        assert p.find_path_with_start(0x2000) is alt
+        assert p.find_path_with_start(0x3000) is None
+
+
+class TestSimStats:
+    def test_percentages_guard_divzero(self):
+        s = SimStats()
+        assert s.ipc == 0.0
+        assert s.pct_recycled == 0.0
+        assert s.branch_miss_coverage == 0.0
+        assert s.merges_per_alt_path == 0.0
+        assert s.pct_back_merges == 0.0
+
+    def test_ipc(self):
+        s = SimStats(cycles=100, committed=250)
+        assert s.ipc == 2.5
+
+    def test_recycle_percentages(self):
+        s = SimStats(renamed=200, renamed_recycled=50, renamed_reused=10)
+        assert s.pct_recycled == 25.0
+        assert s.pct_reused == 5.0
+
+    def test_coverage(self):
+        s = SimStats(mispredicts=40, mispredicts_covered=30)
+        assert s.branch_miss_coverage == 75.0
+
+    def test_prediction_accuracy(self):
+        s = SimStats(cond_branches_resolved=100, mispredicts=8)
+        assert s.branch_prediction_accuracy == 92.0
+
+    def test_table1_row_keys(self):
+        row = SimStats().table1_row()
+        assert len(row) == 8
+
+    def test_summary_contains_key_figures(self):
+        s = SimStats(cycles=10, committed=20, renamed=30)
+        text = s.summary()
+        assert "IPC=2.000" in text and "renamed=30" in text
+
+    def test_instance_ipc(self):
+        s = SimStats(cycles=100)
+        s.per_instance_committed[0] = 150
+        s.per_instance_cycles[0] = 50
+        assert s.instance_ipc(0) == 3.0
+        assert s.instance_ipc(9) == 0.0
