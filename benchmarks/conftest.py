@@ -6,15 +6,23 @@ variable ``REPRO_BENCH_SCALE`` (float, default 1.0) to grow or shrink
 every window proportionally, e.g.::
 
     REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only
+
+Orchestration knobs (see ``docs/ORCHESTRATION.md``): set
+``REPRO_BENCH_JOBS`` to a worker count and/or ``REPRO_BENCH_CACHE`` to a
+cache directory to run the figure batches through the parallel engine.
+Both default off so timing numbers stay strictly serial and comparable.
 """
 
 import os
 
 import pytest
 
+from repro.exec import Executor
 from repro.workloads import WorkloadSuite
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE") or None
 
 
 def scaled(n: int) -> int:
@@ -24,6 +32,14 @@ def scaled(n: int) -> int:
 @pytest.fixture(scope="session")
 def suite():
     return WorkloadSuite()
+
+
+@pytest.fixture(scope="session")
+def executor():
+    """Orchestration engine for the figure batches, or None (pure serial)."""
+    if JOBS <= 1 and CACHE_DIR is None:
+        return None
+    return Executor(jobs=JOBS, cache=CACHE_DIR)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -11,9 +11,9 @@ from repro.sim import VARIANTS, figure3, format_figure3
 from .conftest import run_once, scaled
 
 
-def test_figure3(benchmark, suite):
+def test_figure3(benchmark, suite, executor):
     data = run_once(
-        benchmark, figure3, commit_target=scaled(2500), suite=suite
+        benchmark, figure3, commit_target=scaled(2500), suite=suite, executor=executor
     )
     table = format_figure3(data)
     print("\n=== Figure 3: per-program IPC (1 program) ===")

@@ -11,13 +11,14 @@ from repro.sim import VARIANTS, figure4, format_figure4
 from .conftest import run_once, scaled
 
 
-def test_figure4(benchmark, suite):
+def test_figure4(benchmark, suite, executor):
     data = run_once(
         benchmark,
         figure4,
         commit_target=scaled(1500),
         num_mixes=4,
         suite=suite,
+        executor=executor,
     )
     table = format_figure4(data)
     print("\n=== Figure 4: average IPC vs number of programs ===")

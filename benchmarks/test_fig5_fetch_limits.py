@@ -10,13 +10,14 @@ from repro.sim import POLICIES, figure5, format_figure5
 from .conftest import run_once, scaled
 
 
-def test_figure5(benchmark, suite):
+def test_figure5(benchmark, suite, executor):
     data = run_once(
         benchmark,
         figure5,
         commit_target=scaled(1200),
         num_mixes=3,
         suite=suite,
+        executor=executor,
     )
     table = format_figure5(data)
     print("\n=== Figure 5: recycling fetch limits ===")

@@ -10,13 +10,14 @@ from repro.sim import MACHINES, figure6, format_figure6
 from .conftest import run_once, scaled
 
 
-def test_figure6(benchmark, suite):
+def test_figure6(benchmark, suite, executor):
     data = run_once(
         benchmark,
         figure6,
         commit_target=scaled(1200),
         num_mixes=3,
         suite=suite,
+        executor=executor,
     )
     table = format_figure6(data)
     print("\n=== Figure 6: machines x variants x program count ===")

@@ -13,13 +13,14 @@ from repro.sim import TABLE1_COLUMNS, format_table1, table1
 from .conftest import run_once, scaled
 
 
-def test_table1(benchmark, suite):
+def test_table1(benchmark, suite, executor):
     rows = run_once(
         benchmark,
         table1,
         commit_target=scaled(2500),
         num_mixes=3,
         suite=suite,
+        executor=executor,
     )
     text = format_table1(rows)
     print("\n=== Table 1: recycling statistics (REC/RS/RU) ===")

@@ -34,7 +34,17 @@ from .workloads import GeneratorConfig, WorkloadSuite, generate_program
 
 __version__ = "1.0.0"
 
+# Imported after ``__version__`` is bound: the cache layer reads it for the
+# simulator-version fingerprint in its content-addressed keys.
+from .exec import Chaos, ExecutionError, Executor, Job, JobOutcome, ResultCache
+
 __all__ = [
+    "Chaos",
+    "ExecutionError",
+    "Executor",
+    "Job",
+    "JobOutcome",
+    "ResultCache",
     "Emulator",
     "SparseMemory",
     "Instruction",

@@ -6,22 +6,60 @@ Examples::
     repro-sim run --workload compress --features REC/RS/RU
     repro-sim run --workload gcc go li perl --machine big.2.16
     repro-sim experiment fig3 --commit-target 2000
-    repro-sim experiment table1
+    repro-sim experiment table1 --jobs 4 --cache-dir .repro-cache
+    repro-sim campaign paper --jobs 8
     repro-sim asm path/to/program.s --run
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import List, Optional
 
 from .emulator import Emulator
+from .exec import ExecutionError, Executor, ProgressReporter, format_line
 from .isa.assembler import assemble
-from .sim.experiments import EXPERIMENTS, MACHINES, POLICIES, VARIANTS
+from .sim.experiments import CAMPAIGNS, EXPERIMENTS, MACHINES, POLICIES, VARIANTS
 from .sim.runner import RunSpec, run_spec
+from .stats import stats_to_dict
 from .workloads.suite import WorkloadSuite
+
+#: Experiments that take a ``num_mixes`` argument.
+_MIXED_EXPERIMENTS = ("fig4", "fig5", "fig6", "table1")
+
+
+def _make_executor(args, progress: Optional[ProgressReporter] = None) -> Optional[Executor]:
+    """Build an executor from ``--jobs`` / ``--cache-dir`` / ``--no-cache``;
+    None when neither parallelism nor caching was requested (pure serial
+    path, exactly the historical behaviour)."""
+    jobs = getattr(args, "jobs", 1) or 1
+    cache_dir = None if getattr(args, "no_cache", False) else getattr(args, "cache_dir", None)
+    if jobs <= 1 and cache_dir is None and progress is None:
+        return None
+    return Executor(jobs=jobs, cache=cache_dir, progress=progress)
+
+
+class _ProgressLine:
+    """Renders engine progress as a single ``\\r``-refreshed stderr line."""
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        self._dirty = False
+
+    def __call__(self, event) -> None:
+        self.stream.write("\r" + format_line(event) + " ")
+        self.stream.flush()
+        self._dirty = True
+
+    def clear(self) -> None:
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False
 
 
 def _cmd_list(_args) -> int:
@@ -31,6 +69,7 @@ def _cmd_list(_args) -> int:
     print("machines:  ", ", ".join(MACHINES))
     print("policies:  ", ", ".join(POLICIES))
     print("experiments:", ", ".join(EXPERIMENTS))
+    print("campaigns: ", ", ".join(CAMPAIGNS))
     return 0
 
 
@@ -41,15 +80,26 @@ def _cmd_run(args) -> int:
         features=args.features,
         policy=args.policy,
         commit_target=args.commit_target,
+        max_cycles=args.max_cycles,
+        confidence_threshold=args.confidence_threshold,
     )
+    executor = _make_executor(args)
     started = time.time()
-    result = run_spec(spec)
+    cached = False
+    if executor is None:
+        result = run_spec(spec)
+    else:
+        outcome = executor.run([spec])[0]
+        if not outcome.ok:
+            print(
+                f"run failed: {outcome.failure.kind} after {outcome.failure.attempts} "
+                f"attempt(s): {outcome.failure.message}",
+                file=sys.stderr,
+            )
+            return 1
+        result, cached = outcome.result, outcome.cached
     elapsed = time.time() - started
     if args.json:
-        import json
-
-        from .stats import stats_to_dict
-
         payload = {
             "spec": {
                 "workload": list(spec.workload),
@@ -57,14 +107,17 @@ def _cmd_run(args) -> int:
                 "features": spec.features,
                 "policy": spec.policy,
                 "commit_target": spec.commit_target,
+                "max_cycles": spec.max_cycles,
+                "confidence_threshold": spec.confidence_threshold,
             },
             "stats": stats_to_dict(result.stats),
             "per_program_ipc": result.per_program_ipc,
             "wall_seconds": elapsed,
+            "cached": cached,
         }
         print(json.dumps(payload, indent=2))
         return 0
-    print(result.summary_line())
+    print(result.summary_line() + ("  [cached]" if cached else ""))
     for name, ipc in result.per_program_ipc.items():
         print(f"  {name:<12s} per-program IPC = {ipc:.3f}")
     print(result.stats.summary())
@@ -81,12 +134,66 @@ def _cmd_experiment(args) -> int:
     kwargs = {}
     if args.commit_target is not None:
         kwargs["commit_target"] = args.commit_target
-    if args.num_mixes is not None and args.name in ("fig4", "fig5", "fig6", "table1"):
+    if args.num_mixes is not None and args.name in _MIXED_EXPERIMENTS:
         kwargs["num_mixes"] = args.num_mixes
+    executor = _make_executor(args)
     started = time.time()
-    data = runner(**kwargs)
+    try:
+        data = runner(executor=executor, **kwargs)
+    except ExecutionError as exc:
+        print(f"experiment failed: {exc}", file=sys.stderr)
+        return 1
     print(formatter(data))
     print(f"[{time.time() - started:.1f}s wall]")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    """Run a named experiment set through one shared executor."""
+    names: List[str] = []
+    for name in args.names or ["paper"]:
+        if name in CAMPAIGNS:
+            names.extend(n for n in CAMPAIGNS[name] if n not in names)
+        elif name in EXPERIMENTS:
+            if name not in names:
+                names.append(name)
+        else:
+            known = sorted(set(EXPERIMENTS) | set(CAMPAIGNS))
+            print(f"unknown experiment/set {name!r}; know {known}", file=sys.stderr)
+            return 2
+    line = _ProgressLine()
+    progress = ProgressReporter(callback=line)
+    executor = Executor(
+        jobs=args.jobs,
+        cache=None if args.no_cache else args.cache_dir,
+        journal=args.journal,
+        timeout=args.timeout,
+        progress=progress,
+    )
+    started = time.time()
+    for name in names:
+        runner, formatter = EXPERIMENTS[name]
+        kwargs = {}
+        if args.commit_target is not None:
+            kwargs["commit_target"] = args.commit_target
+        if args.num_mixes is not None and name in _MIXED_EXPERIMENTS:
+            kwargs["num_mixes"] = args.num_mixes
+        try:
+            data = runner(executor=executor, **kwargs)
+        except ExecutionError as exc:
+            line.clear()
+            print(f"campaign failed in {name}: {exc}", file=sys.stderr)
+            return 1
+        line.clear()
+        print(f"=== {name} ===")
+        print(formatter(data))
+        print()
+    event = progress.event()
+    cache_note = f", {event.cache_hits} cached" if event.cache_hits else ""
+    print(
+        f"[campaign: {event.done} jobs{cache_note}, "
+        f"{time.time() - started:.1f}s wall, jobs={executor.jobs}]"
+    )
     return 0
 
 
@@ -173,6 +280,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="show kernels, variants, machines, experiments")
 
+    def add_exec_flags(p, jobs_default: int = 1, cache_default: Optional[str] = None):
+        p.add_argument(
+            "--jobs", type=int, default=jobs_default,
+            help="worker processes (1 = serial in-process)",
+        )
+        p.add_argument(
+            "--cache-dir", default=cache_default, metavar="DIR",
+            help="content-addressed result cache directory",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="ignore --cache-dir (always simulate)",
+        )
+
     run_parser = sub.add_parser("run", help="run one simulation")
     run_parser.add_argument(
         "--workload", nargs="+", required=True, help="kernel name(s); >1 = multiprogrammed"
@@ -181,12 +302,38 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--features", default="REC/RS/RU", choices=VARIANTS)
     run_parser.add_argument("--policy", default=None, help="e.g. stop-8 / fetch-16 / nostop-32")
     run_parser.add_argument("--commit-target", type=int, default=3000)
+    run_parser.add_argument("--max-cycles", type=int, default=2_000_000,
+                            help="simulation cycle budget")
+    run_parser.add_argument("--confidence-threshold", type=int, default=None,
+                            help="fork-gating confidence threshold override")
     run_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    add_exec_flags(run_parser)
 
     exp_parser = sub.add_parser("experiment", help="reproduce a paper table/figure")
     exp_parser.add_argument("name", help="fig3 | fig4 | fig5 | fig6 | table1 | ...")
     exp_parser.add_argument("--commit-target", type=int, default=None)
     exp_parser.add_argument("--num-mixes", type=int, default=None)
+    add_exec_flags(exp_parser)
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="run a named experiment set on the parallel engine (resumable)",
+    )
+    campaign_parser.add_argument(
+        "names", nargs="*",
+        help=f"experiment names or sets {sorted(CAMPAIGNS)}; default: paper",
+    )
+    campaign_parser.add_argument("--commit-target", type=int, default=None)
+    campaign_parser.add_argument("--num-mixes", type=int, default=None)
+    campaign_parser.add_argument("--journal", default=None, metavar="PATH",
+                                 help="append-only completion journal (resume)")
+    campaign_parser.add_argument("--timeout", type=float, default=None,
+                                 help="per-job wall-clock budget in seconds")
+    add_exec_flags(
+        campaign_parser,
+        jobs_default=os.cpu_count() or 1,
+        cache_default=".repro-cache",
+    )
 
     profile_parser = sub.add_parser("profile", help="offline branch-behaviour profile")
     profile_parser.add_argument("--workload", nargs="*", default=None)
@@ -224,6 +371,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "experiment": _cmd_experiment,
+        "campaign": _cmd_campaign,
         "profile": _cmd_profile,
         "trace": _cmd_trace,
         "report": _cmd_report,

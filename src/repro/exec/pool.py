@@ -1,0 +1,374 @@
+"""The executor: a fault-tolerant multiprocessing pool for simulation jobs.
+
+Design
+------
+One OS process per job attempt (not a persistent pool): a worker that
+hard-crashes or hangs takes down only its own attempt, the parent
+``terminate()``s deadline violators, and retries are a fresh process with
+clean state.  Job payloads and results cross the pipe as plain dicts, so
+workers stay compatible with both ``fork`` and ``spawn`` start methods.
+Kernels re-assemble once per worker via the process-global suite cache in
+:mod:`repro.exec.jobs` — negligible next to a simulation.
+
+Order of precedence when resolving a job:
+
+1. the resume :class:`~repro.exec.cache.Journal` (if configured),
+2. the content-addressed :class:`~repro.exec.cache.ResultCache`,
+3. actual execution (serial in-process when ``jobs <= 1``, else the pool).
+
+Every successful execution is written back to both stores.  A job that
+exhausts its retries yields a structured :class:`~repro.exec.jobs.JobFailure`
+row in its outcome — the batch always completes.
+
+Serial mode (``jobs <= 1``) is the default everywhere and preserves the
+historical strictly-sequential semantics: exceptions are still retried and
+reported structurally, but per-job timeouts are not enforced (there is no
+second process to do the killing) and chaos ``exit`` injection is treated
+as an ordinary failure rather than killing the caller.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..sim.runner import RunResult, RunSpec
+from ..workloads.suite import WorkloadSuite
+from .cache import Journal, ResultCache, cache_key
+from .jobs import (
+    Chaos,
+    Job,
+    JobFailure,
+    JobOutcome,
+    execute_payload,
+    job_to_payload,
+    result_from_payload,
+    result_to_payload,
+    run_job,
+)
+from .progress import ProgressReporter
+
+#: Scheduler poll interval while waiting on workers (seconds).
+_POLL_INTERVAL = 0.02
+
+
+class ExecutionError(RuntimeError):
+    """Raised by :meth:`Executor.map` when any job exhausted its retries."""
+
+    def __init__(self, failures: Sequence[JobOutcome]):
+        self.failures = list(failures)
+        lines = ", ".join(
+            f"{o.job.label()}: {o.failure.kind} ({o.failure.message})" for o in self.failures
+        )
+        super().__init__(f"{len(self.failures)} job(s) failed: {lines}")
+
+
+def _apply_chaos(chaos: Optional[Chaos], attempt: int, allow_exit: bool) -> None:
+    """Honour a job's fault-injection hooks for this attempt."""
+    if chaos is None:
+        return
+    if attempt <= chaos.sleep_first_attempts and chaos.sleep_seconds > 0:
+        time.sleep(chaos.sleep_seconds)
+    if attempt <= chaos.exit_first_attempts:
+        if allow_exit:
+            os._exit(13)  # simulated hard crash: no exception, no cleanup
+        raise RuntimeError("chaos: injected crash (serial mode)")
+    if attempt <= chaos.fail_first_attempts:
+        raise RuntimeError("chaos: injected failure")
+
+
+def _worker_entry(conn, payload: Dict, suite_args: Tuple[int, bool], chaos: Optional[Chaos], attempt: int) -> None:
+    """Top-level worker target (must be importable under ``spawn``)."""
+    try:
+        _apply_chaos(chaos, attempt, allow_exit=True)
+        result_payload = execute_payload(payload, suite_args)
+        conn.send(("ok", result_payload))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    """Book-keeping for one in-flight worker process."""
+
+    index: int
+    attempt: int
+    process: multiprocessing.Process
+    conn: "multiprocessing.connection.Connection"
+    started: float
+
+
+class Executor:
+    """Runs batches of jobs with caching, retries, timeouts and progress.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-pool width.  ``<= 1`` selects the serial in-process path.
+    cache:
+        A :class:`ResultCache`, a directory path to create one in, or None.
+    retries:
+        Extra attempts after the first failure (so ``retries=2`` means at
+        most 3 attempts per job).
+    timeout:
+        Per-attempt wall-clock budget in seconds (parallel mode only); a
+        worker past its deadline is terminated and the attempt counts as a
+        ``"timeout"`` failure.
+    journal:
+        A :class:`Journal`, a path to one, or None — completed results are
+        appended as they land so an interrupted batch resumes for free.
+    progress:
+        A :class:`ProgressReporter` shared across batches.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[Union[ResultCache, str, "os.PathLike"]] = None,
+        retries: int = 2,
+        timeout: Optional[float] = None,
+        journal: Optional[Union[Journal, str, "os.PathLike"]] = None,
+        progress: Optional[ProgressReporter] = None,
+        mp_context: Optional[str] = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.retries = max(0, int(retries))
+        self.timeout = timeout
+        if journal is not None and not isinstance(journal, Journal):
+            journal = Journal(journal)
+        self.journal = journal
+        self.progress = progress
+        if progress is not None:
+            progress.workers = max(progress.workers, self.jobs)
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(mp_context)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self, jobs: Sequence[Union[Job, RunSpec]], suite: Optional[WorkloadSuite] = None
+    ) -> List[JobOutcome]:
+        """Execute a batch; one outcome per job, input order preserved."""
+        jobs = [job if isinstance(job, Job) else Job(spec=job) for job in jobs]
+        suite = suite or WorkloadSuite()
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+
+        if self.progress is not None:
+            self.progress.add_total(len(jobs))
+
+        keys = self._resolve_keys(jobs, suite)
+        journaled = self.journal.load() if self.journal is not None else {}
+
+        pending: List[int] = []
+        for index, job in enumerate(jobs):
+            payload = None
+            key = keys[index]
+            if key is not None and key in journaled:
+                payload = journaled[key]
+            elif key is not None and self.cache is not None:
+                payload = self.cache.get(key)
+            if payload is not None:
+                outcomes[index] = JobOutcome(
+                    job=job, result=result_from_payload(payload), cached=True
+                )
+                self._record(outcomes[index])
+            else:
+                pending.append(index)
+
+        if pending:
+            if self.jobs <= 1:
+                self._run_serial(jobs, pending, suite, keys, outcomes)
+            else:
+                self._run_parallel(jobs, pending, suite, keys, outcomes)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def map(self, jobs: Sequence[Union[Job, RunSpec]], suite: Optional[WorkloadSuite] = None) -> List[RunResult]:
+        """Like :meth:`run` but unwraps results; raises on any failure."""
+        outcomes = self.run(jobs, suite=suite)
+        failed = [outcome for outcome in outcomes if not outcome.ok]
+        if failed:
+            raise ExecutionError(failed)
+        return [outcome.result for outcome in outcomes]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve_keys(self, jobs: Sequence[Job], suite: WorkloadSuite) -> List[Optional[str]]:
+        if self.cache is None and self.journal is None:
+            return [None] * len(jobs)
+        fingerprint = suite.fingerprint()
+        version = self.cache.sim_version if self.cache is not None else None
+        return [cache_key(job, fingerprint, version) for job in jobs]
+
+    def _record(self, outcome: JobOutcome) -> None:
+        if self.progress is not None:
+            self.progress.record(
+                cached=outcome.cached,
+                failed=not outcome.ok,
+                elapsed=outcome.elapsed,
+                label=outcome.job.label(),
+            )
+
+    def _commit(self, index: int, job: Job, key: Optional[str], payload: Dict,
+                attempts: int, elapsed: float, outcomes: List[Optional[JobOutcome]]) -> None:
+        """Store a fresh result in the cache + journal and finalise it."""
+        if key is not None:
+            if self.cache is not None:
+                self.cache.put(key, payload, job=job)
+            if self.journal is not None:
+                self.journal.append(key, payload)
+        outcomes[index] = JobOutcome(
+            job=job,
+            result=result_from_payload(payload),
+            attempts=attempts,
+            elapsed=elapsed,
+        )
+        self._record(outcomes[index])
+
+    def _fail(self, index: int, job: Job, kind: str, message: str, attempts: int,
+              elapsed: float, outcomes: List[Optional[JobOutcome]]) -> None:
+        outcomes[index] = JobOutcome(
+            job=job,
+            failure=JobFailure(kind=kind, message=message, attempts=attempts),
+            attempts=attempts,
+            elapsed=elapsed,
+        )
+        self._record(outcomes[index])
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, jobs, pending, suite, keys, outcomes) -> None:
+        max_attempts = self.retries + 1
+        for index in pending:
+            job = jobs[index]
+            started = time.monotonic()
+            for attempt in range(1, max_attempts + 1):
+                try:
+                    _apply_chaos(job.chaos, attempt, allow_exit=False)
+                    payload = result_to_payload(run_job(job, suite))
+                except Exception as exc:  # noqa: BLE001 - structured failure row
+                    if attempt >= max_attempts:
+                        self._fail(
+                            index, job, "error", f"{type(exc).__name__}: {exc}",
+                            attempt, time.monotonic() - started, outcomes,
+                        )
+                else:
+                    self._commit(
+                        index, job, keys[index], payload,
+                        attempt, time.monotonic() - started, outcomes,
+                    )
+                    break
+
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int, attempt: int, jobs, suite) -> _Running:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        job = jobs[index]
+        process = self._ctx.Process(
+            target=_worker_entry,
+            args=(
+                child_conn,
+                job_to_payload(job),
+                (suite.iters, suite.extended),
+                job.chaos,
+                attempt,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only the read end
+        return _Running(
+            index=index, attempt=attempt, process=process,
+            conn=parent_conn, started=time.monotonic(),
+        )
+
+    def _reap(self, handle: _Running) -> None:
+        handle.conn.close()
+        handle.process.join(timeout=1.0)
+        if handle.process.is_alive():  # pragma: no cover - stubborn worker
+            handle.process.kill()
+            handle.process.join(timeout=1.0)
+
+    def _run_parallel(self, jobs, pending, suite, keys, outcomes) -> None:
+        max_attempts = self.retries + 1
+        queue = list(pending)  # indices awaiting a first attempt
+        retry_queue: List[Tuple[int, int]] = []  # (index, next attempt)
+        running: List[_Running] = []
+        started_at: Dict[int, float] = {}
+
+        def launch_capacity() -> None:
+            while len(running) < self.jobs and (retry_queue or queue):
+                if retry_queue:
+                    index, attempt = retry_queue.pop(0)
+                else:
+                    index, attempt = queue.pop(0), 1
+                started_at.setdefault(index, time.monotonic())
+                running.append(self._spawn(index, attempt, jobs, suite))
+
+        def settle(handle: _Running, kind: str, message: str) -> None:
+            """One attempt ended without a usable result."""
+            self._reap(handle)
+            if handle.attempt >= max_attempts:
+                self._fail(
+                    handle.index, jobs[handle.index], kind, message,
+                    handle.attempt, time.monotonic() - started_at[handle.index],
+                    outcomes,
+                )
+            else:
+                retry_queue.append((handle.index, handle.attempt + 1))
+
+        launch_capacity()
+        while running:
+            progressed = False
+            for handle in list(running):
+                message = None
+                if handle.conn.poll():
+                    running.remove(handle)
+                    progressed = True
+                    try:
+                        status, body = handle.conn.recv()
+                    except (EOFError, OSError):
+                        settle(handle, "crash", "worker died mid-reply")
+                        continue
+                    if status == "ok":
+                        self._reap(handle)
+                        self._commit(
+                            handle.index, jobs[handle.index], keys[handle.index],
+                            body, handle.attempt,
+                            time.monotonic() - started_at[handle.index], outcomes,
+                        )
+                    else:
+                        settle(handle, "error", str(body))
+                elif not handle.process.is_alive():
+                    running.remove(handle)
+                    progressed = True
+                    code = handle.process.exitcode
+                    settle(handle, "crash", f"worker exited with code {code}")
+                elif (
+                    self.timeout is not None
+                    and time.monotonic() - handle.started > self.timeout
+                ):
+                    running.remove(handle)
+                    progressed = True
+                    handle.process.terminate()
+                    settle(handle, "timeout", f"exceeded {self.timeout:.1f}s budget")
+            launch_capacity()
+            if running and not progressed:
+                # Block until any worker has output (bounded, then re-check
+                # liveness and deadlines).
+                multiprocessing.connection.wait(
+                    [handle.conn for handle in running], timeout=_POLL_INTERVAL
+                )

@@ -1,0 +1,114 @@
+"""Progress and event reporting for orchestrated campaigns.
+
+The executor drives a :class:`ProgressReporter`; consumers (the CLI's
+``\\r``-refreshed status line, tests, notebook callbacks) receive a
+:class:`ProgressEvent` snapshot after every job completion.  A single
+reporter may span several batches — ``repro-sim campaign`` reuses one
+across every figure it runs — so totals accumulate via :meth:`add_total`.
+
+ETA is estimated from the mean wall-time of *executed* (non-cached) jobs;
+cache hits are excluded so a warm campaign doesn't wildly overpromise.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Snapshot of a campaign's progress after one job completes."""
+
+    done: int
+    total: int
+    cache_hits: int
+    failures: int
+    elapsed: float
+    eta: Optional[float]  # seconds remaining; None until one job executed
+    label: str = ""  # label of the job that just finished
+
+
+def _fmt_seconds(seconds: float) -> str:
+    seconds = max(0, int(seconds))
+    minutes, secs = divmod(seconds, 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours:d}:{minutes:02d}:{secs:02d}"
+    return f"{minutes:02d}:{secs:02d}"
+
+
+def format_line(event: ProgressEvent) -> str:
+    """One-line human-readable progress summary."""
+    parts = [f"jobs {event.done}/{event.total}"]
+    extras = []
+    if event.cache_hits:
+        extras.append(f"{event.cache_hits} cached")
+    if event.failures:
+        extras.append(f"{event.failures} failed")
+    if extras:
+        parts.append("(" + ", ".join(extras) + ")")
+    parts.append(f"elapsed {_fmt_seconds(event.elapsed)}")
+    if event.eta is not None:
+        parts.append(f"ETA {_fmt_seconds(event.eta)}")
+    return " ".join(parts)
+
+
+class ProgressReporter:
+    """Accumulates job completions and notifies an optional callback."""
+
+    def __init__(
+        self,
+        callback: Optional[Callable[[ProgressEvent], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._callback = callback
+        self._clock = clock
+        self._started: Optional[float] = None
+        #: Worker-pool width, set by the executor; scales the ETA estimate.
+        self.workers = 1
+        self.total = 0
+        self.done = 0
+        self.cache_hits = 0
+        self.failures = 0
+        self._executed_seconds = 0.0
+        self._executed_jobs = 0
+
+    # ------------------------------------------------------------------
+    def add_total(self, count: int) -> None:
+        """Announce ``count`` more jobs (starts the clock on first call)."""
+        if self._started is None:
+            self._started = self._clock()
+        self.total += count
+
+    def record(self, cached: bool, failed: bool, elapsed: float, label: str = "") -> ProgressEvent:
+        """Record one finished job and emit an event."""
+        self.done += 1
+        if cached:
+            self.cache_hits += 1
+        elif failed:
+            self.failures += 1
+        if not cached:
+            self._executed_seconds += elapsed
+            self._executed_jobs += 1
+        event = self.event(label)
+        if self._callback is not None:
+            self._callback(event)
+        return event
+
+    def event(self, label: str = "") -> ProgressEvent:
+        elapsed = 0.0 if self._started is None else self._clock() - self._started
+        eta: Optional[float] = None
+        if self._executed_jobs:
+            per_job = self._executed_seconds / self._executed_jobs
+            eta = per_job * max(0, self.total - self.done) / max(1, self.workers)
+        return ProgressEvent(
+            done=self.done,
+            total=self.total,
+            cache_hits=self.cache_hits,
+            failures=self.failures,
+            elapsed=elapsed,
+            eta=eta,
+            label=label,
+        )

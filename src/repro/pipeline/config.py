@@ -243,14 +243,23 @@ class MachineConfig:
         )
 
     @staticmethod
+    def known_names() -> "list[str]":
+        """The named design points accepted by :meth:`by_name`."""
+        return list(_MACHINE_BUILDERS)
+
+    @staticmethod
     def by_name(name: str, **overrides) -> "MachineConfig":
-        table = {
-            "big.2.16": MachineConfig.big_2_16,
-            "big.1.8": MachineConfig.big_1_8,
-            "small.1.8": MachineConfig.small_1_8,
-            "small.2.8": MachineConfig.small_2_8,
-        }
         try:
-            return table[name](**overrides)
+            return _MACHINE_BUILDERS[name](**overrides)
         except KeyError as exc:
-            raise ValueError(f"unknown machine {name!r}; know {sorted(table)}") from exc
+            raise ValueError(
+                f"unknown machine {name!r}; know {sorted(_MACHINE_BUILDERS)}"
+            ) from exc
+
+
+_MACHINE_BUILDERS = {
+    "big.2.16": MachineConfig.big_2_16,
+    "big.1.8": MachineConfig.big_1_8,
+    "small.1.8": MachineConfig.small_1_8,
+    "small.2.8": MachineConfig.small_2_8,
+}

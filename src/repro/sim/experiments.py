@@ -3,7 +3,16 @@
 Every function returns plain data structures (dicts keyed by the
 paper's own axis labels) plus has a companion ``format_*`` renderer
 that prints the same rows/series the paper reports.  The benchmark
-harness under ``benchmarks/`` and the CLI both call these.
+harness under ``benchmarks/``, the CLI and the ``campaign`` subcommand
+all call these.
+
+Each experiment builds its full batch of :class:`RunSpec` jobs up front
+and hands them to :func:`_run_all`: with no ``executor`` the batch runs
+strictly serially in-process (the historical behaviour, and the default
+everywhere, including tests); with an :class:`repro.exec.Executor` the
+same batch is executed on the orchestration engine — worker pool,
+content-addressed result cache, retries — producing numerically
+identical tables because the per-spec simulations are deterministic.
 
 Scaling: the ``commit_target`` (per-program measurement window) and
 ``num_mixes`` arguments trade fidelity against wall-clock; defaults are
@@ -12,11 +21,14 @@ sized for a laptop-minutes run, not paper-scale days.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..pipeline.config import PolicyKind
 from ..workloads.suite import WorkloadSuite
-from .runner import RunSpec, run_spec
+from .runner import RunResult, RunSpec, run_spec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..exec.pool import Executor
 
 #: Figure 3/4 variant order, exactly as plotted in the paper.
 VARIANTS = ["SMT", "TME", "REC", "REC/RU", "REC/RS", "REC/RS/RU"]
@@ -28,6 +40,24 @@ MACHINES = ["small.1.8", "small.2.8", "big.1.8", "big.2.16"]
 WIDTHS = (1, 2, 4)
 
 
+def _run_all(
+    specs: Sequence[RunSpec],
+    suite: WorkloadSuite,
+    executor: Optional["Executor"],
+) -> List[RunResult]:
+    """Execute an experiment's batch serially or on the engine."""
+    if executor is None:
+        return [run_spec(spec, suite) for spec in specs]
+    return executor.map(specs, suite=suite)
+
+
+def _mixes_for(suite: WorkloadSuite, width: int, num_mixes: int) -> List[List[str]]:
+    """Single-program figures use the first kernels; wider ones rotate."""
+    if width == 1:
+        return [[k] for k in suite.names[:num_mixes]]
+    return suite.mixes(width, num_mixes)
+
+
 # ======================================================================
 # Figure 3 — per-program IPC, single program, six variants
 # ======================================================================
@@ -36,15 +66,19 @@ def figure3(
     variants: Sequence[str] = VARIANTS,
     kernels: Optional[Sequence[str]] = None,
     suite: Optional[WorkloadSuite] = None,
+    executor: Optional["Executor"] = None,
 ) -> Dict[str, Dict[str, float]]:
     suite = suite or WorkloadSuite()
     kernels = list(kernels or suite.names)
+    specs = [
+        RunSpec((kernel,), features=variant, commit_target=commit_target)
+        for kernel in kernels
+        for variant in variants
+    ]
+    results = iter(_run_all(specs, suite, executor))
     out: Dict[str, Dict[str, float]] = {}
     for kernel in kernels:
-        out[kernel] = {}
-        for variant in variants:
-            spec = RunSpec((kernel,), features=variant, commit_target=commit_target)
-            out[kernel][variant] = run_spec(spec, suite).ipc
+        out[kernel] = {variant: next(results).ipc for variant in variants}
     return out
 
 
@@ -66,21 +100,24 @@ def figure4(
     variants: Sequence[str] = VARIANTS,
     widths: Sequence[int] = WIDTHS,
     suite: Optional[WorkloadSuite] = None,
+    executor: Optional["Executor"] = None,
 ) -> Dict[int, Dict[str, float]]:
     suite = suite or WorkloadSuite()
+    specs: List[RunSpec] = []
+    for width in widths:
+        mixes = _mixes_for(suite, width, num_mixes)
+        for variant in variants:
+            for mix in mixes:
+                specs.append(
+                    RunSpec(tuple(mix), features=variant, commit_target=commit_target)
+                )
+    results = iter(_run_all(specs, suite, executor))
     out: Dict[int, Dict[str, float]] = {}
     for width in widths:
-        mixes = (
-            [[k] for k in suite.names[:num_mixes]]
-            if width == 1
-            else suite.mixes(width, num_mixes)
-        )
+        mixes = _mixes_for(suite, width, num_mixes)
         out[width] = {}
         for variant in variants:
-            total = 0.0
-            for mix in mixes:
-                spec = RunSpec(tuple(mix), features=variant, commit_target=commit_target)
-                total += run_spec(spec, suite).ipc
+            total = sum(next(results).ipc for _ in mixes)
             out[width][variant] = total / len(mixes)
     return out
 
@@ -103,25 +140,28 @@ def figure5(
     widths: Sequence[int] = WIDTHS,
     policies: Sequence[str] = POLICIES,
     suite: Optional[WorkloadSuite] = None,
+    executor: Optional["Executor"] = None,
 ) -> Dict[str, Dict[int, float]]:
     suite = suite or WorkloadSuite()
+    specs: List[RunSpec] = []
+    for width in widths:
+        mixes = _mixes_for(suite, width, num_mixes)
+        for policy in policies:
+            for mix in mixes:
+                specs.append(
+                    RunSpec(
+                        tuple(mix),
+                        features="REC/RS/RU",
+                        policy=policy,
+                        commit_target=commit_target,
+                    )
+                )
+    results = iter(_run_all(specs, suite, executor))
     out: Dict[str, Dict[int, float]] = {policy: {} for policy in policies}
     for width in widths:
-        mixes = (
-            [[k] for k in suite.names[:num_mixes]]
-            if width == 1
-            else suite.mixes(width, num_mixes)
-        )
+        mixes = _mixes_for(suite, width, num_mixes)
         for policy in policies:
-            total = 0.0
-            for mix in mixes:
-                spec = RunSpec(
-                    tuple(mix),
-                    features="REC/RS/RU",
-                    policy=policy,
-                    commit_target=commit_target,
-                )
-                total += run_spec(spec, suite).ipc
+            total = sum(next(results).ipc for _ in mixes)
             out[policy][width] = total / len(mixes)
     return out
 
@@ -144,28 +184,32 @@ def figure6(
     machines: Sequence[str] = MACHINES,
     widths: Sequence[int] = WIDTHS,
     suite: Optional[WorkloadSuite] = None,
+    executor: Optional["Executor"] = None,
 ) -> Dict[str, Dict[str, Dict[int, float]]]:
     suite = suite or WorkloadSuite()
     variants = ["SMT", "TME", "REC/RS/RU"]
+    specs: List[RunSpec] = []
+    for machine in machines:
+        for width in widths:
+            mixes = _mixes_for(suite, width, num_mixes)
+            for variant in variants:
+                for mix in mixes:
+                    specs.append(
+                        RunSpec(
+                            tuple(mix),
+                            machine=machine,
+                            features=variant,
+                            commit_target=commit_target,
+                        )
+                    )
+    results = iter(_run_all(specs, suite, executor))
     out: Dict[str, Dict[str, Dict[int, float]]] = {}
     for machine in machines:
         out[machine] = {v: {} for v in variants}
         for width in widths:
-            mixes = (
-                [[k] for k in suite.names[:num_mixes]]
-                if width == 1
-                else suite.mixes(width, num_mixes)
-            )
+            mixes = _mixes_for(suite, width, num_mixes)
             for variant in variants:
-                total = 0.0
-                for mix in mixes:
-                    spec = RunSpec(
-                        tuple(mix),
-                        machine=machine,
-                        features=variant,
-                        commit_target=commit_target,
-                    )
-                    total += run_spec(spec, suite).ipc
+                total = sum(next(results).ipc for _ in mixes)
                 out[machine][variant][width] = total / len(mixes)
     return out
 
@@ -201,23 +245,32 @@ def table1(
     num_mixes: int = 4,
     widths: Sequence[int] = (2, 4),
     suite: Optional[WorkloadSuite] = None,
+    executor: Optional["Executor"] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Per-kernel rows plus 1/2/4-program averages, REC/RS/RU."""
     suite = suite or WorkloadSuite()
+    specs = [
+        RunSpec((kernel,), features="REC/RS/RU", commit_target=commit_target)
+        for kernel in suite.names
+    ]
+    for width in widths:
+        for mix in suite.mixes(width, num_mixes):
+            specs.append(
+                RunSpec(tuple(mix), features="REC/RS/RU", commit_target=commit_target)
+            )
+    results = iter(_run_all(specs, suite, executor))
     rows: Dict[str, Dict[str, float]] = {}
     singles: List[Dict[str, float]] = []
     for kernel in suite.names:
-        spec = RunSpec((kernel,), features="REC/RS/RU", commit_target=commit_target)
-        row = run_spec(spec, suite).stats.table1_row()
+        row = next(results).stats.table1_row()
         rows[kernel] = row
         singles.append(row)
     rows["1 prog avg"] = _avg_rows(singles)
     for width in widths:
-        mixes = suite.mixes(width, num_mixes)
-        width_rows = []
-        for mix in mixes:
-            spec = RunSpec(tuple(mix), features="REC/RS/RU", commit_target=commit_target)
-            width_rows.append(run_spec(spec, suite).stats.table1_row())
+        width_rows = [
+            next(results).stats.table1_row()
+            for _ in suite.mixes(width, num_mixes)
+        ]
         rows[f"{width} progs avg"] = _avg_rows(width_rows)
     return rows
 
@@ -244,21 +297,25 @@ def ablation_confidence(
     commit_target: int = 2000,
     kernels: Optional[Sequence[str]] = None,
     suite: Optional[WorkloadSuite] = None,
+    executor: Optional["Executor"] = None,
 ) -> Dict[int, float]:
     """Sweep the fork-gating confidence threshold (REC/RS/RU average)."""
     suite = suite or WorkloadSuite()
     kernels = list(kernels or suite.names)
+    specs = [
+        RunSpec(
+            (kernel,),
+            features="REC/RS/RU",
+            commit_target=commit_target,
+            confidence_threshold=threshold,
+        )
+        for threshold in thresholds
+        for kernel in kernels
+    ]
+    results = iter(_run_all(specs, suite, executor))
     out: Dict[int, float] = {}
     for threshold in thresholds:
-        total = 0.0
-        for kernel in kernels:
-            spec = RunSpec(
-                (kernel,),
-                features="REC/RS/RU",
-                commit_target=commit_target,
-                confidence_threshold=threshold,
-            )
-            total += run_spec(spec, suite).ipc
+        total = sum(next(results).ipc for _ in kernels)
         out[threshold] = total / len(kernels)
     return out
 
@@ -278,4 +335,11 @@ EXPERIMENTS = {
     "fig6": (figure6, format_figure6),
     "table1": (table1, format_table1),
     "ablation-confidence": (ablation_confidence, format_ablation_confidence),
+}
+
+#: Named experiment sets for ``repro-sim campaign``.
+CAMPAIGNS = {
+    "paper": ["fig3", "fig4", "fig5", "fig6", "table1"],
+    "figures": ["fig3", "fig4", "fig5", "fig6"],
+    "all": list(EXPERIMENTS),
 }

@@ -7,13 +7,16 @@ IPC plus the paper's statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..pipeline.config import Features, MachineConfig, RecyclePolicy
 from ..pipeline.core import Core
 from ..stats.counters import SimStats
 from ..workloads.suite import WorkloadSuite
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..exec.pool import Executor
 
 #: Default measurement window per program (committed instructions).
 DEFAULT_COMMIT_TARGET = 3000
@@ -72,10 +75,19 @@ class RunResult:
         )
 
 
-def run_spec(spec: RunSpec, suite: Optional[WorkloadSuite] = None) -> RunResult:
-    """Execute one simulation described by ``spec``."""
+def run_spec(
+    spec: RunSpec,
+    suite: Optional[WorkloadSuite] = None,
+    config: Optional[MachineConfig] = None,
+) -> RunResult:
+    """Execute one simulation described by ``spec``.
+
+    ``config`` overrides ``spec.build_config()`` — the orchestration layer
+    uses it to apply sweep-style ``MachineConfig`` field overrides that a
+    ``RunSpec`` cannot express.
+    """
     suite = suite or WorkloadSuite()
-    core = Core(spec.build_config())
+    core = Core(config if config is not None else spec.build_config())
     programs = suite.mix(spec.workload)
     core.load(programs, commit_target=spec.commit_target)
     stats = core.run(max_cycles=spec.max_cycles)
@@ -86,11 +98,21 @@ def run_spec(spec: RunSpec, suite: Optional[WorkloadSuite] = None) -> RunResult:
 
 
 def run_matrix(
-    specs: Sequence[RunSpec], suite: Optional[WorkloadSuite] = None
+    specs: Sequence[RunSpec],
+    suite: Optional[WorkloadSuite] = None,
+    executor: Optional["Executor"] = None,
 ) -> List[RunResult]:
-    """Run a batch of specs against one shared (cached) workload suite."""
+    """Run a batch of specs against one shared (cached) workload suite.
+
+    With no ``executor`` this is the historical strictly-serial path.  With
+    an :class:`repro.exec.Executor` the batch goes through the orchestration
+    engine (worker pool, result cache, retries); a job that exhausts its
+    retries raises :class:`repro.exec.ExecutionError`.
+    """
     suite = suite or WorkloadSuite()
-    return [run_spec(spec, suite) for spec in specs]
+    if executor is None:
+        return [run_spec(spec, suite) for spec in specs]
+    return executor.map(specs, suite=suite)
 
 
 def average_ipc(results: Sequence[RunResult]) -> float:

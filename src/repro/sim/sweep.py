@@ -23,12 +23,16 @@ from __future__ import annotations
 
 import io
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..pipeline.config import Features, MachineConfig
-from ..pipeline.core import Core
 from ..workloads.suite import WorkloadSuite
+from .runner import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..exec.jobs import Job
+    from ..exec.pool import Executor
 
 
 @dataclass
@@ -61,6 +65,16 @@ class Sweep:
         unknown = set(self.grid) - valid
         if unknown:
             raise ValueError(f"unknown MachineConfig fields: {sorted(unknown)}")
+        if self.machine not in MachineConfig.known_names():
+            raise ValueError(
+                f"unknown machine {self.machine!r}; "
+                f"know {sorted(MachineConfig.known_names())}"
+            )
+        variants = Features.all_variants()
+        if self.features not in variants:
+            raise ValueError(
+                f"unknown features {self.features!r}; know {sorted(variants)}"
+            )
 
     def points(self) -> List[Dict[str, object]]:
         """The cartesian grid as a list of override dicts."""
@@ -70,28 +84,60 @@ class Sweep:
             out.append(dict(zip(names, values)))
         return out
 
-    def run(self, suite: Optional[WorkloadSuite] = None) -> List[SweepRow]:
-        suite = suite or WorkloadSuite()
-        features = Features.all_variants()[self.features]
-        rows: List[SweepRow] = []
+    def jobs(self) -> List["Job"]:
+        """The sweep's cartesian grid as orchestration-engine jobs, in the
+        same (point-major, workload-minor) order ``run`` reports rows."""
+        from ..exec.jobs import Job
+
+        out: List[Job] = []
         for params in self.points():
-            base = MachineConfig.by_name(self.machine, features=features)
-            config = replace(base, **params)
             for workload in self.workloads:
-                core = Core(config)
-                core.load(suite.mix(workload), commit_target=self.commit_target)
-                stats = core.run(max_cycles=self.max_cycles)
-                rows.append(
-                    SweepRow(
-                        params=dict(params),
-                        workload=tuple(workload),
-                        ipc=stats.ipc,
-                        pct_recycled=stats.pct_recycled,
-                        pct_reused=stats.pct_reused,
-                        branch_miss_cov=stats.branch_miss_coverage,
-                        cycles=stats.cycles,
-                    )
+                spec = RunSpec(
+                    workload=tuple(workload),
+                    machine=self.machine,
+                    features=self.features,
+                    commit_target=self.commit_target,
+                    max_cycles=self.max_cycles,
                 )
+                out.append(Job(spec=spec, overrides=tuple(sorted(params.items()))))
+        return out
+
+    def run(
+        self,
+        suite: Optional[WorkloadSuite] = None,
+        executor: Optional["Executor"] = None,
+    ) -> List[SweepRow]:
+        """Run every (grid point × workload) pair.
+
+        With no ``executor`` the sweep runs strictly serially in-process,
+        exactly as it always has; with one, the batch goes through the
+        orchestration engine (parallel workers, result cache, retries) and
+        a job that exhausts its retries raises
+        :class:`repro.exec.ExecutionError`.  Row order and numeric content
+        are identical on both paths.
+        """
+        from ..exec.jobs import run_job
+
+        suite = suite or WorkloadSuite()
+        jobs = self.jobs()
+        if executor is None:
+            results = [run_job(job, suite) for job in jobs]
+        else:
+            results = executor.map(jobs, suite=suite)
+        rows: List[SweepRow] = []
+        for job, result in zip(jobs, results):
+            stats = result.stats
+            rows.append(
+                SweepRow(
+                    params=dict(job.overrides),
+                    workload=tuple(job.spec.workload),
+                    ipc=stats.ipc,
+                    pct_recycled=stats.pct_recycled,
+                    pct_reused=stats.pct_reused,
+                    branch_miss_cov=stats.branch_miss_coverage,
+                    cycles=stats.cycles,
+                )
+            )
         return rows
 
     # ------------------------------------------------------------------
@@ -118,9 +164,16 @@ class Sweep:
         return out.getvalue()
 
     def summarize(self, rows: Sequence[SweepRow]) -> Dict[Tuple, float]:
-        """Average IPC per grid point (over workloads)."""
+        """Average IPC per grid point (over workloads).
+
+        Keys are ``(name, value)`` tuples in *grid declaration order*, and
+        the mapping preserves first-appearance (insertion) order of the
+        points — deterministic for a given sweep, independent of how the
+        rows were produced.
+        """
+        names = list(self.grid)
         sums: Dict[Tuple, List[float]] = {}
         for row in rows:
-            key = tuple(sorted(row.params.items()))
+            key = tuple((name, row.params[name]) for name in names)
             sums.setdefault(key, []).append(row.ipc)
         return {key: sum(v) / len(v) for key, v in sums.items()}

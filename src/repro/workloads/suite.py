@@ -13,6 +13,7 @@ deterministic rotations with the same property.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional, Sequence
 
 from ..isa.assembler import Assembler
@@ -38,10 +39,12 @@ class WorkloadSuite:
 
     def __init__(self, iters: int = DEFAULT_ITERS, extended: bool = False):
         self.iters = iters
+        self.extended = extended
         self._kernels = dict(KERNELS)
         if extended:
             self._kernels.update(EXTENDED_KERNELS)
         self._cache: Dict[tuple, Program] = {}
+        self._fingerprint: Optional[str] = None
 
     @property
     def names(self) -> List[str]:
@@ -81,6 +84,19 @@ class WorkloadSuite:
             mix = [names[(start + i * stride) % len(names)] for i in range(width)]
             out.append(mix)
         return out
+
+    def fingerprint(self) -> str:
+        """Content hash of the suite: kernel names and generated sources at
+        this iteration count.  Part of the orchestration cache key, so any
+        change to a kernel's assembly invalidates cached results."""
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(f"iters={self.iters}\n".encode())
+            for name in sorted(self._kernels):
+                digest.update(f"{name}\n".encode())
+                digest.update(self._kernels[name](self.iters).encode())
+            self._fingerprint = digest.hexdigest()[:16]
+        return self._fingerprint
 
     def integer_names(self) -> List[str]:
         return list(INTEGER_KERNELS)

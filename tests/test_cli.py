@@ -25,6 +25,27 @@ class TestParser:
         args = build_parser().parse_args(["experiment", "fig3", "--commit-target", "100"])
         assert args.name == "fig3" and args.commit_target == 100
 
+    def test_run_parses_cycle_and_confidence_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "gcc", "--max-cycles", "5000",
+             "--confidence-threshold", "4"]
+        )
+        assert args.max_cycles == 5000 and args.confidence_threshold == 4
+
+    def test_run_parses_exec_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "gcc", "--jobs", "4",
+             "--cache-dir", "/tmp/c", "--no-cache"]
+        )
+        assert args.jobs == 4 and args.cache_dir == "/tmp/c" and args.no_cache
+
+    def test_campaign_parses(self):
+        args = build_parser().parse_args(
+            ["campaign", "paper", "--jobs", "2", "--num-mixes", "1"]
+        )
+        assert args.command == "campaign"
+        assert args.names == ["paper"] and args.jobs == 2
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -76,3 +97,37 @@ class TestTraceAndProfile:
         assert rc == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["stats"]["committed"] >= 250
+        assert payload["cached"] is False
+
+
+class TestOrchestrationCli:
+    def test_run_cache_warm_second_invocation(self, tmp_path, capsys):
+        argv = ["run", "--workload", "vortex", "--commit-target", "250",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert "[cached]" not in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "[cached]" in capsys.readouterr().out
+
+    def test_run_no_cache_overrides_cache_dir(self, tmp_path, capsys):
+        argv = ["run", "--workload", "vortex", "--commit-target", "250",
+                "--cache-dir", str(tmp_path), "--no-cache"]
+        assert main(argv) == 0
+        assert not any(tmp_path.iterdir())
+
+    def test_campaign_end_to_end(self, tmp_path, capsys):
+        argv = [
+            "campaign", "fig3", "--jobs", "2", "--commit-target", "200",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--journal", str(tmp_path / "journal.jsonl"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "=== fig3 ===" in out and "[campaign:" in out
+        # Warm re-run: every job must be a cache hit (zero simulations).
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "48 cached" in out  # 8 kernels x 6 variants
+
+    def test_campaign_unknown_name(self, capsys):
+        assert main(["campaign", "fig99"]) == 2

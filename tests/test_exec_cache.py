@@ -1,0 +1,171 @@
+"""Content-addressed result cache: keys, hits, misses, invalidation."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.exec import Executor, Job, ResultCache, cache_key
+from repro.exec.cache import Journal
+from repro.exec.jobs import result_to_payload, stats_to_payload
+from repro.sim.runner import RunSpec
+from repro.workloads import WorkloadSuite
+
+SUITE = WorkloadSuite()
+FP = SUITE.fingerprint()
+
+
+def tiny_spec(**kwargs):
+    defaults = dict(workload=("compress",), commit_target=250)
+    defaults.update(kwargs)
+    return RunSpec(**defaults)
+
+
+class TestCacheKey:
+    def test_stable_for_identical_specs(self):
+        a = cache_key(Job(spec=tiny_spec()), FP, "1.0.0")
+        b = cache_key(Job(spec=tiny_spec()), FP, "1.0.0")
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(machine="small.1.8"),
+            dict(features="TME"),
+            dict(policy="stop-8"),
+            dict(workload=("vortex",)),
+            dict(workload=("compress", "gcc")),
+            dict(commit_target=500),
+            dict(max_cycles=1_000_000),
+            dict(confidence_threshold=4),
+        ],
+    )
+    def test_any_spec_field_changes_key(self, change):
+        base = cache_key(Job(spec=tiny_spec()), FP, "1.0.0")
+        other = cache_key(Job(spec=tiny_spec(**change)), FP, "1.0.0")
+        assert base != other, change
+
+    def test_overrides_change_key(self):
+        base = cache_key(Job(spec=tiny_spec()), FP, "1.0.0")
+        sized = cache_key(
+            Job(spec=tiny_spec(), overrides=(("active_list_size", 32),)), FP, "1.0.0"
+        )
+        assert base != sized
+
+    def test_suite_fingerprint_changes_key(self):
+        base = cache_key(Job(spec=tiny_spec()), FP, "1.0.0")
+        other = cache_key(Job(spec=tiny_spec()), "other-suite", "1.0.0")
+        assert base != other
+
+    def test_sim_version_changes_key(self):
+        base = cache_key(Job(spec=tiny_spec()), FP, "1.0.0")
+        bumped = cache_key(Job(spec=tiny_spec()), FP, "1.0.1")
+        assert base != bumped
+
+    def test_chaos_never_in_key(self):
+        from repro.exec import Chaos
+
+        plain = cache_key(Job(spec=tiny_spec()), FP, "1.0.0")
+        chaotic = cache_key(
+            Job(spec=tiny_spec(), chaos=Chaos(fail_first_attempts=9)), FP, "1.0.0"
+        )
+        assert plain == chaotic
+
+    def test_suite_fingerprint_tracks_iters(self):
+        assert WorkloadSuite(iters=100).fingerprint() != WorkloadSuite(iters=200).fingerprint()
+        assert WorkloadSuite(iters=100).fingerprint() == WorkloadSuite(iters=100).fingerprint()
+
+
+class TestResultCacheStore:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        from repro.exec import run_job
+
+        payload = result_to_payload(run_job(Job(spec=tiny_spec()), SUITE))
+        cache.put("ab" * 32, payload)
+        assert cache.get("ab" * 32) == payload
+        assert len(cache) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("cd" * 32) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("ef" * 32)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get("ef" * 32) is None
+
+
+class TestExecutorCaching:
+    def test_hit_on_identical_spec(self, tmp_path):
+        spec = tiny_spec()
+        first = Executor(cache=tmp_path).run([spec], suite=SUITE)[0]
+        second = Executor(cache=tmp_path).run([spec], suite=SUITE)[0]
+        assert not first.cached and second.cached
+        assert stats_to_payload(first.result.stats) == stats_to_payload(second.result.stats)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(machine="small.1.8"),
+            dict(features="TME"),
+            dict(commit_target=300),
+            dict(workload=("vortex",)),
+        ],
+    )
+    def test_miss_when_spec_changes(self, tmp_path, change):
+        Executor(cache=tmp_path).run([tiny_spec()], suite=SUITE)
+        outcome = Executor(cache=tmp_path).run([tiny_spec(**change)], suite=SUITE)[0]
+        assert not outcome.cached
+
+    def test_invalidated_by_sim_version_bump(self, tmp_path):
+        spec = tiny_spec()
+        Executor(cache=ResultCache(tmp_path, sim_version="1.0.0")).run([spec], suite=SUITE)
+        warm = Executor(cache=ResultCache(tmp_path, sim_version="1.0.0")).run(
+            [spec], suite=SUITE
+        )[0]
+        bumped = Executor(cache=ResultCache(tmp_path, sim_version="2.0.0")).run(
+            [spec], suite=SUITE
+        )[0]
+        assert warm.cached and not bumped.cached
+
+    def test_cached_result_matches_fresh_numerically(self, tmp_path):
+        spec = tiny_spec(workload=("gcc", "go"))
+        fresh = Executor(cache=tmp_path).run([spec], suite=SUITE)[0]
+        cached = Executor(cache=tmp_path).run([spec], suite=SUITE)[0]
+        assert cached.result.per_program_ipc == fresh.result.per_program_ipc
+        assert dataclasses.asdict(cached.result.stats) == dataclasses.asdict(fresh.result.stats)
+
+
+class TestJournal:
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        spec = tiny_spec()
+        first = Executor(journal=journal).run([spec], suite=SUITE)[0]
+        assert not first.cached
+        # Same spec but rigged to fail if it actually executed: the journal
+        # hit must short-circuit execution entirely.
+        from repro.exec import Chaos
+
+        rigged = Job(spec=spec, chaos=Chaos(fail_first_attempts=99))
+        resumed = Executor(journal=journal, retries=0).run([rigged], suite=SUITE)[0]
+        assert resumed.cached and resumed.ok
+        assert stats_to_payload(resumed.result.stats) == stats_to_payload(first.result.stats)
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append("k1", {"x": 1})
+        with open(journal.path, "a") as handle:
+            handle.write('{"key": "k2", "payl')  # interrupted write
+        assert journal.load() == {"k1": {"x": 1}}
+
+    def test_journal_entries_are_json_lines(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        Executor(journal=journal).run([tiny_spec()], suite=SUITE)
+        lines = journal.read_text().strip().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert set(record) == {"key", "payload"}

@@ -1,0 +1,172 @@
+"""Orchestration engine: fault tolerance, retries, parallel == serial."""
+
+import pytest
+
+from repro.exec import Chaos, ExecutionError, Executor, Job, ProgressReporter
+from repro.exec.jobs import stats_to_payload
+from repro.sim.runner import RunSpec, run_matrix
+from repro.sim.sweep import Sweep
+from repro.workloads import WorkloadSuite
+
+SUITE = WorkloadSuite()
+
+
+def tiny_spec(**kwargs):
+    defaults = dict(workload=("compress",), commit_target=250)
+    defaults.update(kwargs)
+    return RunSpec(**defaults)
+
+
+SPECS = [
+    tiny_spec(),
+    tiny_spec(workload=("vortex",), features="TME"),
+    tiny_spec(workload=("gcc", "go")),
+]
+
+
+class TestParallelEqualsSerial:
+    def test_run_matrix_identical(self):
+        serial = run_matrix(SPECS, SUITE)
+        parallel = run_matrix(SPECS, SUITE, executor=Executor(jobs=2))
+        assert [stats_to_payload(r.stats) for r in serial] == [
+            stats_to_payload(r.stats) for r in parallel
+        ]
+        assert [r.per_program_ipc for r in serial] == [r.per_program_ipc for r in parallel]
+
+    def test_order_preserved(self):
+        results = Executor(jobs=3).map(SPECS, suite=SUITE)
+        assert [r.spec.workload for r in results] == [s.workload for s in SPECS]
+
+    def test_sweep_identical(self):
+        sweep = Sweep(
+            workloads=[("compress",), ("vortex",)],
+            grid={"active_list_size": [32, 64]},
+            commit_target=250,
+        )
+        serial = sweep.run(SUITE)
+        parallel = sweep.run(SUITE, executor=Executor(jobs=2))
+        assert len(serial) == len(parallel) == 4
+        for a, b in zip(serial, parallel):
+            assert a.params == b.params and a.workload == b.workload
+            assert a.ipc == b.ipc and a.cycles == b.cycles
+
+    def test_experiment_identical(self):
+        from repro.sim.experiments import figure3
+
+        kwargs = dict(kernels=["compress", "go"], variants=["SMT", "TME"],
+                      commit_target=250, suite=SUITE)
+        assert figure3(**kwargs) == figure3(executor=Executor(jobs=2), **kwargs)
+
+
+class TestFaultTolerance:
+    def test_failing_job_is_retried_then_succeeds(self):
+        job = Job(spec=tiny_spec(), chaos=Chaos(fail_first_attempts=1))
+        outcome = Executor(jobs=2, retries=2).run([job], suite=SUITE)[0]
+        assert outcome.ok and outcome.attempts == 2
+
+    def test_exhausted_retries_yield_structured_failure(self):
+        job = Job(spec=tiny_spec(), chaos=Chaos(fail_first_attempts=99))
+        outcome = Executor(jobs=2, retries=1).run([job], suite=SUITE)[0]
+        assert not outcome.ok
+        assert outcome.failure.kind == "error"
+        assert outcome.failure.attempts == 2
+        assert "injected failure" in outcome.failure.message
+
+    def test_failure_does_not_abort_batch(self):
+        jobs = [
+            Job(spec=SPECS[0]),
+            Job(spec=SPECS[1], chaos=Chaos(fail_first_attempts=99)),
+            Job(spec=SPECS[2]),
+        ]
+        outcomes = Executor(jobs=2, retries=0).run(jobs, suite=SUITE)
+        assert [o.ok for o in outcomes] == [True, False, True]
+
+    def test_worker_crash_surfaces_as_crash(self):
+        job = Job(spec=tiny_spec(), chaos=Chaos(exit_first_attempts=99))
+        outcome = Executor(jobs=2, retries=1).run([job], suite=SUITE)[0]
+        assert not outcome.ok and outcome.failure.kind == "crash"
+
+    def test_crash_recovers_on_retry(self):
+        job = Job(spec=tiny_spec(), chaos=Chaos(exit_first_attempts=1))
+        outcome = Executor(jobs=2, retries=1).run([job], suite=SUITE)[0]
+        assert outcome.ok and outcome.attempts == 2
+
+    def test_timeout_kills_and_reports(self):
+        job = Job(
+            spec=tiny_spec(),
+            chaos=Chaos(sleep_first_attempts=99, sleep_seconds=30.0),
+        )
+        outcome = Executor(jobs=2, retries=0, timeout=0.5).run([job], suite=SUITE)[0]
+        assert not outcome.ok and outcome.failure.kind == "timeout"
+        assert outcome.elapsed < 10.0
+
+    def test_timeout_recovers_on_retry(self):
+        job = Job(
+            spec=tiny_spec(),
+            chaos=Chaos(sleep_first_attempts=1, sleep_seconds=30.0),
+        )
+        outcome = Executor(jobs=2, retries=1, timeout=0.5).run([job], suite=SUITE)[0]
+        assert outcome.ok and outcome.attempts == 2
+
+    def test_map_raises_execution_error(self):
+        jobs = [Job(spec=tiny_spec(), chaos=Chaos(fail_first_attempts=99))]
+        with pytest.raises(ExecutionError) as excinfo:
+            Executor(jobs=2, retries=0).map(jobs, suite=SUITE)
+        assert len(excinfo.value.failures) == 1
+
+    def test_serial_path_retries_too(self):
+        job = Job(spec=tiny_spec(), chaos=Chaos(fail_first_attempts=1))
+        outcome = Executor(jobs=1, retries=1).run([job], suite=SUITE)[0]
+        assert outcome.ok and outcome.attempts == 2
+
+    def test_serial_path_structured_failure(self):
+        job = Job(spec=tiny_spec(), chaos=Chaos(fail_first_attempts=99))
+        outcome = Executor(jobs=1, retries=0).run([job], suite=SUITE)[0]
+        assert not outcome.ok and outcome.failure.kind == "error"
+
+
+class TestProgress:
+    def test_events_cover_batch(self, tmp_path):
+        events = []
+        reporter = ProgressReporter(callback=events.append)
+        Executor(jobs=2, cache=tmp_path, progress=reporter).run(SPECS, suite=SUITE)
+        assert len(events) == len(SPECS)
+        assert events[-1].done == events[-1].total == len(SPECS)
+        assert events[-1].cache_hits == 0
+
+    def test_cache_hits_counted(self, tmp_path):
+        Executor(cache=tmp_path).run(SPECS, suite=SUITE)
+        reporter = ProgressReporter()
+        Executor(jobs=2, cache=tmp_path, progress=reporter).run(SPECS, suite=SUITE)
+        event = reporter.event()
+        assert event.cache_hits == len(SPECS)
+        assert event.done == len(SPECS)
+
+    def test_reporter_spans_batches(self):
+        reporter = ProgressReporter()
+        ex = Executor(progress=reporter)
+        ex.run([tiny_spec()], suite=SUITE)
+        ex.run([tiny_spec(workload=("vortex",))], suite=SUITE)
+        assert reporter.event().total == 2
+        assert reporter.event().done == 2
+
+    def test_format_line(self):
+        from repro.exec import format_line
+        from repro.exec.progress import ProgressEvent
+
+        line = format_line(
+            ProgressEvent(done=3, total=10, cache_hits=2, failures=1,
+                          elapsed=65.0, eta=30.0)
+        )
+        assert "jobs 3/10" in line and "2 cached" in line
+        assert "1 failed" in line and "01:05" in line and "00:30" in line
+
+
+class TestJobValidation:
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ValueError):
+            Job(spec=tiny_spec(), overrides=(("warp_drive", 9),))
+
+    def test_specs_accepted_directly(self):
+        outcomes = Executor().run([tiny_spec()], suite=SUITE)
+        assert outcomes[0].ok and outcomes[0].job.spec == tiny_spec()

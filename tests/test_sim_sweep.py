@@ -29,6 +29,14 @@ class TestGrid:
         with pytest.raises(ValueError):
             small_sweep(grid={"warp_drive": [1]})
 
+    def test_unknown_machine_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            small_sweep(machine="mega.9.99")
+
+    def test_unknown_features_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown features"):
+            small_sweep(features="REC/XYZ")
+
     def test_empty_grid_single_point(self):
         sweep = small_sweep(grid={})
         assert sweep.points() == [{}]
@@ -51,6 +59,22 @@ class TestRun:
         summary = sweep.summarize(rows)
         assert len(summary) == 2
         assert all(v > 0 for v in summary.values())
+
+    def test_summarize_keys_ordered_and_deterministic(self):
+        sweep = small_sweep(
+            grid={"fetch_total": [16, 8], "active_list_size": [64, 32]},
+        )
+        rows = sweep.run(SUITE)
+        summary = sweep.summarize(rows)
+        # Keys follow grid declaration order (fetch_total before
+        # active_list_size) and points appear in cartesian (insertion) order.
+        assert list(summary) == [
+            (("fetch_total", 16), ("active_list_size", 64)),
+            (("fetch_total", 16), ("active_list_size", 32)),
+            (("fetch_total", 8), ("active_list_size", 64)),
+            (("fetch_total", 8), ("active_list_size", 32)),
+        ]
+        assert summary == sweep.summarize(sweep.run(SUITE))
 
 
 class TestCsv:
