@@ -1,0 +1,71 @@
+"""Static program analysis: CFG, dominance, reconvergence, reuse bounds.
+
+The static mirror of the paper's dynamic machinery — see
+``docs/ANALYSIS.md``.  The purely static layers (:mod:`~repro.analysis.cfg`,
+:mod:`~repro.analysis.dominators`, :mod:`~repro.analysis.branches`,
+:mod:`~repro.analysis.killsets`, :mod:`~repro.analysis.program`) depend
+only on the ISA package and are exported eagerly.  The dynamic-invariant
+cross-checker pulls in the whole pipeline, so its names are provided
+lazily — ``from repro.analysis import CrossChecker`` works, but merely
+importing this package never loads the simulator (which also keeps
+:mod:`repro.branch.analysis` → analysis imports cycle-free).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .branches import BranchClass, BranchSite, branch_sites, classify_static
+from .cfg import CFG, EXIT_BLOCK, BasicBlock, EdgeKind
+from .dominators import (
+    back_edges,
+    dominates,
+    dominator_tree,
+    immediate_dominators,
+    natural_loops,
+    postdominator_tree,
+)
+from .killsets import ReuseBound, arm_may_defs, must_def_masks, reuse_bound
+from .program import DEFAULT_REUSE_WINDOW, ProgramAnalysis, StaticSummary
+
+_CHECKER_EXPORTS = (
+    "CrossChecker",
+    "CheckReport",
+    "MergeEvent",
+    "ReuseEvent",
+    "Violation",
+    "check_spec",
+    "check_suite",
+)
+
+__all__ = [
+    "BasicBlock",
+    "BranchClass",
+    "BranchSite",
+    "CFG",
+    "DEFAULT_REUSE_WINDOW",
+    "EXIT_BLOCK",
+    "EdgeKind",
+    "ProgramAnalysis",
+    "ReuseBound",
+    "StaticSummary",
+    "arm_may_defs",
+    "back_edges",
+    "branch_sites",
+    "classify_static",
+    "dominates",
+    "dominator_tree",
+    "immediate_dominators",
+    "must_def_masks",
+    "natural_loops",
+    "postdominator_tree",
+    "reuse_bound",
+] + list(_CHECKER_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _CHECKER_EXPORTS:
+        from . import checker
+
+        return getattr(checker, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,125 @@
+"""Static branch taxonomy and reconvergence-point prediction.
+
+One shared classification — forward / backward / loop-back / indirect —
+used by both the static analyzer and the dynamic branch profiler
+(:mod:`repro.branch.analysis`), so static and dynamic reports speak the
+same language.  A backward branch is *loop-back* when its CFG edge to
+the target is a dominator back edge (target dominates the branch).
+
+The static reconvergence point of a conditional branch is the start PC
+of the immediate post-dominator of the branch's block — the first
+point all outcomes must pass through again, which is what the dynamic
+first-PC merge mechanism discovers at run time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..isa.program import Program
+from .cfg import CFG, EXIT_BLOCK
+from .dominators import dominates
+
+
+class BranchClass(enum.Enum):
+    """Static direction taxonomy for control transfers."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+    LOOP_BACK = "loop-back"  # backward + dominator back edge (loop latch)
+    INDIRECT = "indirect"  # ret / computed jmp: target unknown statically
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class BranchSite:
+    """One static control-transfer site."""
+
+    pc: int
+    mnemonic: str
+    is_conditional: bool
+    branch_class: BranchClass
+    target_pc: Optional[int]  # None for indirect transfers
+    fall_pc: Optional[int]  # next sequential pc, None at text end
+    #: Start PC of the immediate post-dominator block (conditional
+    #: branches only); None when the branch cannot reach EXIT or the
+    #: post-dominator is the virtual EXIT itself.
+    reconvergence_pc: Optional[int] = None
+
+
+def classify_transfer(
+    program: Program,
+    cfg: CFG,
+    idom: Dict[int, int],
+    index: int,
+) -> BranchClass:
+    """Classify the control transfer at instruction ``index``."""
+    ins = program.instructions[index]
+    oi = ins.info
+    if oi.is_indirect or ins.target is None:
+        return BranchClass.INDIRECT
+    pc = cfg.pc_of(index)
+    if ins.target > pc:
+        return BranchClass.FORWARD
+    tgt_idx = program.instr_index(ins.target)
+    if tgt_idx is not None:
+        src_block = cfg.block_of[index]
+        tgt_block = cfg.block_of[tgt_idx]
+        if (src_block in idom and tgt_block in idom
+                and dominates(idom, tgt_block, src_block)):
+            return BranchClass.LOOP_BACK
+    return BranchClass.BACKWARD
+
+
+def classify_static(program: Program) -> Dict[BranchClass, int]:
+    """Count static branch sites per class for a whole program.
+
+    Standalone helper for callers (e.g. the dynamic branch profiler)
+    that need the taxonomy without a full analysis facade.  Covers all
+    branch instructions: conditional, direct jumps/calls, indirect.
+    """
+    from .dominators import dominator_tree  # local: keep import surface light
+
+    cfg = CFG(program)
+    idom = dominator_tree(cfg)
+    counts = {cls: 0 for cls in BranchClass}
+    for i, ins in enumerate(program.instructions):
+        if ins.info.is_branch:
+            counts[classify_transfer(program, cfg, idom, i)] += 1
+    return counts
+
+
+def branch_sites(
+    program: Program,
+    cfg: CFG,
+    idom: Dict[int, int],
+    ipostdom: Dict[int, int],
+) -> Dict[int, BranchSite]:
+    """Static site table for every branch instruction, keyed by PC."""
+    sites: Dict[int, BranchSite] = {}
+    n = len(program.instructions)
+    for i, ins in enumerate(program.instructions):
+        oi = ins.info
+        if not oi.is_branch:
+            continue
+        pc = cfg.pc_of(i)
+        recon: Optional[int] = None
+        if oi.is_cond_branch:
+            block = cfg.block_of[i]
+            pdom = ipostdom.get(block)
+            if pdom is not None and pdom != EXIT_BLOCK:
+                recon = cfg.pc_of(cfg.blocks[pdom].start)
+        sites[pc] = BranchSite(
+            pc=pc,
+            mnemonic=ins.op.name.lower(),
+            is_conditional=oi.is_cond_branch,
+            branch_class=classify_transfer(program, cfg, idom, i),
+            target_pc=ins.target,
+            fall_pc=cfg.pc_of(i + 1) if i + 1 < n else None,
+            reconvergence_pc=recon,
+        )
+    return sites

@@ -1,0 +1,388 @@
+"""Dynamic-invariant cross-checker: static analysis vs. the simulator.
+
+The recycling pipeline discovers merge points and unchanged operands
+dynamically (first-PC tables, backward-branch targets, the written-bit
+array).  This module instruments a live :class:`~repro.pipeline.core.Core`
+— the same method-wrapping technique as :class:`repro.debug.tracer.CoreTracer`
+— and checks every dynamic event against its static counterpart:
+
+``M1 off-text merge``
+    every merge/respawn PC must map to a program instruction;
+``M2 alternate merge``
+    an ALTERNATE stream's merge PC must be a direct static successor of
+    its fork branch (the alternate arm's first instruction, or the
+    predicted-path suffix retained on a primaryship swap) and a basic-
+    block leader;
+``M3 back merge``
+    a BACK stream's merge PC must be a statically known backward-branch
+    target;
+``M4 respawn target``
+    a respawned trace must restart at a static successor of the fork
+    branch;
+``M5 self merge``
+    a SELF_FIRST merge PC must be a block leader (the first PC a
+    context fetched is always a fetch-stream start);
+``R1 reuse kill set``
+    a reused instruction's source register must not be *must-defined*
+    on every static flow path from the fork to the reuse point, unless
+    the stream itself re-established it (``consistent_writes``).
+
+The static side deliberately over-approximates dynamic control flow
+(see :meth:`repro.analysis.cfg.CFG.flow_successors`), so every reported
+violation is a genuine invariant break in the simulator, never an
+artifact of the analysis.  Alongside violations the checker measures
+*merge agreement*: how often the dynamic first-PC merge lands exactly
+on the immediate-post-dominator reconvergence point the static
+predictor names — the quantity Table 1's merge statistics rest on.
+
+Collection and verification are two phases: events are recorded raw
+while the simulation runs, then :meth:`CrossChecker.verify` replays
+them against the static facts.  Tests exploit this to inject corrupted
+events and prove the rules actually fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
+
+from ..isa.registers import NUM_LOGICAL_REGS, reg_name
+from ..recycle.stream import StreamKind
+from .program import ProgramAnalysis
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..pipeline.core import Core
+    from ..sim.runner import RunResult, RunSpec
+    from ..workloads.suite import WorkloadSuite
+
+#: Architectural zero registers: reads are constant, writes discarded,
+#: so "unchanged" claims about them are vacuously true.
+_ZERO_REGS = frozenset({NUM_LOGICAL_REGS // 2 - 1, NUM_LOGICAL_REGS - 1})
+
+
+@dataclass(frozen=True)
+class MergeEvent:
+    """One dynamic merge (stream open) or respawn."""
+
+    cycle: int
+    instance_id: int
+    instance_name: str
+    kind: str  # StreamKind value, or "respawn"
+    merge_pc: int
+    fork_pc: Optional[int]  # branch the alternate covers; None if unknown
+    dst_ctx: int
+    src_ctx: int
+
+
+@dataclass(frozen=True)
+class ReuseEvent:
+    """One reused (recycled-without-execution) instruction."""
+
+    cycle: int
+    instance_id: int
+    instance_name: str
+    reuse_pc: int
+    srcs: Tuple[int, ...]
+    #: registers the stream re-established before this uop (snapshot of
+    #: ``consistent_writes`` *before* the reuse was installed)
+    consistent: FrozenSet[int]
+    fork_pc: Optional[int]
+    dst_ctx: int
+    src_ctx: int
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A structured finding: one broken invariant."""
+
+    rule: str  # M1..M5 / R1
+    instance_name: str
+    pc: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.instance_name} pc=0x{self.pc:x}: {self.detail}"
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one instrumented run."""
+
+    merge_events: List[MergeEvent] = field(default_factory=list)
+    reuse_events: List[ReuseEvent] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    merges_checked: int = 0
+    #: ALTERNATE merges whose PC equals the static ipostdom prediction
+    merges_agreeing: int = 0
+    #: ALTERNATE merges with a known fork and a static reconvergence PC
+    merges_comparable: int = 0
+    reuses_checked: int = 0
+    reuses_skipped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def merge_agreement_pct(self) -> float:
+        if not self.merges_comparable:
+            return 0.0
+        return 100.0 * self.merges_agreeing / self.merges_comparable
+
+    def summary_line(self, label: str = "") -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"{label:<12s} merges={self.merges_checked:<5d} "
+            f"agree={self.merge_agreement_pct:5.1f}% "
+            f"reuses={self.reuses_checked:<5d} {status}"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "merges_checked": self.merges_checked,
+            "merges_comparable": self.merges_comparable,
+            "merge_agreement_pct": round(self.merge_agreement_pct, 2),
+            "reuses_checked": self.reuses_checked,
+            "reuses_skipped": self.reuses_skipped,
+            "violations": [
+                {"rule": v.rule, "instance": v.instance_name,
+                 "pc": v.pc, "detail": v.detail}
+                for v in self.violations
+            ],
+        }
+
+
+class CrossChecker:
+    """Instruments a core and validates recycling against static facts.
+
+    Create it *before* ``core.run()``; call :meth:`verify` after."""
+
+    def __init__(self, core: "Core"):
+        self.core = core
+        self.merge_events: List[MergeEvent] = []
+        self.reuse_events: List[ReuseEvent] = []
+        self._analyses: Dict[int, ProgramAnalysis] = {}
+        self._stream_forks: Dict[int, Optional[int]] = {}
+        self._install()
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def _install(self) -> None:
+        core = self.core
+        orig_open = core._open_stream
+        orig_respawn = core._respawn
+        orig_reuse = core._rename_reused
+
+        def open_stream(dst, src, mp, kind):
+            stream = orig_open(dst, src, mp, kind)
+            if stream is not None:
+                fork_pc = self._fork_pc_of(src) if kind is StreamKind.ALTERNATE else None
+                self._stream_forks[id(stream)] = fork_pc
+                self.merge_events.append(MergeEvent(
+                    cycle=core.cycle,
+                    instance_id=dst.instance.id,
+                    instance_name=dst.instance.name,
+                    kind=kind.name.lower(),
+                    merge_pc=mp.pc,
+                    fork_pc=fork_pc,
+                    dst_ctx=dst.id,
+                    src_ctx=src.id,
+                ))
+            return stream
+
+        def respawn(parent, branch, existing, alt_pc):
+            self.merge_events.append(MergeEvent(
+                cycle=core.cycle,
+                instance_id=parent.instance.id,
+                instance_name=parent.instance.name,
+                kind="respawn",
+                merge_pc=alt_pc,
+                fork_pc=branch.pc,
+                dst_ctx=existing.id,
+                src_ctx=parent.id,
+            ))
+            return orig_respawn(parent, branch, existing, alt_pc)
+
+        def rename_reused(dst, src, src_uop, entry, stream):
+            consistent = frozenset(stream.consistent_writes)
+            uop = orig_reuse(dst, src, src_uop, entry, stream)
+            self.reuse_events.append(ReuseEvent(
+                cycle=core.cycle,
+                instance_id=dst.instance.id,
+                instance_name=dst.instance.name,
+                reuse_pc=entry.pc,
+                srcs=tuple(src_uop.instr.srcs),
+                consistent=consistent,
+                fork_pc=self._stream_forks.get(id(stream)),
+                dst_ctx=dst.id,
+                src_ctx=src.id,
+            ))
+            return uop
+
+        core._open_stream = open_stream  # type: ignore
+        core._respawn = respawn  # type: ignore
+        core._rename_reused = rename_reused  # type: ignore
+
+    @staticmethod
+    def _fork_pc_of(src) -> Optional[int]:
+        """PC of the branch an alternate/suffix trace hangs off."""
+        if src.fork_uop is not None:
+            return src.fork_uop.pc
+        # Primaryship-swap suffix: path_start_pos is the slot right
+        # after the mispredicted fork branch in the old active list.
+        uop = src.active_list.try_entry(src.path_start_pos - 1)
+        if uop is not None and uop.instr.info.is_branch:
+            return uop.pc
+        return None
+
+    def analysis_for(self, instance_id: int) -> ProgramAnalysis:
+        pa = self._analyses.get(instance_id)
+        if pa is None:
+            instance = next(
+                i for i in self.core.instances if i.id == instance_id
+            )
+            pa = ProgramAnalysis(instance.program, name=instance.name)
+            self._analyses[instance_id] = pa
+        return pa
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify(self) -> CheckReport:
+        report = CheckReport(
+            merge_events=list(self.merge_events),
+            reuse_events=list(self.reuse_events),
+        )
+        for ev in self.merge_events:
+            self._verify_merge(ev, report)
+        for ev in self.reuse_events:
+            self._verify_reuse(ev, report)
+        return report
+
+    def _verify_merge(self, ev: MergeEvent, report: CheckReport) -> None:
+        pa = self.analysis_for(ev.instance_id)
+        report.merges_checked += 1
+        if pa.cfg.index_of(ev.merge_pc) is None:
+            report.violations.append(Violation(
+                "M1", ev.instance_name, ev.merge_pc,
+                f"{ev.kind} merge PC is outside the text image",
+            ))
+            return
+        if ev.kind == "alternate":
+            if ev.fork_pc is not None:
+                succs = pa.static_successor_pcs(ev.fork_pc)
+                if ev.merge_pc not in succs:
+                    report.violations.append(Violation(
+                        "M2", ev.instance_name, ev.merge_pc,
+                        f"alternate merge PC is not a static successor of "
+                        f"fork branch 0x{ev.fork_pc:x} "
+                        f"(legal: {sorted(hex(p) for p in succs)})",
+                    ))
+                recon = pa.reconvergence_pc(ev.fork_pc)
+                if recon is not None:
+                    report.merges_comparable += 1
+                    if ev.merge_pc == recon:
+                        report.merges_agreeing += 1
+            if not pa.cfg.is_leader(ev.merge_pc):
+                report.violations.append(Violation(
+                    "M2", ev.instance_name, ev.merge_pc,
+                    "alternate merge PC is not a basic-block leader",
+                ))
+        elif ev.kind == "back":
+            if ev.merge_pc not in pa.backward_branch_targets:
+                report.violations.append(Violation(
+                    "M3", ev.instance_name, ev.merge_pc,
+                    "back merge PC is not a static backward-branch target",
+                ))
+        elif ev.kind == "respawn":
+            if ev.fork_pc is not None:
+                succs = pa.static_successor_pcs(ev.fork_pc)
+                if ev.merge_pc not in succs:
+                    report.violations.append(Violation(
+                        "M4", ev.instance_name, ev.merge_pc,
+                        f"respawn PC is not a static successor of fork "
+                        f"branch 0x{ev.fork_pc:x}",
+                    ))
+        elif ev.kind == "self_first":
+            if not pa.cfg.is_leader(ev.merge_pc):
+                report.violations.append(Violation(
+                    "M5", ev.instance_name, ev.merge_pc,
+                    "self merge PC is not a basic-block leader",
+                ))
+
+    def _verify_reuse(self, ev: ReuseEvent, report: CheckReport) -> None:
+        pa = self.analysis_for(ev.instance_id)
+        if ev.fork_pc is None:
+            report.reuses_skipped += 1
+            return
+        masks = pa.must_defs_from(ev.fork_pc)
+        in_mask = masks.get(ev.reuse_pc)
+        if in_mask is None:
+            # Reuse point not reachable from the fork in the (over-
+            # approximate) flow graph — that itself is impossible.
+            report.violations.append(Violation(
+                "R1", ev.instance_name, ev.reuse_pc,
+                f"reuse PC unreachable from fork branch 0x{ev.fork_pc:x}",
+            ))
+            return
+        report.reuses_checked += 1
+        for s in ev.srcs:
+            if s in _ZERO_REGS or s in ev.consistent:
+                continue
+            if (in_mask >> s) & 1:
+                report.violations.append(Violation(
+                    "R1", ev.instance_name, ev.reuse_pc,
+                    f"reused source {reg_name(s)} is written on every "
+                    f"static path from fork 0x{ev.fork_pc:x}",
+                ))
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+def check_spec(
+    spec: "RunSpec",
+    suite: Optional["WorkloadSuite"] = None,
+) -> Tuple["RunResult", CheckReport]:
+    """Run one spec with the cross-checker attached.
+
+    Returns the normal :class:`RunResult` plus the :class:`CheckReport`.
+    Always an in-process serial run — instrumentation cannot cross a
+    worker-pool boundary.
+    """
+    from ..pipeline.core import Core
+    from ..sim.runner import RunResult
+    from ..workloads.suite import WorkloadSuite
+
+    suite = suite or WorkloadSuite()
+    core = Core(spec.build_config())
+    checker = CrossChecker(core)
+    core.load(suite.mix(spec.workload), commit_target=spec.commit_target)
+    stats = core.run(max_cycles=spec.max_cycles)
+    result = RunResult(spec=spec, stats=stats)
+    for instance in core.instances:
+        result.per_program_ipc[instance.name] = stats.instance_ipc(instance.id)
+    return result, checker.verify()
+
+
+def check_suite(
+    workloads: Optional[List[str]] = None,
+    features: str = "REC/RS/RU",
+    commit_target: int = 1500,
+    suite: Optional["WorkloadSuite"] = None,
+) -> Dict[str, Tuple["RunResult", CheckReport]]:
+    """Cross-check every workload; the standing correctness oracle."""
+    from ..sim.runner import RunSpec
+    from ..workloads.suite import WorkloadSuite
+
+    suite = suite or WorkloadSuite()
+    names = workloads if workloads is not None else list(suite.names)
+    out: Dict[str, Tuple["RunResult", CheckReport]] = {}
+    for name in names:
+        spec = RunSpec(
+            workload=(name,), features=features, commit_target=commit_target
+        )
+        out[name] = check_spec(spec, suite)
+    return out

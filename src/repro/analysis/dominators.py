@@ -1,0 +1,161 @@
+"""Dominator and post-dominator trees via Cooper-Harvey-Kennedy.
+
+The algorithm is the simple iterative scheme from *A Simple, Fast
+Dominance Algorithm* (Cooper, Harvey & Kennedy): number nodes in
+reverse post-order, then repeatedly intersect predecessor dominators
+until a fixed point.  Post-dominators are dominators of the edge-
+reversed graph rooted at the virtual EXIT node.
+
+All functions work on a generic adjacency representation (node ids
+``0..n-1`` plus one distinguished root), so the same code serves both
+directions.  Natural-loop detection (back edges whose head dominates
+the tail) rides on the dominator tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .cfg import CFG, EXIT_BLOCK
+
+
+def _postorder(succs: Sequence[Sequence[int]], root: int) -> List[int]:
+    """Iterative DFS postorder from ``root`` (unreachable nodes omitted)."""
+    seen = {root}
+    order: List[int] = []
+    stack: List[Tuple[int, int]] = [(root, 0)]
+    while stack:
+        node, child = stack[-1]
+        if child < len(succs[node]):
+            stack[-1] = (node, child + 1)
+            nxt = succs[node][child]
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, 0))
+        else:
+            stack.pop()
+            order.append(node)
+    return order
+
+
+def immediate_dominators(
+    succs: Sequence[Sequence[int]], root: int
+) -> Dict[int, int]:
+    """Map each reachable node to its immediate dominator.
+
+    The root maps to itself; nodes unreachable from the root are
+    absent from the result.
+    """
+    post = _postorder(succs, root)
+    rpo = list(reversed(post))
+    rpo_num = {node: i for i, node in enumerate(rpo)}
+    preds: Dict[int, List[int]] = {node: [] for node in rpo}
+    for node in rpo:
+        for succ in succs[node]:
+            if succ in rpo_num and node not in preds[succ]:
+                preds[succ].append(node)
+
+    idom: Dict[int, int] = {root: root}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while rpo_num[a] > rpo_num[b]:
+                a = idom[a]
+            while rpo_num[b] > rpo_num[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == root:
+                continue
+            new_idom: Optional[int] = None
+            for pred in preds[node]:
+                if pred not in idom:
+                    continue
+                new_idom = pred if new_idom is None else intersect(pred, new_idom)
+            if new_idom is not None and idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(idom: Dict[int, int], a: int, b: int) -> bool:
+    """Does node ``a`` dominate node ``b`` (per an ``idom`` map)?"""
+    node: Optional[int] = b
+    while node is not None:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        node = None if parent is None or parent == node else parent
+    return False
+
+
+def dominator_tree(cfg: CFG) -> Dict[int, int]:
+    """Immediate dominators of a CFG's blocks, rooted at its entry."""
+    succs = [[s for s, _ in b.succs if s != EXIT_BLOCK] for b in cfg.blocks]
+    return immediate_dominators(succs, cfg.entry_block)
+
+
+def postdominator_tree(cfg: CFG) -> Dict[int, int]:
+    """Immediate post-dominators, rooted at a virtual EXIT node.
+
+    The EXIT node is assigned id ``len(cfg.blocks)`` internally and
+    mapped back to :data:`~repro.analysis.cfg.EXIT_BLOCK` in the
+    result.  Blocks that cannot reach EXIT are absent.
+    """
+    n = len(cfg.blocks)
+    exit_id = n
+    rsuccs: List[List[int]] = [[] for _ in range(n + 1)]
+    for block in cfg.blocks:
+        for succ, _kind in block.succs:
+            node = exit_id if succ == EXIT_BLOCK else succ
+            if block.id not in rsuccs[node]:
+                rsuccs[node].append(block.id)
+    raw = immediate_dominators(rsuccs, exit_id)
+    out: Dict[int, int] = {}
+    for node, parent in raw.items():
+        key = EXIT_BLOCK if node == exit_id else node
+        out[key] = EXIT_BLOCK if parent == exit_id else parent
+    return out
+
+
+def natural_loops(cfg: CFG, idom: Dict[int, int]) -> Dict[int, FrozenSet[int]]:
+    """Natural loops as ``{header block -> body block set}``.
+
+    A back edge is ``latch -> header`` where the header dominates the
+    latch; the loop body is every block that can reach the latch
+    without passing through the header (plus both endpoints).  Loops
+    sharing a header are merged, as usual.
+    """
+    preds = cfg.preds()
+    loops: Dict[int, set] = {}
+    for block in cfg.blocks:
+        for succ, _kind in block.succs:
+            if succ == EXIT_BLOCK or succ not in idom:
+                continue
+            if block.id in idom and dominates(idom, succ, block.id):
+                header, latch = succ, block.id
+                body = loops.setdefault(header, {header})
+                stack = [latch]
+                while stack:
+                    node = stack.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    stack.extend(p for p in preds[node] if p not in body)
+    return {h: frozenset(b) for h, b in loops.items()}
+
+
+def back_edges(cfg: CFG, idom: Dict[int, int]) -> List[Tuple[int, int]]:
+    """All ``(latch, header)`` dominator back edges, in block order."""
+    out: List[Tuple[int, int]] = []
+    for block in cfg.blocks:
+        for succ, _kind in block.succs:
+            if succ == EXIT_BLOCK or succ not in idom or block.id not in idom:
+                continue
+            if dominates(idom, succ, block.id):
+                out.append((block.id, succ))
+    return out

@@ -1,0 +1,228 @@
+"""Register kill sets, must-define dataflow, and static reuse bounds.
+
+Two dataflow facts feed the recycling analysis, one per direction of
+approximation:
+
+* **May-define (kill) sets** — for each arm of a conditional branch,
+  the union of registers any intraprocedural path from the arm's start
+  to the reconvergence point *may* write.  An instruction after the
+  merge whose sources avoid the opposite arm's kill set is statically
+  guaranteed reusable, so counting such instructions gives an *upper
+  bound* on what the RU written-bit mechanism can ever deliver
+  (optimistic: callee bodies are not traversed, matching a best-case
+  calling convention).
+
+* **Must-define masks** — for the invariant cross-checker the question
+  is inverted: the hardware claims register ``s`` is *unchanged* from
+  fork to reuse point, which is impossible only if every path writes
+  it.  That is a forward must-analysis (meet = intersection) over the
+  *flow* successor relation, whose walks over-approximate every
+  believed execution path, making a "must-defined yet claimed
+  unchanged" report a genuine violation, never a false positive.
+
+Register sets are 64-bit masks over the unified logical register file
+(int 0-31, fp 32-63); r31/f31 write attempts are discarded by rename so
+they never appear as ``Instruction.dst``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+from ..isa.program import Program
+from ..isa.registers import NUM_LOGICAL_REGS
+from .cfg import CFG, EXIT_BLOCK
+
+#: Lattice top for must-define masks: "all registers written".
+ALL_REGS_MASK = (1 << NUM_LOGICAL_REGS) - 1
+
+
+def mask_to_regs(mask: int) -> FrozenSet[int]:
+    return frozenset(r for r in range(NUM_LOGICAL_REGS) if (mask >> r) & 1)
+
+
+def arm_may_defs(cfg: CFG, arm_start_idx: int, stop_block: Optional[int]) -> int:
+    """Registers any intraprocedural path from ``arm_start_idx`` may
+    write before entering ``stop_block`` (the reconvergence block).
+
+    Returns a register bitmask.  ``stop_block=None`` means no
+    reconvergence (collect to program exit).  Callee bodies are not
+    traversed (calls are fall-through edges), keeping the set a
+    best-case lower estimate of interference — hence an upper bound on
+    reuse.
+    """
+    program = cfg.program
+    start_block = cfg.block_of[arm_start_idx]
+    mask = 0
+    if start_block == stop_block:
+        return mask
+    seen = {start_block}
+    queue = [start_block]
+    first_start = arm_start_idx  # arm start is always a block leader, but be safe
+    while queue:
+        bid = queue.pop(0)
+        block = cfg.blocks[bid]
+        begin = max(block.start, first_start) if bid == start_block else block.start
+        for i in range(begin, block.end):
+            dst = program.instructions[i].dst
+            if dst is not None:
+                mask |= 1 << dst
+        for succ, _kind in block.succs:
+            if succ == EXIT_BLOCK or succ == stop_block or succ in seen:
+                continue
+            seen.add(succ)
+            queue.append(succ)
+    return mask
+
+
+def must_def_masks(
+    program: Program,
+    flow_succs: List[List[int]],
+    start_indices: List[int],
+) -> Dict[int, int]:
+    """Forward must-define analysis from a fork point.
+
+    ``start_indices`` are the instruction indices control may continue
+    at right after the fork branch (its static successors).  The result
+    maps each reachable instruction index to the IN mask: registers
+    written on *every* flow walk from a start to that instruction
+    (exclusive of the instruction's own write).  Unreachable indices
+    are absent — the checker treats those as "no information".
+    """
+    starts = [s for s in start_indices if 0 <= s < len(program.instructions)]
+    if not starts:
+        return {}
+    # Reachable subgraph first, so top values never leak into the meet.
+    reachable = set(starts)
+    queue = list(starts)
+    while queue:
+        i = queue.pop(0)
+        for s in flow_succs[i]:
+            if s not in reachable:
+                reachable.add(s)
+                queue.append(s)
+    preds: Dict[int, List[int]] = {i: [] for i in reachable}
+    for i in reachable:
+        for s in flow_succs[i]:
+            preds[s].append(i)
+
+    starts_set = set(starts)
+    in_mask = {i: ALL_REGS_MASK for i in reachable}
+    for s in starts_set:
+        # The zero-length walk ends here with nothing written, so a
+        # start's IN is bottom regardless of any loop back into it.
+        in_mask[s] = 0
+
+    def out_mask(i: int) -> int:
+        dst = program.instructions[i].dst
+        return in_mask[i] | (1 << dst) if dst is not None else in_mask[i]
+
+    worklist = sorted(reachable)
+    pending = set(worklist)
+    while worklist:
+        i = worklist.pop(0)
+        pending.discard(i)
+        if i in starts_set:
+            continue
+        new = ALL_REGS_MASK
+        for p in preds[i]:
+            new &= out_mask(p)
+        if not preds[i]:
+            new = 0
+        if new != in_mask[i]:
+            in_mask[i] = new
+            for s in flow_succs[i]:
+                if s in reachable and s not in pending:
+                    pending.add(s)
+                    worklist.append(s)
+    return in_mask
+
+
+@dataclass(frozen=True)
+class ReuseBound:
+    """Static reuse ceiling at one conditional branch."""
+
+    branch_pc: int
+    reconvergence_pc: int
+    window: int  # instructions examined after the merge
+    #: reusable-count if the *taken* arm executed (sources avoid the
+    #: fall-through arm's kill set), and vice versa.
+    reusable_after_taken: int
+    reusable_after_fall: int
+    fall_kills: FrozenSet[int]
+    taken_kills: FrozenSet[int]
+
+    @property
+    def best(self) -> int:
+        return max(self.reusable_after_taken, self.reusable_after_fall)
+
+
+def _window_indices(cfg: CFG, start_idx: int, window: int) -> List[int]:
+    """First ``window`` instruction indices on a BFS of blocks from the
+    merge point — a linearization of what the front end refetches."""
+    out: List[int] = []
+    start_block = cfg.block_of[start_idx]
+    seen = {start_block}
+    queue = [start_block]
+    while queue and len(out) < window:
+        bid = queue.pop(0)
+        block = cfg.blocks[bid]
+        begin = start_idx if bid == start_block and start_idx >= block.start else block.start
+        for i in range(begin, block.end):
+            out.append(i)
+            if len(out) >= window:
+                break
+        for succ, _kind in block.succs:
+            if succ != EXIT_BLOCK and succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return out
+
+
+def reuse_bound(
+    cfg: CFG,
+    branch_idx: int,
+    recon_idx: int,
+    window: int = 16,
+) -> ReuseBound:
+    """Static upper bound on RU reuse across one reconvergence point.
+
+    Counts, among the first ``window`` instructions at/after the merge,
+    those eligible for reuse (produce a register, not store/branch)
+    whose sources are untouched by the arm that *was* executed — the
+    mirror of the dynamic rule that reuses the *other* arm's results
+    when the written bits show no interference.
+    """
+    program = cfg.program
+    branch = program.instructions[branch_idx]
+    fall_idx = branch_idx + 1
+    tgt_idx = cfg.index_of(branch.target) if branch.target is not None else None
+    recon_block = cfg.block_of[recon_idx]
+    fall_kills = arm_may_defs(cfg, fall_idx, recon_block)
+    taken_kills = arm_may_defs(cfg, tgt_idx, recon_block) if tgt_idx is not None else 0
+
+    def count(kills: int) -> int:
+        total = 0
+        for i in _window_indices(cfg, recon_idx, window):
+            ins = program.instructions[i]
+            if ins.dst is None or ins.is_store or ins.is_branch:
+                continue
+            src_mask = 0
+            for s in ins.srcs:
+                src_mask |= 1 << s
+            if src_mask & kills == 0:
+                total += 1
+        return total
+
+    return ReuseBound(
+        branch_pc=cfg.pc_of(branch_idx),
+        reconvergence_pc=cfg.pc_of(recon_idx),
+        window=window,
+        # after the *taken* arm ran, results from the fall arm's shadow
+        # survive only if sources dodge what taken wrote — and symmetric.
+        reusable_after_taken=count(taken_kills),
+        reusable_after_fall=count(fall_kills),
+        fall_kills=mask_to_regs(fall_kills),
+        taken_kills=mask_to_regs(taken_kills),
+    )

@@ -13,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..analysis.branches import BranchClass, classify_transfer
+from ..analysis.cfg import CFG
+from ..analysis.dominators import dominator_tree
 from ..emulator.emulator import Emulator
 from ..isa.program import Program
 from .confidence import ConfidenceEstimator
@@ -31,6 +34,13 @@ class BranchProfile:
     low_confidence: int = 0
     would_fork_mispredicts: int = 0  # mispredicted AND flagged low-confidence
     static_sites: Dict[int, int] = field(default_factory=dict)
+    #: static branch-site counts per class — the same taxonomy
+    #: (forward / backward / loop-back / indirect) the analysis
+    #: subsystem reports, over *all* branch instructions
+    static_classes: Dict[BranchClass, int] = field(default_factory=dict)
+    #: dynamic conditional-branch executions, bucketed by the static
+    #: class of their site
+    dynamic_classes: Dict[BranchClass, int] = field(default_factory=dict)
 
     @property
     def accuracy(self) -> float:
@@ -66,6 +76,13 @@ class BranchProfile:
             return 0.0
         return self.dynamic_branches / self.instructions
 
+    def _class_note(self, counts: Dict[BranchClass, int]) -> str:
+        return "/".join(
+            f"{cls.value}={counts.get(cls, 0)}"
+            for cls in BranchClass
+            if counts.get(cls, 0)
+        ) or "none"
+
     def summary(self) -> str:
         return (
             f"{self.program}: {self.instructions} instrs, "
@@ -75,7 +92,9 @@ class BranchProfile:
             f"accuracy {100 * self.accuracy:.1f}%, "
             f"taken {100 * self.taken_rate:.1f}%, "
             f"low-confidence {100 * self.low_confidence_rate:.1f}%, "
-            f"coverage bound {100 * self.fork_coverage_bound:.1f}%"
+            f"coverage bound {100 * self.fork_coverage_bound:.1f}%, "
+            f"static [{self._class_note(self.static_classes)}], "
+            f"dynamic [{self._class_note(self.dynamic_classes)}]"
         )
 
 
@@ -91,6 +110,17 @@ def profile_branches(
     profile = BranchProfile(program=program.name)
     history = 0
     mask = pht_entries - 1
+
+    # Static classification with the shared analysis taxonomy, so this
+    # dynamic profile and `repro-sim analyze` label sites identically.
+    cfg = CFG(program)
+    idom = dominator_tree(cfg)
+    site_class: Dict[int, BranchClass] = {}
+    for i, ins in enumerate(program.instructions):
+        if ins.info.is_branch:
+            site_class[cfg.pc_of(i)] = classify_transfer(program, cfg, idom, i)
+    for cls in site_class.values():
+        profile.static_classes[cls] = profile.static_classes.get(cls, 0) + 1
 
     emulator = Emulator(program)
     while profile.instructions < max_instructions and not emulator.halted:
@@ -112,6 +142,9 @@ def profile_branches(
         if not correct and low_conf:
             profile.would_fork_mispredicts += 1
         profile.static_sites[rec.pc] = profile.static_sites.get(rec.pc, 0) + 1
+        cls = site_class.get(rec.pc)
+        if cls is not None:
+            profile.dynamic_classes[cls] = profile.dynamic_classes.get(cls, 0) + 1
         history = ((history << 1) | taken) & mask
     return profile
 

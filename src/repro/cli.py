@@ -8,6 +8,7 @@ Examples::
     repro-sim experiment fig3 --commit-target 2000
     repro-sim experiment table1 --jobs 4 --cache-dir .repro-cache
     repro-sim campaign paper --jobs 8
+    repro-sim analyze --workload compress --check
     repro-sim asm path/to/program.s --run
 """
 
@@ -197,6 +198,97 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    """Static analysis report, optionally cross-checked against a run."""
+    from .analysis.program import ProgramAnalysis
+
+    suite = WorkloadSuite()
+    names = args.workload or list(suite.names)
+    unknown = [n for n in names if n not in suite.names]
+    if unknown:
+        print(f"unknown workload(s) {unknown}; know {list(suite.names)}", file=sys.stderr)
+        return 2
+
+    analyses = {
+        name: ProgramAnalysis(suite.program(name), name=name) for name in names
+    }
+    reports = {}
+    results = {}
+    if args.check:
+        from .analysis.checker import check_spec
+
+        for name in names:
+            spec = RunSpec(
+                workload=(name,),
+                features=args.features,
+                commit_target=args.commit_target,
+            )
+            results[name], reports[name] = check_spec(spec, suite)
+
+    total_violations = sum(len(r.violations) for r in reports.values())
+
+    if args.json:
+        payload = {}
+        for name in names:
+            summary = analyses[name].summary(window=args.window)
+            entry = {
+                "static": {
+                    "instructions": summary.instructions,
+                    "blocks": summary.blocks,
+                    "edges": summary.edges,
+                    "loops": summary.loops,
+                    "branch_sites": summary.branch_sites,
+                    "cond_sites": summary.cond_sites,
+                    "classes": {
+                        cls.value: n for cls, n in summary.class_counts.items()
+                    },
+                    "merge_coverage_pct": round(summary.merge_coverage_pct, 2),
+                    "avg_kill_set_size": round(summary.avg_kill_set_size, 2),
+                    "reuse_ceiling_pct": round(summary.reuse_ceiling_pct, 2),
+                    "reuse_window": summary.reuse_window,
+                },
+            }
+            if name in reports:
+                entry["check"] = reports[name].to_dict()
+            payload[name] = entry
+        print(json.dumps(payload, indent=2))
+        return 1 if total_violations else 0
+
+    for name in names:
+        pa = analyses[name]
+        summary = pa.summary(window=args.window)
+        classes = ", ".join(
+            f"{cls.value}={n}" for cls, n in summary.class_counts.items() if n
+        )
+        print(
+            f"{name:<10s} blocks={summary.blocks:<3d} loops={summary.loops:<2d} "
+            f"cond={summary.cond_sites:<2d} merge-cov={summary.merge_coverage_pct:5.1f}% "
+            f"reuse-ceiling={summary.reuse_ceiling_pct:5.1f}% "
+            f"kill-size={summary.avg_kill_set_size:4.1f}  [{classes}]"
+        )
+        if args.detail:
+            print(pa.describe())
+        if name in reports:
+            report = reports[name]
+            result = results[name]
+            print(
+                f"           check: merges={report.merges_checked} "
+                f"agree={report.merge_agreement_pct:.1f}% "
+                f"reuses={report.reuses_checked} "
+                f"dyn-rec={result.stats.pct_recycled:.1f}% "
+                f"dyn-reuse={result.stats.pct_reused:.2f}% "
+                f"{'OK' if report.ok else 'VIOLATIONS'}"
+            )
+            for violation in report.violations:
+                print(f"           {violation}")
+    if args.check:
+        print(
+            f"cross-check: {total_violations} violation(s) across "
+            f"{len(names)} workload(s)"
+        )
+    return 1 if total_violations else 0
+
+
 def _cmd_profile(args) -> int:
     from .branch.analysis import profile_branches
 
@@ -335,6 +427,26 @@ def build_parser() -> argparse.ArgumentParser:
         cache_default=".repro-cache",
     )
 
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="static program analysis (CFG/reconvergence/reuse bounds), "
+             "optionally cross-checked against an instrumented run",
+    )
+    analyze_parser.add_argument("--workload", nargs="*", default=None,
+                                help="kernel name(s); default: all")
+    analyze_parser.add_argument("--window", type=int, default=16,
+                                help="reuse-ceiling lookahead (instructions)")
+    analyze_parser.add_argument("--detail", action="store_true",
+                                help="dump the per-branch site table")
+    analyze_parser.add_argument("--check", action="store_true",
+                                help="run the dynamic-invariant cross-checker")
+    analyze_parser.add_argument("--features", default="REC/RS/RU", choices=VARIANTS,
+                                help="feature set for --check runs")
+    analyze_parser.add_argument("--commit-target", type=int, default=1500,
+                                help="measurement window for --check runs")
+    analyze_parser.add_argument("--json", action="store_true",
+                                help="machine-readable output")
+
     profile_parser = sub.add_parser("profile", help="offline branch-behaviour profile")
     profile_parser.add_argument("--workload", nargs="*", default=None)
     profile_parser.add_argument("--iters", type=int, default=5000)
@@ -372,6 +484,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "campaign": _cmd_campaign,
+        "analyze": _cmd_analyze,
         "profile": _cmd_profile,
         "trace": _cmd_trace,
         "report": _cmd_report,

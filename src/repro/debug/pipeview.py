@@ -14,7 +14,7 @@ instructions have no fetch column — that is the whole point.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..pipeline.uop import Uop
 

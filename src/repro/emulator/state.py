@@ -7,10 +7,8 @@ from typing import List, Optional
 from ..isa.program import Program, STACK_TOP
 from ..isa.registers import (
     FP_BASE,
-    FP_ZERO_REG,
     NUM_LOGICAL_REGS,
     STACK_POINTER_REG,
-    ZERO_REG,
     is_zero,
 )
 from .memory import SparseMemory

@@ -125,7 +125,7 @@ class ResultCache:
             "schema": CACHE_SCHEMA,
             "key": key,
             "sim_version": self.sim_version,
-            "created": time.time(),
+            "created": time.time(),  # det-ok: informational metadata; never part of key or payload
             "job": job_to_payload(job) if job is not None else None,
             "payload": payload,
         }

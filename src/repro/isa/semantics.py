@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 import struct
-from typing import Optional, Tuple
+from typing import Tuple
 
 from .instruction import INSTRUCTION_BYTES, Instruction
 from .opcodes import Op

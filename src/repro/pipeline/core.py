@@ -411,9 +411,9 @@ class Core:
             if budget <= 0:
                 break
             budget = self._drain_stream(stream, budget)
-        for stream in list(self.streams.values()):
-            if stream.ended:
-                del self.streams[stream.dst_ctx]
+        for dst_ctx in sorted(self.streams):
+            if self.streams[dst_ctx].ended:
+                del self.streams[dst_ctx]
 
     def _rename_resources_ok(
         self, ctx: HardwareContext, instr: Instruction, needs_queue: bool
@@ -995,7 +995,7 @@ class Core:
             return False
         if ctx.id in self.streams:
             return False
-        return all(s.src_ctx != ctx.id for s in self.streams.values())
+        return all(s.src_ctx != ctx.id for s in self.streams.values())  # det-ok: order-independent predicate
 
     def _covering_alternate(self, uop: Uop) -> Optional[HardwareContext]:
         if uop.forked_ctx is None:

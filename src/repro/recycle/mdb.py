@@ -45,7 +45,7 @@ class MemoryDisambiguationBuffer:
 
     def record_store(self, address: int) -> None:
         """A store executed/retired: kill load entries matching its address."""
-        stale = [pc for pc, (addr, _) in self._table.items() if addr == address]
+        stale = [pc for pc, (addr, _) in self._table.items() if addr == address]  # det-ok: collects keys for deletion; order-independent
         for pc in stale:
             del self._table[pc]
             self.store_invalidations += 1

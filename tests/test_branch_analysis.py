@@ -1,6 +1,6 @@
 """Tests for offline branch profiling."""
 
-from repro.branch.analysis import BranchProfile, profile_branches, profile_suite
+from repro.branch.analysis import profile_branches, profile_suite
 from repro.isa import assemble
 from repro.workloads import WorkloadSuite
 

@@ -46,6 +46,15 @@ class TestParser:
         assert args.command == "campaign"
         assert args.names == ["paper"] and args.jobs == 2
 
+    def test_analyze_parses(self):
+        args = build_parser().parse_args(
+            ["analyze", "--workload", "compress", "--window", "8",
+             "--check", "--features", "REC/RS", "--detail"]
+        )
+        assert args.command == "analyze"
+        assert args.workload == ["compress"] and args.window == 8
+        assert args.check and args.features == "REC/RS" and args.detail
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -98,6 +107,55 @@ class TestTraceAndProfile:
         payload = json.loads(capsys.readouterr().out)
         assert payload["stats"]["committed"] >= 250
         assert payload["cached"] is False
+
+
+class TestAnalyzeCli:
+    def test_analyze_text(self, capsys):
+        assert main(["analyze", "--workload", "compress"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out and "merge-cov=" in out
+
+    def test_analyze_all_kernels_with_detail(self, capsys):
+        assert main(["analyze", "--detail"]) == 0
+        out = capsys.readouterr().out
+        # detail view includes the per-site branch table
+        assert "reconv=" in out and "li" in out and "tomcatv" in out
+
+    def test_analyze_json(self, capsys):
+        import json
+        rc = main(["analyze", "--workload", "vortex", "--window", "8", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        static = payload["vortex"]["static"]
+        assert static["cond_sites"] > 0
+        assert static["reuse_window"] == 8
+        assert 0.0 <= static["merge_coverage_pct"] <= 100.0
+        assert "check" not in payload["vortex"]
+
+    def test_analyze_check_clean(self, capsys):
+        rc = main([
+            "analyze", "--workload", "compress", "--check",
+            "--commit-target", "400",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "check: merges=" in out
+        assert "cross-check: 0 violation(s)" in out
+
+    def test_analyze_check_json(self, capsys):
+        import json
+        rc = main([
+            "analyze", "--workload", "vortex", "--check",
+            "--commit-target", "400", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        check = payload["vortex"]["check"]
+        assert check["ok"] is True and check["violations"] == []
+        assert check["merges_checked"] > 0
+
+    def test_analyze_unknown_workload(self, capsys):
+        assert main(["analyze", "--workload", "nope"]) == 2
 
 
 class TestOrchestrationCli:

@@ -8,7 +8,7 @@ tests with causal ones.
 
 from repro.debug import CoreTracer
 from repro.isa import assemble
-from repro.pipeline import Core, CtxState, Features, MachineConfig
+from repro.pipeline import Core, Features, MachineConfig
 from repro.pipeline.config import PolicyKind, RecyclePolicy
 
 

@@ -1,0 +1,100 @@
+"""Tests for the determinism lint (tools/lint_determinism.py).
+
+The lint is CI-enforced; these tests pin down its rules so a refactor
+of the tool can't silently stop catching what it is there to catch —
+and prove the shipped simulator core currently lints clean.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+TOOL = REPO / "tools" / "lint_determinism.py"
+
+
+def run_lint(*paths):
+    return subprocess.run(
+        [sys.executable, str(TOOL), *map(str, paths)],
+        capture_output=True, text=True, cwd=REPO,
+    )
+
+
+def test_default_targets_are_clean():
+    proc = run_lint()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_wall_clock_flagged(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nstart = time.time()\n")
+    proc = run_lint(bad)
+    assert proc.returncode == 1
+    assert "DET001" in proc.stdout and "time.time" in proc.stdout
+
+
+def test_module_global_random_flagged(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import random\n"
+        "x = random.random()\n"
+        "rng = random.Random()\n"
+        "ok = random.Random(42)\n"
+    )
+    proc = run_lint(bad)
+    assert proc.returncode == 1
+    flagged = [line for line in proc.stdout.splitlines() if "DET002" in line]
+    assert len(flagged) == 2  # the seeded Random(42) is fine
+
+
+def test_dict_view_iteration_flagged(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "d = {1: 2}\n"
+        "for k in d.keys():\n"
+        "    pass\n"
+        "xs = [v for v in d.values()]\n"
+        "ys = list({1, 2, 3})\n"
+        "for y in ys:\n"  # iterating a materialized list variable is fine
+        "    pass\n"
+        "for k in sorted(d.keys()):\n"  # sorted() launders the order
+        "    pass\n"
+    )
+    proc = run_lint(bad)
+    assert proc.returncode == 1
+    flagged = [line for line in proc.stdout.splitlines() if "DET003" in line]
+    assert len(flagged) == 2
+
+
+def test_list_wrapper_does_not_launder(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("d = {}\nfor k in list(d.keys()):\n    pass\n")
+    proc = run_lint(bad)
+    assert proc.returncode == 1 and "DET003" in proc.stdout
+
+
+def test_det_ok_suppression_requires_reason(tmp_path):
+    src = tmp_path / "mixed.py"
+    src.write_text(
+        "import time\n"
+        "a = time.time()  # det-ok: informational only\n"
+        "b = time.time()  # det-ok:\n"
+    )
+    proc = run_lint(src)
+    # the justified line is exempt, the empty-reason one is not
+    assert proc.returncode == 1
+    assert proc.stdout.count("DET001") == 1
+    assert ":3:" in proc.stdout
+
+
+def test_missing_path_is_an_error(tmp_path):
+    proc = run_lint(tmp_path / "no_such_dir")
+    assert proc.returncode == 2
+
+
+@pytest.mark.parametrize("target", ["src/repro/pipeline", "src/repro/recycle"])
+def test_individual_targets_clean(target):
+    proc = run_lint(REPO / target)
+    assert proc.returncode == 0, proc.stdout

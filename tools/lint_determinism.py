@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""AST-based determinism lint for the simulator's hot core.
+
+Simulation results must be bit-identical across runs, Python versions
+and processes — the result cache, the resume journal and every
+regression test depend on it.  This lint statically bans the three
+classic ways nondeterminism sneaks in:
+
+``DET001`` wall-clock reads
+    ``time.time`` / ``time.time_ns`` / ``time.perf_counter`` /
+    ``time.monotonic`` / ``datetime.now`` / ``datetime.utcnow``.
+
+``DET002`` unseeded randomness
+    any call through the module-global ``random.*`` API, and
+    ``random.Random()`` without an explicit seed argument.
+
+``DET003`` order-dependent iteration
+    ``for`` loops and comprehensions iterating directly over a set
+    literal/constructor/comprehension or over ``.keys()`` /
+    ``.values()`` / ``.items()`` — including through a ``list()`` /
+    ``tuple()`` wrapper — unless wrapped in ``sorted()``.  Dict
+    iteration order is insertion order, which is deterministic *per
+    process* but fragile under refactoring; the core must not depend
+    on it.
+
+A line may be exempted with an inline justification comment::
+
+    stale = [k for k, v in table.items() if ...]  # det-ok: order-independent
+
+Every suppression must carry a reason after ``det-ok:``.
+
+Usage::
+
+    python tools/lint_determinism.py            # lint the default targets
+    python tools/lint_determinism.py PATH...    # lint specific files/dirs
+
+Exit status is 1 if any violation is found, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, NamedTuple
+
+#: Directories/files whose determinism the simulator's results rest on.
+DEFAULT_TARGETS = (
+    "src/repro/pipeline",
+    "src/repro/recycle",
+    "src/repro/exec/cache.py",
+)
+
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+}
+
+_DICT_VIEWS = {"keys", "values", "items"}
+
+
+class Violation(NamedTuple):
+    path: Path
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _suppressed_lines(source: str) -> set:
+    """Line numbers carrying a ``# det-ok: <reason>`` justification."""
+    out = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "det-ok:" in text and text.split("det-ok:", 1)[1].strip():
+            out.add(lineno)
+    return out
+
+
+def _dotted_call(node: ast.AST) -> tuple:
+    """``(base, attr)`` for a ``base.attr(...)`` call, else ``(None, None)``."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+    ):
+        return node.func.value.id, node.func.attr
+    return None, None
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _is_dict_view(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _DICT_VIEWS
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _unwrap_sequencing(node: ast.AST) -> ast.AST:
+    """Strip ``list(...)``/``tuple(...)``/``reversed(...)`` wrappers —
+    they preserve the underlying order, so the hazard remains."""
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "tuple", "reversed")
+        and len(node.args) == 1
+    ):
+        node = node.args[0]
+    return node
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: Path, suppressed: set):
+        self.path = path
+        self.suppressed = suppressed
+        self.violations: List[Violation] = []
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if lineno in self.suppressed:
+            return
+        self.violations.append(Violation(self.path, lineno, code, message))
+
+    # -- DET001 / DET002: calls ----------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        base, attr = _dotted_call(node)
+        if (base, attr) in _WALL_CLOCK:
+            self._flag(node, "DET001", f"wall-clock read {base}.{attr}()")
+        elif base == "random":
+            if attr == "Random":
+                if not node.args and not node.keywords:
+                    self._flag(
+                        node, "DET002",
+                        "random.Random() without an explicit seed",
+                    )
+            else:
+                self._flag(
+                    node, "DET002",
+                    f"module-global random.{attr}() (use a seeded "
+                    f"random.Random instance)",
+                )
+        self.generic_visit(node)
+
+    # -- DET003: iteration order ---------------------------------------
+    def _check_iter(self, node: ast.AST, context: str) -> None:
+        inner = _unwrap_sequencing(node)
+        if _is_set_expr(inner):
+            self._flag(
+                node, "DET003",
+                f"{context} iterates over a set (order is salted per "
+                f"process); sort or use an ordered container",
+            )
+        elif _is_dict_view(inner):
+            attr = inner.func.attr  # type: ignore
+            self._flag(
+                node, "DET003",
+                f"{context} iterates over .{attr}() directly; wrap in "
+                f"sorted(...) or justify with '# det-ok: <reason>'",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter, "async for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter, "comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+def lint_file(path: Path) -> List[Violation]:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 0, "DET000", f"syntax error: {exc.msg}")]
+    checker = _Checker(path, _suppressed_lines(source))
+    checker.visit(tree)
+    return checker.violations
+
+
+def lint_paths(paths: Iterable[str]) -> List[Violation]:
+    violations: List[Violation] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files = [path]
+        else:
+            continue
+        for file in files:
+            violations.extend(lint_file(file))
+    return sorted(violations, key=lambda v: (str(v.path), v.line))
+
+
+def main(argv: List[str]) -> int:
+    targets = argv or list(DEFAULT_TARGETS)
+    missing = [t for t in targets if not Path(t).exists()]
+    if missing:
+        print(f"lint_determinism: no such path(s): {missing}", file=sys.stderr)
+        return 2
+    violations = lint_paths(targets)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"{len(violations)} determinism violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
