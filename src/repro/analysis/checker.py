@@ -2,9 +2,10 @@
 
 The recycling pipeline discovers merge points and unchanged operands
 dynamically (first-PC tables, backward-branch targets, the written-bit
-array).  This module instruments a live :class:`~repro.pipeline.core.Core`
-— the same method-wrapping technique as :class:`repro.debug.tracer.CoreTracer`
-— and checks every dynamic event against its static counterpart:
+array).  This module observes a live :class:`~repro.pipeline.core.Core`
+by subscribing to its typed event bus (:mod:`repro.pipeline.events` —
+the same mechanism :class:`repro.debug.tracer.CoreTracer` uses) and
+checks every dynamic event against its static counterpart:
 
 ``M1 off-text merge``
     every merge/respawn PC must map to a program instruction;
@@ -167,63 +168,63 @@ class CrossChecker:
         self._install()
 
     # ------------------------------------------------------------------
-    # Instrumentation
+    # Instrumentation (event-bus subscriptions)
     # ------------------------------------------------------------------
     def _install(self) -> None:
-        core = self.core
-        orig_open = core._open_stream
-        orig_respawn = core._respawn
-        orig_reuse = core._rename_reused
+        from ..pipeline.events import Respawned, Reused, StreamOpened
 
-        def open_stream(dst, src, mp, kind):
-            stream = orig_open(dst, src, mp, kind)
-            if stream is not None:
-                fork_pc = self._fork_pc_of(src) if kind is StreamKind.ALTERNATE else None
-                self._stream_forks[id(stream)] = fork_pc
-                self.merge_events.append(MergeEvent(
-                    cycle=core.cycle,
-                    instance_id=dst.instance.id,
-                    instance_name=dst.instance.name,
-                    kind=kind.name.lower(),
-                    merge_pc=mp.pc,
-                    fork_pc=fork_pc,
-                    dst_ctx=dst.id,
-                    src_ctx=src.id,
-                ))
-            return stream
+        self._unsubscribers = self.core.bus.subscribe_many({
+            StreamOpened: self._on_stream_opened,
+            Respawned: self._on_respawned,
+            Reused: self._on_reused,
+        })
 
-        def respawn(parent, branch, existing, alt_pc):
-            self.merge_events.append(MergeEvent(
-                cycle=core.cycle,
-                instance_id=parent.instance.id,
-                instance_name=parent.instance.name,
-                kind="respawn",
-                merge_pc=alt_pc,
-                fork_pc=branch.pc,
-                dst_ctx=existing.id,
-                src_ctx=parent.id,
-            ))
-            return orig_respawn(parent, branch, existing, alt_pc)
+    def detach(self) -> None:
+        """Stop observing; recorded events stay available for verify()."""
+        for unsub in self._unsubscribers:
+            unsub()
+        self._unsubscribers = []
 
-        def rename_reused(dst, src, src_uop, entry, stream):
-            consistent = frozenset(stream.consistent_writes)
-            uop = orig_reuse(dst, src, src_uop, entry, stream)
-            self.reuse_events.append(ReuseEvent(
-                cycle=core.cycle,
-                instance_id=dst.instance.id,
-                instance_name=dst.instance.name,
-                reuse_pc=entry.pc,
-                srcs=tuple(src_uop.instr.srcs),
-                consistent=consistent,
-                fork_pc=self._stream_forks.get(id(stream)),
-                dst_ctx=dst.id,
-                src_ctx=src.id,
-            ))
-            return uop
+    def _on_stream_opened(self, ev) -> None:
+        fork_pc = (
+            self._fork_pc_of(ev.src) if ev.kind is StreamKind.ALTERNATE else None
+        )
+        self._stream_forks[id(ev.stream)] = fork_pc
+        self.merge_events.append(MergeEvent(
+            cycle=ev.cycle,
+            instance_id=ev.dst.instance.id,
+            instance_name=ev.dst.instance.name,
+            kind=ev.kind.name.lower(),
+            merge_pc=ev.merge_pc,
+            fork_pc=fork_pc,
+            dst_ctx=ev.dst.id,
+            src_ctx=ev.src.id,
+        ))
 
-        core._open_stream = open_stream  # type: ignore
-        core._respawn = respawn  # type: ignore
-        core._rename_reused = rename_reused  # type: ignore
+    def _on_respawned(self, ev) -> None:
+        self.merge_events.append(MergeEvent(
+            cycle=ev.cycle,
+            instance_id=ev.parent.instance.id,
+            instance_name=ev.parent.instance.name,
+            kind="respawn",
+            merge_pc=ev.alt_pc,
+            fork_pc=ev.branch.pc,
+            dst_ctx=ev.ctx.id,
+            src_ctx=ev.parent.id,
+        ))
+
+    def _on_reused(self, ev) -> None:
+        self.reuse_events.append(ReuseEvent(
+            cycle=ev.cycle,
+            instance_id=ev.dst.instance.id,
+            instance_name=ev.dst.instance.name,
+            reuse_pc=ev.pc,
+            srcs=ev.srcs,
+            consistent=ev.consistent,
+            fork_pc=self._stream_forks.get(id(ev.stream)),
+            dst_ctx=ev.dst.id,
+            src_ctx=ev.src.id,
+        ))
 
     @staticmethod
     def _fork_pc_of(src) -> Optional[int]:

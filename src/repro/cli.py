@@ -9,6 +9,7 @@ Examples::
     repro-sim experiment table1 --jobs 4 --cache-dir .repro-cache
     repro-sim campaign paper --jobs 8
     repro-sim analyze --workload compress --check
+    repro-sim profile --workload compress -o BENCH_core.json
     repro-sim asm path/to/program.s --run
 """
 
@@ -290,6 +291,25 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_profile(args) -> int:
+    """Per-stage simulator wall-time profile → BENCH_core.json."""
+    from .sim.profiler import format_profile, profile_spec, write_bench
+
+    spec = RunSpec(
+        workload=tuple(args.workload),
+        machine=args.machine,
+        features=args.features,
+        commit_target=args.commit_target,
+        max_cycles=args.max_cycles,
+    )
+    payload = profile_spec(spec)
+    print(format_profile(payload))
+    if args.output:
+        path = write_bench(payload, args.output)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_profile_branches(args) -> int:
     from .branch.analysis import profile_branches
 
     suite = WorkloadSuite(iters=args.iters)
@@ -447,10 +467,25 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument("--json", action="store_true",
                                 help="machine-readable output")
 
-    profile_parser = sub.add_parser("profile", help="offline branch-behaviour profile")
-    profile_parser.add_argument("--workload", nargs="*", default=None)
-    profile_parser.add_argument("--iters", type=int, default=5000)
-    profile_parser.add_argument("--max-instructions", type=int, default=25_000)
+    profile_parser = sub.add_parser(
+        "profile",
+        help="profile the simulator: per-stage wall time and cycles/sec",
+    )
+    profile_parser.add_argument("--workload", nargs="+", required=True,
+                                help="kernel name(s) to simulate under the profiler")
+    profile_parser.add_argument("--machine", default="big.2.16", choices=MACHINES)
+    profile_parser.add_argument("--features", default="REC/RS/RU", choices=VARIANTS)
+    profile_parser.add_argument("--commit-target", type=int, default=3000)
+    profile_parser.add_argument("--max-cycles", type=int, default=2_000_000)
+    profile_parser.add_argument("--output", "-o", default="BENCH_core.json",
+                                help="benchmark JSON path ('' to skip writing)")
+
+    pbranch_parser = sub.add_parser(
+        "profile-branches", help="offline branch-behaviour profile"
+    )
+    pbranch_parser.add_argument("--workload", nargs="*", default=None)
+    pbranch_parser.add_argument("--iters", type=int, default=5000)
+    pbranch_parser.add_argument("--max-instructions", type=int, default=25_000)
 
     report_parser = sub.add_parser("report", help="generate a markdown results report")
     report_parser.add_argument("--commit-target", type=int, default=1500)
@@ -486,6 +521,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "analyze": _cmd_analyze,
         "profile": _cmd_profile,
+        "profile-branches": _cmd_profile_branches,
         "trace": _cmd_trace,
         "report": _cmd_report,
         "asm": _cmd_asm,

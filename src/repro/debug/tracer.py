@@ -1,30 +1,33 @@
 """Non-intrusive pipeline tracing.
 
-``CoreTracer`` instruments a :class:`~repro.pipeline.core.Core` by
-wrapping its stage methods, recording a structured event stream —
-fetch blocks, renames, issues, completions, commits, squashes, forks,
-primaryship swaps, and recycle-stream lifecycles — without the core
-paying any cost when tracing is off.
+``CoreTracer`` observes a :class:`~repro.pipeline.core.Core` by
+subscribing to its typed event bus (:mod:`repro.pipeline.events`),
+recording a structured event stream — fetch blocks, renames, issues,
+completions, commits, squashes, forks, primaryship swaps, and
+recycle-stream lifecycles.  Only the requested kinds are subscribed,
+so the core pays nothing for kinds the tracer is not watching (and
+nothing at all once :meth:`CoreTracer.detach` runs).
 
 Typical use::
 
     core = Core(config)
     core.load(programs)
-    tracer = CoreTracer(core, kinds={"commit", "swap", "stream"})
+    tracer = CoreTracer(core, kinds={"commit", "swap", "stream_end"})
     core.run(max_cycles=...)
     for event in tracer.events:
         print(event)
 
-Events are lightweight tuples (cycle, kind, payload dict).  The tracer
+Events are lightweight records (cycle, kind, payload dict).  The tracer
 also exposes filtered views and simple summaries used by the pipeline
 viewer and by debugging sessions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Type
 
+from ..pipeline import events as ev
 from ..pipeline.core import Core
 from ..pipeline.uop import Uop
 
@@ -66,7 +69,7 @@ def _uop_info(uop: Uop) -> Dict:
 
 
 class CoreTracer:
-    """Wraps a core's stage methods and records an event stream."""
+    """Subscribes to a core's event bus and records an event stream."""
 
     def __init__(
         self,
@@ -85,88 +88,114 @@ class CoreTracer:
         self.events: List[TraceEvent] = []
         #: Committed uops in commit order (for the pipeline viewer).
         self.committed_uops: List[Uop] = []
+        self._unsubscribers: List[Callable[[], None]] = []
         self._install()
 
     # ------------------------------------------------------------------
-    def _emit(self, kind: str, info: Dict) -> None:
-        if kind in self.kinds and len(self.events) < self.max_events:
-            self.events.append(TraceEvent(self.core.cycle, kind, info))
-
-    def _wrap(self, name: str, after: Callable) -> None:
-        original = getattr(self.core, name)
-
-        def wrapper(*args, **kwargs):
-            result = original(*args, **kwargs)
-            after(result, *args, **kwargs)
-            return result
-
-        setattr(self.core, name, wrapper)
+    def _emit(self, cycle: int, kind: str, info: Dict) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(TraceEvent(cycle, kind, info))
 
     def _install(self) -> None:
-        self._wrap("_fetch_block", self._after_fetch_block)
-        self._wrap("_rename_one", self._after_rename)
-        self._wrap("_rename_reused", self._after_rename_reused)
-        self._wrap("_execute", self._after_execute)
-        self._wrap("_retire", self._after_retire)
-        self._wrap("_squash_uop", self._after_squash)
-        self._wrap("_spawn", self._after_spawn)
-        self._wrap("_respawn", self._after_respawn)
-        self._wrap("_swap_primaryship", self._after_swap)
-        self._wrap("_open_stream", self._after_open_stream)
-        self._wrap("_end_stream", self._after_end_stream)
+        handlers: Dict[str, Tuple[Type[ev.Event], Callable]] = {
+            "fetch": (ev.FetchBlock, self._on_fetch),
+            "rename": (ev.Renamed, self._on_rename),
+            "issue": (ev.Issued, self._on_issue),
+            "complete": (ev.Completed, self._on_complete),
+            "commit": (ev.Retired, self._on_retire),
+            "squash": (ev.Squashed, self._on_squash),
+            "fork": (ev.Forked, self._on_fork),
+            "respawn": (ev.Respawned, self._on_respawn),
+            "swap": (ev.PrimarySwapped, self._on_swap),
+            "stream_open": (ev.StreamOpened, self._on_stream_open),
+            "stream_end": (ev.StreamEnded, self._on_stream_end),
+        }
+        bus = self.core.bus
+        for kind in sorted(self.kinds):
+            etype, handler = handlers[kind]
+            self._unsubscribers.append(bus.subscribe(etype, handler))
+        if self.keep_uops and "commit" not in self.kinds:
+            # The viewer needs committed uops even when commit events
+            # are filtered out of the textual stream.
+            self._unsubscribers.append(bus.subscribe(ev.Retired, self._collect_uop))
+
+    def detach(self) -> None:
+        """Unsubscribe from the bus; recorded events stay available."""
+        for unsub in self._unsubscribers:
+            unsub()
+        self._unsubscribers = []
 
     # ------------------------------------------------------------------
-    def _after_fetch_block(self, count, ctx, budget) -> None:
-        if count:
-            self._emit("fetch", {"ctx": ctx.id, "count": count, "next_pc": hex(ctx.pc)})
+    def _on_fetch(self, e: ev.FetchBlock) -> None:
+        self._emit(
+            e.cycle,
+            "fetch",
+            {"ctx": e.ctx.id, "count": e.count, "next_pc": hex(e.next_pc)},
+        )
 
-    def _after_rename(self, uop, *args, **kwargs) -> None:
-        self._emit("rename", _uop_info(uop))
+    def _on_rename(self, e: ev.Renamed) -> None:
+        self._emit(e.cycle, "rename", _uop_info(e.uop))
 
-    def _after_rename_reused(self, uop, *args, **kwargs) -> None:
-        self._emit("rename", _uop_info(uop))
+    def _on_issue(self, e: ev.Issued) -> None:
+        uop = e.uop
+        self._emit(
+            e.cycle, "issue", {"seq": uop.seq, "ctx": uop.ctx, "pc": hex(uop.pc)}
+        )
 
-    def _after_execute(self, _result, uop) -> None:
-        self._emit("issue", {"seq": uop.seq, "ctx": uop.ctx, "pc": hex(uop.pc)})
+    def _on_complete(self, e: ev.Completed) -> None:
+        uop = e.uop
+        self._emit(
+            e.cycle, "complete", {"seq": uop.seq, "ctx": uop.ctx, "pc": hex(uop.pc)}
+        )
 
-    def _after_retire(self, _result, instance, ctx, uop) -> None:
-        self._emit("commit", _uop_info(uop))
+    def _on_retire(self, e: ev.Retired) -> None:
+        self._emit(e.cycle, "commit", _uop_info(e.uop))
+        self._collect_uop(e)
+
+    def _collect_uop(self, e: ev.Retired) -> None:
         if self.keep_uops and len(self.committed_uops) < self.max_events:
-            self.committed_uops.append(uop)
+            self.committed_uops.append(e.uop)
 
-    def _after_squash(self, _result, uop) -> None:
-        self._emit("squash", {"seq": uop.seq, "ctx": uop.ctx, "pc": hex(uop.pc)})
-
-    def _after_spawn(self, _result, parent, branch, spare, alt_pc) -> None:
+    def _on_squash(self, e: ev.Squashed) -> None:
+        uop = e.uop
         self._emit(
+            e.cycle, "squash", {"seq": uop.seq, "ctx": uop.ctx, "pc": hex(uop.pc)}
+        )
+
+    def _on_fork(self, e: ev.Forked) -> None:
+        self._emit(
+            e.cycle,
             "fork",
-            {"parent": parent.id, "spare": spare.id, "branch": hex(branch.pc),
-             "alt_pc": hex(alt_pc)},
+            {"parent": e.parent.id, "spare": e.spare.id,
+             "branch": hex(e.branch.pc), "alt_pc": hex(e.alt_pc)},
         )
 
-    def _after_respawn(self, _result, parent, branch, existing, alt_pc) -> None:
+    def _on_respawn(self, e: ev.Respawned) -> None:
         self._emit(
+            e.cycle,
             "respawn",
-            {"parent": parent.id, "ctx": existing.id, "alt_pc": hex(alt_pc)},
+            {"parent": e.parent.id, "ctx": e.ctx.id, "alt_pc": hex(e.alt_pc)},
         )
 
-    def _after_swap(self, _result, old, branch, alt) -> None:
+    def _on_swap(self, e: ev.PrimarySwapped) -> None:
         self._emit(
-            "swap", {"old": old.id, "new": alt.id, "branch": hex(branch.pc)}
+            e.cycle, "swap",
+            {"old": e.old.id, "new": e.new.id, "branch": hex(e.branch.pc)},
         )
 
-    def _after_open_stream(self, stream, dst, src, mp, kind) -> None:
-        if stream is not None:
-            self._emit(
-                "stream_open",
-                {"dst": dst.id, "src": src.id, "kind": kind.value,
-                 "pc": hex(mp.pc), "len": len(stream.entries)},
-            )
-
-    def _after_end_stream(self, _result, stream, dst, reason) -> None:
+    def _on_stream_open(self, e: ev.StreamOpened) -> None:
         self._emit(
+            e.cycle,
+            "stream_open",
+            {"dst": e.dst.id, "src": e.src.id, "kind": e.kind.value,
+             "pc": hex(e.merge_pc), "len": e.length},
+        )
+
+    def _on_stream_end(self, e: ev.StreamEnded) -> None:
+        self._emit(
+            e.cycle,
             "stream_end",
-            {"dst": dst.id, "reason": reason, "delivered": stream.index},
+            {"dst": e.dst.id, "reason": e.reason, "delivered": e.delivered},
         )
 
     # ------------------------------------------------------------------

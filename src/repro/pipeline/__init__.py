@@ -4,6 +4,7 @@ from .active_list import ActiveList
 from .config import Features, MachineConfig, PolicyKind, RecyclePolicy
 from .context import CtxState, HardwareContext
 from .core import Core, SimulationError
+from .events import ALL_EVENT_TYPES, Event, EventBus
 from .instance import ProgramInstance
 from .queues import FunctionalUnits, InstructionQueue
 from .regfile import OutOfRegistersError, PhysicalRegisterFile
@@ -20,6 +21,9 @@ __all__ = [
     "HardwareContext",
     "Core",
     "SimulationError",
+    "ALL_EVENT_TYPES",
+    "Event",
+    "EventBus",
     "ProgramInstance",
     "FunctionalUnits",
     "InstructionQueue",

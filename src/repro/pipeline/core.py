@@ -1,4 +1,4 @@
-"""The SMT/TME/Recycle processor core.
+"""The SMT/TME/Recycle processor core — facade over the stage modules.
 
 A cycle-stepped, execution-driven model of the paper's machine: each
 cycle runs commit → completion → issue → rename → fetch (reverse stage
@@ -7,97 +7,139 @@ for real on the shared physical register file — wrong paths execute,
 stores drain at commit, and every architectural commit is cross-checked
 against a golden functional emulator.
 
-The TME and recycling behaviour (Sections 2-3) lives here:
+The stage logic lives in :mod:`repro.pipeline.stages` (one module per
+stage, sharing an explicit :class:`~repro.pipeline.stages.CoreState`),
+and observers subscribe to the typed event bus in
+:mod:`repro.pipeline.events` instead of monkey-patching methods.
+:class:`Core` remains the public API: it owns the state, steps the
+stages, and keeps the historical ``_method`` names as thin delegators.
+Those delegators are deliberate — they are the single
+patch/observation point for tests (fault injection replaces
+``core._execute`` et al.), and routing every cross-stage call through
+them keeps instance-level patching effective after the split.
+
+The TME and recycling behaviour (Sections 2-3):
 
 * confidence-gated forking of primary-thread branches into spare
-  contexts, with map duplication and path-history forking;
+  contexts, with map duplication and path-history forking
+  (:mod:`~repro.pipeline.stages.fork`);
 * resolution: correctly-predicted forks deactivate their alternate into
   a recyclable *inactive* context; mispredicted forks swap primaryship
-  and thread the architectural commit stream across contexts;
+  and thread the architectural commit stream across contexts
+  (:mod:`~repro.pipeline.stages.resolve`);
 * merge-point detection at fetch (first-PC of spare traces, own
-  backward-branch targets) opening recycle streams into rename;
+  backward-branch targets) opening recycle streams into rename
+  (:mod:`~repro.pipeline.stages.fetch`);
 * instruction reuse via the written-bit array + MDB, implemented as
-  re-installing the old physical mapping;
-* re-spawning of inactive traces through the recycle datapath.
+  re-installing the old physical mapping, and re-spawning of inactive
+  traces through the recycle datapath
+  (:mod:`~repro.pipeline.stages.rename`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from ..branch.predictor import BranchPredictor
-from ..emulator.emulator import EmulationError
-from ..isa import semantics
-from ..isa.instruction import INSTRUCTION_BYTES, Instruction
-from ..isa.opcodes import FuClass, Op
 from ..isa.program import Program, STACK_TOP
-from ..isa.registers import FP_BASE, NUM_LOGICAL_REGS, STACK_POINTER_REG
-from ..memory.hierarchy import MemoryHierarchy
-from ..recycle.stream import RecycleStream, StreamKind, TraceEntry
+from ..isa.registers import FP_BASE, STACK_POINTER_REG
 from ..stats.counters import SimStats
-from ..stats.utilization import UtilizationStats
 from ..tme.partition import Partition
-from .config import MachineConfig, PolicyKind
-from .context import CtxState, FetchedInstr, HardwareContext, MergePoint
+from .config import MachineConfig
+from .context import CtxState, HardwareContext
 from .instance import ProgramInstance
-from .queues import FunctionalUnits, InstructionQueue
-from .regfile import PhysicalRegisterFile
-from .uop import Uop, UopState
+from .stages import (
+    CommitStage,
+    CoreState,
+    FetchStage,
+    ForkUnit,
+    IssueStage,
+    RenameStage,
+    ResolveStage,
+    SimulationError,
+)
+from .stages.commit import _values_equal  # noqa: F401  (re-export for tests)
 
-
-class SimulationError(RuntimeError):
-    """An internal inconsistency (golden-model mismatch, deadlock, ...)."""
-
-
-def _values_equal(a, b) -> bool:
-    """Architectural value equality; NaN compares equal to NaN."""
-    if a == b:
-        return True
-    return (
-        isinstance(a, float)
-        and isinstance(b, float)
-        and a != a
-        and b != b
-    )
+__all__ = ["Core", "SimulationError"]
 
 
 class Core:
     def __init__(self, config: Optional[MachineConfig] = None):
-        self.config = config or MachineConfig()
-        cfg = self.config
-        nregs = cfg.phys_regs_per_file()
-        self.regfile = PhysicalRegisterFile(nregs, nregs)
-        self.contexts = [
-            HardwareContext(i, self.regfile, cfg.active_list_size)
-            for i in range(cfg.num_contexts)
-        ]
-        self.int_queue = InstructionQueue("int", cfg.int_queue_size)
-        self.fp_queue = InstructionQueue("fp", cfg.fp_queue_size)
-        self.fus = FunctionalUnits(cfg.int_units, cfg.fp_units, cfg.ldst_ports)
-        self.hierarchy = MemoryHierarchy(cfg.hierarchy)
-        self.predictor = BranchPredictor(
-            num_contexts=cfg.num_contexts,
-            pht_entries=cfg.pht_entries,
-            btb_entries=cfg.btb_entries,
-            btb_assoc=cfg.btb_assoc,
-            ras_entries=cfg.ras_entries,
-            confidence_entries=cfg.confidence_entries,
-            confidence_threshold=cfg.confidence_threshold,
-            confidence_kind=cfg.confidence_kind,
-        )
-        self.instances: List[ProgramInstance] = []
-        self.partitions: List[Partition] = []
-        self.stats = SimStats()
-        self.util = UtilizationStats.for_machine(
-            cfg.fetch_total, cfg.rename_width, cfg.int_units + cfg.fp_units,
-            cfg.commit_width,
-        )
-        self._issued_this_cycle = 0
-        self.cycle = 0
-        self._completions: Dict[int, List[Uop]] = {}
-        #: One active recycle stream per destination context.
-        self.streams: Dict[int, RecycleStream] = {}
-        self._last_commit_cycle = 0
+        self.state = CoreState(config)
+        self.fetch = FetchStage(self)
+        self.rename = RenameStage(self)
+        self.forker = ForkUnit(self)
+        self.issue = IssueStage(self)
+        self.resolve = ResolveStage(self)
+        self.commit = CommitStage(self)
+        self._profiler = None
+        # Imported lazily: stats.recorder subscribes to pipeline.events,
+        # and importing it at module scope would cycle back into here.
+        from ..stats.recorder import StatsRecorder
+
+        self.stats_recorder = StatsRecorder(self.state.stats, self.state.bus)
+
+    # ------------------------------------------------------------------
+    # Shared state, exposed under the historical attribute names
+    # ------------------------------------------------------------------
+    @property
+    def config(self):
+        return self.state.config
+
+    @property
+    def regfile(self):
+        return self.state.regfile
+
+    @property
+    def contexts(self):
+        return self.state.contexts
+
+    @property
+    def int_queue(self):
+        return self.state.int_queue
+
+    @property
+    def fp_queue(self):
+        return self.state.fp_queue
+
+    @property
+    def fus(self):
+        return self.state.fus
+
+    @property
+    def hierarchy(self):
+        return self.state.hierarchy
+
+    @property
+    def predictor(self):
+        return self.state.predictor
+
+    @property
+    def instances(self):
+        return self.state.instances
+
+    @property
+    def partitions(self):
+        return self.state.partitions
+
+    @property
+    def stats(self):
+        return self.state.stats
+
+    @property
+    def util(self):
+        return self.state.util
+
+    @property
+    def streams(self):
+        return self.state.streams
+
+    @property
+    def bus(self):
+        return self.state.bus
+
+    @property
+    def cycle(self):
+        return self.state.cycle
 
     # ==================================================================
     # Workload loading
@@ -138,13 +180,14 @@ class Core:
     # ==================================================================
     def run(self, max_cycles: int = 1_000_000, deadlock_limit: int = 20_000) -> SimStats:
         """Simulate until every instance reaches its commit target/halts."""
-        while self.cycle < max_cycles:
+        state = self.state
+        while state.cycle < max_cycles:
             if all(inst.halted or inst.reached_target() for inst in self.instances):
                 break
             self.step()
-            if self.cycle - self._last_commit_cycle > deadlock_limit:
+            if state.cycle - state.last_commit_cycle > deadlock_limit:
                 raise SimulationError(
-                    f"no commits for {deadlock_limit} cycles at cycle {self.cycle}; "
+                    f"no commits for {deadlock_limit} cycles at cycle {state.cycle}; "
                     f"contexts: {self.contexts}"
                 )
         self._finalize_stats()
@@ -152,1261 +195,142 @@ class Core:
 
     def step(self) -> None:
         """Advance one cycle (reverse stage order)."""
-        stats = self.stats
+        state = self.state
+        stats = state.stats
         fetched0 = stats.fetched
         renamed0 = stats.renamed
         recycled0 = stats.renamed_recycled
         committed0 = stats.committed
-        self._issued_this_cycle = 0
-        self._commit_stage()
-        self._complete_stage()
-        self._issue_stage()
-        self._rename_stage()
-        self._fetch_stage()
-        self.util.record_cycle(
+        state.issued_this_cycle = 0
+        profiler = self._profiler
+        if profiler is None:
+            self._commit_stage()
+            self._complete_stage()
+            self._issue_stage()
+            self._rename_stage()
+            self._fetch_stage()
+        else:
+            profiler.timed("commit", self._commit_stage)
+            profiler.timed("complete", self._complete_stage)
+            profiler.timed("issue", self._issue_stage)
+            profiler.timed("rename", self._rename_stage)
+            profiler.timed("fetch", self._fetch_stage)
+        state.util.record_cycle(
             stats.fetched - fetched0,
             stats.renamed - renamed0,
             stats.renamed_recycled - recycled0,
-            self._issued_this_cycle,
+            state.issued_this_cycle,
             stats.committed - committed0,
         )
-        self.cycle += 1
-        self.stats.cycles = self.cycle
+        state.cycle += 1
+        stats.cycles = state.cycle
+
+    def set_profiler(self, profiler) -> None:
+        """Attach (or clear) a per-stage profiler with a ``timed(name, fn)``
+        method; ``None`` restores the unprofiled fast path."""
+        self._profiler = profiler
 
     def _finalize_stats(self) -> None:
-        for ctx in self.contexts:
-            if ctx.state is CtxState.INACTIVE and ctx.fork_uop is not None:
-                self._account_deleted_path(ctx)
-        for inst in self.instances:
-            self.stats.per_instance_committed[inst.id] = inst.committed
-            self.stats.per_instance_cycles.setdefault(inst.id, self.cycle)
+        self.commit.finalize_stats()
 
     # ==================================================================
-    # Fetch stage (with merge detection)
+    # Stage delegators (the historical private API)
     # ==================================================================
+    # Stages route cross-stage and observable calls through these so
+    # that instance-attribute patching (tests, fault injection) still
+    # intercepts exactly one well-known name per behaviour.
+
+    # -- fetch ---------------------------------------------------------
     def _fetch_stage(self) -> None:
-        cfg = self.config
-        candidates = [
-            ctx
-            for ctx in self.contexts
-            if ctx.can_fetch(self.cycle, cfg.decode_buffer_size)
-            and ctx.id not in self.streams
-            and not (ctx.instance and ctx.instance.halted)
-        ]
-        if cfg.features.recycle:
-            candidates = [c for c in candidates if not self._try_merge(c)]
-        if cfg.fetch_policy == "icount":
-            # ICOUNT with [18]'s TME modification: primaries outrank
-            # alternates; among peers, fewest pre-issue instructions win.
-            candidates.sort(key=lambda c: (not c.is_primary, c.icount, c.id))
-        else:  # round_robin
-            candidates.sort(
-                key=lambda c: (not c.is_primary, (c.id - self.cycle) % cfg.num_contexts)
-            )
-        total_budget = cfg.fetch_total
-        threads = 0
-        for ctx in candidates:
-            if threads >= cfg.fetch_threads or total_budget <= 0:
-                break
-            threads += 1
-            fetched = self._fetch_block(ctx, min(cfg.fetch_block, total_budget))
-            total_budget -= fetched
+        self.fetch.run()
 
-    def _fetch_block(self, ctx: HardwareContext, budget: int) -> int:
-        """Fetch up to ``budget`` sequential instructions for ``ctx``."""
-        cfg = self.config
-        program = ctx.instance.program
-        space = ctx.instance.id
-        pc = ctx.pc
-        if ctx.fill_pc == pc and self.cycle >= ctx.fill_ready:
-            # The outstanding fill delivers this block directly to the
-            # fetch unit — no re-access (avoids thrash livelock).
-            ctx.fill_pc = -1
-        else:
-            latency = self.hierarchy.fetch_latency(pc, self.cycle, space)
-            if latency > 0:
-                ctx.fetch_stall_until = self.cycle + latency
-                ctx.fill_pc = pc
-                ctx.fill_ready = self.cycle + latency
-                return 0
-            ctx.fill_pc = -1
-        line_end = (pc | (cfg.hierarchy.icache.line_size - 1)) + 1
-        count = 0
-        ready = self.cycle + 1 + cfg.decode_latency
-        while count < budget and pc < line_end and not ctx.fetch_stopped:
-            if count > 0 and cfg.features.recycle and self._check_merge_at(ctx, pc):
-                return count  # mid-block merge: recycling continues from here
-            instr = program.instr_at(pc)
-            if instr is None:
-                ctx.fetch_stopped = True  # ran off the text segment (wrong path)
-                break
-            self.stats.fetched += 1
-            count += 1
-            if not self._alt_fetch_allowed(ctx):
-                ctx.fetch_stopped = True
-            oi = instr.info
-            if oi.is_halt:
-                ctx.decode_buffer.append(FetchedInstr(instr, pc, pc, None, ready))
-                ctx.fetch_stopped = True
-                break
-            if oi.is_branch:
-                pred = self.predictor.predict(ctx.id, pc, instr)
-                if pred.taken and pred.target is None:
-                    # Unresolvable indirect: stall fetch until resolution.
-                    ctx.decode_buffer.append(
-                        FetchedInstr(instr, pc, pc + INSTRUCTION_BYTES, pred, ready)
-                    )
-                    ctx.fetch_stopped = True
-                    break
-                next_pc = pred.target if pred.taken else pc + INSTRUCTION_BYTES
-                ctx.decode_buffer.append(FetchedInstr(instr, pc, next_pc, pred, ready))
-                pc = next_pc
-                ctx.pc = pc
-                if pred.taken:
-                    if pred.needs_decode_redirect:
-                        ctx.fetch_stall_until = (
-                            self.cycle + cfg.btb_miss_redirect_penalty
-                        )
-                    break  # fetch blocks end at a predicted-taken branch
-            else:
-                ctx.decode_buffer.append(
-                    FetchedInstr(instr, pc, pc + INSTRUCTION_BYTES, None, ready)
-                )
-                pc += INSTRUCTION_BYTES
-                ctx.pc = pc
-        return count
+    def _fetch_block(self, ctx, budget):
+        return self.fetch.fetch_block(ctx, budget)
 
-    def _alt_fetch_allowed(self, ctx: HardwareContext) -> bool:
-        """Apply the Figure-5 alternate-path instruction limit."""
-        if ctx.is_primary:
-            return True
-        if not self.config.features.tme:
-            return True
-        ctx.alt_fetched += 1
-        return ctx.alt_fetched < self.config.policy.limit
+    def _alt_fetch_allowed(self, ctx):
+        return self.fetch.alt_fetch_allowed(ctx)
 
-    # ------------------------------------------------------------------
-    # Merge detection (Section 3.2)
-    # ------------------------------------------------------------------
-    def _merge_sources(self, ctx: HardwareContext, pc: int):
-        """Yield (source ctx, merge point, kind) candidates for ``pc``."""
-        if ctx.is_primary:
-            partition = ctx.instance.partition
-            for src in partition.spares():
-                if src.state not in (CtxState.ACTIVE, CtxState.INACTIVE):
-                    continue
-                if src.is_primary:
-                    continue
-                mp = src.first_merge
-                if src.merge_point_valid(mp) and mp.pc == pc:
-                    yield src, mp, StreamKind.ALTERNATE
-            mp = ctx.first_merge
-            if ctx.merge_point_valid(mp) and mp.pc == pc:
-                yield ctx, mp, StreamKind.SELF_FIRST
-        mp = ctx.back_merge
-        if ctx.merge_point_valid(mp) and mp.pc == pc:
-            yield ctx, mp, StreamKind.BACK
+    def _open_stream(self, dst, src, mp, kind):
+        return self.fetch.open_stream(dst, src, mp, kind)
 
-    def _try_merge(self, ctx: HardwareContext) -> bool:
-        """Open a recycle stream if ``ctx``'s fetch PC hits a merge point."""
-        return self._check_merge_at(ctx, ctx.pc)
+    def _snapshot_trace(self, src, from_pos):
+        return self.fetch.snapshot_trace(src, from_pos)
 
-    def _check_merge_at(self, ctx: HardwareContext, pc: int) -> bool:
-        if ctx.id in self.streams:
-            return False
-        for src, mp, kind in self._merge_sources(ctx, pc):
-            stream = self._open_stream(ctx, src, mp, kind)
-            if stream is not None:
-                return True
-        return False
-
-    def _open_stream(
-        self,
-        dst: HardwareContext,
-        src: HardwareContext,
-        mp: MergePoint,
-        kind: StreamKind,
-    ) -> Optional[RecycleStream]:
-        entries = self._snapshot_trace(src, mp.pos)
-        if not entries:
-            return None
-        reuse_ok = (
-            self.config.features.reuse
-            and kind is StreamKind.ALTERNATE
-            and dst.is_primary
-        )
-        stream = RecycleStream(
-            kind=kind,
-            dst_ctx=dst.id,
-            src_ctx=src.id,
-            entries=entries,
-            reuse_allowed=reuse_ok,
-        )
-        self.streams[dst.id] = stream
-        if kind is StreamKind.BACK:
-            self.stats.back_merges += 1
-            src.was_recycled = True
-        else:
-            self.stats.merges += 1
-            src.was_recycled = True
-            if src is not dst:
-                src.merge_count += 1
-        # "Fetching immediately continues from where recycling will
-        # complete" — but we conservatively do not fetch for this thread
-        # while its stream drains; the PC is parked at the resume point.
-        dst.pc = stream.resume_pc() if stream.index else entries[-1].next_pc
-        return stream
-
-    def _snapshot_trace(self, src: HardwareContext, from_pos: int) -> List[TraceEntry]:
-        """Copy the recyclable trace starting at ``from_pos``.
-
-        A trace is only meaningful while each entry's recorded
-        successor is the next entry's PC — rings can contain stale path
-        boundaries (e.g. a swapped-out fork branch whose ``next_pc``
-        was corrected while its wrong-path suffix stayed adjacent), and
-        the snapshot must stop there.
-        """
-        entries: List[TraceEntry] = []
-        ring = src.active_list
-        prev_next: Optional[int] = None
-        for pos in range(from_pos, ring.tail_pos):
-            uop = ring.try_entry(pos)
-            if uop is None or uop.squashed:
-                break
-            if prev_next is not None and uop.pc != prev_next:
-                break
-            entries.append(TraceEntry(uop.instr, uop.pc, uop.next_pc, src_pos=pos))
-            prev_next = uop.next_pc
-        return entries
-
-    # ==================================================================
-    # Rename stage (fetched paths first, recycle streams fill in)
-    # ==================================================================
+    # -- rename / recycle ---------------------------------------------
     def _rename_stage(self) -> None:
-        budget = self.config.rename_width
-        # Fetched instructions, lowest-ICOUNT thread first.
-        ctxs = sorted(
-            (c for c in self.contexts if c.decode_buffer),
-            key=lambda c: (c.icount, c.id),
-        )
-        for ctx in ctxs:
-            if budget <= 0:
-                break
-            # Program order: a thread with an open stream renames its
-            # pre-merge fetched instructions first; the stream follows.
-            while budget > 0 and ctx.decode_buffer:
-                fi = ctx.decode_buffer[0]
-                if fi.ready_cycle > self.cycle:
-                    break
-                if not self._rename_resources_ok(ctx, fi.instr, needs_queue=True):
-                    break
-                ctx.decode_buffer.popleft()
-                self._rename_one(ctx, fi.instr, fi.pc, fi.next_pc, fi.pred)
-                budget -= 1
-        # Recycle streams, prioritised by the separate (pre-issue) counter.
-        streams = sorted(
-            self.streams.values(), key=lambda s: self.contexts[s.dst_ctx].icount
-        )
-        for stream in streams:
-            if budget <= 0:
-                break
-            budget = self._drain_stream(stream, budget)
-        for dst_ctx in sorted(self.streams):
-            if self.streams[dst_ctx].ended:
-                del self.streams[dst_ctx]
+        self.rename.run()
 
-    def _rename_resources_ok(
-        self, ctx: HardwareContext, instr: Instruction, needs_queue: bool
-    ) -> bool:
-        if not ctx.active_list.has_room():
-            return False
-        if instr.dst is not None:
-            fp = instr.dst >= FP_BASE
-            if not self.regfile.can_alloc(fp):
-                self._reclaim_for_pressure(ctx)
-                if not self.regfile.can_alloc(fp):
-                    return False
-        if needs_queue:
-            queue = self.fp_queue if instr.info.fu is FuClass.FP else self.int_queue
-            if not queue.has_room():
-                return False
-            if not ctx.is_primary and queue.occupancy() >= int(
-                queue.size * self.config.alt_queue_pressure
-            ):
-                # Alternate/inactive paths yield queue space to primaries.
-                return False
-        return True
-
-    def _rename_one(
-        self,
-        ctx: HardwareContext,
-        instr: Instruction,
-        pc: int,
-        next_pc: int,
-        pred,
-        recycled: bool = False,
-        back_merge: bool = False,
-    ) -> Uop:
-        """Common rename path for fetched and recycled instructions."""
-        uop = Uop(instr, pc, ctx.id, ctx.instance)
-        uop.next_pc = next_pc
-        uop.pred = pred
-        uop.recycled = recycled
-        uop.back_merge = back_merge
-        uop.rename_cycle = self.cycle
-        uop.phys_srcs = [ctx.map.lookup(s) for s in instr.srcs]
-        if instr.dst is not None:
-            new_reg, displaced = ctx.map.define(instr.dst, fp=instr.dst >= FP_BASE)
-            uop.phys_dst = new_reg
-            uop.prev_map = displaced
-            self._note_register_write(ctx, instr.dst)
-        uop.no_execute = self._is_no_execute(ctx)
-        if not uop.no_execute:
-            queue = self.fp_queue if instr.info.fu is FuClass.FP else self.int_queue
-            queue.insert(uop)
-            uop.in_queue = True
-            ctx.n_queued += 1
-        pos = ctx.active_list.append(uop)
-        uop.al_pos = pos
-        ctx.note_first_entry(uop, pos)
-        if instr.is_store:
-            ctx.store_buffer.append(uop)
-        if instr.is_branch and next_pc is not None:
-            taken_recorded = next_pc != pc + INSTRUCTION_BYTES
-            if taken_recorded and instr.target is not None and instr.target <= pc:
-                ctx.set_back_merge(instr.target)
-        self.stats.renamed += 1
-        if recycled:
-            self.stats.renamed_recycled += 1
-        # TME fork decision happens at rename, where the map is current.
-        if (
-            self.config.features.tme
-            and instr.is_cond_branch
-            and pred is not None
-            and pred.low_confidence
-            and ctx.is_primary
-        ):
-            self._consider_fork(ctx, uop)
-        return uop
-
-    def _note_register_write(self, ctx: HardwareContext, logical: int) -> None:
-        ctx.self_written.add(logical)
-        partition = ctx.instance.partition
-        if ctx.is_primary:
-            partition.written.primary_defined(logical, partition.spare_mask)
-
-    def _is_no_execute(self, ctx: HardwareContext) -> bool:
-        """FETCH-policy contexts keep fetching but stop executing."""
-        return (
-            ctx.state is CtxState.INACTIVE
-            and self.config.policy.kind is PolicyKind.FETCH
+    def _rename_one(self, ctx, instr, pc, next_pc, pred, recycled=False, back_merge=False):
+        return self.rename.rename_one(
+            ctx, instr, pc, next_pc, pred, recycled=recycled, back_merge=back_merge
         )
 
-    # ------------------------------------------------------------------
-    # Recycle stream draining (Section 3.4) and reuse (Section 3.5)
-    # ------------------------------------------------------------------
-    def _drain_stream(self, stream: RecycleStream, budget: int) -> int:
-        dst = self.contexts[stream.dst_ctx]
-        if dst.decode_buffer:
-            return budget  # older fetched instructions must clear rename first
-        src = self.contexts[stream.src_ctx] if stream.src_ctx is not None else None
-        while budget > 0 and not stream.ended:
-            if stream.exhausted():
-                self._end_stream(stream, dst, "exhausted")
-                break
-            entry = stream.peek()
-            # Guard against the source trace having been overwritten.
-            if src is not None and entry.src_pos is not None:
-                live = src.active_list.try_entry(entry.src_pos)
-                if live is None or live.pc != entry.pc:
-                    self._end_stream(stream, dst, "squashed")
-                    break
-            instr = entry.instr
-            pred = None
-            next_pc = entry.next_pc
-            mismatch_target = None
-            if instr.is_cond_branch and not self.config.recycle_repredict:
-                # "Former method": keep the trace's recorded direction as
-                # the prediction and update the history with it.
-                recorded_taken = entry.next_pc != entry.pc + INSTRUCTION_BYTES
-                pred = self.predictor.record_direction(
-                    dst.id, entry.pc, recorded_taken,
-                    entry.next_pc if recorded_taken else instr.target,
-                )
-            elif instr.is_branch:
-                pred = self.predictor.predict(dst.id, entry.pc, instr)
-                pred_next = (
-                    (pred.target if pred.target is not None else entry.next_pc)
-                    if pred.taken
-                    else entry.pc + INSTRUCTION_BYTES
-                )
-                if pred_next != entry.next_pc:
-                    # The prediction changed since the trace was built:
-                    # recycle the branch itself, then stop and fetch the
-                    # newly predicted path (the paper's chosen method).
-                    next_pc = pred_next
-                    mismatch_target = pred_next
-            if not self._rename_resources_ok(dst, instr, needs_queue=True):
-                break
-            stream.advance()
-            # Alternate-path length cap applies to recycled paths too.
-            limit_hit = not self._alt_fetch_allowed(dst)
-            uop = self._recycle_rename(dst, src, entry, instr, next_pc, pred, stream)
-            budget -= 1
-            if mismatch_target is not None:
-                # The renamed branch follows its *new* prediction, so the
-                # stream must stop and fetch continue on that path — even
-                # if the length cap was reached on the same entry.
-                stream.stop("branch_mismatch")
-                self.stats.streams_ended_branch_mismatch += 1
-                dst.pc = mismatch_target
-                dst.fetch_stall_until = max(dst.fetch_stall_until, self.cycle + 1)
-            elif limit_hit or instr.info.is_halt:
-                self._end_stream(stream, dst, "exhausted")
-            if limit_hit or instr.info.is_halt:
-                dst.fetch_stopped = True
-        return budget
+    def _rename_reused(self, dst, src, src_uop, entry, stream):
+        return self.rename.rename_reused(dst, src, src_uop, entry, stream)
 
-    def _kill_stream(self, ctx: HardwareContext) -> None:
-        """Abort ``ctx``'s incoming stream, rewinding its fetch PC.
+    def _reuse_candidate(self, dst, src, entry, stream):
+        return self.rename.reuse_candidate(dst, src, entry, stream)
 
-        The PC was parked at the end of the trace when the stream
-        opened; if the stream dies early the not-yet-injected tail must
-        be fetched the normal way, so fetch resumes at the successor of
-        the last instruction the stream actually delivered.  (Callers
-        that redirect the PC themselves simply override this.)
-        """
-        stream = self.streams.pop(ctx.id, None)
-        if stream is not None and not stream.ended:
-            stream.stop("squashed")
-            self.stats.streams_ended_squashed += 1
-            ctx.pc = stream.resume_pc()
+    def _end_stream(self, stream, dst, reason) -> None:
+        self.rename.end_stream(stream, dst, reason)
 
-    def _end_stream(self, stream: RecycleStream, dst: HardwareContext, reason: str) -> None:
-        stream.stop(reason)
-        if reason == "exhausted":
-            self.stats.streams_ended_exhausted += 1
-            dst.pc = stream.resume_pc()
-        else:
-            self.stats.streams_ended_squashed += 1
-            dst.pc = stream.resume_pc()
+    def _kill_stream(self, ctx) -> None:
+        self.rename.kill_stream(ctx)
 
-    def _recycle_rename(
-        self,
-        dst: HardwareContext,
-        src: Optional[HardwareContext],
-        entry: TraceEntry,
-        instr: Instruction,
-        next_pc: int,
-        pred,
-        stream: RecycleStream,
-    ) -> Uop:
-        # Attempt reuse before the normal rename allocates a register.
-        if stream.reuse_allowed and src is not None:
-            reuse_uop = self._reuse_candidate(dst, src, entry, stream)
-            if reuse_uop is not None:
-                return self._rename_reused(dst, src, reuse_uop, entry, stream)
-        uop = self._rename_one(
-            dst,
-            instr,
-            entry.pc,
-            next_pc,
-            pred,
-            recycled=True,
-            back_merge=stream.kind is StreamKind.BACK,
-        )
-        # Track stream-local value consistency: a re-executed entry whose
-        # sources all matched the trace produces the trace's value again.
-        if instr.dst is not None:
-            partition = dst.instance.partition
-            consistent = src is not None and all(
-                s in stream.consistent_writes
-                or partition.written.unchanged_for(s, src.id)
-                for s in instr.srcs
-            )
-            if consistent and not instr.is_load:
-                stream.consistent_writes.add(instr.dst)
-            else:
-                stream.consistent_writes.discard(instr.dst)
-        return uop
+    # -- TME fork / re-spawn ------------------------------------------
+    def _consider_fork(self, ctx, branch) -> None:
+        self.forker.consider_fork(ctx, branch)
 
-    def _reuse_candidate(
-        self,
-        dst: HardwareContext,
-        src: HardwareContext,
-        entry: TraceEntry,
-        stream: RecycleStream,
-    ) -> Optional[Uop]:
-        """The live source uop, if its old result may be reused."""
-        if entry.src_pos is None:
-            return None
-        if src.state is not CtxState.INACTIVE:
-            # Reuse applies to finished (inactive) threads only (Section 3.5).
-            return None
-        uop = src.active_list.try_entry(entry.src_pos)
-        if uop is None or uop.squashed or uop.pc != entry.pc:
-            return None
-        instr = uop.instr
-        if instr.dst is None or instr.is_store or instr.is_branch:
-            return None
-        if not uop.executed_on_path or uop.phys_dst is None:
-            return None
-        partition = dst.instance.partition
-        if not all(
-            s in stream.consistent_writes
-            or partition.written.unchanged_for(s, src.id)
-            for s in instr.srcs
-        ):
-            return None
-        if instr.is_load:
-            if uop.eff_addr is None:
-                return None
-            if not dst.instance.mdb.can_reuse(uop.pc, uop.eff_addr, token=uop.seq):
-                return None
-            # The MDB orders loads and stores by *wall-clock* execution,
-            # but reuse validity is a *program-order* question: a store
-            # architecturally older than this reuse point may have
-            # executed before the original load ever ran (so it never
-            # invalidated the entry), or may not have an address yet.
-            # Sound rule: only reuse a load when every store visible to
-            # the destination context has fully committed (its MDB
-            # invalidation, done again at retirement, has then landed).
-            for store in dst.store_buffer:
-                if not store.squashed and store.state is not UopState.COMMITTED:
-                    return None
-            for store in dst.inherited_stores:
-                if not store.squashed and store.state is not UopState.COMMITTED:
-                    return None
-        return uop
+    def _spawn(self, parent, branch, spare, alt_pc) -> None:
+        self.forker.spawn(parent, branch, spare, alt_pc)
 
-    def _rename_reused(
-        self,
-        dst: HardwareContext,
-        src: HardwareContext,
-        src_uop: Uop,
-        entry: TraceEntry,
-        stream: RecycleStream,
-    ) -> Uop:
-        """Reuse: install the old mapping; skip queue and execution."""
-        instr = src_uop.instr
-        uop = Uop(instr, entry.pc, dst.id, dst.instance)
-        uop.next_pc = entry.next_pc
-        uop.recycled = True
-        uop.reused = True
-        uop.reuse_src_ctx = src.id
-        uop.rename_cycle = self.cycle
-        uop.phys_srcs = [dst.map.lookup(s) for s in instr.srcs]
-        uop.phys_dst = src_uop.phys_dst
-        uop.prev_map = dst.map.install(instr.dst, src_uop.phys_dst)
-        uop.value = src_uop.value
-        uop.eff_addr = src_uop.eff_addr
-        uop.state = UopState.COMPLETED
-        uop.complete_cycle = self.cycle
-        pos = dst.active_list.append(uop)
-        uop.al_pos = pos
-        dst.note_first_entry(uop, pos)
-        src.reuse_pins.add(uop.seq)
-        # The mapping is old, but the *value* of the destination logical
-        # register did change relative to every other retained path's
-        # fork point — mark the written bits like any primary write.
-        # The stream-local consistency set keeps this trace's own
-        # dependent reuses alive.
-        self._note_register_write(dst, instr.dst)
-        stream.consistent_writes.add(instr.dst)
-        self.stats.renamed += 1
-        self.stats.renamed_recycled += 1
-        self.stats.renamed_reused += 1
-        return uop
+    def _respawn(self, parent, branch, existing, alt_pc) -> None:
+        self.forker.respawn(parent, branch, existing, alt_pc)
 
-    # ------------------------------------------------------------------
-    # TME forking (and re-spawning)
-    # ------------------------------------------------------------------
-    def _consider_fork(self, ctx: HardwareContext, branch: Uop) -> None:
-        partition = ctx.instance.partition
-        pred = branch.pred
-        alt_pc = (
-            branch.pc + INSTRUCTION_BYTES if pred.taken else branch.instr.target
-        )
-        if alt_pc is None:
-            return
-        if self.config.features.recycle:
-            existing = partition.find_path_with_start(alt_pc)
-            if existing is not None:
-                if self.config.features.respawn:
-                    # RS: re-activate a matching inactive trace through
-                    # the recycle datapath; if that trace is pinned (or
-                    # the match is a still-active alternate covering an
-                    # older dynamic instance), fork normally so this
-                    # instance stays covered — the paper's Table 1 keeps
-                    # ~70% miss coverage *with* recycling.
-                    if existing.state is CtxState.INACTIVE and self._reclaimable(existing):
-                        self._respawn(ctx, branch, existing, alt_pc)
-                        return
-                else:
-                    # Plain REC keeps the strict no-duplicate-start rule,
-                    # whose cost the paper calls out explicitly.
-                    self.stats.fork_suppressed_duplicate += 1
-                    return
-        spare = partition.idle_context()
-        if spare is None and self.config.features.recycle:
-            victim = self._lru_reclaimable(partition)
-            if victim is not None:
-                self.stats.reclaim_for_spawn += 1
-                self._reclaim_context(victim)
-                spare = victim
-        if spare is None:
-            return
-        self._spawn(ctx, branch, spare, alt_pc)
-
-    def _spawn(
-        self,
-        parent: HardwareContext,
-        branch: Uop,
-        spare: HardwareContext,
-        alt_pc: int,
-    ) -> None:
-        """Fork the not-predicted path of ``branch`` onto ``spare``."""
-        partition = parent.instance.partition
-        spare.state = CtxState.ACTIVE
-        spare.is_primary = False
-        spare.instance = parent.instance
-        spare.map.fork_from(parent.map)
-        spare.pc = alt_pc
-        spare.fetch_stopped = False
-        spare.fetch_stall_until = self.cycle + self.config.spawn_latency
-        spare.fork_uop = branch
-        spare.parent_ctx = parent.id
-        spare.alt_fetched = 0
-        spare.path_start_pos = spare.active_list.tail_pos
-        spare.first_merge = None
-        spare.back_merge = None
-        spare.self_written = set()
-        spare.inherited_stores = [
-            s
-            for s in parent.inherited_stores + parent.store_buffer
-            if not s.squashed
-        ]
-        self.predictor.fork_context(
-            parent.id, spare.id, cond_branch=True, alt_taken=not branch.pred.taken
-        )
-        partition.written.start_path(spare.id)
-        branch.forked_ctx = spare.id
-        self.stats.forks += 1
-
-    def _respawn(
-        self,
-        parent: HardwareContext,
-        branch: Uop,
-        existing: HardwareContext,
-        alt_pc: int,
-    ) -> None:
-        """Re-activate an inactive trace through the recycle path (RS)."""
-        trace = self._snapshot_trace(existing, existing.path_start_pos)
-        if not trace or trace[0].pc != alt_pc:
-            self.stats.fork_suppressed_duplicate += 1
-            return
-        existing.was_respawned = True
-        self._reclaim_context(existing)
-        self._spawn(parent, branch, existing, alt_pc)
-        detached = [TraceEntry(e.instr, e.pc, e.next_pc, src_pos=None) for e in trace]
-        stream = RecycleStream(
-            kind=StreamKind.RESPAWN,
-            dst_ctx=existing.id,
-            src_ctx=None,
-            entries=detached,
-            reuse_allowed=False,
-        )
-        self.streams[existing.id] = stream
-        existing.pc = detached[-1].next_pc
-        self.stats.respawns += 1
-        self.stats.respawn_streams += 1
-
-    # ==================================================================
-    # Issue stage
-    # ==================================================================
+    # -- issue / execute ----------------------------------------------
     def _issue_stage(self) -> None:
-        self.fus.new_cycle()
-        prio = self.config.primary_issue_priority
-        for queue in (self.int_queue, self.fp_queue):
-            ready = queue.ready_uops(self.regfile, self._memory_order_ok, self.cycle)
-            if prio:
-                # Primary-path work first; alternates fill leftover units.
-                ready.sort(key=lambda u: (not self.contexts[u.ctx].is_primary, u.seq))
-            for uop in ready:
-                if not self.fus.try_issue(uop.instr.info.fu):
-                    continue
-                queue.remove(uop)
-                uop.in_queue = False
-                ctx = self.contexts[uop.ctx]
-                ctx.n_queued -= 1
-                self._execute(uop)
+        self.issue.run()
 
-    def _memory_order_ok(self, uop: Uop) -> bool:
-        """Conservative load ordering: all older stores have executed."""
-        if not uop.instr.is_load:
-            return True
-        ctx = self.contexts[uop.ctx]
-        for store in ctx.store_buffer:
-            if store.seq < uop.seq and not store.squashed and not store.completed:
-                return False
-        for store in ctx.inherited_stores:
-            if store.seq < uop.seq and not store.squashed and not store.completed:
-                return False
-        return True
+    def _execute(self, uop) -> None:
+        self.issue.execute(uop)
 
-    def _execute(self, uop: Uop) -> None:
-        """Begin execution: compute the result, schedule completion."""
-        uop.state = UopState.ISSUED
-        uop.issue_cycle = self.cycle
-        self._issued_this_cycle += 1
-        ctx = self.contexts[uop.ctx]
-        instr = uop.instr
-        oi = instr.info
-        srcs = tuple(self.regfile.values[p] for p in uop.phys_srcs)
-        latency = oi.latency
-        if oi.is_load:
-            addr = semantics.effective_address(instr, srcs[0])
-            uop.eff_addr = addr
-            forwarded = self._forward_store(ctx, uop, addr)
-            if forwarded is not None:
-                uop.value = semantics.load_value(forwarded, oi.dst_fp)
-                latency = 1
-            else:
-                bits = ctx.instance.memory.read64(addr)
-                uop.value = semantics.load_value(bits, oi.dst_fp)
-                latency = 1 + self.hierarchy.data_latency(
-                    addr, self.cycle, ctx.instance.id
-                )
-            ctx.instance.mdb.record_load(uop.pc, addr, token=uop.seq)
-        elif oi.is_store:
-            addr = semantics.effective_address(instr, srcs[0])
-            uop.eff_addr = addr
-            uop.store_bits = semantics.store_bits(srcs[1], oi.src_fp)
-            self.hierarchy.data_latency(addr, self.cycle, ctx.instance.id)
-            ctx.instance.mdb.record_store(addr)
-        elif oi.is_branch:
-            taken, target = semantics.branch_outcome(instr, srcs, uop.pc)
-            uop.taken = taken
-            uop.target = target
-            if oi.is_call:
-                uop.value = semantics.compute_value(instr, srcs, uop.pc)
-        elif not oi.is_halt and instr.op is not Op.NOP:
-            uop.value = semantics.compute_value(instr, srcs, uop.pc)
-        if uop.phys_dst is not None:
-            # Bypass network: the result is forwardable ``latency``
-            # cycles after issue; dependents may issue then.
-            self.regfile.write(uop.phys_dst, uop.value, ready_at=self.cycle + latency)
-        done = self.cycle + self.config.regread_stages + latency
-        self._completions.setdefault(done, []).append(uop)
-
-    def _forward_store(self, ctx: HardwareContext, load: Uop, addr: int) -> Optional[int]:
-        """Youngest older store to ``addr`` visible to this context."""
-        best: Optional[Uop] = None
-        for store in ctx.store_buffer:
-            if (
-                store.seq < load.seq
-                and not store.squashed
-                and store.completed
-                and store.eff_addr == addr
-            ):
-                if best is None or store.seq > best.seq:
-                    best = store
-        for store in ctx.inherited_stores:
-            if store.squashed or store.seq >= load.seq:
-                continue
-            if store.state is UopState.COMMITTED:
-                continue  # already drained to memory
-            if store.completed and store.eff_addr == addr:
-                if best is None or store.seq > best.seq:
-                    best = store
-        return best.store_bits if best is not None else None
-
-    # ==================================================================
-    # Completion stage (includes branch resolution)
-    # ==================================================================
+    # -- completion / recovery / squash -------------------------------
     def _complete_stage(self) -> None:
-        due = self._completions.pop(self.cycle, [])
-        for uop in due:
-            if uop.squashed:
-                continue
-            uop.state = UopState.COMPLETED
-            uop.complete_cycle = self.cycle
-            if uop.instr.is_branch:
-                self._resolve_branch(uop)
+        self.resolve.run()
 
-    def _resolve_branch(self, uop: Uop) -> None:
-        ctx = self.contexts[uop.ctx]
-        actual_next = uop.target if uop.taken else uop.pc + INSTRUCTION_BYTES
-        mispredicted = self.predictor.resolve(
-            uop.pc, uop.instr, uop.pred, uop.taken, uop.target
-        ) if uop.pred is not None else (actual_next != uop.next_pc)
-        on_arch_path = self._on_architectural_path(ctx, uop)
-        if uop.instr.is_cond_branch and on_arch_path:
-            self.stats.cond_branches_resolved += 1
-            if mispredicted:
-                self.stats.mispredicts += 1
-        alt = self._covering_alternate(uop)
-        if not mispredicted:
-            uop.next_pc = actual_next
-            if alt is not None:
-                self._deactivate_alternate(alt)
-            return
-        # --- mispredicted ---------------------------------------------
-        if not on_arch_path:
-            # A branch inside a retained (inactive) trace or a doomed
-            # path: record nothing further; the trace stays as recorded.
-            if ctx.state is CtxState.ACTIVE:
-                self._local_mispredict(ctx, uop, actual_next, alt)
-            return
-        if alt is not None:
-            self.stats.mispredicts_covered += 1
-            self._swap_primaryship(ctx, uop, alt)
-        else:
-            self._local_mispredict(ctx, uop, actual_next, None)
+    def _swap_primaryship(self, old, branch, alt) -> None:
+        self.resolve.swap_primaryship(old, branch, alt)
 
-    def _on_architectural_path(self, ctx: HardwareContext, uop: Uop) -> bool:
-        """Is ``uop`` part of its program's believed-correct stream?"""
-        if ctx.instance is None:
-            return False
-        if ctx.is_primary and ctx.state is CtxState.ACTIVE:
-            return True
-        # Prefix of a context in the commit chain.
-        if ctx.commit_limit_pos is not None and uop.al_pos < ctx.commit_limit_pos:
-            return True
-        return False
+    def _squash_uop(self, uop) -> None:
+        self.resolve.squash_uop(uop)
 
-    def _commit_pinned(self, ctx: HardwareContext) -> bool:
-        """Does ``ctx`` still hold (or forward) uncommitted architectural work?
+    def _squash_suffix(self, ctx, branch_pos):
+        return self.resolve.squash_suffix(ctx, branch_pos)
 
-        Such a context is part of its program's commit chain and must
-        not be reclaimed, re-spawned, or squashed for reuse until the
-        chain has moved past it.
-        """
-        inst = ctx.instance
-        if inst is None:
-            return False
-        return inst.commit_ctx == ctx.id or ctx.commit_successor is not None
+    def _squash_context(self, ctx) -> None:
+        self.resolve.squash_context(ctx)
 
-    def _reclaimable(self, ctx: HardwareContext) -> bool:
-        """May ``ctx`` be reclaimed (squashed back to IDLE) right now?"""
-        if ctx.state is not CtxState.INACTIVE:
-            return False
-        if ctx.pending_reuse > 0 or self._commit_pinned(ctx):
-            return False
-        if ctx.id in self.streams:
-            return False
-        return all(s.src_ctx != ctx.id for s in self.streams.values())  # det-ok: order-independent predicate
+    def _reclaimable(self, ctx):
+        return self.resolve.reclaimable(ctx)
 
-    def _covering_alternate(self, uop: Uop) -> Optional[HardwareContext]:
-        if uop.forked_ctx is None:
-            return None
-        alt = self.contexts[uop.forked_ctx]
-        if alt.fork_uop is uop:
-            return alt
-        return None
+    def _lru_reclaimable(self, partition):
+        return self.resolve.lru_reclaimable(partition)
 
-    def _local_mispredict(
-        self,
-        ctx: HardwareContext,
-        uop: Uop,
-        actual_next: int,
-        alt: Optional[HardwareContext],
-    ) -> None:
-        """Squash-and-redirect recovery within one context.
+    def _reclaim_context(self, ctx) -> None:
+        self.resolve.reclaim_context(ctx)
 
-        Used for unforked mispredicts on the primary, for alternates'
-        own internal mispredicts, and (with chain dismantling) for
-        architectural mispredicts whose covering alternate is gone.
-        """
-        if self._on_architectural_path(ctx, uop):
-            self._dismantle_chain_after(ctx)
-        if alt is not None:
-            # The alternate covered the branch but we are not swapping
-            # (non-architectural fork): discard it.
-            self._squash_context(alt)
-        uop.next_pc = actual_next
-        self._squash_suffix(ctx, uop.al_pos)
-        if uop.pred is not None:
-            self.predictor.recover(ctx.id, uop.pred, uop.instr, uop.taken, uop.pc)
-        if ctx.state is CtxState.INACTIVE:
-            # The context was in the commit chain; it resumes as primary.
-            self._reactivate_as_primary(ctx)
-        ctx.pc = actual_next
-        ctx.fetch_stopped = False
-        ctx.fetch_stall_until = max(ctx.fetch_stall_until, self.cycle + 1)
-        ctx.commit_limit_pos = None
-        ctx.commit_successor = None
+    def _reclaim_for_pressure(self, requesting) -> None:
+        self.resolve.reclaim_for_pressure(requesting)
 
-    def _reactivate_as_primary(self, ctx: HardwareContext) -> None:
-        instance = ctx.instance
-        partition = instance.partition
-        old_primary = self.contexts[instance.primary_ctx]
-        if old_primary is not ctx and old_primary.state is CtxState.ACTIVE:
-            # Should have been dismantled already; be safe.
-            self._squash_context(old_primary)
-        ctx.state = CtxState.ACTIVE
-        ctx.is_primary = True
-        ctx.inactive_since = -1
-        partition.set_primary(ctx)
-        instance.primary_ctx = ctx.id
-        for logical in ctx.self_written:
-            partition.written.primary_defined(logical, partition.spare_mask)
+    def _account_deleted_path(self, ctx) -> None:
+        self.resolve.account_deleted_path(ctx)
 
-    def _dismantle_chain_after(self, ctx: HardwareContext) -> None:
-        """Squash every context downstream of ``ctx`` in the commit chain."""
-        nxt = ctx.commit_successor
-        ctx.commit_successor = None
-        ctx.commit_limit_pos = None
-        while nxt is not None:
-            c = self.contexts[nxt]
-            nxt = c.commit_successor
-            self._squash_context(c)
-
-    # ------------------------------------------------------------------
-    # TME resolution outcomes
-    # ------------------------------------------------------------------
-    def _deactivate_alternate(self, alt: HardwareContext) -> None:
-        """Fork branch was predicted correctly: the alternate path stops.
-
-        Plain TME squashes it; with recycling it becomes an *inactive*
-        context retained for merging (Section 3.1).
-        """
-        if not self.config.features.recycle:
-            self._squash_context(alt)
-            return
-        alt.state = CtxState.INACTIVE
-        alt.inactive_since = self.cycle
-        policy = self.config.policy
-        self._kill_stream(alt)  # e.g. a re-spawn stream still feeding it
-        if policy.kind is PolicyKind.STOP:
-            alt.fetch_stopped = True
-            alt.decode_buffer.clear()
-        if policy.kind is not PolicyKind.NOSTOP:
-            # STOP and FETCH both cease execution at resolution.
-            self._dequeue_unissued(alt)
-        # FETCH: keeps fetching (rename marks new uops no-execute).
-        # NOSTOP: keeps fetching and executing until the limit.
-
-    def _dequeue_unissued(self, ctx: HardwareContext) -> None:
-        """Pull a deactivated context's unissued uops out of the queues.
-
-        The entries stay in the active list (still recyclable — "that
-        may even be true for instructions that have not been ... executed
-        yet"), they just never execute.
-        """
-        for pos in ctx.active_list.retained_positions():
-            uop = ctx.active_list.try_entry(pos)
-            if uop is not None and uop.in_queue:
-                (self.fp_queue if uop.instr.info.fu is FuClass.FP else self.int_queue).remove(uop)
-                uop.in_queue = False
-                uop.no_execute = True
-                ctx.n_queued -= 1
-
-    def _swap_primaryship(self, old: HardwareContext, branch: Uop, alt: HardwareContext) -> None:
-        """Fork branch mispredicted: the alternate becomes the primary."""
-        instance = old.instance
-        partition = instance.partition
-        self._dismantle_chain_after(old)
-        # Squash forks hanging off the (wrong-path) suffix, then either
-        # retain the suffix as an inactive trace (REC) or squash it (TME).
-        suffix_start = branch.al_pos + 1
-        if self.config.features.recycle:
-            self._detach_suffix_children(old, suffix_start)
-            self._dequeue_suffix(old, suffix_start)
-            old.first_merge = self._suffix_merge_point(old, suffix_start)
-            old.path_start_pos = suffix_start
-            old.back_merge = None
-            old.state = CtxState.INACTIVE
-            old.inactive_since = self.cycle
-            old.self_written = set()
-            partition.written.start_path(old.id)
-            old.alt_fetched = max(0, old.active_list.tail_pos - suffix_start)
-            if self.config.policy.kind is PolicyKind.STOP:
-                old.fetch_stopped = True
-                old.decode_buffer.clear()
-            else:
-                old.fetch_stopped = old.alt_fetched >= self.config.policy.limit
-                if old.fetch_stopped:
-                    old.decode_buffer.clear()
-        else:
-            self._squash_suffix(old, branch.al_pos)
-            old.state = CtxState.INACTIVE  # reclaimed once its prefix commits
-            old.inactive_since = self.cycle
-            old.fetch_stopped = True
-            old.decode_buffer.clear()
-        old.is_primary = False
-        old.commit_limit_pos = branch.al_pos + 1
-        old.commit_successor = alt.id
-        self._kill_stream(old)
-        # Promote the alternate.
-        alt.is_primary = True
-        alt.fork_uop = None
-        alt.parent_ctx = None
-        alt.alt_fetched = 0
-        alt.fetch_stopped = False
-        alt.fetch_stall_until = max(alt.fetch_stall_until, self.cycle + 1)
-        partition.set_primary(alt)
-        instance.primary_ctx = alt.id
-        # Written-bit accounting: the new primary's own post-fork writes
-        # must be visible as "changed" to every other retained path.
-        for logical in alt.self_written:
-            partition.written.primary_defined(logical, partition.spare_mask)
-        branch.next_pc = branch.target if branch.taken else branch.pc + INSTRUCTION_BYTES
-        old.was_used_tme = True
-        self.stats.forks_used_tme += 1
-
-    def _detach_suffix_children(self, ctx: HardwareContext, from_pos: int) -> None:
-        for pos in range(from_pos, ctx.active_list.tail_pos):
-            uop = ctx.active_list.try_entry(pos)
-            if uop is None:
-                continue
-            child = self._covering_alternate(uop)
-            if child is not None:
-                self._squash_context(child)
-                uop.forked_ctx = None
-
-    def _dequeue_suffix(self, ctx: HardwareContext, from_pos: int) -> None:
-        if self.config.policy.kind is PolicyKind.NOSTOP:
-            return
-        for pos in range(from_pos, ctx.active_list.tail_pos):
-            uop = ctx.active_list.try_entry(pos)
-            if uop is not None and uop.in_queue:
-                (self.fp_queue if uop.instr.info.fu is FuClass.FP else self.int_queue).remove(uop)
-                uop.in_queue = False
-                uop.no_execute = True
-                ctx.n_queued -= 1
-
-    def _suffix_merge_point(self, ctx: HardwareContext, pos: int) -> Optional[MergePoint]:
-        uop = ctx.active_list.try_entry(pos)
-        if uop is None:
-            return None
-        return MergePoint(uop.pc, pos)
-
-    # ==================================================================
-    # Squash machinery
-    # ==================================================================
-    def _squash_uop(self, uop: Uop) -> None:
-        ctx = self.contexts[uop.ctx]
-        if uop.in_queue:
-            (self.fp_queue if uop.instr.info.fu is FuClass.FP else self.int_queue).remove(uop)
-            uop.in_queue = False
-            ctx.n_queued -= 1
-        if uop.phys_dst is not None:
-            ctx.map.restore(uop.instr.dst, uop.prev_map)
-        if uop.reused and uop.reuse_src_ctx is not None:
-            self.contexts[uop.reuse_src_ctx].reuse_pins.discard(uop.seq)
-        if uop.instr.is_store:
-            try:
-                ctx.store_buffer.remove(uop)
-            except ValueError:
-                pass
-        child = self._covering_alternate(uop)
-        if child is not None:
-            self._squash_context(child)
-        uop.state = UopState.SQUASHED
-        self.stats.squashed += 1
-
-    def _squash_suffix(self, ctx: HardwareContext, branch_pos: int) -> int:
-        """Squash everything in ``ctx`` younger than position ``branch_pos``.
-
-        Returns the number of squashed uops; with a nonzero
-        ``squash_penalty_per_uop`` the context's fetch is additionally
-        stalled to model walk-back map recovery.
-        """
-        dropped = ctx.active_list.truncate(branch_pos + 1)
-        count = 0
-        for uop in dropped:  # youngest first
-            if not uop.squashed:
-                self._squash_uop(uop)
-                count += 1
-        ctx.decode_buffer.clear()
-        self._kill_stream(ctx)  # callers redirect the PC afterwards
-        penalty = self.config.squash_penalty_per_uop
-        if penalty and count:
-            ctx.fetch_stall_until = max(
-                ctx.fetch_stall_until, self.cycle + 1 + int(count * penalty)
-            )
-        # Merge points referencing squashed positions die via validity checks.
-        return count
-
-    def _squash_context(self, ctx: HardwareContext) -> None:
-        """Fully discard a context's path and return it to IDLE."""
-        if ctx.state is CtxState.IDLE:
-            return
-        if ctx.fork_uop is not None:
-            self._account_deleted_path(ctx)
-        stream = self.streams.pop(ctx.id, None)
-        if stream is not None:
-            stream.stop("squashed")
-        ring = ctx.active_list
-        for pos in range(ring.tail_pos - 1, ring.commit_pos - 1, -1):
-            uop = ring.try_entry(pos)
-            if uop is not None and not uop.squashed and uop.state is not UopState.COMMITTED:
-                self._squash_uop(uop)
-        if ctx.map.valid:
-            ctx.map.discard()
-        ctx.reset_for_reclaim()
-
-    def _reclaim_context(self, ctx: HardwareContext) -> None:
-        """Reclaim an inactive context: squash its trace, free its registers."""
-        assert ctx.state is CtxState.INACTIVE, f"reclaim of {ctx}"
-        assert ctx.pending_reuse == 0, "reclaiming a reuse-pinned context"
-        assert not self._commit_pinned(ctx), "reclaiming a commit-chain context"
-        self._squash_context(ctx)
-
-    def _lru_reclaimable(self, partition: Partition) -> Optional[HardwareContext]:
-        candidates = [c for c in partition.inactive_contexts() if self._reclaimable(c)]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda c: c.inactive_since)
-
-    def _reclaim_for_pressure(self, requesting: HardwareContext) -> None:
-        """Free registers by reclaiming an LRU inactive context."""
-        if not self.config.features.recycle:
-            return
-        partitions = [requesting.instance.partition] + [
-            p for p in self.partitions if p is not requesting.instance.partition
-        ]
-        for partition in partitions:
-            victim = self._lru_reclaimable(partition)
-            if victim is not None and victim is not requesting:
-                self.stats.reclaim_for_pressure += 1
-                self._reclaim_context(victim)
-                return
-
-    def _account_deleted_path(self, ctx: HardwareContext) -> None:
-        self.stats.alt_paths_deleted += 1
-        if ctx.was_recycled:
-            self.stats.alt_paths_recycled += 1
-            self.stats.alt_path_merge_total += ctx.merge_count
-        if ctx.was_respawned:
-            self.stats.alt_paths_respawned += 1
-
-    # ==================================================================
-    # Commit stage (with golden-model co-simulation)
-    # ==================================================================
+    # -- commit --------------------------------------------------------
     def _commit_stage(self) -> None:
-        budget = self.config.commit_width
-        if not self.instances:
-            return
-        order = list(range(len(self.instances)))
-        rotate = self.cycle % len(order)
-        order = order[rotate:] + order[:rotate]
-        for idx in order:
-            if budget <= 0:
-                break
-            budget = self._commit_instance(self.instances[idx], budget)
+        self.commit.run()
 
-    def _commit_instance(self, instance: ProgramInstance, budget: int) -> int:
-        while budget > 0 and not instance.halted:
-            ctx = self.contexts[instance.commit_ctx]
-            if (
-                ctx.commit_limit_pos is not None
-                and ctx.active_list.commit_pos >= ctx.commit_limit_pos
-            ):
-                succ = ctx.commit_successor
-                if succ is None:
-                    break
-                instance.commit_ctx = succ
-                ctx.commit_successor = None  # chain moved past: unpin
-                if not self.config.features.recycle:
-                    # Plain TME: the handed-over context is dead weight.
-                    self._squash_context(ctx)
-                continue
-            uop = ctx.active_list.oldest_uncommitted()
-            if uop is None or not uop.completed or uop.squashed:
-                break
-            self._retire(instance, ctx, uop)
-            budget -= 1
-            if instance.reached_target() and instance.id not in self.stats.per_instance_cycles:
-                self.stats.per_instance_cycles[instance.id] = self.cycle + 1
-        return budget
-
-    def _retire(self, instance: ProgramInstance, ctx: HardwareContext, uop: Uop) -> None:
-        if self.config.golden_check:
-            self._golden_check(instance, uop)
-        ctx.active_list.advance_commit()
-        instr = uop.instr
-        if instr.is_store:
-            instance.memory.write64(uop.eff_addr, uop.store_bits)
-            # Re-invalidate at retirement: MDB entries must not survive a
-            # store that is architecturally older than any later reuse.
-            instance.mdb.record_store(uop.eff_addr)
-            try:
-                ctx.store_buffer.remove(uop)
-            except ValueError:
-                pass
-        if uop.phys_dst is not None and uop.prev_map is not None:
-            self.regfile.decref(uop.prev_map)
-            uop.prev_map = None
-        if uop.reused and uop.reuse_src_ctx is not None:
-            self.contexts[uop.reuse_src_ctx].reuse_pins.discard(uop.seq)
-        uop.state = UopState.COMMITTED
-        instance.committed += 1
-        self.stats.committed += 1
-        self._last_commit_cycle = self.cycle
-        if instr.info.is_halt:
-            self._halt_instance(instance, ctx)
-
-    def _halt_instance(self, instance: ProgramInstance, halting_ctx: HardwareContext) -> None:
-        """HALT committed: stop and clean up every context of the program.
-
-        Squashing the in-flight remainder releases physical registers
-        and drains reuse pins, leaving the machine quiescent.
-        """
-        instance.halted = True
-        if self.config.golden_check and instance.memory != instance.golden.state.memory:
-            raise SimulationError(
-                f"[{instance.name}] final memory image differs from the golden model"
-            )
-        for ctx in instance.partition.contexts:
-            if ctx.state is CtxState.IDLE:
-                continue
-            if ctx is halting_ctx:
-                self._squash_suffix(ctx, ctx.active_list.commit_pos - 1)
-                ctx.fetch_stopped = True
-            else:
-                self._squash_context(ctx)
-        if self.config.golden_check:
-            self._check_final_registers(instance, halting_ctx)
-
-    def _check_final_registers(self, instance: ProgramInstance, ctx: HardwareContext) -> None:
-        """After HALT cleanup the primary's map must hold exactly the
-        architectural register state the golden model computed."""
-        golden_regs = instance.golden.state.regs
-        for logical in range(NUM_LOGICAL_REGS):
-            phys = ctx.map.lookup(logical)
-            value = self.regfile.values[phys]
-            if not _values_equal(value, golden_regs[logical]):
-                raise SimulationError(
-                    f"[{instance.name}] final register r/f{logical} = {value!r} "
-                    f"!= golden {golden_regs[logical]!r}"
-                )
-
-    def _golden_check(self, instance: ProgramInstance, uop: Uop) -> None:
-        try:
-            rec = instance.golden.step()
-        except EmulationError as exc:
-            raise SimulationError(f"golden model diverged: {exc}") from exc
-        if rec.pc != uop.pc:
-            raise SimulationError(
-                f"[{instance.name}] commit PC {uop.pc:#x} != golden {rec.pc:#x} "
-                f"(uop {uop!r})"
-            )
-        if uop.instr.is_store:
-            if rec.eff_addr != uop.eff_addr or rec.store_bits != uop.store_bits:
-                raise SimulationError(
-                    f"[{instance.name}] store mismatch at {uop.pc:#x}: "
-                    f"core ({uop.eff_addr:#x}, {uop.store_bits}) != "
-                    f"golden ({rec.eff_addr:#x}, {rec.store_bits})"
-                )
-        elif uop.dst is not None:
-            if not _values_equal(rec.value, uop.value):
-                raise SimulationError(
-                    f"[{instance.name}] value mismatch at {uop.pc:#x} ({uop.instr}): "
-                    f"core {uop.value!r} != golden {rec.value!r}"
-                    f"{' [reused]' if uop.reused else ''}"
-                )
+    def _retire(self, instance, ctx, uop) -> None:
+        self.commit.retire(instance, ctx, uop)
 
     # ==================================================================
     # Introspection helpers (tests, debugging)

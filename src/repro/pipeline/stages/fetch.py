@@ -1,0 +1,232 @@
+"""Fetch stage, including merge-point detection (Sections 3.2-3.3).
+
+Fetches sequential blocks per context under the ICOUNT/round-robin
+policies, and — with recycling enabled — checks every fetch PC against
+the merge-point tables (first PCs of spare traces, own backward-branch
+targets) to open recycle streams instead of re-fetching.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...isa.instruction import INSTRUCTION_BYTES
+from ...recycle.stream import RecycleStream, StreamKind, TraceEntry
+from ..context import CtxState, FetchedInstr, HardwareContext, MergePoint
+from ..events import FetchBlock, StreamOpened
+from .state import Stage
+
+
+class FetchStage(Stage):
+    # ==================================================================
+    # Fetch (with merge detection)
+    # ==================================================================
+    def run(self) -> None:
+        cfg = self.config
+        state = self.state
+        candidates = [
+            ctx
+            for ctx in self.contexts
+            if ctx.can_fetch(state.cycle, cfg.decode_buffer_size)
+            and ctx.id not in self.streams
+            and not (ctx.instance and ctx.instance.halted)
+        ]
+        if cfg.features.recycle:
+            candidates = [c for c in candidates if not self.try_merge(c)]
+        if cfg.fetch_policy == "icount":
+            # ICOUNT with [18]'s TME modification: primaries outrank
+            # alternates; among peers, fewest pre-issue instructions win.
+            candidates.sort(key=lambda c: (not c.is_primary, c.icount, c.id))
+        else:  # round_robin
+            candidates.sort(
+                key=lambda c: (not c.is_primary, (c.id - state.cycle) % cfg.num_contexts)
+            )
+        total_budget = cfg.fetch_total
+        threads = 0
+        for ctx in candidates:
+            if threads >= cfg.fetch_threads or total_budget <= 0:
+                break
+            threads += 1
+            fetched = self.core._fetch_block(ctx, min(cfg.fetch_block, total_budget))
+            total_budget -= fetched
+
+    def fetch_block(self, ctx: HardwareContext, budget: int) -> int:
+        """Fetch up to ``budget`` sequential instructions for ``ctx``."""
+        cfg = self.config
+        state = self.state
+        program = ctx.instance.program
+        space = ctx.instance.id
+        pc = ctx.pc
+        if ctx.fill_pc == pc and state.cycle >= ctx.fill_ready:
+            # The outstanding fill delivers this block directly to the
+            # fetch unit — no re-access (avoids thrash livelock).
+            ctx.fill_pc = -1
+        else:
+            latency = state.hierarchy.fetch_latency(pc, state.cycle, space)
+            if latency > 0:
+                ctx.fetch_stall_until = state.cycle + latency
+                ctx.fill_pc = pc
+                ctx.fill_ready = state.cycle + latency
+                return 0
+            ctx.fill_pc = -1
+        line_end = (pc | (cfg.hierarchy.icache.line_size - 1)) + 1
+        count = 0
+        ready = state.cycle + 1 + cfg.decode_latency
+        while count < budget and pc < line_end and not ctx.fetch_stopped:
+            if count > 0 and cfg.features.recycle and self.check_merge_at(ctx, pc):
+                return self._published(ctx, count)  # mid-block merge
+            instr = program.instr_at(pc)
+            if instr is None:
+                ctx.fetch_stopped = True  # ran off the text segment (wrong path)
+                break
+            self.stats.fetched += 1
+            count += 1
+            if not self.core._alt_fetch_allowed(ctx):
+                ctx.fetch_stopped = True
+            oi = instr.info
+            if oi.is_halt:
+                ctx.decode_buffer.append(FetchedInstr(instr, pc, pc, None, ready))
+                ctx.fetch_stopped = True
+                break
+            if oi.is_branch:
+                pred = state.predictor.predict(ctx.id, pc, instr)
+                if pred.taken and pred.target is None:
+                    # Unresolvable indirect: stall fetch until resolution.
+                    ctx.decode_buffer.append(
+                        FetchedInstr(instr, pc, pc + INSTRUCTION_BYTES, pred, ready)
+                    )
+                    ctx.fetch_stopped = True
+                    break
+                next_pc = pred.target if pred.taken else pc + INSTRUCTION_BYTES
+                ctx.decode_buffer.append(FetchedInstr(instr, pc, next_pc, pred, ready))
+                pc = next_pc
+                ctx.pc = pc
+                if pred.taken:
+                    if pred.needs_decode_redirect:
+                        ctx.fetch_stall_until = (
+                            state.cycle + cfg.btb_miss_redirect_penalty
+                        )
+                    break  # fetch blocks end at a predicted-taken branch
+            else:
+                ctx.decode_buffer.append(
+                    FetchedInstr(instr, pc, pc + INSTRUCTION_BYTES, None, ready)
+                )
+                pc += INSTRUCTION_BYTES
+                ctx.pc = pc
+        return self._published(ctx, count)
+
+    def _published(self, ctx: HardwareContext, count: int) -> int:
+        bus = self.bus
+        if count and bus.wants(FetchBlock):
+            bus.publish(FetchBlock(self.state.cycle, ctx, count, ctx.pc))
+        return count
+
+    def alt_fetch_allowed(self, ctx: HardwareContext) -> bool:
+        """Apply the Figure-5 alternate-path instruction limit."""
+        if ctx.is_primary:
+            return True
+        if not self.config.features.tme:
+            return True
+        ctx.alt_fetched += 1
+        return ctx.alt_fetched < self.config.policy.limit
+
+    # ------------------------------------------------------------------
+    # Merge detection (Section 3.2)
+    # ------------------------------------------------------------------
+    def merge_sources(self, ctx: HardwareContext, pc: int):
+        """Yield (source ctx, merge point, kind) candidates for ``pc``."""
+        if ctx.is_primary:
+            partition = ctx.instance.partition
+            for src in partition.spares():
+                if src.state not in (CtxState.ACTIVE, CtxState.INACTIVE):
+                    continue
+                if src.is_primary:
+                    continue
+                mp = src.first_merge
+                if src.merge_point_valid(mp) and mp.pc == pc:
+                    yield src, mp, StreamKind.ALTERNATE
+            mp = ctx.first_merge
+            if ctx.merge_point_valid(mp) and mp.pc == pc:
+                yield ctx, mp, StreamKind.SELF_FIRST
+        mp = ctx.back_merge
+        if ctx.merge_point_valid(mp) and mp.pc == pc:
+            yield ctx, mp, StreamKind.BACK
+
+    def try_merge(self, ctx: HardwareContext) -> bool:
+        """Open a recycle stream if ``ctx``'s fetch PC hits a merge point."""
+        return self.check_merge_at(ctx, ctx.pc)
+
+    def check_merge_at(self, ctx: HardwareContext, pc: int) -> bool:
+        if ctx.id in self.streams:
+            return False
+        for src, mp, kind in self.merge_sources(ctx, pc):
+            stream = self.core._open_stream(ctx, src, mp, kind)
+            if stream is not None:
+                return True
+        return False
+
+    def open_stream(
+        self,
+        dst: HardwareContext,
+        src: HardwareContext,
+        mp: MergePoint,
+        kind: StreamKind,
+    ) -> Optional[RecycleStream]:
+        entries = self.core._snapshot_trace(src, mp.pos)
+        if not entries:
+            return None
+        reuse_ok = (
+            self.config.features.reuse
+            and kind is StreamKind.ALTERNATE
+            and dst.is_primary
+        )
+        stream = RecycleStream(
+            kind=kind,
+            dst_ctx=dst.id,
+            src_ctx=src.id,
+            entries=entries,
+            reuse_allowed=reuse_ok,
+        )
+        self.streams[dst.id] = stream
+        if kind is StreamKind.BACK:
+            src.was_recycled = True
+        else:
+            src.was_recycled = True
+            if src is not dst:
+                src.merge_count += 1
+        # "Fetching immediately continues from where recycling will
+        # complete" — but we conservatively do not fetch for this thread
+        # while its stream drains; the PC is parked at the resume point.
+        dst.pc = stream.resume_pc() if stream.index else entries[-1].next_pc
+        # The default-attached stats recorder subscribes to this event
+        # (it owns the merge counters), so the guard only trips when a
+        # test deliberately detaches everything.
+        if self.bus.wants(StreamOpened):
+            self.bus.publish(
+                StreamOpened(
+                    self.state.cycle, dst, src, stream, kind, mp.pc, len(entries)
+                )
+            )
+        return stream
+
+    def snapshot_trace(self, src: HardwareContext, from_pos: int) -> List[TraceEntry]:
+        """Copy the recyclable trace starting at ``from_pos``.
+
+        A trace is only meaningful while each entry's recorded
+        successor is the next entry's PC — rings can contain stale path
+        boundaries (e.g. a swapped-out fork branch whose ``next_pc``
+        was corrected while its wrong-path suffix stayed adjacent), and
+        the snapshot must stop there.
+        """
+        entries: List[TraceEntry] = []
+        ring = src.active_list
+        prev_next: Optional[int] = None
+        for pos in range(from_pos, ring.tail_pos):
+            uop = ring.try_entry(pos)
+            if uop is None or uop.squashed:
+                break
+            if prev_next is not None and uop.pc != prev_next:
+                break
+            entries.append(TraceEntry(uop.instr, uop.pc, uop.next_pc, src_pos=pos))
+            prev_next = uop.next_pc
+        return entries

@@ -1,0 +1,121 @@
+"""Issue stage: wake-up/select and execute-at-issue value computation.
+
+Ready uops contend for functional units (primary-path work first when
+``primary_issue_priority`` is set); issuing computes the real result on
+the shared physical register file and schedules completion after the
+unit latency plus memory-hierarchy delays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...isa import semantics
+from ...isa.opcodes import Op
+from ..context import HardwareContext
+from ..events import Issued
+from ..uop import Uop, UopState
+from .state import Stage
+
+
+class IssueStage(Stage):
+    def run(self) -> None:
+        state = self.state
+        state.fus.new_cycle()
+        prio = self.config.primary_issue_priority
+        for queue in (self.int_queue, self.fp_queue):
+            ready = queue.ready_uops(self.regfile, self.memory_order_ok, state.cycle)
+            if prio:
+                # Primary-path work first; alternates fill leftover units.
+                ready.sort(key=lambda u: (not self.contexts[u.ctx].is_primary, u.seq))
+            for uop in ready:
+                if not state.fus.try_issue(uop.instr.info.fu):
+                    continue
+                queue.remove(uop)
+                uop.in_queue = False
+                ctx = self.contexts[uop.ctx]
+                ctx.n_queued -= 1
+                self.core._execute(uop)
+
+    def memory_order_ok(self, uop: Uop) -> bool:
+        """Conservative load ordering: all older stores have executed."""
+        if not uop.instr.is_load:
+            return True
+        ctx = self.contexts[uop.ctx]
+        for store in ctx.store_buffer:
+            if store.seq < uop.seq and not store.squashed and not store.completed:
+                return False
+        for store in ctx.inherited_stores:
+            if store.seq < uop.seq and not store.squashed and not store.completed:
+                return False
+        return True
+
+    def execute(self, uop: Uop) -> None:
+        """Begin execution: compute the result, schedule completion."""
+        state = self.state
+        uop.state = UopState.ISSUED
+        uop.issue_cycle = state.cycle
+        state.issued_this_cycle += 1
+        ctx = self.contexts[uop.ctx]
+        instr = uop.instr
+        oi = instr.info
+        srcs = tuple(self.regfile.values[p] for p in uop.phys_srcs)
+        latency = oi.latency
+        if oi.is_load:
+            addr = semantics.effective_address(instr, srcs[0])
+            uop.eff_addr = addr
+            forwarded = self.forward_store(ctx, uop, addr)
+            if forwarded is not None:
+                uop.value = semantics.load_value(forwarded, oi.dst_fp)
+                latency = 1
+            else:
+                bits = ctx.instance.memory.read64(addr)
+                uop.value = semantics.load_value(bits, oi.dst_fp)
+                latency = 1 + state.hierarchy.data_latency(
+                    addr, state.cycle, ctx.instance.id
+                )
+            ctx.instance.mdb.record_load(uop.pc, addr, token=uop.seq)
+        elif oi.is_store:
+            addr = semantics.effective_address(instr, srcs[0])
+            uop.eff_addr = addr
+            uop.store_bits = semantics.store_bits(srcs[1], oi.src_fp)
+            state.hierarchy.data_latency(addr, state.cycle, ctx.instance.id)
+            ctx.instance.mdb.record_store(addr)
+        elif oi.is_branch:
+            taken, target = semantics.branch_outcome(instr, srcs, uop.pc)
+            uop.taken = taken
+            uop.target = target
+            if oi.is_call:
+                uop.value = semantics.compute_value(instr, srcs, uop.pc)
+        elif not oi.is_halt and instr.op is not Op.NOP:
+            uop.value = semantics.compute_value(instr, srcs, uop.pc)
+        if uop.phys_dst is not None:
+            # Bypass network: the result is forwardable ``latency``
+            # cycles after issue; dependents may issue then.
+            self.regfile.write(uop.phys_dst, uop.value, ready_at=state.cycle + latency)
+        done = state.cycle + self.config.regread_stages + latency
+        state.completions.setdefault(done, []).append(uop)
+        if self.bus.wants(Issued):
+            self.bus.publish(Issued(state.cycle, uop))
+
+    def forward_store(self, ctx: HardwareContext, load: Uop, addr: int) -> Optional[int]:
+        """Youngest older store to ``addr`` visible to this context."""
+        best: Optional[Uop] = None
+        for store in ctx.store_buffer:
+            if (
+                store.seq < load.seq
+                and not store.squashed
+                and store.completed
+                and store.eff_addr == addr
+            ):
+                if best is None or store.seq > best.seq:
+                    best = store
+        for store in ctx.inherited_stores:
+            if store.squashed or store.seq >= load.seq:
+                continue
+            if store.state is UopState.COMMITTED:
+                continue  # already drained to memory
+            if store.completed and store.eff_addr == addr:
+                if best is None or store.seq > best.seq:
+                    best = store
+        return best.store_bits if best is not None else None

@@ -1,0 +1,397 @@
+"""Rename stage: fetched paths first, recycle streams fill in.
+
+Carries the recycle datapath (Section 3.3-3.4) and instruction reuse
+(Section 3.5): streams drain into rename behind each thread's fetched
+instructions, conditional branches inside a stream are re-checked
+against the predictor, and — when the written-bit array allows it — a
+recycled instruction's old physical mapping is re-installed instead of
+re-executing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...isa.instruction import INSTRUCTION_BYTES, Instruction
+from ...isa.opcodes import FuClass
+from ...isa.registers import FP_BASE
+from ...recycle.stream import RecycleStream, StreamKind, TraceEntry
+from ..config import PolicyKind
+from ..context import CtxState, HardwareContext
+from ..events import Renamed, Reused, StreamEnded
+from ..uop import Uop, UopState
+from .state import Stage
+
+
+class RenameStage(Stage):
+    def run(self) -> None:
+        budget = self.config.rename_width
+        # Fetched instructions, lowest-ICOUNT thread first.
+        ctxs = sorted(
+            (c for c in self.contexts if c.decode_buffer),
+            key=lambda c: (c.icount, c.id),
+        )
+        for ctx in ctxs:
+            if budget <= 0:
+                break
+            # Program order: a thread with an open stream renames its
+            # pre-merge fetched instructions first; the stream follows.
+            while budget > 0 and ctx.decode_buffer:
+                fi = ctx.decode_buffer[0]
+                if fi.ready_cycle > self.state.cycle:
+                    break
+                if not self.resources_ok(ctx, fi.instr, needs_queue=True):
+                    break
+                ctx.decode_buffer.popleft()
+                self.core._rename_one(ctx, fi.instr, fi.pc, fi.next_pc, fi.pred)
+                budget -= 1
+        # Recycle streams, prioritised by the separate (pre-issue) counter.
+        streams = sorted(
+            self.streams.values(), key=lambda s: self.contexts[s.dst_ctx].icount
+        )
+        for stream in streams:
+            if budget <= 0:
+                break
+            budget = self.drain_stream(stream, budget)
+        for dst_ctx in sorted(self.streams):
+            if self.streams[dst_ctx].ended:
+                del self.streams[dst_ctx]
+
+    def resources_ok(
+        self, ctx: HardwareContext, instr: Instruction, needs_queue: bool
+    ) -> bool:
+        if not ctx.active_list.has_room():
+            return False
+        if instr.dst is not None:
+            fp = instr.dst >= FP_BASE
+            if not self.regfile.can_alloc(fp):
+                self.core._reclaim_for_pressure(ctx)
+                if not self.regfile.can_alloc(fp):
+                    return False
+        if needs_queue:
+            queue = self.fp_queue if instr.info.fu is FuClass.FP else self.int_queue
+            if not queue.has_room():
+                return False
+            if not ctx.is_primary and queue.occupancy() >= int(
+                queue.size * self.config.alt_queue_pressure
+            ):
+                # Alternate/inactive paths yield queue space to primaries.
+                return False
+        return True
+
+    def rename_one(
+        self,
+        ctx: HardwareContext,
+        instr: Instruction,
+        pc: int,
+        next_pc: int,
+        pred,
+        recycled: bool = False,
+        back_merge: bool = False,
+    ) -> Uop:
+        """Common rename path for fetched and recycled instructions."""
+        uop = Uop(instr, pc, ctx.id, ctx.instance)
+        uop.next_pc = next_pc
+        uop.pred = pred
+        uop.recycled = recycled
+        uop.back_merge = back_merge
+        uop.rename_cycle = self.state.cycle
+        uop.phys_srcs = [ctx.map.lookup(s) for s in instr.srcs]
+        if instr.dst is not None:
+            new_reg, displaced = ctx.map.define(instr.dst, fp=instr.dst >= FP_BASE)
+            uop.phys_dst = new_reg
+            uop.prev_map = displaced
+            self.note_register_write(ctx, instr.dst)
+        uop.no_execute = self.is_no_execute(ctx)
+        if not uop.no_execute:
+            queue = self.fp_queue if instr.info.fu is FuClass.FP else self.int_queue
+            queue.insert(uop)
+            uop.in_queue = True
+            ctx.n_queued += 1
+        pos = ctx.active_list.append(uop)
+        uop.al_pos = pos
+        ctx.note_first_entry(uop, pos)
+        if instr.is_store:
+            ctx.store_buffer.append(uop)
+        if instr.is_branch and next_pc is not None:
+            taken_recorded = next_pc != pc + INSTRUCTION_BYTES
+            if taken_recorded and instr.target is not None and instr.target <= pc:
+                ctx.set_back_merge(instr.target)
+        self.stats.renamed += 1
+        if recycled:
+            self.stats.renamed_recycled += 1
+        # TME fork decision happens at rename, where the map is current.
+        if (
+            self.config.features.tme
+            and instr.is_cond_branch
+            and pred is not None
+            and pred.low_confidence
+            and ctx.is_primary
+        ):
+            self.core._consider_fork(ctx, uop)
+        if self.bus.wants(Renamed):
+            self.bus.publish(Renamed(self.state.cycle, uop))
+        return uop
+
+    def note_register_write(self, ctx: HardwareContext, logical: int) -> None:
+        ctx.self_written.add(logical)
+        partition = ctx.instance.partition
+        if ctx.is_primary:
+            partition.written.primary_defined(logical, partition.spare_mask)
+
+    def is_no_execute(self, ctx: HardwareContext) -> bool:
+        """FETCH-policy contexts keep fetching but stop executing."""
+        return (
+            ctx.state is CtxState.INACTIVE
+            and self.config.policy.kind is PolicyKind.FETCH
+        )
+
+    # ------------------------------------------------------------------
+    # Recycle stream draining (Section 3.4) and reuse (Section 3.5)
+    # ------------------------------------------------------------------
+    def drain_stream(self, stream: RecycleStream, budget: int) -> int:
+        dst = self.contexts[stream.dst_ctx]
+        if dst.decode_buffer:
+            return budget  # older fetched instructions must clear rename first
+        src = self.contexts[stream.src_ctx] if stream.src_ctx is not None else None
+        while budget > 0 and not stream.ended:
+            if stream.exhausted():
+                self.core._end_stream(stream, dst, "exhausted")
+                break
+            entry = stream.peek()
+            # Guard against the source trace having been overwritten.
+            if src is not None and entry.src_pos is not None:
+                live = src.active_list.try_entry(entry.src_pos)
+                if live is None or live.pc != entry.pc:
+                    self.core._end_stream(stream, dst, "squashed")
+                    break
+            instr = entry.instr
+            pred = None
+            next_pc = entry.next_pc
+            mismatch_target = None
+            if instr.is_cond_branch and not self.config.recycle_repredict:
+                # "Former method": keep the trace's recorded direction as
+                # the prediction and update the history with it.
+                recorded_taken = entry.next_pc != entry.pc + INSTRUCTION_BYTES
+                pred = self.state.predictor.record_direction(
+                    dst.id, entry.pc, recorded_taken,
+                    entry.next_pc if recorded_taken else instr.target,
+                )
+            elif instr.is_branch:
+                pred = self.state.predictor.predict(dst.id, entry.pc, instr)
+                pred_next = (
+                    (pred.target if pred.target is not None else entry.next_pc)
+                    if pred.taken
+                    else entry.pc + INSTRUCTION_BYTES
+                )
+                if pred_next != entry.next_pc:
+                    # The prediction changed since the trace was built:
+                    # recycle the branch itself, then stop and fetch the
+                    # newly predicted path (the paper's chosen method).
+                    next_pc = pred_next
+                    mismatch_target = pred_next
+            if not self.resources_ok(dst, instr, needs_queue=True):
+                break
+            stream.advance()
+            # Alternate-path length cap applies to recycled paths too.
+            limit_hit = not self.core._alt_fetch_allowed(dst)
+            uop = self.recycle_rename(dst, src, entry, instr, next_pc, pred, stream)
+            budget -= 1
+            if mismatch_target is not None:
+                # The renamed branch follows its *new* prediction, so the
+                # stream must stop and fetch continue on that path — even
+                # if the length cap was reached on the same entry.
+                stream.stop("branch_mismatch")
+                self.stats.streams_ended_branch_mismatch += 1
+                dst.pc = mismatch_target
+                dst.fetch_stall_until = max(
+                    dst.fetch_stall_until, self.state.cycle + 1
+                )
+                if self.bus.wants(StreamEnded):
+                    self.bus.publish(
+                        StreamEnded(
+                            self.state.cycle, dst, stream,
+                            "branch_mismatch", stream.index,
+                        )
+                    )
+            elif limit_hit or instr.info.is_halt:
+                self.core._end_stream(stream, dst, "exhausted")
+            if limit_hit or instr.info.is_halt:
+                dst.fetch_stopped = True
+        return budget
+
+    def kill_stream(self, ctx: HardwareContext) -> None:
+        """Abort ``ctx``'s incoming stream, rewinding its fetch PC.
+
+        The PC was parked at the end of the trace when the stream
+        opened; if the stream dies early the not-yet-injected tail must
+        be fetched the normal way, so fetch resumes at the successor of
+        the last instruction the stream actually delivered.  (Callers
+        that redirect the PC themselves simply override this.)
+        """
+        stream = self.streams.pop(ctx.id, None)
+        if stream is not None and not stream.ended:
+            stream.stop("squashed")
+            self.stats.streams_ended_squashed += 1
+            ctx.pc = stream.resume_pc()
+            if self.bus.wants(StreamEnded):
+                self.bus.publish(
+                    StreamEnded(self.state.cycle, ctx, stream, "squashed", stream.index)
+                )
+
+    def end_stream(
+        self, stream: RecycleStream, dst: HardwareContext, reason: str
+    ) -> None:
+        stream.stop(reason)
+        if reason == "exhausted":
+            self.stats.streams_ended_exhausted += 1
+            dst.pc = stream.resume_pc()
+        else:
+            self.stats.streams_ended_squashed += 1
+            dst.pc = stream.resume_pc()
+        if self.bus.wants(StreamEnded):
+            self.bus.publish(
+                StreamEnded(self.state.cycle, dst, stream, reason, stream.index)
+            )
+
+    def recycle_rename(
+        self,
+        dst: HardwareContext,
+        src: Optional[HardwareContext],
+        entry: TraceEntry,
+        instr: Instruction,
+        next_pc: int,
+        pred,
+        stream: RecycleStream,
+    ) -> Uop:
+        # Attempt reuse before the normal rename allocates a register.
+        if stream.reuse_allowed and src is not None:
+            reuse_uop = self.core._reuse_candidate(dst, src, entry, stream)
+            if reuse_uop is not None:
+                return self.core._rename_reused(dst, src, reuse_uop, entry, stream)
+        uop = self.core._rename_one(
+            dst,
+            instr,
+            entry.pc,
+            next_pc,
+            pred,
+            recycled=True,
+            back_merge=stream.kind is StreamKind.BACK,
+        )
+        # Track stream-local value consistency: a re-executed entry whose
+        # sources all matched the trace produces the trace's value again.
+        if instr.dst is not None:
+            partition = dst.instance.partition
+            consistent = src is not None and all(
+                s in stream.consistent_writes
+                or partition.written.unchanged_for(s, src.id)
+                for s in instr.srcs
+            )
+            if consistent and not instr.is_load:
+                stream.consistent_writes.add(instr.dst)
+            else:
+                stream.consistent_writes.discard(instr.dst)
+        return uop
+
+    def reuse_candidate(
+        self,
+        dst: HardwareContext,
+        src: HardwareContext,
+        entry: TraceEntry,
+        stream: RecycleStream,
+    ) -> Optional[Uop]:
+        """The live source uop, if its old result may be reused."""
+        if entry.src_pos is None:
+            return None
+        if src.state is not CtxState.INACTIVE:
+            # Reuse applies to finished (inactive) threads only (Section 3.5).
+            return None
+        uop = src.active_list.try_entry(entry.src_pos)
+        if uop is None or uop.squashed or uop.pc != entry.pc:
+            return None
+        instr = uop.instr
+        if instr.dst is None or instr.is_store or instr.is_branch:
+            return None
+        if not uop.executed_on_path or uop.phys_dst is None:
+            return None
+        partition = dst.instance.partition
+        if not all(
+            s in stream.consistent_writes
+            or partition.written.unchanged_for(s, src.id)
+            for s in instr.srcs
+        ):
+            return None
+        if instr.is_load:
+            if uop.eff_addr is None:
+                return None
+            if not dst.instance.mdb.can_reuse(uop.pc, uop.eff_addr, token=uop.seq):
+                return None
+            # The MDB orders loads and stores by *wall-clock* execution,
+            # but reuse validity is a *program-order* question: a store
+            # architecturally older than this reuse point may have
+            # executed before the original load ever ran (so it never
+            # invalidated the entry), or may not have an address yet.
+            # Sound rule: only reuse a load when every store visible to
+            # the destination context has fully committed (its MDB
+            # invalidation, done again at retirement, has then landed).
+            for store in dst.store_buffer:
+                if not store.squashed and store.state is not UopState.COMMITTED:
+                    return None
+            for store in dst.inherited_stores:
+                if not store.squashed and store.state is not UopState.COMMITTED:
+                    return None
+        return uop
+
+    def rename_reused(
+        self,
+        dst: HardwareContext,
+        src: HardwareContext,
+        src_uop: Uop,
+        entry: TraceEntry,
+        stream: RecycleStream,
+    ) -> Uop:
+        """Reuse: install the old mapping; skip queue and execution."""
+        bus = self.bus
+        # Snapshot the consistency set *before* this reuse mutates it —
+        # subscribers judge the reuse against the pre-install set.
+        consistent = (
+            frozenset(stream.consistent_writes) if bus.wants(Reused) else None
+        )
+        instr = src_uop.instr
+        uop = Uop(instr, entry.pc, dst.id, dst.instance)
+        uop.next_pc = entry.next_pc
+        uop.recycled = True
+        uop.reused = True
+        uop.reuse_src_ctx = src.id
+        uop.rename_cycle = self.state.cycle
+        uop.phys_srcs = [dst.map.lookup(s) for s in instr.srcs]
+        uop.phys_dst = src_uop.phys_dst
+        uop.prev_map = dst.map.install(instr.dst, src_uop.phys_dst)
+        uop.value = src_uop.value
+        uop.eff_addr = src_uop.eff_addr
+        uop.state = UopState.COMPLETED
+        uop.complete_cycle = self.state.cycle
+        pos = dst.active_list.append(uop)
+        uop.al_pos = pos
+        dst.note_first_entry(uop, pos)
+        src.reuse_pins.add(uop.seq)
+        # The mapping is old, but the *value* of the destination logical
+        # register did change relative to every other retained path's
+        # fork point — mark the written bits like any primary write.
+        # The stream-local consistency set keeps this trace's own
+        # dependent reuses alive.
+        self.note_register_write(dst, instr.dst)
+        stream.consistent_writes.add(instr.dst)
+        self.stats.renamed += 1
+        self.stats.renamed_recycled += 1
+        self.stats.renamed_reused += 1
+        if bus.wants(Renamed):
+            bus.publish(Renamed(self.state.cycle, uop))
+        if consistent is not None:
+            bus.publish(
+                Reused(
+                    self.state.cycle, uop, dst, src, entry.pc,
+                    tuple(instr.srcs), consistent, stream,
+                )
+            )
+        return uop

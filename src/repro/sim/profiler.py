@@ -1,0 +1,113 @@
+"""Per-stage wall-time profiling for the simulator itself.
+
+The stage decomposition makes the natural profiling boundary the stage
+call: :meth:`Core.step` routes each stage through
+:meth:`StageProfiler.timed` when a profiler is attached via
+``core.set_profiler(...)``.  This measures the *simulator's* speed
+(host seconds per stage, simulated cycles per host second), not the
+modelled machine — it lives under :mod:`repro.sim` because the
+pipeline packages are wall-clock-free by lint rule (DET001).
+
+``profile_spec`` runs one kernel with profiling attached and returns a
+JSON-ready payload; the CLI writes it to ``BENCH_core.json`` so the
+perf trajectory of future refactors has a baseline to diff against.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+#: Stage keys in the order Core.step() evaluates them.
+STAGE_ORDER = ("commit", "complete", "issue", "rename", "fetch")
+
+
+class StageProfiler:
+    """Accumulates wall seconds and call counts per pipeline stage."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {name: 0.0 for name in STAGE_ORDER}
+        self.calls: Dict[str, int] = {name: 0 for name in STAGE_ORDER}
+
+    def timed(self, name: str, fn: Callable[[], None]) -> None:
+        start = time.perf_counter()
+        fn()
+        self.seconds[name] = self.seconds.get(name, 0.0) + time.perf_counter() - start
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage seconds and share of total stage time."""
+        total = self.total_seconds
+        return {
+            name: {
+                "seconds": round(self.seconds[name], 6),
+                "pct": round(100.0 * self.seconds[name] / total, 2) if total else 0.0,
+            }
+            for name in STAGE_ORDER
+        }
+
+
+def profile_spec(spec, suite=None) -> Dict:
+    """Run ``spec`` once with per-stage profiling attached.
+
+    Returns the ``BENCH_core.json`` payload: headline simulation
+    results, end-to-end wall time, simulated-cycles/sec, and the
+    per-stage breakdown.  Always an in-process serial run.
+    """
+    from ..pipeline.core import Core
+    from ..workloads.suite import WorkloadSuite
+
+    suite = suite or WorkloadSuite()
+    core = Core(spec.build_config())
+    core.load(suite.mix(spec.workload), commit_target=spec.commit_target)
+    profiler = StageProfiler()
+    core.set_profiler(profiler)
+    started = time.perf_counter()
+    stats = core.run(max_cycles=spec.max_cycles)
+    wall = time.perf_counter() - started
+    return {
+        "kernel": "+".join(spec.workload),
+        "machine": spec.machine,
+        "features": spec.features,
+        "commit_target": spec.commit_target,
+        "cycles": stats.cycles,
+        "committed": stats.committed,
+        "ipc": round(stats.ipc, 4),
+        "wall_seconds": round(wall, 4),
+        "cycles_per_second": round(stats.cycles / wall, 1) if wall else 0.0,
+        "committed_per_second": round(stats.committed / wall, 1) if wall else 0.0,
+        "stage_seconds_total": round(profiler.total_seconds, 4),
+        "stages": profiler.breakdown(),
+    }
+
+
+def format_profile(payload: Dict) -> str:
+    lines = [
+        f"{payload['kernel']} [{payload['features']}] on {payload['machine']}: "
+        f"{payload['cycles']} cycles, {payload['committed']} committed, "
+        f"IPC {payload['ipc']:.3f}",
+        f"  wall {payload['wall_seconds']:.2f}s — "
+        f"{payload['cycles_per_second']:,.0f} cycles/s, "
+        f"{payload['committed_per_second']:,.0f} commits/s",
+        "  per-stage wall time:",
+    ]
+    for name in STAGE_ORDER:
+        stage = payload["stages"][name]
+        bar = "#" * int(round(stage["pct"] / 2))
+        lines.append(
+            f"    {name:<9s} {stage['seconds']:8.3f}s  {stage['pct']:5.1f}%  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def write_bench(payload: Dict, path: str = "BENCH_core.json") -> Optional[str]:
+    import json
+
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,79 @@
+"""Event-bus subscriber that maintains the control-flow counters.
+
+The per-instruction hot counters (``fetched``, ``renamed``,
+``committed``, ...) are incremented inline by the stages — they are on
+every-instruction paths where even a guarded publish would be wasted
+work.  The *control-flow* counters (forks, swaps, merges, re-spawns,
+mispredicts, squashes) fire on rare events, and deriving them from the
+bus keeps the stages free of bookkeeping and proves the events carry
+enough information to reconstruct the paper's tables.
+
+A :class:`StatsRecorder` is attached to every
+:class:`~repro.pipeline.core.Core` at construction; tests that need a
+totally silent bus call :meth:`detach`.
+"""
+
+from __future__ import annotations
+
+from ..pipeline.events import (
+    BranchResolved,
+    EventBus,
+    Forked,
+    PrimarySwapped,
+    Respawned,
+    Squashed,
+    StreamOpened,
+)
+from ..recycle.stream import StreamKind
+from .counters import SimStats
+
+
+class StatsRecorder:
+    """Subscribes the control-flow counters of ``stats`` to ``bus``."""
+
+    def __init__(self, stats: SimStats, bus: EventBus):
+        self.stats = stats
+        self._unsubscribers = bus.subscribe_many(
+            {
+                Forked: self._on_forked,
+                PrimarySwapped: self._on_swapped,
+                Squashed: self._on_squashed,
+                StreamOpened: self._on_stream_opened,
+                Respawned: self._on_respawned,
+                BranchResolved: self._on_branch_resolved,
+            }
+        )
+
+    def detach(self) -> None:
+        """Unsubscribe everything (the counters simply stop updating)."""
+        for unsub in self._unsubscribers:
+            unsub()
+        self._unsubscribers = []
+
+    # -- handlers ------------------------------------------------------
+    def _on_forked(self, ev: Forked) -> None:
+        self.stats.forks += 1
+
+    def _on_swapped(self, ev: PrimarySwapped) -> None:
+        self.stats.forks_used_tme += 1
+
+    def _on_squashed(self, ev: Squashed) -> None:
+        self.stats.squashed += 1
+
+    def _on_stream_opened(self, ev: StreamOpened) -> None:
+        if ev.kind is StreamKind.BACK:
+            self.stats.back_merges += 1
+        else:
+            self.stats.merges += 1
+
+    def _on_respawned(self, ev: Respawned) -> None:
+        self.stats.respawns += 1
+        self.stats.respawn_streams += 1
+
+    def _on_branch_resolved(self, ev: BranchResolved) -> None:
+        if ev.is_cond and ev.on_arch_path:
+            self.stats.cond_branches_resolved += 1
+            if ev.mispredicted:
+                self.stats.mispredicts += 1
+        if ev.covered:
+            self.stats.mispredicts_covered += 1

@@ -95,10 +95,36 @@ class TestTraceAndProfile:
         assert "event totals:" in out
         assert "cycles" in out  # pipeview header
 
-    def test_profile_command(self, capsys):
-        rc = main(["profile", "--workload", "vortex", "--iters", "300"])
+    def test_profile_branches_command(self, capsys):
+        rc = main(["profile-branches", "--workload", "vortex", "--iters", "300"])
         assert rc == 0
         assert "accuracy" in capsys.readouterr().out
+
+    def test_profile_command_writes_bench_json(self, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "BENCH_core.json"
+        rc = main([
+            "profile", "--workload", "compress", "--commit-target", "400",
+            "--output", str(out_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-stage wall time:" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["committed"] >= 400
+        assert payload["cycles_per_second"] > 0
+        assert set(payload["stages"]) == {
+            "commit", "complete", "issue", "rename", "fetch"
+        }
+
+    def test_profile_command_can_skip_output(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main([
+            "profile", "--workload", "compress", "--commit-target", "300",
+            "--output", "",
+        ])
+        assert rc == 0
+        assert not (tmp_path / "BENCH_core.json").exists()
 
     def test_run_json(self, capsys):
         import json

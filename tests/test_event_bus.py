@@ -1,0 +1,127 @@
+"""Tests for the typed pipeline event bus (repro.pipeline.events).
+
+Three guarantees are pinned here:
+
+* subscription/delivery order is deterministic (handlers fire in
+  subscription order, ``subscribe_many`` follows its dict),
+* an unsubscribed bus costs **zero event allocations** during a full
+  simulation (``Event.constructed`` does not move), and
+* the workload suite actually exercises the whole event catalogue —
+  every type in ``ALL_EVENT_TYPES`` is published by a REC/RS/RU run.
+"""
+
+import pytest
+
+from repro.pipeline import Core
+from repro.pipeline.events import (
+    ALL_EVENT_TYPES,
+    Event,
+    EventBus,
+    FetchBlock,
+    Retired,
+)
+from repro.sim.runner import RunSpec
+from repro.workloads.suite import WorkloadSuite
+
+
+class TestEventBusUnit:
+    def test_wants_reflects_subscriptions(self):
+        bus = EventBus()
+        assert not bus.wants(FetchBlock)
+        unsubscribe = bus.subscribe(FetchBlock, lambda ev: None)
+        assert bus.wants(FetchBlock)
+        assert not bus.wants(Retired)
+        unsubscribe()
+        assert not bus.wants(FetchBlock)
+
+    def test_handlers_run_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        for tag in ("first", "second", "third"):
+            bus.subscribe(Retired, lambda ev, tag=tag: order.append(tag))
+        bus.publish(Retired(cycle=0, uop=None, instance=None))
+        assert order == ["first", "second", "third"]
+
+    def test_subscribe_many_follows_mapping_order(self):
+        bus = EventBus()
+        order = []
+        unsubscribers = bus.subscribe_many({
+            FetchBlock: lambda ev: order.append("fetch"),
+            Retired: lambda ev: order.append("retire"),
+        })
+        assert len(unsubscribers) == 2
+        bus.publish(Retired(cycle=0, uop=None, instance=None))
+        bus.publish(FetchBlock(cycle=0, ctx=None, count=1, next_pc=0))
+        assert order == ["retire", "fetch"]
+        for unsubscribe in unsubscribers:
+            unsubscribe()
+        assert not bus.wants(FetchBlock) and not bus.wants(Retired)
+
+    def test_unsubscribe_is_idempotent_and_restores_fast_path(self):
+        bus = EventBus()
+        unsubscribe = bus.subscribe(Retired, lambda ev: None)
+        unsubscribe()
+        unsubscribe()  # second call is a no-op, not an error
+        assert not bus.wants(Retired)
+
+    def test_subscribe_rejects_non_event_types(self):
+        bus = EventBus()
+        with pytest.raises(TypeError):
+            bus.subscribe(int, lambda ev: None)
+        with pytest.raises(TypeError):
+            bus.subscribe("Retired", lambda ev: None)
+
+    def test_published_counts_per_type(self):
+        bus = EventBus()
+        bus.subscribe(Retired, lambda ev: None)
+        for _ in range(3):
+            bus.publish(Retired(cycle=0, uop=None, instance=None))
+        assert bus.published == {Retired: 3}
+
+
+def _run_spec(kernel, features, commit_target=800):
+    spec = RunSpec(
+        workload=(kernel,), features=features, commit_target=commit_target
+    )
+    core = Core(spec.build_config())
+    core.load(WorkloadSuite().mix(spec.workload), commit_target=commit_target)
+    return core, spec
+
+
+class TestZeroOverheadWhenUnsubscribed:
+    def test_detached_bus_constructs_no_events(self):
+        core, spec = _run_spec("compress", "REC/RS/RU")
+        core.stats_recorder.detach()  # the only default subscriber
+        before = Event.constructed
+        stats = core.run(max_cycles=spec.max_cycles)
+        assert stats.committed >= 800  # the run really happened
+        assert Event.constructed == before  # not one event allocated
+        assert core.bus.published == {}  # ...and none published
+
+    def test_detaching_does_not_change_results(self):
+        core_a, spec = _run_spec("compress", "REC/RS/RU")
+        stats_a = core_a.run(max_cycles=spec.max_cycles)
+        core_b, _ = _run_spec("compress", "REC/RS/RU")
+        core_b.stats_recorder.detach()
+        stats_b = core_b.run(max_cycles=spec.max_cycles)
+        assert stats_a.cycles == stats_b.cycles
+        assert stats_a.committed == stats_b.committed
+        assert stats_a.ipc == stats_b.ipc
+
+
+class TestEventCatalogueCoverage:
+    @pytest.mark.parametrize("kernel", ["compress", "li"])
+    def test_full_feature_run_publishes_every_event_type(self, kernel):
+        core, spec = _run_spec(kernel, "REC/RS/RU")
+        seen = set()
+        unsubscribers = core.bus.subscribe_many({
+            etype: (lambda ev, etype=etype: seen.add(etype))
+            for etype in ALL_EVENT_TYPES
+        })
+        core.run(max_cycles=spec.max_cycles)
+        missing = [t.__name__ for t in ALL_EVENT_TYPES if t not in seen]
+        assert not missing, f"never published: {missing}"
+        # publish counts agree with what the handlers observed
+        assert set(core.bus.published) == set(ALL_EVENT_TYPES)
+        for unsubscribe in unsubscribers:
+            unsubscribe()

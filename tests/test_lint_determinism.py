@@ -89,6 +89,45 @@ def test_det_ok_suppression_requires_reason(tmp_path):
     assert ":3:" in proc.stdout
 
 
+def test_setattr_on_core_flagged(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def instrument(core, fn):\n"
+        "    setattr(core, '_execute', fn)\n"
+        "    setattr(core.rename, '_rename_one', fn)\n"
+        "    setattr(self.core, '_retire', fn)\n"
+        "    setattr(other, '_execute', fn)\n"  # not a core reference
+    )
+    proc = run_lint(bad)
+    assert proc.returncode == 1
+    flagged = [line for line in proc.stdout.splitlines() if "DET004" in line]
+    assert len(flagged) == 3
+    assert "event bus" in proc.stdout
+
+
+def test_private_core_assignment_flagged(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "core._execute = fn\n"
+        "self.core.resolve._squash_uop = fn\n"
+        "core.tracer = t\n"  # public attribute: allowed
+        "self._handler = fn\n"  # private on self: allowed
+        "object.__setattr__(uop, 'pc', 4)\n"  # dotted call, not bare setattr
+    )
+    proc = run_lint(bad)
+    assert proc.returncode == 1
+    flagged = [line for line in proc.stdout.splitlines() if "DET004" in line]
+    assert len(flagged) == 2
+
+
+def test_src_tree_clean_under_det004():
+    # The default run sweeps all of src/repro with DET004 — the shipped
+    # package must contain no core monkey-patching.
+    proc = run_lint()
+    assert proc.returncode == 0
+    assert "DET004" not in proc.stdout
+
+
 def test_missing_path_is_an_error(tmp_path):
     proc = run_lint(tmp_path / "no_such_dir")
     assert proc.returncode == 2

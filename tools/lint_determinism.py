@@ -23,6 +23,16 @@ classic ways nondeterminism sneaks in:
     process* but fragile under refactoring; the core must not depend
     on it.
 
+``DET004`` monkey-patching the core
+    ``setattr(core, ...)`` / ``setattr(self.core, ...)`` and direct
+    assignments to private attributes of a core or stage object
+    (``core._execute = f``, ``self.core.rename._x = f``).  Observers
+    must subscribe to the typed event bus
+    (``repro.pipeline.events.EventBus``) instead of wrapping methods —
+    method-wrapping breaks silently on rename and made instrumentation
+    part of the simulated semantics.  Checked across ``src/repro``
+    (tests may still patch delegators for fault injection).
+
 A line may be exempted with an inline justification comment::
 
     stale = [k for k, v in table.items() if ...]  # det-ok: order-independent
@@ -50,6 +60,12 @@ DEFAULT_TARGETS = (
     "src/repro/recycle",
     "src/repro/exec/cache.py",
 )
+
+#: DET004 sweeps the whole package: observers anywhere in src/ must go
+#: through the event bus, not just code in the hot-core directories.
+DET004_TARGETS = ("src/repro",)
+
+ALL_RULES = frozenset({"DET001", "DET002", "DET003", "DET004"})
 
 _WALL_CLOCK = {
     ("time", "time"),
@@ -126,20 +142,52 @@ def _unwrap_sequencing(node: ast.AST) -> ast.AST:
     return node
 
 
+def _is_core_ref(node: ast.AST) -> bool:
+    """True for expressions that reach a Core/stage object: a name
+    ``core``, an attribute ``<x>.core`` at any depth, or any attribute
+    chain hanging off one (``core.rename``, ``self.core.resolve``)."""
+    if isinstance(node, ast.Name):
+        return node.id == "core"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "core" or _is_core_ref(node.value)
+    return False
+
+
+def _expr_text(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)  # py>=3.9
+    except Exception:  # pragma: no cover - unparse failure
+        return "<expr>"
+
+
 class _Checker(ast.NodeVisitor):
-    def __init__(self, path: Path, suppressed: set):
+    def __init__(self, path: Path, suppressed: set, rules: frozenset = ALL_RULES):
         self.path = path
         self.suppressed = suppressed
+        self.rules = rules
         self.violations: List[Violation] = []
 
     def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        if code not in self.rules:
+            return
         lineno = getattr(node, "lineno", 0)
         if lineno in self.suppressed:
             return
         self.violations.append(Violation(self.path, lineno, code, message))
 
-    # -- DET001 / DET002: calls ----------------------------------------
+    # -- DET001 / DET002 / DET004: calls -------------------------------
     def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "setattr"
+            and node.args
+            and _is_core_ref(node.args[0])
+        ):
+            self._flag(
+                node, "DET004",
+                f"setattr({_expr_text(node.args[0])}, ...) monkey-patches "
+                f"the core; subscribe to the event bus instead",
+            )
         base, attr = _dotted_call(node)
         if (base, attr) in _WALL_CLOCK:
             self._flag(node, "DET001", f"wall-clock read {base}.{attr}()")
@@ -193,19 +241,41 @@ class _Checker(ast.NodeVisitor):
     visit_DictComp = _visit_comprehension
     visit_GeneratorExp = _visit_comprehension
 
+    # -- DET004: private-attribute writes on the core ------------------
+    def _check_core_write(self, target: ast.AST) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr.startswith("_")
+            and _is_core_ref(target.value)
+        ):
+            self._flag(
+                target, "DET004",
+                f"assignment to {_expr_text(target)} replaces a private "
+                f"core/stage member; subscribe to the event bus instead",
+            )
 
-def lint_file(path: Path) -> List[Violation]:
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_core_write(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_core_write(node.target)
+        self.generic_visit(node)
+
+
+def lint_file(path: Path, rules: frozenset = ALL_RULES) -> List[Violation]:
     source = path.read_text()
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
         return [Violation(path, exc.lineno or 0, "DET000", f"syntax error: {exc.msg}")]
-    checker = _Checker(path, _suppressed_lines(source))
+    checker = _Checker(path, _suppressed_lines(source), rules)
     checker.visit(tree)
     return checker.violations
 
 
-def lint_paths(paths: Iterable[str]) -> List[Violation]:
+def lint_paths(paths: Iterable[str], rules: frozenset = ALL_RULES) -> List[Violation]:
     violations: List[Violation] = []
     for raw in paths:
         path = Path(raw)
@@ -216,17 +286,27 @@ def lint_paths(paths: Iterable[str]) -> List[Violation]:
         else:
             continue
         for file in files:
-            violations.extend(lint_file(file))
+            violations.extend(lint_file(file, rules))
     return sorted(violations, key=lambda v: (str(v.path), v.line))
 
 
 def main(argv: List[str]) -> int:
-    targets = argv or list(DEFAULT_TARGETS)
+    targets = argv or list(DEFAULT_TARGETS) + [
+        t for t in DET004_TARGETS if Path(t).exists()
+    ]
     missing = [t for t in targets if not Path(t).exists()]
     if missing:
         print(f"lint_determinism: no such path(s): {missing}", file=sys.stderr)
         return 2
-    violations = lint_paths(targets)
+    if argv:
+        violations = lint_paths(argv)
+    else:
+        # The hot-core targets get the full rule set; the wider package
+        # sweep applies only the monkey-patching ban (observers outside
+        # the core may legitimately read the wall clock, etc.).
+        violations = lint_paths(DEFAULT_TARGETS, ALL_RULES - {"DET004"})
+        violations += lint_paths(DET004_TARGETS, frozenset({"DET004"}))
+        violations = sorted(violations, key=lambda v: (str(v.path), v.line))
     for violation in violations:
         print(violation.render())
     if violations:
