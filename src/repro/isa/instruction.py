@@ -42,18 +42,17 @@ class Instruction:
     target: Optional[int] = None  # absolute byte address for direct branches
     srcs: Tuple[int, ...] = field(init=False)
     dst: Optional[int] = field(init=False)
+    #: Cached OpInfo — a plain attribute, not a property: ``instr.info``
+    #: is on every pipeline fast path (>100k reads per profile run) and
+    #: a descriptor dispatch there is measurable.
+    info: OpInfo = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         oi = info(self.op)
         srcs, dst = _operand_roles(self, oi)
         object.__setattr__(self, "srcs", srcs)
         object.__setattr__(self, "dst", dst)
-        # Cache the OpInfo: `info` is on every pipeline fast path.
-        object.__setattr__(self, "_info", oi)
-
-    @property
-    def info(self) -> OpInfo:
-        return self._info
+        object.__setattr__(self, "info", oi)
 
     # Convenience predicates, forwarded from OpInfo ----------------------
     @property

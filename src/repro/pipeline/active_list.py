@@ -47,9 +47,7 @@ class ActiveList:
         Requires both a free uncommitted slot and that the entry the
         ring would overwrite is not still awaiting commit.
         """
-        if self.uncommitted >= self.capacity:
-            return False
-        return True
+        return self.tail_pos - self.commit_pos < self.capacity
 
     def append(self, uop: Uop) -> int:
         """Insert at the tail; returns the entry's position.
@@ -58,12 +56,13 @@ class ActiveList:
         callers must treat previously returned positions ``<
         start_pos`` as gone.
         """
-        assert self.has_room(), "active list overflow"
-        if self.retained >= self.capacity:
-            self.start_pos += 1
-        self._ring[self.tail_pos % self.capacity] = uop
         pos = self.tail_pos
-        self.tail_pos += 1
+        capacity = self.capacity
+        assert pos - self.commit_pos < capacity, "active list overflow"
+        if pos - self.start_pos >= capacity:
+            self.start_pos += 1
+        self._ring[pos % capacity] = uop
+        self.tail_pos = pos + 1
         return pos
 
     def entry(self, pos: int) -> Uop:

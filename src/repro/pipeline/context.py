@@ -10,14 +10,15 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..branch.predictor import Prediction
+from ..compat import slots_dataclass
 from ..isa.instruction import Instruction
 from .active_list import ActiveList
 from .rename import RenameMap
-from .uop import Uop
+from .uop import Uop, UopState
 
 
 class CtxState(enum.Enum):
@@ -26,9 +27,13 @@ class CtxState(enum.Enum):
     INACTIVE = "inactive"
 
 
-@dataclass
+@slots_dataclass
 class FetchedInstr:
-    """One instruction sitting in a context's fetch/decode buffer."""
+    """One instruction sitting in a context's fetch/decode buffer.
+
+    Slotted: one is allocated per fetched instruction, on the fetch
+    hot path.
+    """
 
     instr: Instruction
     pc: int
@@ -37,7 +42,7 @@ class FetchedInstr:
     ready_cycle: int  # earliest cycle rename may consume it
 
 
-@dataclass
+@slots_dataclass
 class MergePoint:
     """A recyclable trace entry point: (pc to match, active-list position)."""
 
@@ -69,6 +74,24 @@ class HardwareContext:
         self.store_buffer: List[Uop] = []  # own in-flight stores
         self.inherited_stores: List[Uop] = []  # pre-fork stores of the parent
         self.n_queued = 0  # renamed-but-not-issued uops (ICOUNT)
+        # Store-path indexes (all lazily pruned; see STORE-INDEX
+        # invariants in docs/PERFORMANCE.md) --------------------------------
+        #: Min-heaps of (seq, store) for not-yet-executed stores, split
+        #: own/inherited.  ``older_store_pending`` peeks the oldest
+        #: entry instead of scanning both buffers per load attempt.
+        self._own_pending: List[Tuple[int, Uop]] = []
+        self._inh_pending: List[Tuple[int, Uop]] = []
+        #: Completed stores visible to this context, per effective
+        #: address, each list seq-ascending — the forwarding index.
+        self._fwd_index: Dict[int, List[Uop]] = {}
+        #: Stack (seq-ascending) of every store visible to this context;
+        #: lazily popped once committed/squashed.  Non-empty == at least
+        #: one store is still architecturally in flight (reuse gate).
+        self._live_stores: List[Uop] = []
+        # Scheduler bookkeeping --------------------------------------------
+        self.icount_pos = ctx_id  # slot in CoreState.icount_order
+        self.icount_cache = 0  # icount as of the last IcountOrder.note
+        self.fetch_mark = -1  # cycle-stamped fetch-candidate marker
         # TME state --------------------------------------------------------
         self.fork_uop: Optional[Uop] = None  # branch this alternate covers
         self.parent_ctx: Optional[int] = None
@@ -124,7 +147,7 @@ class HardwareContext:
         if mp is None:
             return False
         uop = self.active_list.try_entry(mp.pos)
-        return uop is not None and uop.pc == mp.pc and not uop.squashed
+        return uop is not None and uop.pc == mp.pc and uop.state is not UopState.SQUASHED
 
     def set_back_merge(self, target_pc: int) -> None:
         """Record the target of the last backward branch (Section 3.2)."""
@@ -140,6 +163,136 @@ class HardwareContext:
             self.path_start_pos = pos
 
     # ------------------------------------------------------------------
+    # Store-path indexes (memory ordering, forwarding, reuse gating)
+    # ------------------------------------------------------------------
+    def note_store_renamed(self, uop: Uop) -> None:
+        """An own store entered the window: track it in every index."""
+        self.store_buffer.append(uop)
+        heappush(self._own_pending, (uop.seq, uop))
+        self._live_stores.append(uop)
+
+    def note_store_completed(self, uop: Uop) -> None:
+        """An own store executed: it becomes forwardable at its address."""
+        self._index_completed_store(uop)
+
+    def adopt_inherited_stores(self, stores: List[Uop]) -> None:
+        """Install the fork-time snapshot of the parent's visible stores.
+
+        ``stores`` is seq-ascending (parent program order), so it is
+        already a valid min-heap and a valid live-stores stack.
+        """
+        self.inherited_stores = stores
+        self._inh_pending = [(s.seq, s) for s in stores]
+        self._fwd_index = {}
+        self._own_pending = []
+        self._live_stores = list(stores)
+
+    def older_store_pending(self, seq: int) -> bool:
+        """Is any visible store older than ``seq`` still un-executed?
+
+        Equivalent to the old linear scan for a store with
+        ``store.seq < seq and not squashed and not completed`` over
+        ``store_buffer + inherited_stores``; here the pending heaps are
+        pruned to their oldest still-pending entry and peeked.
+        """
+        heap = self._own_pending
+        while heap:
+            top = heap[0]
+            state = top[1].state
+            if state is UopState.RENAMED or state is UopState.ISSUED:
+                if top[0] < seq:
+                    return True
+                break
+            heappop(heap)  # completed/committed/squashed: done pending
+        heap = self._inh_pending
+        while heap:
+            top = heap[0]
+            store = top[1]
+            state = store.state
+            if state is UopState.RENAMED or state is UopState.ISSUED:
+                if top[0] < seq:
+                    return True
+                break
+            heappop(heap)
+            if state is UopState.COMPLETED:
+                # Drained past an executed inherited store: it becomes
+                # forwardable here (own stores arrive via the resolve
+                # hook; inherited ones as the load window passes them).
+                self._index_completed_store(store)
+        return False
+
+    def _index_completed_store(self, store: Uop) -> None:
+        lst = self._fwd_index.get(store.eff_addr)
+        if lst is None:
+            self._fwd_index[store.eff_addr] = [store]
+            return
+        seq = store.seq
+        lo, hi = 0, len(lst)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if lst[mid].seq < seq:
+                lo = mid + 1
+            else:
+                hi = mid
+        lst.insert(lo, store)
+
+    def forward_lookup(self, addr: int, seq: int) -> Optional[Uop]:
+        """Youngest completed store to ``addr`` older than ``seq``.
+
+        Stale index entries (committed or squashed since insertion) are
+        skipped by state; they are garbage-collected at retire/squash.
+        """
+        lst = self._fwd_index.get(addr)
+        if lst is None:
+            return None
+        lo, hi = 0, len(lst)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if lst[mid].seq < seq:
+                lo = mid + 1
+            else:
+                hi = mid
+        for i in range(lo - 1, -1, -1):
+            store = lst[i]
+            if store.state is UopState.COMPLETED:
+                return store
+        return None
+
+    def fwd_index_discard(self, store: Uop) -> None:
+        """Drop an own store's index entry (no-op if never indexed)."""
+        lst = self._fwd_index.get(store.eff_addr)
+        if lst is None:
+            return
+        seq = store.seq
+        lo, hi = 0, len(lst)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if lst[mid].seq < seq:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(lst) and lst[lo] is store:
+            del lst[lo]
+            if not lst:
+                del self._fwd_index[store.eff_addr]
+
+    def has_live_stores(self) -> bool:
+        """Any visible store not yet committed (and not squashed)?
+
+        The stack is pruned from the youngest end: commit retires
+        stores oldest-first, so a committed top implies everything
+        below it is committed or squashed too.
+        """
+        stack = self._live_stores
+        while stack:
+            state = stack[-1].state
+            if state is UopState.SQUASHED or state is UopState.COMMITTED:
+                stack.pop()
+            else:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
     def reset_for_reclaim(self) -> None:
         """Return to IDLE after the core has released all resources."""
         self.active_list.clear()
@@ -149,6 +302,10 @@ class HardwareContext:
         self.decode_buffer.clear()
         self.store_buffer.clear()
         self.inherited_stores.clear()
+        self._own_pending.clear()
+        self._inh_pending.clear()
+        self._fwd_index.clear()
+        self._live_stores.clear()
         self.n_queued = 0
         self.fork_uop = None
         self.parent_ctx = None
@@ -173,3 +330,65 @@ class HardwareContext:
     def __repr__(self) -> str:
         role = "P" if self.is_primary else ("A" if self.is_alternate else "-")
         return f"<ctx{self.id} {self.state.value}/{role} pc={self.pc:#x}>"
+
+
+class IcountOrder:
+    """Contexts kept permanently sorted by ``(icount, id)``.
+
+    ICOUNT changes at a handful of well-known points (fetch delivers,
+    rename consumes/queues, issue/squash dequeue); each such point
+    calls :meth:`note` and the changed context bubbles to its slot.
+    The per-cycle ``sorted()`` calls in rename and fetch become a read
+    of :meth:`ordered`.  The key is a strict total order (ids break
+    ties), so the maintained order equals what the old stable sorts
+    produced.
+    """
+
+    __slots__ = ("_order",)
+
+    def __init__(self, contexts: List[HardwareContext]):
+        self._order = list(contexts)  # all icounts 0 → id order is sorted
+        for pos, ctx in enumerate(self._order):
+            ctx.icount_pos = pos
+            ctx.icount_cache = ctx.icount
+
+    def ordered(self) -> List[HardwareContext]:
+        """The live, sorted list.  Callers must not mutate it, and must
+        snapshot (e.g. filter into a new list) before fetching/renaming,
+        since those actions re-enter :meth:`note`."""
+        return self._order
+
+    def note(self, ctx: HardwareContext) -> None:
+        """Re-slot ``ctx`` after its icount may have changed.
+
+        Neighbours are compared by their *cached* icount — valid
+        because every icount mutation site notes its context before any
+        other context is noted, so all other caches are current.
+        """
+        order = self._order
+        pos = ctx.icount_pos
+        icount = len(ctx.decode_buffer) + ctx.n_queued
+        ctx.icount_cache = icount
+        cid = ctx.id
+        moved = False
+        while pos > 0:
+            prev = order[pos - 1]
+            prev_icount = prev.icount_cache
+            if prev_icount < icount or (prev_icount == icount and prev.id < cid):
+                break
+            order[pos] = prev
+            prev.icount_pos = pos
+            pos -= 1
+            moved = True
+        if not moved:
+            last = len(order) - 1
+            while pos < last:
+                nxt = order[pos + 1]
+                nxt_icount = nxt.icount_cache
+                if icount < nxt_icount or (icount == nxt_icount and cid < nxt.id):
+                    break
+                order[pos] = nxt
+                nxt.icount_pos = pos
+                pos += 1
+        order[pos] = ctx
+        ctx.icount_pos = pos

@@ -71,6 +71,7 @@ class Core:
         self.issue = IssueStage(self)
         self.resolve = ResolveStage(self)
         self.commit = CommitStage(self)
+        self._bind_delegators()
         self._profiler = None
         # Imported lazily: stats.recorder subscribes to pipeline.events,
         # and importing it at module scope would cycle back into here.
@@ -181,10 +182,15 @@ class Core:
     def run(self, max_cycles: int = 1_000_000, deadlock_limit: int = 20_000) -> SimStats:
         """Simulate until every instance reaches its commit target/halts."""
         state = self.state
+        instances = self.instances
+        step = self.step
         while state.cycle < max_cycles:
-            if all(inst.halted or inst.reached_target() for inst in self.instances):
+            for inst in instances:
+                if not (inst.halted or inst.reached_target()):
+                    break
+            else:  # every instance done
                 break
-            self.step()
+            step()
             if state.cycle - state.last_commit_cycle > deadlock_limit:
                 raise SimulationError(
                     f"no commits for {deadlock_limit} cycles at cycle {state.cycle}; "
@@ -236,101 +242,53 @@ class Core:
     # ==================================================================
     # Stage delegators (the historical private API)
     # ==================================================================
-    # Stages route cross-stage and observable calls through these so
-    # that instance-attribute patching (tests, fault injection) still
-    # intercepts exactly one well-known name per behaviour.
+    def _bind_delegators(self) -> None:
+        """Bind the stage entry points under the historical ``_method`` names.
 
-    # -- fetch ---------------------------------------------------------
-    def _fetch_stage(self) -> None:
-        self.fetch.run()
-
-    def _fetch_block(self, ctx, budget):
-        return self.fetch.fetch_block(ctx, budget)
-
-    def _alt_fetch_allowed(self, ctx):
-        return self.fetch.alt_fetch_allowed(ctx)
-
-    def _open_stream(self, dst, src, mp, kind):
-        return self.fetch.open_stream(dst, src, mp, kind)
-
-    def _snapshot_trace(self, src, from_pos):
-        return self.fetch.snapshot_trace(src, from_pos)
-
-    # -- rename / recycle ---------------------------------------------
-    def _rename_stage(self) -> None:
-        self.rename.run()
-
-    def _rename_one(self, ctx, instr, pc, next_pc, pred, recycled=False, back_merge=False):
-        return self.rename.rename_one(
-            ctx, instr, pc, next_pc, pred, recycled=recycled, back_merge=back_merge
-        )
-
-    def _rename_reused(self, dst, src, src_uop, entry, stream):
-        return self.rename.rename_reused(dst, src, src_uop, entry, stream)
-
-    def _reuse_candidate(self, dst, src, entry, stream):
-        return self.rename.reuse_candidate(dst, src, entry, stream)
-
-    def _end_stream(self, stream, dst, reason) -> None:
-        self.rename.end_stream(stream, dst, reason)
-
-    def _kill_stream(self, ctx) -> None:
-        self.rename.kill_stream(ctx)
-
-    # -- TME fork / re-spawn ------------------------------------------
-    def _consider_fork(self, ctx, branch) -> None:
-        self.forker.consider_fork(ctx, branch)
-
-    def _spawn(self, parent, branch, spare, alt_pc) -> None:
-        self.forker.spawn(parent, branch, spare, alt_pc)
-
-    def _respawn(self, parent, branch, existing, alt_pc) -> None:
-        self.forker.respawn(parent, branch, existing, alt_pc)
-
-    # -- issue / execute ----------------------------------------------
-    def _issue_stage(self) -> None:
-        self.issue.run()
-
-    def _execute(self, uop) -> None:
-        self.issue.execute(uop)
-
-    # -- completion / recovery / squash -------------------------------
-    def _complete_stage(self) -> None:
-        self.resolve.run()
-
-    def _swap_primaryship(self, old, branch, alt) -> None:
-        self.resolve.swap_primaryship(old, branch, alt)
-
-    def _squash_uop(self, uop) -> None:
-        self.resolve.squash_uop(uop)
-
-    def _squash_suffix(self, ctx, branch_pos):
-        return self.resolve.squash_suffix(ctx, branch_pos)
-
-    def _squash_context(self, ctx) -> None:
-        self.resolve.squash_context(ctx)
-
-    def _reclaimable(self, ctx):
-        return self.resolve.reclaimable(ctx)
-
-    def _lru_reclaimable(self, partition):
-        return self.resolve.lru_reclaimable(partition)
-
-    def _reclaim_context(self, ctx) -> None:
-        self.resolve.reclaim_context(ctx)
-
-    def _reclaim_for_pressure(self, requesting) -> None:
-        self.resolve.reclaim_for_pressure(requesting)
-
-    def _account_deleted_path(self, ctx) -> None:
-        self.resolve.account_deleted_path(ctx)
-
-    # -- commit --------------------------------------------------------
-    def _commit_stage(self) -> None:
-        self.commit.run()
-
-    def _retire(self, instance, ctx, uop) -> None:
-        self.commit.retire(instance, ctx, uop)
+        Stages route cross-stage and observable calls through these so
+        that instance-attribute patching (tests, fault injection) still
+        intercepts exactly one well-known name per behaviour.  They are
+        instance attributes rather than ``def`` wrappers: several run
+        tens of thousands of times per simulated run, and the extra
+        delegator frame was measurable in the hot loop.  Patching
+        semantics are unchanged — ``core._execute = fake`` replaces the
+        attribute, and restoring the saved original rebinds the stage
+        method.
+        """
+        # -- fetch -----------------------------------------------------
+        self._fetch_stage = self.fetch.run
+        self._fetch_block = self.fetch.fetch_block
+        self._alt_fetch_allowed = self.fetch.alt_fetch_allowed
+        self._open_stream = self.fetch.open_stream
+        self._snapshot_trace = self.fetch.snapshot_trace
+        # -- rename / recycle -----------------------------------------
+        self._rename_stage = self.rename.run
+        self._rename_one = self.rename.rename_one
+        self._rename_reused = self.rename.rename_reused
+        self._reuse_candidate = self.rename.reuse_candidate
+        self._end_stream = self.rename.end_stream
+        self._kill_stream = self.rename.kill_stream
+        # -- TME fork / re-spawn --------------------------------------
+        self._consider_fork = self.forker.consider_fork
+        self._spawn = self.forker.spawn
+        self._respawn = self.forker.respawn
+        # -- issue / execute ------------------------------------------
+        self._issue_stage = self.issue.run
+        self._execute = self.issue.execute
+        # -- completion / recovery / squash ---------------------------
+        self._complete_stage = self.resolve.run
+        self._swap_primaryship = self.resolve.swap_primaryship
+        self._squash_uop = self.resolve.squash_uop
+        self._squash_suffix = self.resolve.squash_suffix
+        self._squash_context = self.resolve.squash_context
+        self._reclaimable = self.resolve.reclaimable
+        self._lru_reclaimable = self.resolve.lru_reclaimable
+        self._reclaim_context = self.resolve.reclaim_context
+        self._reclaim_for_pressure = self.resolve.reclaim_for_pressure
+        self._account_deleted_path = self.resolve.account_deleted_path
+        # -- commit ----------------------------------------------------
+        self._commit_stage = self.commit.run
+        self._retire = self.commit.retire
 
     # ==================================================================
     # Introspection helpers (tests, debugging)

@@ -28,8 +28,9 @@ handler (the tracer stringifies; the cross-checker snapshots).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Type
+
+from ..compat import slots_dataclass as _event_dataclass
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..recycle.stream import RecycleStream, StreamKind
@@ -38,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .uop import Uop
 
 
-@dataclass
+@_event_dataclass
 class Event:
     """Base class for all bus events.
 
@@ -59,7 +60,7 @@ class Event:
 # ----------------------------------------------------------------------
 # Per-stage events (in pipeline order)
 # ----------------------------------------------------------------------
-@dataclass
+@_event_dataclass
 class FetchBlock(Event):
     """A fetch block was delivered for one context (``count`` > 0)."""
 
@@ -68,7 +69,7 @@ class FetchBlock(Event):
     next_pc: int  # the context's fetch PC after the block
 
 
-@dataclass
+@_event_dataclass
 class StreamOpened(Event):
     """A recycle stream was opened at a merge point (Section 3.2)."""
 
@@ -80,7 +81,7 @@ class StreamOpened(Event):
     length: int  # entries snapshotted into the stream
 
 
-@dataclass
+@_event_dataclass
 class StreamEnded(Event):
     """A recycle stream stopped (exhausted / squashed / repredicted)."""
 
@@ -90,14 +91,14 @@ class StreamEnded(Event):
     delivered: int  # entries actually injected into rename
 
 
-@dataclass
+@_event_dataclass
 class Renamed(Event):
     """One instruction passed rename (fetched, recycled, or reused)."""
 
     uop: "Uop"
 
 
-@dataclass
+@_event_dataclass
 class Reused(Event):
     """A recycled instruction's old result was *reused* (Section 3.5).
 
@@ -115,7 +116,7 @@ class Reused(Event):
     stream: "RecycleStream"
 
 
-@dataclass
+@_event_dataclass
 class Forked(Event):
     """A low-confidence branch forked its alternate path (TME)."""
 
@@ -125,7 +126,7 @@ class Forked(Event):
     alt_pc: int
 
 
-@dataclass
+@_event_dataclass
 class Respawned(Event):
     """An inactive trace was re-activated through the recycle path."""
 
@@ -135,21 +136,21 @@ class Respawned(Event):
     alt_pc: int
 
 
-@dataclass
+@_event_dataclass
 class Issued(Event):
     """One instruction issued to a functional unit and began execution."""
 
     uop: "Uop"
 
 
-@dataclass
+@_event_dataclass
 class Completed(Event):
     """One instruction finished execution this cycle."""
 
     uop: "Uop"
 
 
-@dataclass
+@_event_dataclass
 class BranchResolved(Event):
     """A branch resolved at completion.
 
@@ -165,7 +166,7 @@ class BranchResolved(Event):
     covered: bool
 
 
-@dataclass
+@_event_dataclass
 class PrimarySwapped(Event):
     """A fork branch mispredicted; its alternate became the primary."""
 
@@ -174,14 +175,14 @@ class PrimarySwapped(Event):
     branch: "Uop"
 
 
-@dataclass
+@_event_dataclass
 class Squashed(Event):
     """One in-flight instruction was squashed."""
 
     uop: "Uop"
 
 
-@dataclass
+@_event_dataclass
 class Retired(Event):
     """One instruction committed architecturally."""
 
@@ -218,6 +219,12 @@ class EventBus:
 
     def __init__(self) -> None:
         self._handlers: Dict[Type[Event], List[Callable[[Event], None]]] = {}
+        #: Public read-only alias of the handler table: hot publish
+        #: sites test ``EventType in bus.active`` (a plain dict
+        #: membership check) instead of calling :meth:`wants`.  The
+        #: dict object is stable for the bus's lifetime; subscribe /
+        #: unsubscribe mutate it in place.
+        self.active: Dict[Type[Event], List[Callable[[Event], None]]] = self._handlers
         #: Publish counts per event type (test/diagnostic hook).
         self.published: Dict[Type[Event], int] = {}
 

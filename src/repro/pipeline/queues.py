@@ -6,11 +6,33 @@ registers are ready.  Issue selects oldest-first across all contexts,
 bounded by functional-unit availability: ``int_units`` integer units of
 which ``ldst_ports`` may perform loads/stores, and ``fp_units`` FP
 units, all fully pipelined (new op each cycle).
+
+Readiness is tracked *event-driven* rather than by rescanning every
+entry every cycle:
+
+* At :meth:`InstructionQueue.insert`, sources whose producer has not
+  issued yet (``ready_cycle == NEVER``) register the uop on the
+  register file's per-register waiter list and are counted in
+  ``uop.wait_count``.  Sources with a concrete ready cycle need no
+  event — the uop goes straight onto the *due* heap keyed by the
+  latest of those cycles.
+* :meth:`PhysicalRegisterFile.write` (the single point where a
+  register goes ready) drains the waiter list; a uop whose last
+  pending source just got a ready cycle is re-keyed onto the due heap
+  at ``max(ready_cycle[src] for src in srcs)``.
+* :meth:`take_ready` moves due entries whose cycle has arrived into a
+  seq-ordered ready heap and pops them oldest-first — exactly the old
+  scan's ``ready_cycle[p] <= cycle`` condition, without the scan.
+
+Removal is O(1): membership lives in an insertion-ordered dict and the
+heaps drop stale entries lazily when popped.  A uop removed twice is a
+scheduler bug, so :meth:`remove` asserts instead of swallowing it.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from heapq import heappop, heappush
+from typing import Dict, List
 
 from ..isa.opcodes import FuClass
 from .regfile import PhysicalRegisterFile
@@ -18,58 +40,121 @@ from .uop import Uop, UopState
 
 
 class InstructionQueue:
-    """One issue queue; selection is oldest-ready-first."""
+    """One issue queue; selection is oldest-ready-first, event-driven."""
 
-    def __init__(self, name: str, size: int):
+    def __init__(self, name: str, size: int, regfile: PhysicalRegisterFile):
         self.name = name
         self.size = size
-        self._entries: List[Uop] = []
+        self.regfile = regfile
+        #: Resident uops (insertion-ordered; the single source of truth
+        #: for membership — heap entries are validated against it).
+        self._members: Dict[Uop, None] = {}
+        #: (ready_at, seq, uop) — register-complete uops waiting for
+        #: their latest source's ready cycle to arrive.
+        self._due: List = []
+        #: (seq, uop) — uops whose sources are all ready now.
+        self._ready: List = []
+        # Scheduler counters (reported by the profiler).
+        self.wakeups = 0  # register writes that re-keyed a waiting uop
+        self.ready_polls = 0
+        self.ready_returned = 0
 
+    # -- capacity ------------------------------------------------------
     def has_room(self) -> bool:
-        return len(self._entries) < self.size
+        return len(self._members) < self.size
 
+    def occupancy(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, uop: Uop) -> bool:
+        return uop in self._members
+
+    # -- insert / remove -------------------------------------------------
     def insert(self, uop: Uop) -> None:
-        assert self.has_room(), f"{self.name} queue overflow"
-        self._entries.append(uop)
+        assert len(self._members) < self.size, f"{self.name} queue overflow"
+        self._members[uop] = None
+        regfile = self.regfile
+        ready_cycles = regfile.ready_cycle
+        never = regfile.NEVER
+        pending = 0
+        latest = 0
+        for src in uop.phys_srcs:
+            rc = ready_cycles[src]
+            if rc == never:
+                regfile.add_waiter(src, self, uop)
+                pending += 1
+            elif rc > latest:
+                latest = rc
+        uop.wait_count = pending
+        if not pending:
+            heappush(self._due, (latest, uop.seq, uop))
 
     def remove(self, uop: Uop) -> None:
+        """Drop ``uop`` from the queue.  Removing a uop that is not
+        resident is a scheduler bug (double removal), not a no-op."""
         try:
-            self._entries.remove(uop)
-        except ValueError:
-            pass
+            del self._members[uop]
+        except KeyError:
+            raise AssertionError(
+                f"{self.name} queue: removing non-resident uop {uop!r}"
+            ) from None
 
     def remove_squashed(self) -> int:
-        before = len(self._entries)
-        self._entries = [u for u in self._entries if not u.squashed]
-        return before - len(self._entries)
+        before = len(self._members)
+        self._members = {u: None for u in self._members if not u.squashed}
+        return before - len(self._members)
 
-    def ready_uops(self, regfile: PhysicalRegisterFile, extra_ok, cycle: int) -> List[Uop]:
+    def clear(self) -> None:
+        self._members.clear()
+        self._due.clear()
+        self._ready.clear()
+
+    # -- event-driven readiness ----------------------------------------
+    def _wake(self, uop: Uop) -> None:
+        """One pending source of ``uop`` got its ready cycle."""
+        uop.wait_count -= 1
+        if uop.wait_count:
+            return
+        if uop not in self._members or uop.state is not UopState.RENAMED:
+            return  # stale waiter: the uop issued or was squashed/dequeued
+        ready_cycles = self.regfile.ready_cycle
+        latest = 0
+        for src in uop.phys_srcs:
+            rc = ready_cycles[src]
+            if rc > latest:
+                latest = rc
+        self.wakeups += 1
+        heappush(self._due, (latest, uop.seq, uop))
+
+    def take_ready(self, cycle: int) -> List[Uop]:
         """Uops whose sources are ready at ``cycle``, oldest first.
 
         Readiness uses per-register ready cycles, modelling the bypass
         network: a dependent may issue as soon as its producer's result
-        is forwardable, not when it reaches the register file.
-        ``extra_ok(uop)`` applies non-register issue constraints (memory
-        ordering for loads).
+        is forwardable, not when it reaches the register file.  The
+        caller owns the returned uops: issue them (``remove``) or give
+        back the ones blocked on units/memory order (``requeue``).
         """
-        ready = []
-        ready_cycles = regfile.ready_cycle
-        for uop in self._entries:
-            if uop.state is not UopState.RENAMED:
-                continue
-            if all(ready_cycles[p] <= cycle for p in uop.phys_srcs) and extra_ok(uop):
-                ready.append(uop)
-        ready.sort(key=lambda u: u.seq)
-        return ready
+        due = self._due
+        ready = self._ready
+        while due and due[0][0] <= cycle:
+            entry = heappop(due)
+            heappush(ready, (entry[1], entry[2]))
+        out = []
+        members = self._members
+        while ready:
+            uop = heappop(ready)[1]
+            if uop in members and uop.state is UopState.RENAMED:
+                out.append(uop)
+        self.ready_polls += 1
+        self.ready_returned += len(out)
+        return out
 
-    def occupancy(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, uop: Uop) -> bool:
-        return uop in self._entries
-
-    def clear(self) -> None:
-        self._entries.clear()
+    def requeue(self, uops: List[Uop]) -> None:
+        """Put back ready uops that could not issue this cycle."""
+        ready = self._ready
+        for uop in uops:
+            heappush(ready, (uop.seq, uop))
 
 
 class FunctionalUnits:

@@ -52,6 +52,13 @@ class PhysicalRegisterFile:
         #: the bypass network: producers mark this at issue time).
         self.ready_cycle: List[int] = [self.NEVER] * total
         self.refcount: List[int] = [0] * total
+        #: Per-register wakeup lists: ``(queue, uop)`` pairs registered
+        #: by the instruction queues for sources whose producer has not
+        #: issued yet.  :meth:`write` drains them — that single call is
+        #: what drives the event-driven scheduler.  Entries may be
+        #: stale (the consumer issued or was squashed meanwhile); the
+        #: queue validates on wakeup.
+        self.waiters: List[Optional[list]] = [None] * total
         self._free_int: List[int] = list(range(int_regs - 1, -1, -1))
         self._free_fp: List[int] = list(range(total - 1, int_regs - 1, -1))
         self.allocations = 0
@@ -95,11 +102,49 @@ class PhysicalRegisterFile:
         if count == 0:
             (self._free_fp if reg >= self.nint else self._free_int).append(reg)
 
+    def incref_all(self, regs) -> None:
+        """Bulk :meth:`incref` (map fork): one loop, no per-call frames."""
+        refcount = self.refcount
+        for reg in regs:
+            assert refcount[reg] > 0, f"incref on dead register p{reg}"
+            refcount[reg] += 1
+
+    def decref_all(self, regs) -> None:
+        """Bulk :meth:`decref` (map discard)."""
+        refcount = self.refcount
+        nint = self.nint
+        free_int = self._free_int
+        free_fp = self._free_fp
+        for reg in regs:
+            count = refcount[reg]
+            assert count > 0, f"decref on dead register p{reg}"
+            count -= 1
+            refcount[reg] = count
+            if count == 0:
+                (free_fp if reg >= nint else free_int).append(reg)
+
     # ------------------------------------------------------------------
+    def add_waiter(self, reg: int, queue, uop) -> None:
+        """Wake ``uop`` (via ``queue._wake``) when ``reg`` gets written."""
+        lst = self.waiters[reg]
+        if lst is None:
+            self.waiters[reg] = [(queue, uop)]
+        else:
+            lst.append((queue, uop))
+
     def write(self, reg: int, value, ready_at: int = 0) -> None:
-        """Install a value, visible to consumers from cycle ``ready_at``."""
+        """Install a value, visible to consumers from cycle ``ready_at``.
+
+        This is the scheduler's wakeup edge: every queue entry waiting
+        on ``reg`` learns its ready cycle here, exactly once.
+        """
         self.values[reg] = value
         self.ready_cycle[reg] = ready_at
+        waiting = self.waiters[reg]
+        if waiting is not None:
+            self.waiters[reg] = None
+            for queue, uop in waiting:
+                queue._wake(uop)
 
     def is_ready(self, reg: int, cycle: int) -> bool:
         return self.ready_cycle[reg] <= cycle

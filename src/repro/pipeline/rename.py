@@ -42,18 +42,15 @@ class RenameMap:
         """Duplicate ``other``'s region (the MSB's map copy at a spawn)."""
         assert not self.valid, "fork onto a live map"
         assert other.valid, "fork from a dead map"
-        for logical in range(NUM_LOGICAL_REGS):
-            reg = other.table[logical]
-            self.regfile.incref(reg)
-            self.table[logical] = reg
+        self.regfile.incref_all(other.table)
+        self.table[:] = other.table
         self.valid = True
 
     def discard(self) -> None:
         """Release every mapping (context reclaim / resynchronisation)."""
         assert self.valid, "discard of a dead map"
-        for logical in range(NUM_LOGICAL_REGS):
-            self.regfile.decref(self.table[logical])
-            self.table[logical] = None
+        self.regfile.decref_all(self.table)
+        self.table[:] = [None] * NUM_LOGICAL_REGS
         self.valid = False
 
     # ------------------------------------------------------------------

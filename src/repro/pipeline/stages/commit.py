@@ -34,15 +34,18 @@ class CommitStage(Stage):
     def run(self) -> None:
         state = self.state
         budget = self.config.commit_width
-        if not state.instances:
+        instances = state.instances
+        n = len(instances)
+        if n == 1:
+            self.commit_instance(instances[0], budget)
             return
-        order = list(range(len(state.instances)))
-        rotate = state.cycle % len(order)
-        order = order[rotate:] + order[:rotate]
-        for idx in order:
+        if not n:
+            return
+        rotate = state.cycle % n
+        for i in range(n):
             if budget <= 0:
                 break
-            budget = self.commit_instance(state.instances[idx], budget)
+            budget = self.commit_instance(instances[(rotate + i) % n], budget)
 
     def commit_instance(self, instance: ProgramInstance, budget: int) -> int:
         while budget > 0 and not instance.halted:
@@ -60,8 +63,15 @@ class CommitStage(Stage):
                     # Plain TME: the handed-over context is dead weight.
                     self.core._squash_context(ctx)
                 continue
-            uop = ctx.active_list.oldest_uncommitted()
-            if uop is None or not uop.completed or uop.squashed:
+            # Inline active_list.oldest_uncommitted.  The oldest
+            # uncommitted entry is never COMMITTED, so "completed and
+            # not squashed" is exactly state COMPLETED.
+            al = ctx.active_list
+            pos = al.commit_pos
+            if pos >= al.tail_pos:
+                break
+            uop = al._ring[pos % al.capacity]
+            if uop is None or uop.state is not UopState.COMPLETED:
                 break
             self.core._retire(instance, ctx, uop)
             budget -= 1
@@ -74,8 +84,8 @@ class CommitStage(Stage):
         if self.config.golden_check:
             self.golden_check(instance, uop)
         ctx.active_list.advance_commit()
-        instr = uop.instr
-        if instr.is_store:
+        oi = uop.instr.info
+        if oi.is_store:
             instance.memory.write64(uop.eff_addr, uop.store_bits)
             # Re-invalidate at retirement: MDB entries must not survive a
             # store that is architecturally older than any later reuse.
@@ -84,6 +94,7 @@ class CommitStage(Stage):
                 ctx.store_buffer.remove(uop)
             except ValueError:
                 pass
+            ctx.fwd_index_discard(uop)
         if uop.phys_dst is not None and uop.prev_map is not None:
             self.regfile.decref(uop.prev_map)
             uop.prev_map = None
@@ -93,9 +104,9 @@ class CommitStage(Stage):
         instance.committed += 1
         self.stats.committed += 1
         state.last_commit_cycle = state.cycle
-        if self.bus.wants(Retired):
+        if Retired in self.bus_active:
             self.bus.publish(Retired(state.cycle, uop, instance))
-        if instr.info.is_halt:
+        if oi.is_halt:
             self.halt_instance(instance, ctx)
 
     def halt_instance(

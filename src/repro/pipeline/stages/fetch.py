@@ -14,6 +14,7 @@ from ...isa.instruction import INSTRUCTION_BYTES
 from ...recycle.stream import RecycleStream, StreamKind, TraceEntry
 from ..context import CtxState, FetchedInstr, HardwareContext, MergePoint
 from ..events import FetchBlock, StreamOpened
+from ..uop import UopState
 from .state import Stage
 
 
@@ -24,22 +25,48 @@ class FetchStage(Stage):
     def run(self) -> None:
         cfg = self.config
         state = self.state
-        candidates = [
-            ctx
-            for ctx in self.contexts
-            if ctx.can_fetch(state.cycle, cfg.decode_buffer_size)
-            and ctx.id not in self.streams
-            and not (ctx.instance and ctx.instance.halted)
-        ]
-        if cfg.features.recycle:
-            candidates = [c for c in candidates if not self.try_merge(c)]
+        cycle = state.cycle
+        # The eligibility pass (including merge detection, which opens
+        # streams) runs in context-id order — stream creation order is
+        # observable through rename's tie-breaking — and marks the
+        # survivors with the cycle number.
+        streams = self.streams
+        recycle = cfg.features.recycle
+        decode_cap = cfg.decode_buffer_size
+        n_candidates = 0
+        for ctx in self.contexts:
+            # Inline of ``ctx.can_fetch`` (the readable spec); the
+            # side-effectful ``try_merge`` stays last so streams only
+            # open for contexts that could actually fetch.
+            cstate = ctx.state
+            if (
+                (cstate is CtxState.ACTIVE or cstate is CtxState.INACTIVE)
+                and not ctx.fetch_stopped
+                and cycle >= ctx.fetch_stall_until
+                and len(ctx.decode_buffer) < decode_cap
+                and ctx.id not in streams
+                and not (ctx.instance and ctx.instance.halted)
+                and not (recycle and self.try_merge(ctx))
+            ):
+                ctx.fetch_mark = cycle
+                n_candidates += 1
+        if not n_candidates:
+            return
         if cfg.fetch_policy == "icount":
             # ICOUNT with [18]'s TME modification: primaries outrank
-            # alternates; among peers, fewest pre-issue instructions win.
-            candidates.sort(key=lambda c: (not c.is_primary, c.icount, c.id))
+            # alternates; among peers, fewest pre-issue instructions
+            # win.  The maintained (icount, id) order supplies the
+            # within-group order; a two-pass split puts primaries first.
+            order = [
+                c for c in state.icount_order.ordered() if c.fetch_mark == cycle
+            ]
+            candidates = [c for c in order if c.is_primary]
+            if len(candidates) != len(order):
+                candidates.extend(c for c in order if not c.is_primary)
         else:  # round_robin
+            candidates = [c for c in self.contexts if c.fetch_mark == cycle]
             candidates.sort(
-                key=lambda c: (not c.is_primary, (c.id - state.cycle) % cfg.num_contexts)
+                key=lambda c: (not c.is_primary, (c.id - cycle) % cfg.num_contexts)
             )
         total_budget = cfg.fetch_total
         threads = 0
@@ -72,33 +99,38 @@ class FetchStage(Stage):
         line_end = (pc | (cfg.hierarchy.icache.line_size - 1)) + 1
         count = 0
         ready = state.cycle + 1 + cfg.decode_latency
+        recycle = cfg.features.recycle
+        # Alternate-length accounting only applies to TME alternates;
+        # primaryship cannot change mid-block.
+        check_limit = not ctx.is_primary and cfg.features.tme
+        instr_at = program.instr_at
+        append = ctx.decode_buffer.append
+        predict = state.predictor.predict
+        ctx_id = ctx.id
         while count < budget and pc < line_end and not ctx.fetch_stopped:
-            if count > 0 and cfg.features.recycle and self.check_merge_at(ctx, pc):
+            if count > 0 and recycle and self.check_merge_at(ctx, pc):
                 return self._published(ctx, count)  # mid-block merge
-            instr = program.instr_at(pc)
+            instr = instr_at(pc)
             if instr is None:
                 ctx.fetch_stopped = True  # ran off the text segment (wrong path)
                 break
-            self.stats.fetched += 1
             count += 1
-            if not self.core._alt_fetch_allowed(ctx):
+            if check_limit and not self.core._alt_fetch_allowed(ctx):
                 ctx.fetch_stopped = True
             oi = instr.info
             if oi.is_halt:
-                ctx.decode_buffer.append(FetchedInstr(instr, pc, pc, None, ready))
+                append(FetchedInstr(instr, pc, pc, None, ready))
                 ctx.fetch_stopped = True
                 break
             if oi.is_branch:
-                pred = state.predictor.predict(ctx.id, pc, instr)
+                pred = predict(ctx_id, pc, instr)
                 if pred.taken and pred.target is None:
                     # Unresolvable indirect: stall fetch until resolution.
-                    ctx.decode_buffer.append(
-                        FetchedInstr(instr, pc, pc + INSTRUCTION_BYTES, pred, ready)
-                    )
+                    append(FetchedInstr(instr, pc, pc + INSTRUCTION_BYTES, pred, ready))
                     ctx.fetch_stopped = True
                     break
                 next_pc = pred.target if pred.taken else pc + INSTRUCTION_BYTES
-                ctx.decode_buffer.append(FetchedInstr(instr, pc, next_pc, pred, ready))
+                append(FetchedInstr(instr, pc, next_pc, pred, ready))
                 pc = next_pc
                 ctx.pc = pc
                 if pred.taken:
@@ -108,17 +140,17 @@ class FetchStage(Stage):
                         )
                     break  # fetch blocks end at a predicted-taken branch
             else:
-                ctx.decode_buffer.append(
-                    FetchedInstr(instr, pc, pc + INSTRUCTION_BYTES, None, ready)
-                )
+                append(FetchedInstr(instr, pc, pc + INSTRUCTION_BYTES, None, ready))
                 pc += INSTRUCTION_BYTES
                 ctx.pc = pc
         return self._published(ctx, count)
 
     def _published(self, ctx: HardwareContext, count: int) -> int:
-        bus = self.bus
-        if count and bus.wants(FetchBlock):
-            bus.publish(FetchBlock(self.state.cycle, ctx, count, ctx.pc))
+        if count:
+            self.stats.fetched += count
+            self.state.icount_order.note(ctx)
+            if FetchBlock in self.bus_active:
+                self.bus.publish(FetchBlock(self.state.cycle, ctx, count, ctx.pc))
         return count
 
     def alt_fetch_allowed(self, ctx: HardwareContext) -> bool:
@@ -157,11 +189,31 @@ class FetchStage(Stage):
         return self.check_merge_at(ctx, ctx.pc)
 
     def check_merge_at(self, ctx: HardwareContext, pc: int) -> bool:
+        # Inline of ``merge_sources`` (kept above as the readable
+        # spec): the PC comparison is hoisted in front of the validity
+        # walk — both are pure predicates — so the common no-match case
+        # costs one attribute load per candidate and no generator.
         if ctx.id in self.streams:
             return False
-        for src, mp, kind in self.merge_sources(ctx, pc):
-            stream = self.core._open_stream(ctx, src, mp, kind)
-            if stream is not None:
+        open_stream = self.core._open_stream
+        if ctx.is_primary:
+            partition = ctx.instance.partition
+            for src in partition.spares():
+                if src.state not in (CtxState.ACTIVE, CtxState.INACTIVE):
+                    continue
+                if src.is_primary:
+                    continue
+                mp = src.first_merge
+                if mp is not None and mp.pc == pc and src.merge_point_valid(mp):
+                    if open_stream(ctx, src, mp, StreamKind.ALTERNATE) is not None:
+                        return True
+            mp = ctx.first_merge
+            if mp is not None and mp.pc == pc and ctx.merge_point_valid(mp):
+                if open_stream(ctx, ctx, mp, StreamKind.SELF_FIRST) is not None:
+                    return True
+        mp = ctx.back_merge
+        if mp is not None and mp.pc == pc and ctx.merge_point_valid(mp):
+            if open_stream(ctx, ctx, mp, StreamKind.BACK) is not None:
                 return True
         return False
 
@@ -220,10 +272,13 @@ class FetchStage(Stage):
         """
         entries: List[TraceEntry] = []
         ring = src.active_list
+        cells = ring._ring  # inline try_entry: from_pos..tail_pos is in range
+        capacity = ring.capacity
+        start = ring.start_pos
         prev_next: Optional[int] = None
         for pos in range(from_pos, ring.tail_pos):
-            uop = ring.try_entry(pos)
-            if uop is None or uop.squashed:
+            uop = cells[pos % capacity] if pos >= start else None
+            if uop is None or uop.state is UopState.SQUASHED:
                 break
             if prev_next is not None and uop.pc != prev_next:
                 break

@@ -13,7 +13,7 @@ from ...isa.instruction import INSTRUCTION_BYTES
 from ...recycle.stream import RecycleStream, StreamKind, TraceEntry
 from ..context import CtxState, HardwareContext
 from ..events import Forked, Respawned
-from ..uop import Uop
+from ..uop import Uop, UopState
 from .state import Stage
 
 
@@ -80,11 +80,13 @@ class ForkUnit(Stage):
         spare.first_merge = None
         spare.back_merge = None
         spare.self_written = set()
-        spare.inherited_stores = [
-            s
-            for s in parent.inherited_stores + parent.store_buffer
-            if not s.squashed
-        ]
+        # Seq-ascending by construction: every inherited store predates
+        # the parent's own (adoption happened before the parent renamed
+        # any store), which keeps the pending heap valid as built.
+        squashed = UopState.SQUASHED
+        stores = [s for s in parent.inherited_stores if s.state is not squashed]
+        stores += [s for s in parent.store_buffer if s.state is not squashed]
+        spare.adopt_inherited_stores(stores)
         self.state.predictor.fork_context(
             parent.id, spare.id, cond_branch=True, alt_taken=not branch.pred.taken
         )

@@ -4,6 +4,13 @@ Ready uops contend for functional units (primary-path work first when
 ``primary_issue_priority`` is set); issuing computes the real result on
 the shared physical register file and schedules completion after the
 unit latency plus memory-hierarchy delays.
+
+Selection is event-driven: :meth:`InstructionQueue.take_ready` pops the
+incrementally maintained ready pool (oldest first) instead of scanning
+the queue, and the memory-ordering check peeks the per-context
+pending-store heaps instead of scanning the store buffers.  Uops that
+are ready but blocked (no unit, or an older store still pending) are
+given back to the pool for the next cycle.
 """
 
 from __future__ import annotations
@@ -12,6 +19,12 @@ from typing import Optional
 
 from ...isa import semantics
 from ...isa.opcodes import Op
+
+_effective_address = semantics.effective_address
+_load_value = semantics.load_value
+_store_bits = semantics.store_bits
+_branch_outcome = semantics.branch_outcome
+_compute_value = semantics.compute_value
 from ..context import HardwareContext
 from ..events import Issued
 from ..uop import Uop, UopState
@@ -21,101 +34,125 @@ from .state import Stage
 class IssueStage(Stage):
     def run(self) -> None:
         state = self.state
-        state.fus.new_cycle()
+        fus = state.fus
+        fus.new_cycle()
         prio = self.config.primary_issue_priority
+        cycle = state.cycle
+        contexts = self.contexts
+        note = state.icount_order.note
+        execute = self.core._execute
         for queue in (self.int_queue, self.fp_queue):
-            ready = queue.ready_uops(self.regfile, self.memory_order_ok, state.cycle)
+            ready = queue.take_ready(cycle)
+            if not ready:
+                continue
             if prio:
-                # Primary-path work first; alternates fill leftover units.
-                ready.sort(key=lambda u: (not self.contexts[u.ctx].is_primary, u.seq))
+                # Primary-path work first; alternates fill leftover
+                # units.  Stable split == the old (not primary, seq) sort.
+                alts = None
+                for u in ready:
+                    if not contexts[u.ctx].is_primary:
+                        if alts is None:
+                            alts = [u]
+                        else:
+                            alts.append(u)
+                if alts is not None and len(alts) != len(ready):
+                    primaries = [u for u in ready if contexts[u.ctx].is_primary]
+                    primaries.extend(alts)
+                    ready = primaries
+            blocked = None
             for uop in ready:
-                if not state.fus.try_issue(uop.instr.info.fu):
+                # Inline memory_order_ok; the memory check must run
+                # *before* try_issue so a blocked load never claims a
+                # functional-unit slot.
+                oi = uop.instr.info
+                if (
+                    oi.is_load and contexts[uop.ctx].older_store_pending(uop.seq)
+                ) or not fus.try_issue(oi.fu):
+                    if blocked is None:
+                        blocked = [uop]
+                    else:
+                        blocked.append(uop)
                     continue
                 queue.remove(uop)
                 uop.in_queue = False
-                ctx = self.contexts[uop.ctx]
+                ctx = contexts[uop.ctx]
                 ctx.n_queued -= 1
-                self.core._execute(uop)
+                note(ctx)
+                execute(uop)
+            if blocked is not None:
+                queue.requeue(blocked)
 
     def memory_order_ok(self, uop: Uop) -> bool:
         """Conservative load ordering: all older stores have executed."""
-        if not uop.instr.is_load:
+        if not uop.instr.info.is_load:
             return True
-        ctx = self.contexts[uop.ctx]
-        for store in ctx.store_buffer:
-            if store.seq < uop.seq and not store.squashed and not store.completed:
-                return False
-        for store in ctx.inherited_stores:
-            if store.seq < uop.seq and not store.squashed and not store.completed:
-                return False
-        return True
+        return not self.contexts[uop.ctx].older_store_pending(uop.seq)
 
     def execute(self, uop: Uop) -> None:
         """Begin execution: compute the result, schedule completion."""
         state = self.state
         uop.state = UopState.ISSUED
-        uop.issue_cycle = state.cycle
+        cycle = state.cycle
+        uop.issue_cycle = cycle
         state.issued_this_cycle += 1
         ctx = self.contexts[uop.ctx]
         instr = uop.instr
         oi = instr.info
-        srcs = tuple(self.regfile.values[p] for p in uop.phys_srcs)
+        values = self.regfile.values
+        # The semantics helpers only index ``srcs``; skip the tuple() copy.
+        srcs = [values[p] for p in uop.phys_srcs]
         latency = oi.latency
         if oi.is_load:
-            addr = semantics.effective_address(instr, srcs[0])
+            addr = _effective_address(instr, srcs[0])
             uop.eff_addr = addr
+            instance = ctx.instance
             forwarded = self.forward_store(ctx, uop, addr)
             if forwarded is not None:
-                uop.value = semantics.load_value(forwarded, oi.dst_fp)
+                uop.value = _load_value(forwarded, oi.dst_fp)
                 latency = 1
             else:
-                bits = ctx.instance.memory.read64(addr)
-                uop.value = semantics.load_value(bits, oi.dst_fp)
-                latency = 1 + state.hierarchy.data_latency(
-                    addr, state.cycle, ctx.instance.id
-                )
-            ctx.instance.mdb.record_load(uop.pc, addr, token=uop.seq)
+                bits = instance.memory.read64(addr)
+                uop.value = _load_value(bits, oi.dst_fp)
+                latency = 1 + state.hierarchy.data_latency(addr, cycle, instance.id)
+            instance.mdb.record_load(uop.pc, addr, token=uop.seq)
         elif oi.is_store:
-            addr = semantics.effective_address(instr, srcs[0])
+            addr = _effective_address(instr, srcs[0])
             uop.eff_addr = addr
-            uop.store_bits = semantics.store_bits(srcs[1], oi.src_fp)
-            state.hierarchy.data_latency(addr, state.cycle, ctx.instance.id)
-            ctx.instance.mdb.record_store(addr)
+            uop.store_bits = _store_bits(srcs[1], oi.src_fp)
+            instance = ctx.instance
+            state.hierarchy.data_latency(addr, cycle, instance.id)
+            instance.mdb.record_store(addr)
         elif oi.is_branch:
-            taken, target = semantics.branch_outcome(instr, srcs, uop.pc)
+            taken, target = _branch_outcome(instr, srcs, uop.pc)
             uop.taken = taken
             uop.target = target
             if oi.is_call:
-                uop.value = semantics.compute_value(instr, srcs, uop.pc)
+                uop.value = _compute_value(instr, srcs, uop.pc)
         elif not oi.is_halt and instr.op is not Op.NOP:
-            uop.value = semantics.compute_value(instr, srcs, uop.pc)
+            uop.value = _compute_value(instr, srcs, uop.pc)
         if uop.phys_dst is not None:
             # Bypass network: the result is forwardable ``latency``
             # cycles after issue; dependents may issue then.
-            self.regfile.write(uop.phys_dst, uop.value, ready_at=state.cycle + latency)
-        done = state.cycle + self.config.regread_stages + latency
-        state.completions.setdefault(done, []).append(uop)
-        if self.bus.wants(Issued):
-            self.bus.publish(Issued(state.cycle, uop))
+            self.regfile.write(uop.phys_dst, uop.value, ready_at=cycle + latency)
+        done = cycle + self.config.regread_stages + latency
+        completions = state.completions
+        lst = completions.get(done)
+        if lst is None:
+            completions[done] = [uop]
+        else:
+            lst.append(uop)
+        if Issued in self.bus_active:
+            self.bus.publish(Issued(cycle, uop))
 
     def forward_store(self, ctx: HardwareContext, load: Uop, addr: int) -> Optional[int]:
         """Youngest older store to ``addr`` visible to this context."""
-        best: Optional[Uop] = None
-        for store in ctx.store_buffer:
-            if (
-                store.seq < load.seq
-                and not store.squashed
-                and store.completed
-                and store.eff_addr == addr
-            ):
-                if best is None or store.seq > best.seq:
-                    best = store
-        for store in ctx.inherited_stores:
-            if store.squashed or store.seq >= load.seq:
-                continue
-            if store.state is UopState.COMMITTED:
-                continue  # already drained to memory
-            if store.completed and store.eff_addr == addr:
-                if best is None or store.seq > best.seq:
-                    best = store
-        return best.store_bits if best is not None else None
+        # Re-peeking the pending heaps is O(1) here (memory_order_ok
+        # already drained them for this load) and keeps the forwarding
+        # index complete even when execute() is driven directly.
+        ctx.older_store_pending(load.seq)
+        best = ctx.forward_lookup(addr, load.seq)
+        if best is None:
+            self.state.store_fwd_misses += 1
+            return None
+        self.state.store_fwd_hits += 1
+        return best.store_bits

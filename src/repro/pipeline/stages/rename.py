@@ -17,64 +17,94 @@ from ...isa.opcodes import FuClass
 from ...isa.registers import FP_BASE
 from ...recycle.stream import RecycleStream, StreamKind, TraceEntry
 from ..config import PolicyKind
-from ..context import CtxState, HardwareContext
+from ..context import CtxState, HardwareContext, MergePoint
 from ..events import Renamed, Reused, StreamEnded
 from ..uop import Uop, UopState
 from .state import Stage
 
 
 class RenameStage(Stage):
+    def __init__(self, core):
+        super().__init__(core)
+        # Per-run constants, bound once for the rename hot loop.
+        self._policy_fetch = self.config.policy.kind is PolicyKind.FETCH
+        self._tme = self.config.features.tme
+        pressure = self.config.alt_queue_pressure
+        self._int_alt_cap = int(self.int_queue.size * pressure)
+        self._fp_alt_cap = int(self.fp_queue.size * pressure)
+
     def run(self) -> None:
         budget = self.config.rename_width
-        # Fetched instructions, lowest-ICOUNT thread first.
-        ctxs = sorted(
-            (c for c in self.contexts if c.decode_buffer),
-            key=lambda c: (c.icount, c.id),
-        )
+        state = self.state
+        cycle = state.cycle
+        rename_one = self.core._rename_one
+        # Fetched instructions, lowest-ICOUNT thread first.  The
+        # maintained (icount, id) order replaces the per-cycle sort;
+        # snapshot it, since renaming re-slots contexts as it goes.
+        ctxs = [c for c in state.icount_order.ordered() if c.decode_buffer]
         for ctx in ctxs:
             if budget <= 0:
                 break
             # Program order: a thread with an open stream renames its
             # pre-merge fetched instructions first; the stream follows.
-            while budget > 0 and ctx.decode_buffer:
-                fi = ctx.decode_buffer[0]
-                if fi.ready_cycle > self.state.cycle:
+            buf = ctx.decode_buffer
+            while budget > 0 and buf:
+                fi = buf[0]
+                if fi.ready_cycle > cycle:
                     break
                 if not self.resources_ok(ctx, fi.instr, needs_queue=True):
                     break
-                ctx.decode_buffer.popleft()
-                self.core._rename_one(ctx, fi.instr, fi.pc, fi.next_pc, fi.pred)
+                buf.popleft()
+                rename_one(ctx, fi.instr, fi.pc, fi.next_pc, fi.pred)
                 budget -= 1
-        # Recycle streams, prioritised by the separate (pre-issue) counter.
-        streams = sorted(
-            self.streams.values(), key=lambda s: self.contexts[s.dst_ctx].icount
-        )
-        for stream in streams:
-            if budget <= 0:
-                break
-            budget = self.drain_stream(stream, budget)
-        for dst_ctx in sorted(self.streams):
-            if self.streams[dst_ctx].ended:
-                del self.streams[dst_ctx]
+        # Recycle streams, prioritised by the separate (pre-issue)
+        # counter.  Ties must keep stream-creation (dict insertion)
+        # order — a stable insertion sort over the tiny snapshot
+        # preserves that without a per-cycle sorted() call.
+        streams_map = self.streams
+        if streams_map:
+            streams = list(streams_map.values())
+            if len(streams) > 1:
+                contexts = self.contexts
+                for i in range(1, len(streams)):
+                    stream = streams[i]
+                    key = contexts[stream.dst_ctx].icount
+                    j = i - 1
+                    while j >= 0 and contexts[streams[j].dst_ctx].icount > key:
+                        streams[j + 1] = streams[j]
+                        j -= 1
+                    streams[j + 1] = stream
+            for stream in streams:
+                if budget <= 0:
+                    break
+                budget = self.drain_stream(stream, budget)
+            ended = [cid for cid, s in streams_map.items() if s.ended]  # det-ok: gathers keys to delete; survivors keep their insertion order
+            for cid in ended:
+                del streams_map[cid]
 
     def resources_ok(
         self, ctx: HardwareContext, instr: Instruction, needs_queue: bool
     ) -> bool:
-        if not ctx.active_list.has_room():
+        al = ctx.active_list
+        if al.tail_pos - al.commit_pos >= al.capacity:
             return False
-        if instr.dst is not None:
-            fp = instr.dst >= FP_BASE
-            if not self.regfile.can_alloc(fp):
+        dst = instr.dst
+        if dst is not None:
+            regfile = self.regfile
+            pool = regfile._free_fp if dst >= FP_BASE else regfile._free_int
+            if not pool:
                 self.core._reclaim_for_pressure(ctx)
-                if not self.regfile.can_alloc(fp):
+                if not pool:
                     return False
         if needs_queue:
-            queue = self.fp_queue if instr.info.fu is FuClass.FP else self.int_queue
-            if not queue.has_room():
+            if instr.info.fu is FuClass.FP:
+                queue, alt_cap = self.fp_queue, self._fp_alt_cap
+            else:
+                queue, alt_cap = self.int_queue, self._int_alt_cap
+            occ = len(queue._members)
+            if occ >= queue.size:
                 return False
-            if not ctx.is_primary and queue.occupancy() >= int(
-                queue.size * self.config.alt_queue_pressure
-            ):
+            if occ >= alt_cap and not ctx.is_primary:
                 # Alternate/inactive paths yield queue space to primaries.
                 return False
         return True
@@ -90,30 +120,65 @@ class RenameStage(Stage):
         back_merge: bool = False,
     ) -> Uop:
         """Common rename path for fetched and recycled instructions."""
+        state = self.state
+        oi = instr.info
         uop = Uop(instr, pc, ctx.id, ctx.instance)
         uop.next_pc = next_pc
         uop.pred = pred
         uop.recycled = recycled
         uop.back_merge = back_merge
-        uop.rename_cycle = self.state.cycle
-        uop.phys_srcs = [ctx.map.lookup(s) for s in instr.srcs]
-        if instr.dst is not None:
-            new_reg, displaced = ctx.map.define(instr.dst, fp=instr.dst >= FP_BASE)
+        uop.rename_cycle = state.cycle
+        # RenameMap.define / note_register_write, inlined (hot path).
+        table = ctx.map.table
+        srcs = instr.srcs
+        if srcs:
+            # The 1- and 2-source shapes cover nearly every instruction;
+            # handling them directly skips a comprehension frame.
+            if len(srcs) == 2:
+                uop.phys_srcs = [table[srcs[0]], table[srcs[1]]]
+            elif len(srcs) == 1:
+                uop.phys_srcs = [table[srcs[0]]]
+            else:
+                uop.phys_srcs = [table[s] for s in srcs]
+        dst = instr.dst
+        if dst is not None:
+            # Inline of ``regfile.alloc`` (the readable spec):
+            # resources_ok already reserved a free register.
+            regfile = self.regfile
+            fp = dst >= FP_BASE
+            pool = regfile._free_fp if fp else regfile._free_int
+            new_reg = pool.pop()
+            assert regfile.refcount[new_reg] == 0, f"allocating live register p{new_reg}"
+            regfile.refcount[new_reg] = 1
+            regfile.ready_cycle[new_reg] = regfile.NEVER
+            regfile.values[new_reg] = 0.0 if fp else 0
+            regfile.allocations += 1
             uop.phys_dst = new_reg
-            uop.prev_map = displaced
-            self.note_register_write(ctx, instr.dst)
-        uop.no_execute = self.is_no_execute(ctx)
-        if not uop.no_execute:
-            queue = self.fp_queue if instr.info.fu is FuClass.FP else self.int_queue
+            uop.prev_map = table[dst]
+            table[dst] = new_reg
+            ctx.self_written.add(dst)
+            if ctx.is_primary:
+                partition = ctx.instance.partition
+                # written.primary_defined, inlined (one masked |=).
+                partition.written._rows[dst] |= partition.spare_mask
+        no_execute = ctx.state is CtxState.INACTIVE and self._policy_fetch
+        uop.no_execute = no_execute
+        if not no_execute:
+            queue = self.fp_queue if oi.fu is FuClass.FP else self.int_queue
             queue.insert(uop)
             uop.in_queue = True
             ctx.n_queued += 1
         pos = ctx.active_list.append(uop)
         uop.al_pos = pos
-        ctx.note_first_entry(uop, pos)
-        if instr.is_store:
-            ctx.store_buffer.append(uop)
-        if instr.is_branch and next_pc is not None:
+        if ctx.first_merge is None:  # inline ctx.note_first_entry
+            ctx.first_merge = MergePoint(uop.pc, pos)
+            ctx.path_start_pos = pos
+        # One re-slot covers both this cycle's decode-buffer pop (done
+        # by the caller) and the queue insert above.
+        state.icount_order.note(ctx)
+        if oi.is_store:
+            ctx.note_store_renamed(uop)
+        if oi.is_branch and next_pc is not None:
             taken_recorded = next_pc != pc + INSTRUCTION_BYTES
             if taken_recorded and instr.target is not None and instr.target <= pc:
                 ctx.set_back_merge(instr.target)
@@ -122,15 +187,15 @@ class RenameStage(Stage):
             self.stats.renamed_recycled += 1
         # TME fork decision happens at rename, where the map is current.
         if (
-            self.config.features.tme
-            and instr.is_cond_branch
+            self._tme
             and pred is not None
+            and oi.is_cond_branch
             and pred.low_confidence
             and ctx.is_primary
         ):
             self.core._consider_fork(ctx, uop)
-        if self.bus.wants(Renamed):
-            self.bus.publish(Renamed(self.state.cycle, uop))
+        if Renamed in self.bus_active:
+            self.bus.publish(Renamed(state.cycle, uop))
         return uop
 
     def note_register_write(self, ctx: HardwareContext, logical: int) -> None:
@@ -154,9 +219,15 @@ class RenameStage(Stage):
         if dst.decode_buffer:
             return budget  # older fetched instructions must clear rename first
         src = self.contexts[stream.src_ctx] if stream.src_ctx is not None else None
+        core = self.core
+        predictor = self.state.predictor
+        repredict = self.config.recycle_repredict
+        # The alternate-length cap only ever limits TME alternates;
+        # primaries take the no-op fast path without the facade call.
+        check_limit = not dst.is_primary and self._tme
         while budget > 0 and not stream.ended:
             if stream.exhausted():
-                self.core._end_stream(stream, dst, "exhausted")
+                core._end_stream(stream, dst, "exhausted")
                 break
             entry = stream.peek()
             # Guard against the source trace having been overwritten.
@@ -169,16 +240,17 @@ class RenameStage(Stage):
             pred = None
             next_pc = entry.next_pc
             mismatch_target = None
-            if instr.is_cond_branch and not self.config.recycle_repredict:
+            oi = instr.info
+            if oi.is_cond_branch and not repredict:
                 # "Former method": keep the trace's recorded direction as
                 # the prediction and update the history with it.
                 recorded_taken = entry.next_pc != entry.pc + INSTRUCTION_BYTES
-                pred = self.state.predictor.record_direction(
+                pred = predictor.record_direction(
                     dst.id, entry.pc, recorded_taken,
                     entry.next_pc if recorded_taken else instr.target,
                 )
-            elif instr.is_branch:
-                pred = self.state.predictor.predict(dst.id, entry.pc, instr)
+            elif oi.is_branch:
+                pred = predictor.predict(dst.id, entry.pc, instr)
                 pred_next = (
                     (pred.target if pred.target is not None else entry.next_pc)
                     if pred.taken
@@ -194,7 +266,7 @@ class RenameStage(Stage):
                 break
             stream.advance()
             # Alternate-path length cap applies to recycled paths too.
-            limit_hit = not self.core._alt_fetch_allowed(dst)
+            limit_hit = check_limit and not core._alt_fetch_allowed(dst)
             uop = self.recycle_rename(dst, src, entry, instr, next_pc, pred, stream)
             budget -= 1
             if mismatch_target is not None:
@@ -214,9 +286,9 @@ class RenameStage(Stage):
                             "branch_mismatch", stream.index,
                         )
                     )
-            elif limit_hit or instr.info.is_halt:
-                self.core._end_stream(stream, dst, "exhausted")
-            if limit_hit or instr.info.is_halt:
+            elif limit_hit or oi.is_halt:
+                core._end_stream(stream, dst, "exhausted")
+            if limit_hit or oi.is_halt:
                 dst.fetch_stopped = True
         return budget
 
@@ -281,16 +353,21 @@ class RenameStage(Stage):
         # Track stream-local value consistency: a re-executed entry whose
         # sources all matched the trace produces the trace's value again.
         if instr.dst is not None:
-            partition = dst.instance.partition
-            consistent = src is not None and all(
-                s in stream.consistent_writes
-                or partition.written.unchanged_for(s, src.id)
-                for s in instr.srcs
-            )
-            if consistent and not instr.is_load:
-                stream.consistent_writes.add(instr.dst)
+            consistent_writes = stream.consistent_writes
+            consistent = src is not None
+            if consistent:
+                written = dst.instance.partition.written
+                src_id = src.id
+                for s in instr.srcs:
+                    if s not in consistent_writes and not written.unchanged_for(
+                        s, src_id
+                    ):
+                        consistent = False
+                        break
+            if consistent and not instr.info.is_load:
+                consistent_writes.add(instr.dst)
             else:
-                stream.consistent_writes.discard(instr.dst)
+                consistent_writes.discard(instr.dst)
         return uop
 
     def reuse_candidate(
@@ -307,21 +384,25 @@ class RenameStage(Stage):
             # Reuse applies to finished (inactive) threads only (Section 3.5).
             return None
         uop = src.active_list.try_entry(entry.src_pos)
-        if uop is None or uop.squashed or uop.pc != entry.pc:
+        if uop is None or uop.state is UopState.SQUASHED or uop.pc != entry.pc:
             return None
         instr = uop.instr
-        if instr.dst is None or instr.is_store or instr.is_branch:
+        oi = instr.info
+        if instr.dst is None or oi.is_store or oi.is_branch:
             return None
-        if not uop.executed_on_path or uop.phys_dst is None:
+        # Inline of uop.executed_on_path.
+        if (
+            uop.state is not UopState.COMPLETED
+            and uop.state is not UopState.COMMITTED
+        ) or uop.no_execute or uop.phys_dst is None:
             return None
-        partition = dst.instance.partition
-        if not all(
-            s in stream.consistent_writes
-            or partition.written.unchanged_for(s, src.id)
-            for s in instr.srcs
-        ):
-            return None
-        if instr.is_load:
+        consistent_writes = stream.consistent_writes
+        written = dst.instance.partition.written
+        src_id = src.id
+        for s in instr.srcs:
+            if s not in consistent_writes and not written.unchanged_for(s, src_id):
+                return None
+        if oi.is_load:
             if uop.eff_addr is None:
                 return None
             if not dst.instance.mdb.can_reuse(uop.pc, uop.eff_addr, token=uop.seq):
@@ -334,12 +415,8 @@ class RenameStage(Stage):
             # Sound rule: only reuse a load when every store visible to
             # the destination context has fully committed (its MDB
             # invalidation, done again at retirement, has then landed).
-            for store in dst.store_buffer:
-                if not store.squashed and store.state is not UopState.COMMITTED:
-                    return None
-            for store in dst.inherited_stores:
-                if not store.squashed and store.state is not UopState.COMMITTED:
-                    return None
+            if dst.has_live_stores():
+                return None
         return uop
 
     def rename_reused(

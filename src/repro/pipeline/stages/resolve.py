@@ -24,16 +24,22 @@ from .state import Stage
 class ResolveStage(Stage):
     def run(self) -> None:
         state = self.state
-        due = state.completions.pop(state.cycle, [])
-        wants_completed = self.bus.wants(Completed)
+        due = state.completions.pop(state.cycle, None)
+        if due is None:
+            return
+        wants_completed = Completed in self.bus_active
+        contexts = self.contexts
         for uop in due:
-            if uop.squashed:
+            if uop.state is UopState.SQUASHED:
                 continue
             uop.state = UopState.COMPLETED
             uop.complete_cycle = state.cycle
+            oi = uop.instr.info
+            if oi.is_store:
+                contexts[uop.ctx].note_store_completed(uop)
             if wants_completed:
                 self.bus.publish(Completed(state.cycle, uop))
-            if uop.instr.is_branch:
+            if oi.is_branch:
                 self.resolve_branch(uop)
 
     def resolve_branch(self, uop: Uop) -> None:
@@ -43,9 +49,18 @@ class ResolveStage(Stage):
             uop.pc, uop.instr, uop.pred, uop.taken, uop.target
         ) if uop.pred is not None else (actual_next != uop.next_pc)
         on_arch_path = self.on_architectural_path(ctx, uop)
-        alt = self.covering_alternate(uop)
-        # The stats recorder derives the mispredict counters from this.
-        if self.bus.wants(BranchResolved):
+        alt = self.covering_alternate(uop) if uop.forked_ctx is not None else None
+        # Mispredict counters are maintained inline (branches resolve
+        # thousands of times per run; a guarded publish for observers
+        # stays below).
+        stats = self.stats
+        if on_arch_path and uop.instr.info.is_cond_branch:
+            stats.cond_branches_resolved += 1
+            if mispredicted:
+                stats.mispredicts += 1
+        if mispredicted and on_arch_path and alt is not None:
+            stats.mispredicts_covered += 1
+        if BranchResolved in self.bus_active:
             self.bus.publish(
                 BranchResolved(
                     self.state.cycle,
@@ -108,9 +123,10 @@ class ResolveStage(Stage):
         return all(s.src_ctx != ctx.id for s in self.streams.values())  # det-ok: order-independent predicate
 
     def covering_alternate(self, uop: Uop) -> Optional[HardwareContext]:
-        if uop.forked_ctx is None:
+        forked = uop.forked_ctx
+        if forked is None:
             return None
-        alt = self.contexts[uop.forked_ctx]
+        alt = self.contexts[forked]
         if alt.fork_uop is uop:
             return alt
         return None
@@ -211,6 +227,7 @@ class ResolveStage(Stage):
                 uop.in_queue = False
                 uop.no_execute = True
                 ctx.n_queued -= 1
+        self.state.icount_order.note(ctx)
 
     def swap_primaryship(
         self, old: HardwareContext, branch: Uop, alt: HardwareContext
@@ -246,6 +263,7 @@ class ResolveStage(Stage):
             old.inactive_since = self.state.cycle
             old.fetch_stopped = True
             old.decode_buffer.clear()
+        self.state.icount_order.note(old)
         old.is_primary = False
         old.commit_limit_pos = branch.al_pos + 1
         old.commit_successor = alt.id
@@ -272,7 +290,7 @@ class ResolveStage(Stage):
     def detach_suffix_children(self, ctx: HardwareContext, from_pos: int) -> None:
         for pos in range(from_pos, ctx.active_list.tail_pos):
             uop = ctx.active_list.try_entry(pos)
-            if uop is None:
+            if uop is None or uop.forked_ctx is None:
                 continue
             child = self.covering_alternate(uop)
             if child is not None:
@@ -289,6 +307,7 @@ class ResolveStage(Stage):
                 uop.in_queue = False
                 uop.no_execute = True
                 ctx.n_queued -= 1
+        self.state.icount_order.note(ctx)
 
     def suffix_merge_point(self, ctx: HardwareContext, pos: int) -> Optional[MergePoint]:
         uop = ctx.active_list.try_entry(pos)
@@ -301,25 +320,29 @@ class ResolveStage(Stage):
     # ------------------------------------------------------------------
     def squash_uop(self, uop: Uop) -> None:
         ctx = self.contexts[uop.ctx]
+        oi = uop.instr.info
         if uop.in_queue:
-            (self.fp_queue if uop.instr.info.fu is FuClass.FP else self.int_queue).remove(uop)
+            (self.fp_queue if oi.fu is FuClass.FP else self.int_queue).remove(uop)
             uop.in_queue = False
             ctx.n_queued -= 1
+            self.state.icount_order.note(ctx)
         if uop.phys_dst is not None:
             ctx.map.restore(uop.instr.dst, uop.prev_map)
         if uop.reused and uop.reuse_src_ctx is not None:
             self.contexts[uop.reuse_src_ctx].reuse_pins.discard(uop.seq)
-        if uop.instr.is_store:
+        if oi.is_store:
             try:
                 ctx.store_buffer.remove(uop)
             except ValueError:
                 pass
-        child = self.covering_alternate(uop)
-        if child is not None:
-            self.squash_context(child)
+            ctx.fwd_index_discard(uop)
+        if uop.forked_ctx is not None:
+            child = self.covering_alternate(uop)
+            if child is not None:
+                self.squash_context(child)
         uop.state = UopState.SQUASHED
-        # The stats recorder counts squashes from this event.
-        if self.bus.wants(Squashed):
+        self.stats.squashed += 1  # inline: squashes are a hot path under TME
+        if Squashed in self.bus_active:
             self.bus.publish(Squashed(self.state.cycle, uop))
 
     def squash_suffix(self, ctx: HardwareContext, branch_pos: int) -> int:
@@ -331,11 +354,13 @@ class ResolveStage(Stage):
         """
         dropped = ctx.active_list.truncate(branch_pos + 1)
         count = 0
+        squash = self.core._squash_uop
         for uop in dropped:  # youngest first
-            if not uop.squashed:
-                self.core._squash_uop(uop)
+            if uop.state is not UopState.SQUASHED:
+                squash(uop)
                 count += 1
         ctx.decode_buffer.clear()
+        self.state.icount_order.note(ctx)
         self.core._kill_stream(ctx)  # callers redirect the PC afterwards
         penalty = self.config.squash_penalty_per_uop
         if penalty and count:
@@ -363,13 +388,17 @@ class ResolveStage(Stage):
                     )
                 )
         ring = ctx.active_list
+        squash = self.core._squash_uop
         for pos in range(ring.tail_pos - 1, ring.commit_pos - 1, -1):
             uop = ring.try_entry(pos)
-            if uop is not None and not uop.squashed and uop.state is not UopState.COMMITTED:
-                self.core._squash_uop(uop)
+            if uop is not None:
+                state = uop.state
+                if state is not UopState.SQUASHED and state is not UopState.COMMITTED:
+                    squash(uop)
         if ctx.map.valid:
             ctx.map.discard()
         ctx.reset_for_reclaim()
+        self.state.icount_order.note(ctx)
 
     def reclaim_context(self, ctx: HardwareContext) -> None:
         """Reclaim an inactive context: squash its trace, free its registers."""

@@ -27,7 +27,7 @@ from ...stats.counters import SimStats
 from ...stats.utilization import UtilizationStats
 from ...tme.partition import Partition
 from ..config import MachineConfig
-from ..context import HardwareContext
+from ..context import HardwareContext, IcountOrder
 from ..events import EventBus
 from ..instance import ProgramInstance
 from ..queues import FunctionalUnits, InstructionQueue
@@ -54,8 +54,9 @@ class CoreState:
             HardwareContext(i, self.regfile, cfg.active_list_size)
             for i in range(cfg.num_contexts)
         ]
-        self.int_queue = InstructionQueue("int", cfg.int_queue_size)
-        self.fp_queue = InstructionQueue("fp", cfg.fp_queue_size)
+        self.int_queue = InstructionQueue("int", cfg.int_queue_size, self.regfile)
+        self.fp_queue = InstructionQueue("fp", cfg.fp_queue_size, self.regfile)
+        self.icount_order = IcountOrder(self.contexts)
         self.fus = FunctionalUnits(cfg.int_units, cfg.fp_units, cfg.ldst_ports)
         self.hierarchy = MemoryHierarchy(cfg.hierarchy)
         self.predictor = BranchPredictor(
@@ -82,6 +83,9 @@ class CoreState:
         #: One active recycle stream per destination context.
         self.streams: Dict[int, RecycleStream] = {}
         self.last_commit_cycle = 0
+        # Store-forwarding index counters (profiler: hit rate).
+        self.store_fwd_hits = 0
+        self.store_fwd_misses = 0
 
 
 class Stage:
@@ -95,6 +99,8 @@ class Stage:
         # place; they are never replaced over a core's lifetime).
         self.config = state.config
         self.bus = state.bus
+        #: Hot-path alias: ``EventType in self.bus_active`` == bus.wants.
+        self.bus_active = state.bus.active
         self.stats = state.stats
         self.contexts = state.contexts
         self.regfile = state.regfile

@@ -60,6 +60,7 @@ class Uop:
         "back_merge",
         "al_pos",
         "in_queue",
+        "wait_count",
     )
 
     def __init__(self, instr: Instruction, pc: int, ctx: int, instance) -> None:
@@ -93,6 +94,7 @@ class Uop:
         self.back_merge = False  # entered via a backward-branch merge
         self.al_pos = -1  # position in the owning context's active list
         self.in_queue = False
+        self.wait_count = 0  # not-yet-issued source producers (scheduler)
 
     # ------------------------------------------------------------------
     @property

@@ -11,13 +11,14 @@ context at the rename stage, up to rename bandwidth each cycle
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import List, Optional, Tuple
 
+from ..compat import slots_dataclass as _slots_dataclass
 from ..isa.instruction import Instruction
 
 
-@dataclass
+@_slots_dataclass
 class TraceEntry:
     """The static payload recycling needs from one active-list entry."""
 
@@ -34,7 +35,7 @@ class StreamKind(enum.Enum):
     RESPAWN = "respawn"  # detached trace → re-activated alternate
 
 
-@dataclass
+@_slots_dataclass
 class RecycleStream:
     kind: StreamKind
     dst_ctx: int

@@ -30,10 +30,12 @@ class StageProfiler:
         self.calls: Dict[str, int] = {name: 0 for name in STAGE_ORDER}
 
     def timed(self, name: str, fn: Callable[[], None]) -> None:
+        # Every stage key is preinitialised in __init__, so plain
+        # indexed += keeps this wrapper (5 calls/cycle) cheap.
         start = time.perf_counter()
         fn()
-        self.seconds[name] = self.seconds.get(name, 0.0) + time.perf_counter() - start
-        self.calls[name] = self.calls.get(name, 0) + 1
+        self.seconds[name] += time.perf_counter() - start
+        self.calls[name] += 1
 
     @property
     def total_seconds(self) -> float:
@@ -52,23 +54,58 @@ class StageProfiler:
 
 
 def profile_spec(spec, suite=None) -> Dict:
-    """Run ``spec`` once with per-stage profiling attached.
+    """Run ``spec`` twice: a clean pass and an instrumented pass.
 
-    Returns the ``BENCH_core.json`` payload: headline simulation
-    results, end-to-end wall time, simulated-cycles/sec, and the
-    per-stage breakdown.  Always an in-process serial run.
+    The headline wall time and cycles/sec come from a run *without* the
+    per-stage timer attached — ``timed`` wraps five stage calls per
+    cycle, and at current simulator speeds those ~10 extra
+    ``perf_counter`` reads per cycle are a measurable observer effect
+    (several percent of the whole run).  A second, fresh run with the
+    profiler attached supplies the per-stage breakdown; the simulator
+    is deterministic, so both passes execute the identical cycle
+    sequence.  Returns the ``BENCH_core.json`` payload.  Always
+    in-process serial runs.
     """
     from ..pipeline.core import Core
     from ..workloads.suite import WorkloadSuite
 
     suite = suite or WorkloadSuite()
-    core = Core(spec.build_config())
-    core.load(suite.mix(spec.workload), commit_target=spec.commit_target)
+    programs = suite.mix(spec.workload)
+
+    # Pass 1 — per-stage breakdown with timed stages.  Running it first
+    # also serves as warm-up, so the headline pass below measures a
+    # steady-state interpreter rather than cold code paths.
+    instrumented = Core(spec.build_config())
+    instrumented.load(programs, commit_target=spec.commit_target)
     profiler = StageProfiler()
-    core.set_profiler(profiler)
+    instrumented.set_profiler(profiler)
+    istarted = time.perf_counter()
+    istats = instrumented.run(max_cycles=spec.max_cycles)
+    iwall = time.perf_counter() - istarted
+
+    # Pass 2 — headline throughput, no instrumentation attached.
+    core = Core(spec.build_config())
+    core.load(programs, commit_target=spec.commit_target)
     started = time.perf_counter()
     stats = core.run(max_cycles=spec.max_cycles)
     wall = time.perf_counter() - started
+    state = core.state
+    assert istats.cycles == stats.cycles, "profiled pass diverged"
+    wakeups = state.int_queue.wakeups + state.fp_queue.wakeups
+    polls = state.int_queue.ready_polls + state.fp_queue.ready_polls
+    returned = state.int_queue.ready_returned + state.fp_queue.ready_returned
+    fwd_lookups = state.store_fwd_hits + state.store_fwd_misses
+    scheduler = {
+        "wakeups": wakeups,
+        "ready_polls": polls,
+        "ready_returned": returned,
+        "ready_per_poll": round(returned / polls, 3) if polls else 0.0,
+        "store_fwd_hits": state.store_fwd_hits,
+        "store_fwd_misses": state.store_fwd_misses,
+        "store_fwd_hit_rate": (
+            round(state.store_fwd_hits / fwd_lookups, 4) if fwd_lookups else 0.0
+        ),
+    }
     return {
         "kernel": "+".join(spec.workload),
         "machine": spec.machine,
@@ -80,8 +117,10 @@ def profile_spec(spec, suite=None) -> Dict:
         "wall_seconds": round(wall, 4),
         "cycles_per_second": round(stats.cycles / wall, 1) if wall else 0.0,
         "committed_per_second": round(stats.committed / wall, 1) if wall else 0.0,
+        "instrumented_wall_seconds": round(iwall, 4),
         "stage_seconds_total": round(profiler.total_seconds, 4),
         "stages": profiler.breakdown(),
+        "scheduler": scheduler,
     }
 
 
@@ -100,6 +139,16 @@ def format_profile(payload: Dict) -> str:
         bar = "#" * int(round(stage["pct"] / 2))
         lines.append(
             f"    {name:<9s} {stage['seconds']:8.3f}s  {stage['pct']:5.1f}%  {bar}"
+        )
+    sched = payload.get("scheduler")
+    if sched:
+        lines.append(
+            "  scheduler: "
+            f"{sched['wakeups']:,} wakeups, "
+            f"{sched['ready_returned']:,} ready over {sched['ready_polls']:,} polls "
+            f"({sched['ready_per_poll']:.2f}/poll), "
+            f"store-fwd hit rate {sched['store_fwd_hit_rate']:.1%} "
+            f"({sched['store_fwd_hits']:,}/{sched['store_fwd_hits'] + sched['store_fwd_misses']:,})"
         )
     return "\n".join(lines)
 

@@ -1,12 +1,13 @@
-"""Event-bus subscriber that maintains the control-flow counters.
+"""Event-bus subscriber that maintains the rare control-flow counters.
 
-The per-instruction hot counters (``fetched``, ``renamed``,
-``committed``, ...) are incremented inline by the stages — they are on
-every-instruction paths where even a guarded publish would be wasted
-work.  The *control-flow* counters (forks, swaps, merges, re-spawns,
-mispredicts, squashes) fire on rare events, and deriving them from the
-bus keeps the stages free of bookkeeping and proves the events carry
-enough information to reconstruct the paper's tables.
+The hot counters (``fetched``, ``renamed``, ``committed``, ...,
+and also ``squashed`` and the mispredict family) are incremented
+inline by the stages — they sit on paths that run hundreds to
+thousands of times per run, where even a guarded publish plus a
+handler dispatch is measurable.  The genuinely *rare* control-flow
+counters (forks, swaps, merges, re-spawns) derive from the bus: it
+keeps the stages free of that bookkeeping and proves those events
+carry enough information to reconstruct the paper's tables.
 
 A :class:`StatsRecorder` is attached to every
 :class:`~repro.pipeline.core.Core` at construction; tests that need a
@@ -16,12 +17,10 @@ totally silent bus call :meth:`detach`.
 from __future__ import annotations
 
 from ..pipeline.events import (
-    BranchResolved,
     EventBus,
     Forked,
     PrimarySwapped,
     Respawned,
-    Squashed,
     StreamOpened,
 )
 from ..recycle.stream import StreamKind
@@ -37,10 +36,8 @@ class StatsRecorder:
             {
                 Forked: self._on_forked,
                 PrimarySwapped: self._on_swapped,
-                Squashed: self._on_squashed,
                 StreamOpened: self._on_stream_opened,
                 Respawned: self._on_respawned,
-                BranchResolved: self._on_branch_resolved,
             }
         )
 
@@ -57,9 +54,6 @@ class StatsRecorder:
     def _on_swapped(self, ev: PrimarySwapped) -> None:
         self.stats.forks_used_tme += 1
 
-    def _on_squashed(self, ev: Squashed) -> None:
-        self.stats.squashed += 1
-
     def _on_stream_opened(self, ev: StreamOpened) -> None:
         if ev.kind is StreamKind.BACK:
             self.stats.back_merges += 1
@@ -69,11 +63,3 @@ class StatsRecorder:
     def _on_respawned(self, ev: Respawned) -> None:
         self.stats.respawns += 1
         self.stats.respawn_streams += 1
-
-    def _on_branch_resolved(self, ev: BranchResolved) -> None:
-        if ev.is_cond and ev.on_arch_path:
-            self.stats.cond_branches_resolved += 1
-            if ev.mispredicted:
-                self.stats.mispredicts += 1
-        if ev.covered:
-            self.stats.mispredicts_covered += 1

@@ -1,0 +1,95 @@
+"""Tests for ``tools/bench_compare.py`` (the perf no-regression gate)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_compare", REPO / "tools" / "bench_compare.py"
+)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def payload(**overrides):
+    base = {
+        "kernel": "compress",
+        "machine": "big.2.16",
+        "features": "REC/RS/RU",
+        "commit_target": 3000,
+        "cycles": 2818,
+        "cycles_per_second": 5000.0,
+    }
+    base.update(overrides)
+    return base
+
+
+def write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestCompare:
+    def test_equal_payloads_pass(self, capsys):
+        assert bench_compare.compare(payload(), payload(), 0.15) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_improvement_passes(self):
+        fresh = payload(cycles_per_second=9000.0)
+        assert bench_compare.compare(payload(), fresh, 0.15) == 0
+
+    def test_small_regression_within_threshold_passes(self):
+        fresh = payload(cycles_per_second=5000.0 * 0.90)  # -10%
+        assert bench_compare.compare(payload(), fresh, 0.15) == 0
+
+    def test_large_regression_fails(self, capsys):
+        fresh = payload(cycles_per_second=5000.0 * 0.80)  # -20%
+        assert bench_compare.compare(payload(), fresh, 0.15) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_threshold_is_configurable(self):
+        fresh = payload(cycles_per_second=5000.0 * 0.90)  # -10%
+        assert bench_compare.compare(payload(), fresh, 0.05) == 1
+
+    def test_spec_mismatch_refuses(self, capsys):
+        fresh = payload(kernel="li")
+        assert bench_compare.compare(payload(), fresh, 0.15) == 2
+        assert "different specs" in capsys.readouterr().out
+
+    def test_missing_throughput_refuses(self):
+        fresh = payload()
+        del fresh["cycles_per_second"]
+        assert bench_compare.compare(payload(), fresh, 0.15) == 2
+
+
+class TestMain:
+    def test_cli_pass(self, tmp_path):
+        base = write(tmp_path, "base.json", payload())
+        fresh = write(tmp_path, "fresh.json", payload(cycles_per_second=5100.0))
+        assert bench_compare.main(["--baseline", base, "--fresh", fresh]) == 0
+
+    def test_cli_regression(self, tmp_path):
+        base = write(tmp_path, "base.json", payload())
+        fresh = write(tmp_path, "fresh.json", payload(cycles_per_second=1000.0))
+        assert bench_compare.main(["--baseline", base, "--fresh", fresh]) == 1
+
+    def test_cli_unreadable_baseline(self, tmp_path):
+        fresh = write(tmp_path, "fresh.json", payload())
+        with pytest.raises(SystemExit):
+            bench_compare.main(["--baseline", str(tmp_path / "nope.json"), "--fresh", fresh])
+
+    def test_cli_against_committed_baseline(self, tmp_path):
+        """The committed BENCH_core.json is a valid baseline input."""
+        committed = REPO / "BENCH_core.json"
+        data = json.loads(committed.read_text())
+        fresh = write(
+            tmp_path,
+            "fresh.json",
+            {**data, "cycles_per_second": data["cycles_per_second"] * 2},
+        )
+        assert bench_compare.main(["--baseline", str(committed), "--fresh", fresh]) == 0

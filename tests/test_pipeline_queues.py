@@ -1,5 +1,7 @@
 """Tests for instruction queues and functional-unit accounting."""
 
+import pytest
+
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import FuClass, Op
 from repro.pipeline.queues import FunctionalUnits, InstructionQueue
@@ -13,9 +15,13 @@ def mk_uop(op=Op.ADD, srcs=()):
     return u
 
 
+def mk_queue(size=8, rf=None):
+    return InstructionQueue("int", size, rf or PhysicalRegisterFile(8, 8))
+
+
 class TestQueue:
     def test_capacity(self):
-        q = InstructionQueue("int", 2)
+        q = mk_queue(size=2)
         q.insert(mk_uop())
         q.insert(mk_uop())
         assert not q.has_room()
@@ -23,40 +29,72 @@ class TestQueue:
     def test_ready_requires_sources(self):
         rf = PhysicalRegisterFile(8, 8)
         a = rf.alloc(fp=False)
-        q = InstructionQueue("int", 8)
+        q = mk_queue(rf=rf)
         u = mk_uop(srcs=[a])
         q.insert(u)
-        assert q.ready_uops(rf, lambda _: True, 0) == []
+        assert q.take_ready(0) == []
         rf.write(a, 5)
-        assert q.ready_uops(rf, lambda _: True, 0) == [u]
+        assert q.take_ready(0) == [u]
+
+    def test_wakeup_respects_ready_cycle(self):
+        """A producer result forwardable at cycle N wakes dependents then."""
+        rf = PhysicalRegisterFile(8, 8)
+        a = rf.alloc(fp=False)
+        q = mk_queue(rf=rf)
+        u = mk_uop(srcs=[a])
+        q.insert(u)
+        rf.write(a, 5, ready_at=3)
+        assert q.take_ready(2) == []
+        assert q.take_ready(3) == [u]
 
     def test_ready_oldest_first(self):
-        rf = PhysicalRegisterFile(8, 8)
-        q = InstructionQueue("int", 8)
+        q = mk_queue()
         u1, u2 = mk_uop(), mk_uop()
         q.insert(u2)
         q.insert(u1)
-        ready = q.ready_uops(rf, lambda _: True, 0)
+        ready = q.take_ready(0)
         assert ready == sorted([u1, u2], key=lambda u: u.seq)
 
-    def test_extra_constraint_filters(self):
-        rf = PhysicalRegisterFile(8, 8)
-        q = InstructionQueue("int", 8)
+    def test_requeue_returns_blocked_uops(self):
+        q = mk_queue()
         u = mk_uop()
         q.insert(u)
-        assert q.ready_uops(rf, lambda _: False, 0) == []
+        assert q.take_ready(0) == [u]
+        assert q.take_ready(0) == []  # the caller owns them now
+        q.requeue([u])
+        assert q.take_ready(0) == [u]
 
     def test_issued_uops_not_ready(self):
-        rf = PhysicalRegisterFile(8, 8)
-        q = InstructionQueue("int", 8)
+        q = mk_queue()
         u = mk_uop()
-        u.state = UopState.ISSUED
         q.insert(u)
-        assert q.ready_uops(rf, lambda _: True, 0) == []
+        u.state = UopState.ISSUED
+        assert q.take_ready(0) == []
 
-    def test_remove_absent_is_noop(self):
-        q = InstructionQueue("int", 8)
-        q.remove(mk_uop())
+    def test_squashed_waiter_dropped(self):
+        """A waiter squashed before its producer writes never surfaces."""
+        rf = PhysicalRegisterFile(8, 8)
+        a = rf.alloc(fp=False)
+        q = mk_queue(rf=rf)
+        u = mk_uop(srcs=[a])
+        q.insert(u)
+        q.remove(u)
+        u.state = UopState.SQUASHED
+        rf.write(a, 5)
+        assert q.take_ready(0) == []
+
+    def test_remove_absent_asserts(self):
+        q = mk_queue()
+        with pytest.raises(AssertionError):
+            q.remove(mk_uop())
+
+    def test_double_remove_asserts(self):
+        q = mk_queue()
+        u = mk_uop()
+        q.insert(u)
+        q.remove(u)
+        with pytest.raises(AssertionError):
+            q.remove(u)
 
 
 class TestFunctionalUnits:

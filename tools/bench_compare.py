@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a fresh ``BENCH_core.json`` against a committed baseline.
+
+The profile payload (see ``repro.sim.profiler.profile_spec``) records
+headline simulator throughput (``cycles_per_second``) for one pinned
+spec.  This tool diffs a freshly measured payload against the baseline
+checked into the repository and fails when throughput regressed by more
+than ``--threshold`` (default 15%) — enough slack for CI-runner noise,
+tight enough to catch a real hot-loop regression.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.cli profile --workload compress \
+        --output BENCH_fresh.json
+    python tools/bench_compare.py --baseline BENCH_core.json \
+        --fresh BENCH_fresh.json
+
+Exit codes: 0 ok, 1 regression beyond threshold, 2 unusable inputs
+(missing file / spec mismatch — comparing different workloads or
+machines would be meaningless).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+#: Payload fields that must agree for a comparison to mean anything.
+SPEC_FIELDS = ("kernel", "machine", "features", "commit_target")
+
+
+def load_payload(path: str) -> Dict:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bench_compare: cannot read {path}: {exc}")
+
+
+def compare(baseline: Dict, fresh: Dict, threshold: float) -> int:
+    """Return the exit code; prints a human-readable verdict."""
+    mismatched = [
+        f"{field}: baseline={baseline.get(field)!r} fresh={fresh.get(field)!r}"
+        for field in SPEC_FIELDS
+        if baseline.get(field) != fresh.get(field)
+    ]
+    if mismatched:
+        print("bench_compare: payloads measure different specs; refusing to compare")
+        for line in mismatched:
+            print(f"  {line}")
+        return 2
+    base_cps = baseline.get("cycles_per_second")
+    fresh_cps = fresh.get("cycles_per_second")
+    if not base_cps or not fresh_cps:
+        print("bench_compare: missing or zero cycles_per_second")
+        return 2
+    change = (fresh_cps - base_cps) / base_cps
+    verdict = "improved" if change >= 0 else "regressed"
+    print(
+        f"{baseline['kernel']} [{baseline['features']}] on {baseline['machine']}: "
+        f"baseline {base_cps:,.0f} cycles/s, fresh {fresh_cps:,.0f} cycles/s "
+        f"({change:+.1%}, {verdict})"
+    )
+    if change < -threshold:
+        print(
+            f"bench_compare: FAIL — regression {-change:.1%} exceeds "
+            f"the {threshold:.0%} threshold"
+        )
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_core.json",
+        help="committed baseline payload (default: BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--fresh", required=True, help="freshly measured payload to check"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="maximum tolerated cycles/sec regression as a fraction (default 0.15)",
+    )
+    args = parser.parse_args(argv)
+    return compare(load_payload(args.baseline), load_payload(args.fresh), args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

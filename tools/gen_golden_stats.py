@@ -27,7 +27,7 @@ from repro.workloads.suite import WorkloadSuite  # noqa: E402
 #: The matrix the snapshot covers: the recycle feature family the paper
 #: ablates, on two kernels with very different branch behaviour.
 KERNELS = ("compress", "li")
-FEATURES = ("REC", "REC/RS", "REC/RS/RU")
+FEATURES = ("TME", "REC", "REC/RS", "REC/RS/RU")
 COMMIT_TARGET = 800
 
 FIXTURE = Path(__file__).resolve().parent.parent / "tests" / "golden" / "core_stats_seed.json"
