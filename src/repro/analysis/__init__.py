@@ -25,20 +25,37 @@ from .dominators import (
     natural_loops,
     postdominator_tree,
 )
-from .killsets import ReuseBound, arm_may_defs, must_def_masks, reuse_bound
+from .killsets import (
+    ReuseBound,
+    arm_may_defs,
+    count_reusable,
+    must_def_masks,
+    reuse_bound,
+)
+from .memdep import (
+    AliasClass,
+    LoadReuseClass,
+    MemAccess,
+    MemoryDependenceAnalysis,
+    MemorySummary,
+)
 from .program import DEFAULT_REUSE_WINDOW, ProgramAnalysis, StaticSummary
+from .ranges import StridedInterval, ValueRangeAnalysis
 
 _CHECKER_EXPORTS = (
     "CrossChecker",
     "CheckReport",
     "MergeEvent",
     "ReuseEvent",
+    "StoreForwardEvent",
     "Violation",
+    "fmt_pc",
     "check_spec",
     "check_suite",
 )
 
 __all__ = [
+    "AliasClass",
     "BasicBlock",
     "BranchClass",
     "BranchSite",
@@ -46,9 +63,15 @@ __all__ = [
     "DEFAULT_REUSE_WINDOW",
     "EXIT_BLOCK",
     "EdgeKind",
+    "LoadReuseClass",
+    "MemAccess",
+    "MemoryDependenceAnalysis",
+    "MemorySummary",
     "ProgramAnalysis",
     "ReuseBound",
     "StaticSummary",
+    "StridedInterval",
+    "ValueRangeAnalysis",
     "arm_may_defs",
     "back_edges",
     "branch_sites",
@@ -56,6 +79,7 @@ __all__ = [
     "dominates",
     "dominator_tree",
     "immediate_dominators",
+    "count_reusable",
     "must_def_masks",
     "natural_loops",
     "postdominator_tree",

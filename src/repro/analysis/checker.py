@@ -26,7 +26,18 @@ checks every dynamic event against its static counterpart:
 ``R1 reuse kill set``
     a reused instruction's source register must not be *must-defined*
     on every static flow path from the fork to the reuse point, unless
-    the stream itself re-established it (``consistent_writes``).
+    the stream itself re-established it (``consistent_writes``);
+``R2 load reuse memory`` (``memory=True``)
+    an MDB-approved load reuse must be statically *may-clean*: a known
+    static load site whose dynamic address lies in the static address
+    set and which no must-alias store rewrites on every fork→reuse
+    path; loads whose abstract address is unbounded are flagged
+    ``unknown-address`` rather than failed;
+``M6 store forwarding`` (``memory=True``)
+    a store-forwarding hit in the indexed memory path must agree with
+    the static alias class — never between provably disjoint accesses,
+    and the forwarded address must be a member of both sides' static
+    address sets.
 
 The static side deliberately over-approximates dynamic control flow
 (see :meth:`repro.analysis.cfg.CFG.flow_successors`), so every reported
@@ -49,6 +60,7 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
 from ..isa.registers import NUM_LOGICAL_REGS, reg_name
 from ..recycle.stream import StreamKind
+from .memdep import AliasClass, LoadReuseClass
 from .program import ProgramAnalysis
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -59,6 +71,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Architectural zero registers: reads are constant, writes discarded,
 #: so "unchanged" claims about them are vacuously true.
 _ZERO_REGS = frozenset({NUM_LOGICAL_REGS // 2 - 1, NUM_LOGICAL_REGS - 1})
+
+#: One-line summary per rule (mirrors the module docstring); the
+#: :class:`Violation` message embeds these so a report is readable
+#: without the source.
+RULE_DOCS: Dict[str, str] = {
+    "M1": "every merge/respawn PC must map to a program instruction",
+    "M2": "an alternate merge PC must be a static fork successor and a block leader",
+    "M3": "a back merge PC must be a static backward-branch target",
+    "M4": "a respawn must restart at a static successor of the fork branch",
+    "M5": "a self merge PC must be a basic-block leader",
+    "R1": "a reused source register must not be must-defined fork-to-reuse",
+    "R2": "an MDB-approved load reuse must be statically may-clean",
+    "M6": "store forwarding must agree with the static alias class",
+}
+
+
+def fmt_pc(pc: Optional[int]) -> str:
+    """Render a PC for violation messages: always hex, ``?`` if unknown."""
+    return "?" if pc is None else f"0x{pc:x}"
 
 
 @dataclass(frozen=True)
@@ -90,19 +121,41 @@ class ReuseEvent:
     fork_pc: Optional[int]
     dst_ctx: int
     src_ctx: int
+    #: memory side (rule R2): was this a load, and at what address did
+    #: the reused execution access memory?
+    is_load: bool = False
+    eff_addr: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class StoreForwardEvent:
+    """One store-to-load forwarding hit in the indexed memory path."""
+
+    cycle: int
+    instance_id: int
+    instance_name: str
+    load_pc: int
+    store_pc: int
+    address: int
+    ctx: int
 
 
 @dataclass(frozen=True)
 class Violation:
     """A structured finding: one broken invariant."""
 
-    rule: str  # M1..M5 / R1
+    rule: str  # M1..M6 / R1..R2
     instance_name: str
     pc: int
     detail: str
 
     def __str__(self) -> str:
-        return f"[{self.rule}] {self.instance_name} pc=0x{self.pc:x}: {self.detail}"
+        doc = RULE_DOCS.get(self.rule)
+        suffix = f" (rule: {doc})" if doc else ""
+        return (
+            f"[{self.rule}] {self.instance_name} pc={fmt_pc(self.pc)}: "
+            f"{self.detail}{suffix}"
+        )
 
 
 @dataclass
@@ -111,6 +164,7 @@ class CheckReport:
 
     merge_events: List[MergeEvent] = field(default_factory=list)
     reuse_events: List[ReuseEvent] = field(default_factory=list)
+    forward_events: List[StoreForwardEvent] = field(default_factory=list)
     violations: List[Violation] = field(default_factory=list)
     merges_checked: int = 0
     #: ALTERNATE merges whose PC equals the static ipostdom prediction
@@ -119,6 +173,12 @@ class CheckReport:
     merges_comparable: int = 0
     reuses_checked: int = 0
     reuses_skipped: int = 0
+    #: memory rules (R2/M6), populated only when the checker ran with
+    #: ``memory=True``
+    reuse_loads_checked: int = 0
+    reuse_loads_unknown_address: int = 0
+    forwards_checked: int = 0
+    forwards_unknown: int = 0
 
     @property
     def ok(self) -> bool:
@@ -135,7 +195,8 @@ class CheckReport:
         return (
             f"{label:<12s} merges={self.merges_checked:<5d} "
             f"agree={self.merge_agreement_pct:5.1f}% "
-            f"reuses={self.reuses_checked:<5d} {status}"
+            f"reuses={self.reuses_checked:<5d} "
+            f"fwd={self.forwards_checked:<5d} {status}"
         )
 
     def to_dict(self) -> Dict:
@@ -146,6 +207,10 @@ class CheckReport:
             "merge_agreement_pct": round(self.merge_agreement_pct, 2),
             "reuses_checked": self.reuses_checked,
             "reuses_skipped": self.reuses_skipped,
+            "reuse_loads_checked": self.reuse_loads_checked,
+            "reuse_loads_unknown_address": self.reuse_loads_unknown_address,
+            "forwards_checked": self.forwards_checked,
+            "forwards_unknown": self.forwards_unknown,
             "violations": [
                 {"rule": v.rule, "instance": v.instance_name,
                  "pc": v.pc, "detail": v.detail}
@@ -157,12 +222,18 @@ class CheckReport:
 class CrossChecker:
     """Instruments a core and validates recycling against static facts.
 
-    Create it *before* ``core.run()``; call :meth:`verify` after."""
+    Create it *before* ``core.run()``; call :meth:`verify` after.  With
+    ``memory=True`` the memory-side rules (R2 load-reuse cleanliness,
+    M6 store-forwarding alias agreement) run too; they need the
+    value-range fixpoint, so they are opt-in.
+    """
 
-    def __init__(self, core: "Core"):
+    def __init__(self, core: "Core", memory: bool = False):
         self.core = core
+        self.memory = memory
         self.merge_events: List[MergeEvent] = []
         self.reuse_events: List[ReuseEvent] = []
+        self.forward_events: List[StoreForwardEvent] = []
         self._analyses: Dict[int, ProgramAnalysis] = {}
         self._stream_forks: Dict[int, Optional[int]] = {}
         self._install()
@@ -171,13 +242,16 @@ class CrossChecker:
     # Instrumentation (event-bus subscriptions)
     # ------------------------------------------------------------------
     def _install(self) -> None:
-        from ..pipeline.events import Respawned, Reused, StreamOpened
+        from ..pipeline.events import Respawned, Reused, StoreForwarded, StreamOpened
 
-        self._unsubscribers = self.core.bus.subscribe_many({
+        handlers = {
             StreamOpened: self._on_stream_opened,
             Respawned: self._on_respawned,
             Reused: self._on_reused,
-        })
+        }
+        if self.memory:
+            handlers[StoreForwarded] = self._on_store_forwarded
+        self._unsubscribers = self.core.bus.subscribe_many(handlers)
 
     def detach(self) -> None:
         """Stop observing; recorded events stay available for verify()."""
@@ -214,6 +288,7 @@ class CrossChecker:
         ))
 
     def _on_reused(self, ev) -> None:
+        oi = ev.uop.instr.info
         self.reuse_events.append(ReuseEvent(
             cycle=ev.cycle,
             instance_id=ev.dst.instance.id,
@@ -224,6 +299,19 @@ class CrossChecker:
             fork_pc=self._stream_forks.get(id(ev.stream)),
             dst_ctx=ev.dst.id,
             src_ctx=ev.src.id,
+            is_load=oi.is_load,
+            eff_addr=ev.uop.eff_addr,
+        ))
+
+    def _on_store_forwarded(self, ev) -> None:
+        self.forward_events.append(StoreForwardEvent(
+            cycle=ev.cycle,
+            instance_id=ev.ctx.instance.id,
+            instance_name=ev.ctx.instance.name,
+            load_pc=ev.load.pc,
+            store_pc=ev.store.pc,
+            address=ev.address,
+            ctx=ev.ctx.id,
         ))
 
     @staticmethod
@@ -255,11 +343,15 @@ class CrossChecker:
         report = CheckReport(
             merge_events=list(self.merge_events),
             reuse_events=list(self.reuse_events),
+            forward_events=list(self.forward_events),
         )
         for ev in self.merge_events:
             self._verify_merge(ev, report)
         for ev in self.reuse_events:
             self._verify_reuse(ev, report)
+        if self.memory:
+            for fwd in self.forward_events:
+                self._verify_forward(fwd, report)
         return report
 
     def _verify_merge(self, ev: MergeEvent, report: CheckReport) -> None:
@@ -278,8 +370,8 @@ class CrossChecker:
                     report.violations.append(Violation(
                         "M2", ev.instance_name, ev.merge_pc,
                         f"alternate merge PC is not a static successor of "
-                        f"fork branch 0x{ev.fork_pc:x} "
-                        f"(legal: {sorted(hex(p) for p in succs)})",
+                        f"fork branch {fmt_pc(ev.fork_pc)} "
+                        f"(legal: {sorted(fmt_pc(p) for p in succs)})",
                     ))
                 recon = pa.reconvergence_pc(ev.fork_pc)
                 if recon is not None:
@@ -304,7 +396,7 @@ class CrossChecker:
                     report.violations.append(Violation(
                         "M4", ev.instance_name, ev.merge_pc,
                         f"respawn PC is not a static successor of fork "
-                        f"branch 0x{ev.fork_pc:x}",
+                        f"branch {fmt_pc(ev.fork_pc)}",
                     ))
         elif ev.kind == "self_first":
             if not pa.cfg.is_leader(ev.merge_pc):
@@ -325,7 +417,7 @@ class CrossChecker:
             # approximate) flow graph — that itself is impossible.
             report.violations.append(Violation(
                 "R1", ev.instance_name, ev.reuse_pc,
-                f"reuse PC unreachable from fork branch 0x{ev.fork_pc:x}",
+                f"reuse PC unreachable from fork branch {fmt_pc(ev.fork_pc)}",
             ))
             return
         report.reuses_checked += 1
@@ -336,7 +428,78 @@ class CrossChecker:
                 report.violations.append(Violation(
                     "R1", ev.instance_name, ev.reuse_pc,
                     f"reused source {reg_name(s)} is written on every "
-                    f"static path from fork 0x{ev.fork_pc:x}",
+                    f"static path from fork {fmt_pc(ev.fork_pc)}",
+                ))
+        if self.memory and ev.is_load:
+            self._verify_load_reuse(ev, pa, report)
+
+    def _verify_load_reuse(
+        self, ev: ReuseEvent, pa: ProgramAnalysis, report: CheckReport
+    ) -> None:
+        """Rule R2: the memory side of one MDB-approved load reuse."""
+        md = pa.memdep
+        report.reuse_loads_checked += 1
+        access = md.access_at(ev.reuse_pc)
+        if access is None or access.is_store:
+            report.violations.append(Violation(
+                "R2", ev.instance_name, ev.reuse_pc,
+                "reused load PC is not a static load site",
+            ))
+            return
+        verdict, store_pc = md.classify_load_reuse(ev.reuse_pc, ev.fork_pc)
+        if verdict is LoadReuseClass.UNKNOWN_ADDRESS:
+            report.reuse_loads_unknown_address += 1
+            return
+        if verdict is LoadReuseClass.MUST_DIRTY:
+            report.violations.append(Violation(
+                "R2", ev.instance_name, ev.reuse_pc,
+                f"MDB approved a reuse across the must-alias store at "
+                f"{fmt_pc(store_pc)}, present on every static path from "
+                f"fork {fmt_pc(ev.fork_pc)}",
+            ))
+            return
+        if ev.eff_addr is not None and not access.addr.contains_address(ev.eff_addr):
+            report.violations.append(Violation(
+                "R2", ev.instance_name, ev.reuse_pc,
+                f"reused load address 0x{ev.eff_addr:x} lies outside the "
+                f"static address set {access.addr!r}",
+            ))
+
+    def _verify_forward(self, ev: StoreForwardEvent, report: CheckReport) -> None:
+        """Rule M6: one forwarding hit against the static alias class."""
+        pa = self.analysis_for(ev.instance_id)
+        md = pa.memdep
+        report.forwards_checked += 1
+        load = md.access_at(ev.load_pc)
+        if load is None or load.is_store:
+            report.violations.append(Violation(
+                "M6", ev.instance_name, ev.load_pc,
+                "store forwarded into a PC that is not a static load site",
+            ))
+            return
+        store = md.access_at(ev.store_pc)
+        if store is None or not store.is_store:
+            report.violations.append(Violation(
+                "M6", ev.instance_name, ev.store_pc,
+                "store forwarded from a PC that is not a static store site",
+            ))
+            return
+        cls = md.alias_class(store, load)
+        if cls is AliasClass.NO:
+            report.violations.append(Violation(
+                "M6", ev.instance_name, ev.load_pc,
+                f"forwarding from store {fmt_pc(ev.store_pc)} whose static "
+                f"address set is provably disjoint from this load's",
+            ))
+            return
+        if cls is AliasClass.UNKNOWN:
+            report.forwards_unknown += 1
+        for acc, label in ((load, "load"), (store, "store")):
+            if acc.known and not acc.addr.contains_address(ev.address):
+                report.violations.append(Violation(
+                    "M6", ev.instance_name, ev.load_pc,
+                    f"forwarded address 0x{ev.address:x} lies outside the "
+                    f"{label}'s static address set {acc.addr!r}",
                 ))
 
 
@@ -346,6 +509,7 @@ class CrossChecker:
 def check_spec(
     spec: "RunSpec",
     suite: Optional["WorkloadSuite"] = None,
+    memory: bool = False,
 ) -> Tuple["RunResult", CheckReport]:
     """Run one spec with the cross-checker attached.
 
@@ -359,7 +523,7 @@ def check_spec(
 
     suite = suite or WorkloadSuite()
     core = Core(spec.build_config())
-    checker = CrossChecker(core)
+    checker = CrossChecker(core, memory=memory)
     core.load(suite.mix(spec.workload), commit_target=spec.commit_target)
     stats = core.run(max_cycles=spec.max_cycles)
     result = RunResult(spec=spec, stats=stats)
@@ -373,6 +537,7 @@ def check_suite(
     features: str = "REC/RS/RU",
     commit_target: int = 1500,
     suite: Optional["WorkloadSuite"] = None,
+    memory: bool = False,
 ) -> Dict[str, Tuple["RunResult", CheckReport]]:
     """Cross-check every workload; the standing correctness oracle."""
     from ..sim.runner import RunSpec
@@ -385,5 +550,5 @@ def check_suite(
         spec = RunSpec(
             workload=(name,), features=features, commit_target=commit_target
         )
-        out[name] = check_spec(spec, suite)
+        out[name] = check_spec(spec, suite, memory=memory)
     return out

@@ -180,6 +180,30 @@ def _window_indices(cfg: CFG, start_idx: int, window: int) -> List[int]:
     return out
 
 
+def count_reusable(cfg: CFG, recon_idx: int, kills: int, window: int = 16) -> int:
+    """Reusable instructions in the post-merge window under a kill set.
+
+    Counts, among the first ``window`` instructions at/after the merge,
+    those eligible for reuse (produce a register, not store/branch)
+    whose sources avoid the ``kills`` register mask.  Monotone
+    non-increasing in ``kills``: growing the kill set can only disable
+    candidates, never enable them — the property tests pin this, since
+    every "static ceiling vs. dynamic reuse" argument leans on it.
+    """
+    program = cfg.program
+    total = 0
+    for i in _window_indices(cfg, recon_idx, window):
+        ins = program.instructions[i]
+        if ins.dst is None or ins.is_store or ins.is_branch:
+            continue
+        src_mask = 0
+        for s in ins.srcs:
+            src_mask |= 1 << s
+        if src_mask & kills == 0:
+            total += 1
+    return total
+
+
 def reuse_bound(
     cfg: CFG,
     branch_idx: int,
@@ -188,11 +212,9 @@ def reuse_bound(
 ) -> ReuseBound:
     """Static upper bound on RU reuse across one reconvergence point.
 
-    Counts, among the first ``window`` instructions at/after the merge,
-    those eligible for reuse (produce a register, not store/branch)
-    whose sources are untouched by the arm that *was* executed — the
-    mirror of the dynamic rule that reuses the *other* arm's results
-    when the written bits show no interference.
+    The count mirrors the dynamic rule that reuses the *other* arm's
+    results when the written bits show no interference; see
+    :func:`count_reusable`.
     """
     program = cfg.program
     branch = program.instructions[branch_idx]
@@ -203,17 +225,7 @@ def reuse_bound(
     taken_kills = arm_may_defs(cfg, tgt_idx, recon_block) if tgt_idx is not None else 0
 
     def count(kills: int) -> int:
-        total = 0
-        for i in _window_indices(cfg, recon_idx, window):
-            ins = program.instructions[i]
-            if ins.dst is None or ins.is_store or ins.is_branch:
-                continue
-            src_mask = 0
-            for s in ins.srcs:
-                src_mask |= 1 << s
-            if src_mask & kills == 0:
-                total += 1
-        return total
+        return count_reusable(cfg, recon_idx, kills, window)
 
     return ReuseBound(
         branch_pc=cfg.pc_of(branch_idx),

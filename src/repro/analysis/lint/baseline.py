@@ -1,0 +1,67 @@
+"""Committed baseline for warn-first lint rules.
+
+A warn-first rule (``Rule.blocking = False``) is introduced into a
+codebase that does not yet satisfy it.  Its pre-existing findings are
+recorded — fingerprinted by ``path::code::message`` so ordinary line
+drift does not invalidate them — in a JSON file committed next to the
+code.  The engine then fails only on findings *absent* from the
+baseline: existing debt is visible but frozen, new debt is rejected,
+and fixing an old hit plus ``--update-baseline`` ratchets the file
+down.
+
+The file is sorted and newline-terminated so regenerating it produces
+minimal diffs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Union
+
+from .registry import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_PATH"]
+
+#: Repo-relative location of the committed baseline.
+DEFAULT_BASELINE_PATH = "tools/lint_baseline.json"
+
+_SCHEMA_VERSION = 1
+
+
+class Baseline:
+    """Fingerprint set with per-fingerprint counts (informational)."""
+
+    def __init__(self, entries: Dict[str, int] = None):
+        self.entries: Dict[str, int] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("version") != _SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {data.get('version')!r}"
+            )
+        return cls(data.get("entries", {}))
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries: Dict[str, int] = {}
+        for finding in findings:
+            entries[finding.fingerprint] = entries.get(finding.fingerprint, 0) + 1
+        return cls(entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        payload = {"version": _SCHEMA_VERSION, "entries": self.entries}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,166 @@
+"""The lint engine: file discovery, per-file analysis, fan-out, triage.
+
+Pipeline: resolve target paths to ``.py`` files (sorted, so output and
+parallel chunking are deterministic) → parse each file once and run the
+selected rules over the shared AST (``# det-ok: <reason>`` suppressions
+filtered centrally) → triage findings against the committed baseline.
+Per-file analysis is pure, so it fans out across processes via
+:func:`repro.exec.fanout.fanout_map` when ``jobs > 1``; results are
+identical to the serial path by construction.
+
+Rule selection is usually a *profile*.  :data:`DETERMINISM_PROFILE`
+reproduces the original ``tools/lint_determinism.py`` behaviour: the
+hot-core targets get every determinism rule except DET004, and the
+whole package is swept with DET004 alone (observers outside the core
+may legitimately read the wall clock, but nobody monkey-patches the
+core).  Explicit paths get the full rule set.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ...exec.fanout import fanout_map
+from . import rules_determinism  # noqa: F401 - registers the DET rules
+from .baseline import Baseline
+from .registry import FileContext, Finding, all_rules
+
+__all__ = [
+    "LintResult",
+    "LintTarget",
+    "DETERMINISM_PROFILE",
+    "collect_files",
+    "lint_source",
+    "lint_files",
+    "run_lint",
+]
+
+#: Pseudo-rule for files the parser rejects; always blocking.
+SYNTAX_ERROR_CODE = "DET000"
+
+
+@dataclass(frozen=True)
+class LintTarget:
+    """One (paths, rule codes) pair; a profile is a sequence of these."""
+
+    paths: Tuple[str, ...]
+    codes: Optional[Tuple[str, ...]] = None  # None = every registered rule
+
+
+#: The historical determinism sweep (see module docstring).
+DETERMINISM_PROFILE = (
+    LintTarget(
+        paths=rules_determinism.DEFAULT_TARGETS,
+        codes=("DET001", "DET002", "DET003", "DET005"),
+    ),
+    LintTarget(paths=rules_determinism.DET004_TARGETS, codes=("DET004",)),
+)
+
+
+@dataclass
+class LintResult:
+    """Findings split by failure semantics."""
+
+    findings: List[Finding] = field(default_factory=list)  # everything, sorted
+    blocking: List[Finding] = field(default_factory=list)  # fail the run
+    baselined: List[Finding] = field(default_factory=list)  # known warn-first debt
+
+    @property
+    def ok(self) -> bool:
+        return not self.blocking
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def collect_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand directories to sorted ``.py`` files; reject missing paths."""
+    missing = [str(p) for p in paths if not Path(p).exists()]
+    if missing:
+        raise FileNotFoundError(f"no such path(s): {missing}")
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def _suppressed_lines(source: str) -> Set[int]:
+    """Line numbers carrying a ``# det-ok: <reason>`` justification."""
+    out = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "det-ok:" in text and text.split("det-ok:", 1)[1].strip():
+            out.add(lineno)
+    return out
+
+
+def lint_source(
+    path: str, source: str, codes: Optional[Tuple[str, ...]] = None
+) -> List[Finding]:
+    """Run the selected rules over one file's text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 0, SYNTAX_ERROR_CODE,
+                        f"syntax error: {exc.msg}")]
+    ctx = FileContext(path, source, tree, _suppressed_lines(source))
+    findings: List[Finding] = []
+    for rule in all_rules(set(codes) if codes is not None else None):
+        findings.extend(
+            f for f in rule.check(ctx) if f.line not in ctx.suppressed
+        )
+    return findings
+
+
+def _lint_payload(item: Tuple[str, Optional[Tuple[str, ...]]]) -> List[Finding]:
+    """Fan-out unit: one file with one rule selection (picklable)."""
+    path, codes = item
+    return lint_source(path, Path(path).read_text(), codes)
+
+
+def lint_files(
+    files: Sequence[Union[str, Path]],
+    codes: Optional[Tuple[str, ...]] = None,
+    jobs: int = 1,
+) -> List[Finding]:
+    """Lint many files, optionally in parallel; sorted findings."""
+    items = [(str(f), codes) for f in files]
+    per_file = fanout_map(_lint_payload, items, jobs=jobs)
+    findings = [f for batch in per_file for f in batch]
+    return sorted(findings, key=lambda f: (f.path, f.line, f.code))
+
+
+def run_lint(
+    targets: Sequence[LintTarget],
+    jobs: int = 1,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Execute a profile and triage against the baseline.
+
+    A finding fails the run unless its rule is warn-first *and* the
+    baseline records its fingerprint.  Syntax errors always fail.
+    """
+    baseline = baseline or Baseline()
+    blocking_codes = {r.code for r in all_rules() if r.blocking}
+    blocking_codes.add(SYNTAX_ERROR_CODE)
+
+    findings: List[Finding] = []
+    for target in targets:
+        files = collect_files(target.paths)
+        findings.extend(lint_files(files, codes=target.codes, jobs=jobs))
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+
+    result = LintResult(findings=findings)
+    for finding in findings:
+        if finding.code not in blocking_codes and baseline.covers(finding):
+            result.baselined.append(finding)
+        else:
+            result.blocking.append(finding)
+    return result

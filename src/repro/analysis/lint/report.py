@@ -1,0 +1,97 @@
+"""Lint output formats: plain text, JSON, SARIF 2.1.0.
+
+The text format is the historical ``path:line: CODE message`` contract
+(tests and editors parse it).  JSON is the same data machine-readable.
+SARIF is the interchange format GitHub code scanning ingests — one run,
+one driver, rule metadata from the registry, one result per finding
+with ``error`` level for blocking findings and ``warning`` for
+baselined warn-first debt.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .engine import SYNTAX_ERROR_CODE, LintResult
+from .registry import Finding, all_rules
+
+__all__ = ["render_text", "to_json", "to_sarif"]
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(result: LintResult, show_baselined: bool = False) -> List[str]:
+    """One line per finding, baselined debt annotated (or hidden)."""
+    lines = [f.render() for f in result.blocking]
+    if show_baselined:
+        lines.extend(f"{f.render()} (baselined)" for f in result.baselined)
+    return sorted(lines)
+
+
+def to_json(result: LintResult) -> Dict:
+    def row(finding: Finding) -> Dict:
+        return {
+            "path": finding.path,
+            "line": finding.line,
+            "code": finding.code,
+            "message": finding.message,
+        }
+
+    return {
+        "ok": result.ok,
+        "blocking": [row(f) for f in result.blocking],
+        "baselined": [row(f) for f in result.baselined],
+    }
+
+
+def to_sarif(result: LintResult, tool_name: str = "repro-lint") -> Dict:
+    """SARIF 2.1.0 document for the whole result."""
+    rules = [
+        {
+            "id": rule.code,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {
+                "level": "error" if rule.blocking else "warning",
+            },
+        }
+        for rule in all_rules()
+    ]
+    rules.append({
+        "id": SYNTAX_ERROR_CODE,
+        "shortDescription": {"text": "file does not parse"},
+        "defaultConfiguration": {"level": "error"},
+    })
+
+    def sarif_result(finding: Finding, level: str) -> Dict:
+        return {
+            "ruleId": finding.code,
+            "level": level,
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": max(finding.line, 1)},
+                },
+            }],
+        }
+
+    results = [sarif_result(f, "error") for f in result.blocking]
+    results += [sarif_result(f, "warning") for f in result.baselined]
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {"name": tool_name, "rules": rules}},
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(result: LintResult, path: str) -> None:
+    from pathlib import Path
+
+    Path(path).write_text(json.dumps(to_sarif(result), indent=2) + "\n")

@@ -1,0 +1,420 @@
+"""Static memory-dependence analysis over one assembled program.
+
+Built on the strided-interval value ranges of :mod:`repro.analysis.ranges`,
+this module assigns every static load/store an *abstract effective
+address* (the base register's range, displaced by the immediate and
+aligned to the 8-byte access grain, mirroring
+:func:`repro.isa.semantics.effective_address`), and derives:
+
+* an **alias class** for every load/store pair — provably disjoint,
+  may-alias, must-alias, or unknown (an address the abstract domain
+  cannot bound);
+* **loop-carried memory-dependence sets** for every natural loop: the
+  store/access pairs inside the loop body that may touch the same cell
+  on a later iteration;
+* a **must-intervening-store** relation (forward must-analysis over the
+  CFG flow relation, the memory twin of
+  :func:`repro.analysis.killsets.must_def_masks`): the store sites
+  executed on *every* flow walk from a fork branch to a given PC;
+* the per-kernel **static load-reuse ceiling**: the set of load sites
+  the RU mechanism could ever skip re-execution for.  A dynamic reused
+  load outside this set, or one whose MDB-approved address violates the
+  static facts, is a genuine invariant break (checker rule R2).
+
+All address reasoning is *sound for the checker's direction*: a
+``NO``-alias verdict or a ``MUST_DIRTY`` reuse verdict is a proof, the
+``MAY``/``UNKNOWN`` verdicts are the safe defaults.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..isa.program import Program
+from .cfg import CFG
+from .dominators import dominator_tree, natural_loops
+from .ranges import StridedInterval, ValueRangeAnalysis
+
+#: Loads/stores move aligned 8-byte words; aliasing is cell-identity.
+ACCESS_BYTES = 8
+
+
+class AliasClass(enum.Enum):
+    """Static relation between two accesses' address sets."""
+
+    NO = "no-alias"  # provably disjoint (a proof, never heuristic)
+    MAY = "may-alias"  # the sets may intersect
+    MUST = "must-alias"  # both addresses exactly known and equal
+    UNKNOWN = "unknown"  # at least one address is unbounded (TOP)
+
+
+class LoadReuseClass(enum.Enum):
+    """Static verdict on reusing one load across a fork (rule R2)."""
+
+    MAY_CLEAN = "may-clean"  # no path is forced to overwrite the cell
+    UNKNOWN_ADDRESS = "unknown-address"  # abstract address is TOP
+    MUST_DIRTY = "must-dirty"  # every fork→reuse walk rewrites the cell
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One static load or store site."""
+
+    index: int  # instruction index in the text image
+    pc: int
+    is_store: bool
+    base_reg: int  # unified logical index of the address base register
+    imm: int
+    addr: StridedInterval  # abstract aligned effective address
+
+    @property
+    def is_load(self) -> bool:
+        return not self.is_store
+
+    @property
+    def known(self) -> bool:
+        """Does the abstract address carry real disambiguation power?
+
+        Every effective address is 8-byte aligned by construction, so a
+        congruence-only value whose stride is the access grain (or
+        TOP) says nothing a priori and counts as *unknown*.
+        """
+        addr = self.addr
+        return not (addr.lo is None and addr.stride <= ACCESS_BYTES)
+
+    def describe(self) -> str:
+        kind = "store" if self.is_store else "load"
+        return f"{kind}@0x{self.pc:x} addr={self.addr!r}"
+
+
+@dataclass(frozen=True)
+class MemorySummary:
+    """Condensed memory-dependence facts about one program."""
+
+    name: str
+    loads: int
+    stores: int
+    loads_known_address: int
+    stores_known_address: int
+    #: load x store pairs, by alias class
+    alias_pairs: int
+    may_alias_pairs: int
+    must_alias_pairs: int
+    no_alias_pairs: int
+    unknown_alias_pairs: int
+    loops: int
+    loops_with_carried_deps: int
+    loop_carried_deps: int
+    #: the static load-reuse ceiling: distinct load sites RU could hit
+    reusable_load_sites: int
+    always_clean_load_sites: int
+    unknown_address_load_sites: int
+
+    @property
+    def load_reuse_ceiling_pct(self) -> float:
+        if not self.loads:
+            return 0.0
+        return 100.0 * self.reusable_load_sites / self.loads
+
+    @property
+    def known_address_pct(self) -> float:
+        total = self.loads + self.stores
+        if not total:
+            return 0.0
+        return 100.0 * (self.loads_known_address + self.stores_known_address) / total
+
+
+class MemoryDependenceAnalysis:
+    """May-alias, loop-carried dependences and reuse ceilings.
+
+    Constructing one runs the value-range fixpoint; everything else is
+    derived on demand and cached.  ``loops`` may be passed in when a
+    :class:`~repro.analysis.program.ProgramAnalysis` already computed
+    them (same ``{header block: body blocks}`` shape).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        cfg: Optional[CFG] = None,
+        loops: Optional[Dict[int, FrozenSet[int]]] = None,
+        name: str = "program",
+    ):
+        self.program = program
+        self.name = name
+        self.cfg = cfg if cfg is not None else CFG(program)
+        self.ranges = ValueRangeAnalysis(program, self.cfg)
+        self._loops = loops
+        self.accesses: List[MemAccess] = []
+        self.loads: List[MemAccess] = []
+        self.stores: List[MemAccess] = []
+        self.by_pc: Dict[int, MemAccess] = {}
+        for i, ins in enumerate(program.instructions):
+            oi = ins.info
+            if not (oi.is_load or oi.is_store):
+                continue
+            base = ins.srcs[0]
+            addr = (
+                self.ranges.reg_at(i, base)
+                .add(StridedInterval.const(ins.imm))
+                .align_down(ACCESS_BYTES)
+            )
+            access = MemAccess(
+                index=i, pc=self.cfg.pc_of(i), is_store=oi.is_store,
+                base_reg=base, imm=ins.imm, addr=addr,
+            )
+            self.accesses.append(access)
+            (self.stores if oi.is_store else self.loads).append(access)
+            self.by_pc[access.pc] = access
+        self._must_store_cache: Dict[int, Dict[int, int]] = {}
+        self._loop_deps: Optional[Dict[int, Tuple[Tuple[int, int], ...]]] = None
+        self._alias_table: Optional[List[Tuple[MemAccess, MemAccess, AliasClass]]] = None
+
+    # -- aliasing --------------------------------------------------------
+    @staticmethod
+    def alias_class(a: MemAccess, b: MemAccess) -> AliasClass:
+        if not a.known or not b.known:
+            return AliasClass.UNKNOWN
+        if a.addr.must_equal(b.addr):
+            return AliasClass.MUST
+        if not a.addr.may_intersect(b.addr):
+            return AliasClass.NO
+        return AliasClass.MAY
+
+    def may_alias(self, a: MemAccess, b: MemAccess) -> bool:
+        """Safe default: only a proven-disjoint pair is ``False``."""
+        return self.alias_class(a, b) is not AliasClass.NO
+
+    def access_at(self, pc: int) -> Optional[MemAccess]:
+        return self.by_pc.get(pc)
+
+    def alias_table(self) -> List[Tuple[MemAccess, MemAccess, AliasClass]]:
+        """Alias class of every static (load, store) pair, text order."""
+        table = self._alias_table
+        if table is None:
+            table = self._alias_table = [
+                (load, store, self.alias_class(load, store))
+                for load in self.loads
+                for store in self.stores
+            ]
+        return table
+
+    # -- loops -----------------------------------------------------------
+    @property
+    def loops(self) -> Dict[int, FrozenSet[int]]:
+        loops = self._loops
+        if loops is None:
+            loops = self._loops = natural_loops(self.cfg, dominator_tree(self.cfg))
+        return loops
+
+    def loop_carried_deps(self) -> Dict[int, Tuple[Tuple[int, int], ...]]:
+        """Per-loop loop-carried memory dependences.
+
+        Maps each natural-loop header PC to the sorted ``(store_pc,
+        access_pc)`` pairs inside the loop body that may touch the same
+        cell on a later iteration: a store against every load it may
+        feed (flow/anti) and every *other* store it may collide with
+        (output).  A store trivially rewrites its own cell each
+        iteration, so same-PC pairs are omitted as noise.
+        """
+        deps = self._loop_deps
+        if deps is not None:
+            return deps
+        block_of = self.cfg.block_of
+        deps = {}
+        for header in sorted(self.loops):
+            body = self.loops[header]
+            inside = [a for a in self.accesses if block_of[a.index] in body]
+            pairs = set()
+            for store in inside:
+                if not store.is_store:
+                    continue
+                for other in inside:
+                    if other.pc == store.pc:
+                        continue
+                    if other.is_store and other.pc < store.pc:
+                        continue  # count each store/store pair once
+                    if self.may_alias(store, other):
+                        pairs.add((store.pc, other.pc))
+            header_pc = self.cfg.pc_of(self.cfg.blocks[header].start)
+            deps[header_pc] = tuple(sorted(pairs))
+        self._loop_deps = deps
+        return deps
+
+    # -- must-intervening stores (rule R2's proof obligation) -----------
+    def _must_store_masks(self, fork_idx: int) -> Dict[int, int]:
+        """Forward must-analysis: bit ``k`` of the mask at instruction
+        ``i`` is set iff store site ``k`` executes on *every* flow walk
+        from the fork branch's successors to ``i`` (exclusive of ``i``).
+        The memory twin of :func:`repro.analysis.killsets.must_def_masks`."""
+        cached = self._must_store_cache.get(fork_idx)
+        if cached is not None:
+            return cached
+        flow = self.cfg.flow_successors()
+        n = len(self.program.instructions)
+        starts = [s for s in flow[fork_idx] if 0 <= s < n]
+        bit_of = {a.index: 1 << k for k, a in enumerate(self.stores)}
+        full = (1 << len(self.stores)) - 1
+        result: Dict[int, int] = {}
+        if starts and full:
+            reachable = set(starts)
+            queue = list(starts)
+            while queue:
+                i = queue.pop(0)
+                for s in flow[i]:
+                    if s not in reachable:
+                        reachable.add(s)
+                        queue.append(s)
+            preds: Dict[int, List[int]] = {i: [] for i in reachable}
+            for i in reachable:
+                for s in flow[i]:
+                    preds[s].append(i)
+            starts_set = set(starts)
+            in_mask = {i: full for i in reachable}
+            for s in starts_set:
+                in_mask[s] = 0
+
+            def out_mask(i: int) -> int:
+                return in_mask[i] | bit_of.get(i, 0)
+
+            worklist = sorted(reachable)
+            pending = set(worklist)
+            while worklist:
+                i = worklist.pop(0)
+                pending.discard(i)
+                if i in starts_set:
+                    continue
+                new = full
+                for p in preds[i]:
+                    new &= out_mask(p)
+                if not preds[i]:
+                    new = 0
+                if new != in_mask[i]:
+                    in_mask[i] = new
+                    for s in flow[i]:
+                        if s in reachable and s not in pending:
+                            pending.add(s)
+                            worklist.append(s)
+            result = in_mask
+        elif starts:
+            # No stores in the program: every mask is trivially empty,
+            # but reachability still matters to callers.
+            reachable = set(starts)
+            queue = list(starts)
+            while queue:
+                i = queue.pop(0)
+                for s in flow[i]:
+                    if s not in reachable:
+                        reachable.add(s)
+                        queue.append(s)
+            result = {i: 0 for i in reachable}
+        self._must_store_cache[fork_idx] = result
+        return result
+
+    def must_stores_between(self, fork_pc: int, pc: int) -> Tuple[MemAccess, ...]:
+        """Store sites on *every* flow walk from ``fork_pc``'s
+        successors to ``pc`` (empty when unknown or unreachable)."""
+        fork_idx = self.cfg.index_of(fork_pc)
+        idx = self.cfg.index_of(pc)
+        if fork_idx is None or idx is None:
+            return ()
+        mask = self._must_store_masks(fork_idx).get(idx)
+        if not mask:
+            return ()
+        return tuple(
+            a for k, a in enumerate(self.stores) if (mask >> k) & 1
+        )
+
+    # -- reuse verdicts --------------------------------------------------
+    def classify_load_reuse(
+        self, load_pc: int, fork_pc: Optional[int] = None
+    ) -> Tuple[LoadReuseClass, Optional[int]]:
+        """Static verdict on an MDB-approved reuse of the load at
+        ``load_pc`` across the fork at ``fork_pc``.
+
+        Returns ``(verdict, conflicting store PC or None)``.  A
+        ``MUST_DIRTY`` verdict is a proof: a store on every fork→reuse
+        walk must-aliases the load's (exactly known) cell, so a dynamic
+        MDB approval of this reuse is impossible — the store's issue or
+        retirement re-invalidation must have killed the entry.
+        """
+        access = self.by_pc.get(load_pc)
+        if access is None or access.is_store:
+            raise ValueError(f"0x{load_pc:x} is not a static load site")
+        if not access.known:
+            return LoadReuseClass.UNKNOWN_ADDRESS, None
+        if fork_pc is not None:
+            for store in self.must_stores_between(fork_pc, load_pc):
+                if self.alias_class(store, access) is AliasClass.MUST:
+                    return LoadReuseClass.MUST_DIRTY, store.pc
+        return LoadReuseClass.MAY_CLEAN, None
+
+    # -- ceilings --------------------------------------------------------
+    def reusable_load_pcs(self) -> FrozenSet[int]:
+        """The static load-reuse ceiling as a PC set: load sites that
+        produce a register and are reachable at all.  Every dynamic RU
+        load hit must come from this set (the dynamic reuse test in
+        rename refuses destination-less loads outright), so its size
+        upper-bounds the distinct load PCs RU can ever skip."""
+        instrs = self.program.instructions
+        reached = self.ranges.in_states
+        return frozenset(
+            a.pc for a in self.loads
+            if instrs[a.index].dst is not None and reached[a.index] is not None
+        )
+
+    def always_clean_load_pcs(self) -> FrozenSet[int]:
+        """Loads provably disjoint from *every* static store — their
+        MDB entries can only die by capacity, never by invalidation."""
+        return frozenset(
+            a.pc for a in self.loads
+            if a.known and all(
+                self.alias_class(s, a) is AliasClass.NO for s in self.stores
+            )
+        )
+
+    # -- reporting -------------------------------------------------------
+    def summary(self) -> MemorySummary:
+        table = self.alias_table()
+        counts = {cls: 0 for cls in AliasClass}
+        for _load, _store, cls in table:
+            counts[cls] += 1
+        loop_deps = self.loop_carried_deps()
+        carried = sum(len(pairs) for pairs in loop_deps.values())
+        return MemorySummary(
+            name=self.name,
+            loads=len(self.loads),
+            stores=len(self.stores),
+            loads_known_address=sum(1 for a in self.loads if a.known),
+            stores_known_address=sum(1 for a in self.stores if a.known),
+            alias_pairs=len(table),
+            may_alias_pairs=counts[AliasClass.MAY],
+            must_alias_pairs=counts[AliasClass.MUST],
+            no_alias_pairs=counts[AliasClass.NO],
+            unknown_alias_pairs=counts[AliasClass.UNKNOWN],
+            loops=len(self.loops),
+            loops_with_carried_deps=sum(1 for p in loop_deps.values() if p),
+            loop_carried_deps=carried,
+            reusable_load_sites=len(self.reusable_load_pcs()),
+            always_clean_load_sites=len(self.always_clean_load_pcs()),
+            unknown_address_load_sites=sum(1 for a in self.loads if not a.known),
+        )
+
+    def describe(self) -> str:
+        """Human-readable access table (the ``analyze --memory`` detail)."""
+        s = self.summary()
+        lines = [
+            f"{self.name}: {s.loads} loads / {s.stores} stores, "
+            f"{s.known_address_pct:.0f}% known addresses, "
+            f"ceiling {s.reusable_load_sites} reusable load sites "
+            f"({s.load_reuse_ceiling_pct:.0f}% of loads)"
+        ]
+        for access in self.accesses:
+            lines.append("  " + access.describe())
+        for header_pc, pairs in sorted(self.loop_carried_deps().items()):
+            if pairs:
+                rendered = ", ".join(f"0x{a:x}->0x{b:x}" for a, b in pairs)
+                lines.append(f"  loop@0x{header_pc:x} carried: {rendered}")
+        return "\n".join(lines)

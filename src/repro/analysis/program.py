@@ -18,6 +18,7 @@ from .branches import BranchClass, BranchSite, branch_sites
 from .cfg import CFG
 from .dominators import dominator_tree, natural_loops, postdominator_tree
 from .killsets import ReuseBound, must_def_masks, reuse_bound
+from .memdep import MemoryDependenceAnalysis, MemorySummary
 
 #: Default lookahead (instructions past the merge) for reuse ceilings —
 #: matches the recycle buffer depth the dynamic side realistically replays.
@@ -65,6 +66,7 @@ class ProgramAnalysis:
         self._back_targets: Optional[FrozenSet[int]] = None
         self._must_defs: Dict[int, Dict[int, int]] = {}
         self._reach: Dict[int, FrozenSet[int]] = {}
+        self._memdep: Optional[MemoryDependenceAnalysis] = None
 
     # -- dominance ------------------------------------------------------
     @property
@@ -161,6 +163,24 @@ class ProgramAnalysis:
             cached = {self.cfg.pc_of(i): m for i, m in masks.items()}
             self._must_defs[idx] = cached
         return cached
+
+    # -- memory dependence ----------------------------------------------
+    @property
+    def memdep(self) -> MemoryDependenceAnalysis:
+        """Static memory-dependence facts (value ranges, aliasing,
+        loop-carried dependences, the load-reuse ceiling).  Lazily
+        built — the value-range fixpoint only runs when asked for."""
+        md = self._memdep
+        if md is None:
+            md = self._memdep = MemoryDependenceAnalysis(
+                self.program, cfg=self.cfg, loops=self.loops, name=self.name
+            )
+        return md
+
+    def memory_summary(self) -> MemorySummary:
+        """The memory twin of :meth:`summary`, joining the register
+        reuse ceilings with the static load-reuse ceiling."""
+        return self.memdep.summary()
 
     # -- ceilings -------------------------------------------------------
     def reuse_bounds(

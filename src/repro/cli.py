@@ -224,7 +224,9 @@ def _cmd_analyze(args) -> int:
                 features=args.features,
                 commit_target=args.commit_target,
             )
-            results[name], reports[name] = check_spec(spec, suite)
+            results[name], reports[name] = check_spec(
+                spec, suite, memory=args.memory
+            )
 
     total_violations = sum(len(r.violations) for r in reports.values())
 
@@ -249,6 +251,21 @@ def _cmd_analyze(args) -> int:
                     "reuse_window": summary.reuse_window,
                 },
             }
+            if args.memory:
+                mem = analyses[name].memory_summary()
+                entry["memory"] = {
+                    "loads": mem.loads,
+                    "stores": mem.stores,
+                    "known_address_pct": round(mem.known_address_pct, 2),
+                    "alias_pairs": mem.alias_pairs,
+                    "no_alias_pairs": mem.no_alias_pairs,
+                    "must_alias_pairs": mem.must_alias_pairs,
+                    "loops_with_carried_deps": mem.loops_with_carried_deps,
+                    "loop_carried_deps": mem.loop_carried_deps,
+                    "reusable_load_sites": mem.reusable_load_sites,
+                    "always_clean_load_sites": mem.always_clean_load_sites,
+                    "unknown_address_load_sites": mem.unknown_address_load_sites,
+                }
             if name in reports:
                 entry["check"] = reports[name].to_dict()
             payload[name] = entry
@@ -267,15 +284,31 @@ def _cmd_analyze(args) -> int:
             f"reuse-ceiling={summary.reuse_ceiling_pct:5.1f}% "
             f"kill-size={summary.avg_kill_set_size:4.1f}  [{classes}]"
         )
+        if args.memory:
+            mem = pa.memory_summary()
+            print(
+                f"           memory: loads={mem.loads} stores={mem.stores} "
+                f"known-addr={mem.known_address_pct:5.1f}% "
+                f"no-alias={mem.no_alias_pairs}/{mem.alias_pairs} "
+                f"loop-deps={mem.loop_carried_deps} "
+                f"reuse-sites={mem.reusable_load_sites} "
+                f"(clean={mem.always_clean_load_sites} "
+                f"unknown={mem.unknown_address_load_sites})"
+            )
         if args.detail:
             print(pa.describe())
         if name in reports:
             report = reports[name]
             result = results[name]
+            mem_note = (
+                f"fwd={report.forwards_checked} "
+                f"reuse-loads={report.reuse_loads_checked} "
+                if args.memory else ""
+            )
             print(
                 f"           check: merges={report.merges_checked} "
                 f"agree={report.merge_agreement_pct:.1f}% "
-                f"reuses={report.reuses_checked} "
+                f"reuses={report.reuses_checked} {mem_note}"
                 f"dyn-rec={result.stats.pct_recycled:.1f}% "
                 f"dyn-reuse={result.stats.pct_reused:.2f}% "
                 f"{'OK' if report.ok else 'VIOLATIONS'}"
@@ -288,6 +321,71 @@ def _cmd_analyze(args) -> int:
             f"{len(names)} workload(s)"
         )
     return 1 if total_violations else 0
+
+
+def _cmd_lint(args) -> int:
+    """Whole-repo lint over the pluggable rule engine."""
+    from .analysis.lint import (
+        DEFAULT_BASELINE_PATH,
+        DETERMINISM_PROFILE,
+        Baseline,
+        LintTarget,
+        all_rules,
+        render_text,
+        run_lint,
+        to_json,
+        write_sarif,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            kind = "blocking" if rule.blocking else "warn-first"
+            print(f"{rule.code}  [{kind:>10s}]  {rule.summary}")
+        return 0
+
+    codes = tuple(args.rules) if args.rules else None
+    if args.paths:
+        targets = [LintTarget(paths=tuple(args.paths), codes=codes)]
+    elif codes is not None:
+        profile_paths = tuple(
+            dict.fromkeys(p for t in DETERMINISM_PROFILE for p in t.paths)
+        )
+        targets = [LintTarget(paths=profile_paths, codes=codes)]
+    else:
+        targets = list(DETERMINISM_PROFILE)
+
+    baseline_path = args.baseline or DEFAULT_BASELINE_PATH
+    try:
+        baseline = Baseline.load(baseline_path)
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = run_lint(targets, jobs=args.jobs, baseline=baseline)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        blocking_codes = {r.code for r in all_rules() if r.blocking}
+        warn_first = [
+            f for f in result.findings
+            if f.code not in blocking_codes and f.code != "DET000"
+        ]
+        Baseline.from_findings(warn_first).save(baseline_path)
+        print(f"wrote {baseline_path} ({len(warn_first)} finding(s))")
+        return 0
+
+    if args.sarif:
+        write_sarif(result, args.sarif)
+    if args.json:
+        print(json.dumps(to_json(result), indent=2))
+    else:
+        for line in render_text(result, show_baselined=args.show_baselined):
+            print(line)
+        if not result.ok:
+            print(f"{len(result.blocking)} lint violation(s)", file=sys.stderr)
+    return result.exit_code
 
 
 def _cmd_profile(args) -> int:
@@ -460,6 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="dump the per-branch site table")
     analyze_parser.add_argument("--check", action="store_true",
                                 help="run the dynamic-invariant cross-checker")
+    analyze_parser.add_argument("--memory", action="store_true",
+                                help="include the memory-dependence analysis "
+                                     "(and the R2/M6 rules under --check)")
     analyze_parser.add_argument("--features", default="REC/RS/RU", choices=VARIANTS,
                                 help="feature set for --check runs")
     analyze_parser.add_argument("--commit-target", type=int, default=1500,
@@ -503,6 +604,32 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--kinds", nargs="*", default=["fork", "swap", "respawn", "stream_open", "stream_end"])
     trace_parser.add_argument("--pipeview", type=int, default=0, help="render N committed uops")
 
+    lint_parser = sub.add_parser(
+        "lint",
+        help="whole-repo lint (determinism rules DET001-DET005)",
+    )
+    lint_parser.add_argument("paths", nargs="*", default=None,
+                             help="files/dirs to lint; default: the "
+                                  "determinism profile")
+    lint_parser.add_argument("--rules", nargs="*", default=None, metavar="CODE",
+                             help="restrict to specific rule codes")
+    lint_parser.add_argument("--jobs", type=int, default=1,
+                             help="parallel per-file analysis processes")
+    lint_parser.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+    lint_parser.add_argument("--sarif", default=None, metavar="PATH",
+                             help="also write a SARIF 2.1.0 report")
+    lint_parser.add_argument("--baseline", default=None, metavar="PATH",
+                             help="baseline file for warn-first rules "
+                                  "(default: tools/lint_baseline.json)")
+    lint_parser.add_argument("--update-baseline", action="store_true",
+                             help="rewrite the baseline from this run's "
+                                  "warn-first findings and exit 0")
+    lint_parser.add_argument("--show-baselined", action="store_true",
+                             help="also print baselined warn-first findings")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="list registered rules and exit")
+
     asm_parser = sub.add_parser("asm", help="assemble (and optionally emulate) a file")
     asm_parser.add_argument("path")
     asm_parser.add_argument("--run", action="store_true")
@@ -520,6 +647,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "campaign": _cmd_campaign,
         "analyze": _cmd_analyze,
+        "lint": _cmd_lint,
         "profile": _cmd_profile,
         "profile-branches": _cmd_profile_branches,
         "trace": _cmd_trace,

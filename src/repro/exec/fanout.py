@@ -1,0 +1,117 @@
+"""Generic parallel fan-out: map a picklable function over items.
+
+The :class:`~repro.exec.pool.Executor` is deliberately sim-shaped — it
+speaks :class:`~repro.exec.jobs.Job`, caches :class:`RunResult` payloads
+and assembles workload suites in its workers.  Analysis passes that just
+need "run this pure function over N inputs on N cores" (the lint engine,
+per-file AST passes) get this lighter primitive instead.
+
+Contract
+--------
+* ``fanout_map(func, items, jobs)`` returns ``[func(x) for x in items]``
+  in input order, always.
+* ``jobs <= 1`` (or fewer than two items) is the serial in-process path —
+  no processes, exceptions propagate unchanged.
+* In parallel mode items are split into contiguous chunks, one worker
+  process per chunk (same process-per-unit philosophy as the pool: no
+  persistent workers, crash isolation for free).  ``func`` must be a
+  top-level function and items/results picklable, so the map works under
+  both ``fork`` and ``spawn`` start methods.
+* A worker exception is re-raised in the parent as :class:`FanoutError`
+  carrying the original traceback text; a worker that dies without
+  replying raises too.  No partial results are returned.
+
+Determinism note: the *computation* is order-preserving by construction;
+``func`` itself must still be pure for results to be reproducible.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["FanoutError", "fanout_map"]
+
+
+class FanoutError(RuntimeError):
+    """A worker chunk failed; ``.cause_text`` holds its traceback."""
+
+    def __init__(self, message: str, cause_text: str = ""):
+        super().__init__(message)
+        self.cause_text = cause_text
+
+
+def _chunk_worker(conn, func: Callable[[Any], Any], chunk: Sequence[Any]) -> None:
+    """Top-level worker target (must be importable under ``spawn``)."""
+    try:
+        conn.send(("ok", [func(item) for item in chunk]))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+def _chunks(items: Sequence[Any], parts: int) -> List[Sequence[Any]]:
+    """Split into ``parts`` contiguous chunks, sizes differing by <= 1."""
+    n = len(items)
+    base, extra = divmod(n, parts)
+    out: List[Sequence[Any]] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        out.append(items[start:start + size])
+        start += size
+    return out
+
+
+def fanout_map(
+    func: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: int = 1,
+    mp_context: Optional[str] = None,
+) -> List[Any]:
+    """``[func(x) for x in items]``, optionally across processes."""
+    items = list(items)
+    jobs = max(1, int(jobs))
+    if jobs <= 1 or len(items) < 2:
+        return [func(item) for item in items]
+
+    if mp_context is None:
+        methods = multiprocessing.get_all_start_methods()
+        mp_context = "fork" if "fork" in methods else "spawn"
+    ctx = multiprocessing.get_context(mp_context)
+
+    chunks = _chunks(items, min(jobs, len(items)))
+    workers = []
+    for chunk in chunks:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_chunk_worker, args=(child_conn, func, chunk), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        workers.append((process, parent_conn, chunk))
+
+    results: List[Any] = []
+    error: Optional[FanoutError] = None
+    for process, conn, chunk in workers:
+        try:
+            reply = conn.recv()
+        except (EOFError, OSError):
+            reply = ("error", f"worker died without replying ({len(chunk)} items)", "")
+        finally:
+            conn.close()
+        process.join()
+        if error is not None:
+            continue  # still drain/join the remaining workers
+        if reply[0] == "ok":
+            results.extend(reply[1])
+        else:
+            error = FanoutError(reply[1], reply[2] if len(reply) > 2 else "")
+    if error is not None:
+        raise error
+    return results

@@ -144,6 +144,22 @@ class Issued(Event):
 
 
 @_event_dataclass
+class StoreForwarded(Event):
+    """A load's value came from an in-flight older store, not memory.
+
+    Published at issue when the indexed memory path finds a completed
+    older store to the same cell (``store.store_bits`` is what the load
+    receives).  The cross-checker's M6 rule verifies the pair against
+    the static alias classes.
+    """
+
+    load: "Uop"
+    store: "Uop"
+    address: int
+    ctx: "HardwareContext"
+
+
+@_event_dataclass
 class Completed(Event):
     """One instruction finished execution this cycle."""
 
@@ -201,6 +217,7 @@ ALL_EVENT_TYPES: Tuple[Type[Event], ...] = (
     Forked,
     Respawned,
     Issued,
+    StoreForwarded,
     Completed,
     BranchResolved,
     PrimarySwapped,

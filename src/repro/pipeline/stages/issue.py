@@ -26,7 +26,7 @@ _store_bits = semantics.store_bits
 _branch_outcome = semantics.branch_outcome
 _compute_value = semantics.compute_value
 from ..context import HardwareContext
-from ..events import Issued
+from ..events import Issued, StoreForwarded
 from ..uop import Uop, UopState
 from .state import Stage
 
@@ -155,4 +155,8 @@ class IssueStage(Stage):
             self.state.store_fwd_misses += 1
             return None
         self.state.store_fwd_hits += 1
+        if StoreForwarded in self.bus_active:
+            self.bus.publish(
+                StoreForwarded(self.state.cycle, load, best, addr, ctx)
+            )
         return best.store_bits

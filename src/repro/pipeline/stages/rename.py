@@ -462,6 +462,8 @@ class RenameStage(Stage):
         self.stats.renamed += 1
         self.stats.renamed_recycled += 1
         self.stats.renamed_reused += 1
+        if instr.info.is_load:
+            self.stats.renamed_reused_loads += 1
         if bus.wants(Renamed):
             bus.publish(Renamed(self.state.cycle, uop))
         if consistent is not None:

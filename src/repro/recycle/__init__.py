@@ -1,11 +1,12 @@
 """Instruction recycling and reuse: merge streams, the written-bit
 array, and the Memory Disambiguation Buffer."""
 
-from .mdb import MemoryDisambiguationBuffer
+from .mdb import MdbProbe, MemoryDisambiguationBuffer
 from .stream import RecycleStream, StreamKind, TraceEntry
 from .written_bits import WrittenBitArray
 
 __all__ = [
+    "MdbProbe",
     "MemoryDisambiguationBuffer",
     "RecycleStream",
     "StreamKind",

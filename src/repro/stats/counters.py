@@ -22,6 +22,8 @@ class SimStats:
     renamed: int = 0
     renamed_recycled: int = 0
     renamed_reused: int = 0
+    #: reused instructions that were loads (the MDB-gated subset)
+    renamed_reused_loads: int = 0
     fetched: int = 0
     committed: int = 0
     squashed: int = 0

@@ -24,6 +24,7 @@ def stats_to_dict(stats: SimStats) -> Dict:
         "recycled": {
             "renamed_recycled": stats.renamed_recycled,
             "renamed_reused": stats.renamed_reused,
+            "renamed_reused_loads": stats.renamed_reused_loads,
             "pct_recycled": stats.pct_recycled,
             "pct_reused": stats.pct_reused,
             "merges": stats.merges,

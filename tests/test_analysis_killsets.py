@@ -1,0 +1,172 @@
+"""Edge-case and property tests for analysis/killsets.py.
+
+The cases the original tests skirted: indirect branches (flow
+successors fan out to every labelled block), a block that loops back to
+itself, and a reuse window whose trace ends in a store.  The hypothesis
+property pins the fact every ceiling argument leans on: the reusable
+count is monotone non-increasing as the kill set grows.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import ProgramAnalysis, count_reusable, reuse_bound
+from repro.analysis.cfg import CFG
+from repro.analysis.killsets import arm_may_defs, must_def_masks
+from repro.isa.assembler import assemble
+from repro.workloads.suite import WorkloadSuite
+
+INDIRECT = """
+main:   movi r1, 1
+        beq  r2, other
+        movi r11, dispatch1
+        jmp  (r11)
+other:  movi r11, dispatch2
+        jmp  (r11)
+dispatch1: addi r3, r3, 1
+        br   join
+dispatch2: addi r4, r4, 1
+join:   addi r5, r1, 0
+        halt
+"""
+
+SELF_LOOP = """
+main:   movi r1, 8
+        beq  r2, skip
+loop:   subi r1, r1, 1
+        bgt  r1, loop
+skip:   addi r3, r1, 0
+        addi r4, r5, 0
+        halt
+"""
+
+STORE_TAIL = """
+main:   movi r1, 4096
+        beq  r2, skip
+        addi r3, r3, 1
+skip:   addi r4, r4, 1
+        st   r4, 0(r1)
+        halt
+"""
+
+
+class TestIndirectBranches:
+    def test_must_defs_survive_indirect_fanout(self):
+        pa = ProgramAnalysis(assemble(INDIRECT, name="ind"), name="ind")
+        fork_pc = min(pc for pc, s in pa.sites.items() if s.is_conditional)
+        masks = pa.must_defs_from(fork_pc)
+        assert masks, "analysis must reach past the indirect jumps"
+        # r11 is written on both arms before the jmp: must-defined at join
+        join_idx = next(
+            i for i, ins in enumerate(pa.program.instructions)
+            if ins.dst == 5
+        )
+        in_mask = masks.get(pa.cfg.pc_of(join_idx))
+        assert in_mask is not None and (in_mask >> 11) & 1
+
+    def test_fixpoint_terminates_with_indirect(self):
+        program = assemble(INDIRECT, name="ind")
+        cfg = CFG(program)
+        masks = must_def_masks(program, cfg.flow_successors(), [2, 4])
+        assert all(0 <= m < (1 << 64) for m in masks.values())
+
+
+class TestSelfLoop:
+    def test_arm_may_defs_handles_self_loop_block(self):
+        program = assemble(SELF_LOOP, name="sl")
+        cfg = CFG(program)
+        loop_idx = cfg.index_of(cfg.pc_of(2))
+        skip_idx = next(
+            i for i, ins in enumerate(program.instructions)
+            if ins.dst == 3
+        )
+        kills = arm_may_defs(cfg, loop_idx, cfg.block_of[skip_idx])
+        assert (kills >> 1) & 1  # the loop writes r1
+
+    def test_reuse_bound_converges_across_self_loop(self):
+        program = assemble(SELF_LOOP, name="sl")
+        cfg = CFG(program)
+        pa = ProgramAnalysis(program, name="sl")
+        fork_pc = min(pc for pc, s in pa.sites.items() if s.is_conditional)
+        recon = pa.reconvergence_pc(fork_pc)
+        assert recon is not None
+        bound = reuse_bound(
+            cfg, cfg.index_of(fork_pc), cfg.index_of(recon), window=8
+        )
+        # r3 := r1 reads the loop-written register: not reusable after
+        # the loop arm ran; r4 := r5 dodges it entirely.
+        assert bound.reusable_after_fall >= 1
+        assert 1 in bound.fall_kills
+
+
+class TestStoreTail:
+    def test_trailing_store_never_counts_as_reusable(self):
+        program = assemble(STORE_TAIL, name="tail")
+        cfg = CFG(program)
+        pa = ProgramAnalysis(program, name="tail")
+        fork_pc = min(pc for pc, s in pa.sites.items() if s.is_conditional)
+        recon = pa.reconvergence_pc(fork_pc)
+        recon_idx = cfg.index_of(recon)
+        # with an empty kill set every eligible instruction counts; the
+        # store and halt in the window must still be excluded
+        n = count_reusable(cfg, recon_idx, 0, window=16)
+        eligible = sum(
+            1 for ins in program.instructions[recon_idx:]
+            if ins.dst is not None and not ins.is_store and not ins.is_branch
+        )
+        assert n == eligible
+
+    def test_memdep_must_stores_with_store_last(self):
+        from repro.analysis.memdep import MemoryDependenceAnalysis
+
+        program = assemble(STORE_TAIL, name="tail")
+        md = MemoryDependenceAnalysis(program, name="tail")
+        pa = ProgramAnalysis(program, name="tail")
+        fork_pc = min(pc for pc, s in pa.sites.items() if s.is_conditional)
+        halt_pc = md.cfg.pc_of(len(program.instructions) - 1)
+        assert md.stores[0].pc in {
+            a.pc for a in md.must_stores_between(fork_pc, halt_pc)
+        }
+
+
+class TestMonotonicity:
+    """Growing the kill set can only shrink the reusable count."""
+
+    @given(st.integers(0, (1 << 64) - 1), st.integers(0, (1 << 64) - 1))
+    @settings(max_examples=60)
+    def test_count_reusable_monotone_on_diamond(self, k1, k2):
+        program = assemble(SELF_LOOP, name="sl")
+        cfg = CFG(program)
+        pa = ProgramAnalysis(program, name="sl")
+        fork_pc = min(pc for pc, s in pa.sites.items() if s.is_conditional)
+        recon_idx = cfg.index_of(pa.reconvergence_pc(fork_pc))
+        assert count_reusable(cfg, recon_idx, k1) >= count_reusable(
+            cfg, recon_idx, k1 | k2
+        )
+
+    @given(st.integers(0, (1 << 64) - 1))
+    @settings(max_examples=30)
+    def test_count_reusable_monotone_on_kernel(self, extra):
+        suite = WorkloadSuite()
+        pa = ProgramAnalysis(suite.program("compress"), name="compress")
+        cfg = pa.cfg
+        fork_pc = min(pc for pc, s in pa.sites.items() if s.is_conditional)
+        recon_idx = cfg.index_of(pa.reconvergence_pc(fork_pc))
+        base = count_reusable(cfg, recon_idx, 0)
+        assert count_reusable(cfg, recon_idx, extra) <= base
+
+    def test_empty_kill_set_is_the_ceiling(self):
+        suite = WorkloadSuite()
+        for name in ("compress", "li"):
+            pa = ProgramAnalysis(suite.program(name), name=name)
+            for pc, site in pa.sites.items():
+                if not site.is_conditional:
+                    continue
+                recon = pa.reconvergence_pc(pc)
+                if recon is None:
+                    continue
+                recon_idx = pa.cfg.index_of(recon)
+                ceiling = count_reusable(pa.cfg, recon_idx, 0)
+                bound = reuse_bound(
+                    pa.cfg, pa.cfg.index_of(pc), recon_idx
+                )
+                assert bound.best <= ceiling

@@ -78,10 +78,21 @@ class TestMain:
         fresh = write(tmp_path, "fresh.json", payload(cycles_per_second=1000.0))
         assert bench_compare.main(["--baseline", base, "--fresh", fresh]) == 1
 
-    def test_cli_unreadable_baseline(self, tmp_path):
+    def test_cli_missing_baseline_exits_3(self, tmp_path):
+        # A missing payload is "nothing to compare", not a crash: exit 3
+        # so CI can distinguish it from a regression (1) or mismatch (2).
+        fresh = write(tmp_path, "fresh.json", payload())
+        code = bench_compare.main(
+            ["--baseline", str(tmp_path / "nope.json"), "--fresh", fresh]
+        )
+        assert code == 3
+
+    def test_cli_corrupt_baseline_refuses(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
         fresh = write(tmp_path, "fresh.json", payload())
         with pytest.raises(SystemExit):
-            bench_compare.main(["--baseline", str(tmp_path / "nope.json"), "--fresh", fresh])
+            bench_compare.main(["--baseline", str(bad), "--fresh", fresh])
 
     def test_cli_against_committed_baseline(self, tmp_path):
         """The committed BENCH_core.json is a valid baseline input."""

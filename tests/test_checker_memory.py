@@ -1,0 +1,271 @@
+"""Memory-side cross-checker rules (R2 / M6) and the MDB probe API.
+
+Follows the corrupted-event injection model of test_analysis.py: a core
+is loaded (not run), fake events are appended to the checker's recorded
+lists, and verify() must convict them.  Each rule is also proven
+*quiet* on a real instrumented run — zero violations on live traffic
+(the full eight-kernel sweep is the blocking CI job).
+"""
+
+import pytest
+
+from repro.analysis.checker import (
+    RULE_DOCS,
+    CrossChecker,
+    ReuseEvent,
+    StoreForwardEvent,
+    Violation,
+    check_spec,
+    fmt_pc,
+)
+from repro.analysis.program import ProgramAnalysis
+from repro.isa.assembler import assemble
+from repro.pipeline.core import Core
+from repro.recycle.mdb import MdbProbe, MemoryDisambiguationBuffer
+from repro.sim.runner import RunSpec
+from repro.workloads.suite import WorkloadSuite
+
+# Store on every fork→load path, provably the same cell as the load.
+MUST_DIRTY = """
+main:   movi r1, 4096
+        movi r2, 1
+        beq  r3, skip
+        addi r5, r5, 1
+skip:   st   r2, 0(r1)
+        ld   r4, 0(r1)
+        halt
+"""
+
+
+@pytest.fixture()
+def checker():
+    suite = WorkloadSuite()
+    spec = RunSpec(("compress",), features="REC/RS/RU", commit_target=200)
+    core = Core(spec.build_config())
+    chk = CrossChecker(core, memory=True)
+    core.load(suite.mix(spec.workload), commit_target=spec.commit_target)
+    return chk
+
+
+def _template(chk):
+    instance = chk.core.instances[0]
+    return instance, chk.analysis_for(instance.id)
+
+
+def _fork_pc(pa):
+    return min(pc for pc, s in pa.sites.items() if s.is_conditional)
+
+
+def _install_synthetic(chk, text):
+    """Swap the cached analysis for a synthetic program so verify()
+    replays injected events against hand-built static facts."""
+    instance = chk.core.instances[0]
+    pa = ProgramAnalysis(assemble(text, name="synthetic"), name="synthetic")
+    chk._analyses[instance.id] = pa
+    return instance, pa
+
+
+def _reuse_event(instance, pc, fork_pc, eff_addr):
+    return ReuseEvent(
+        cycle=0, instance_id=instance.id, instance_name=instance.name,
+        reuse_pc=pc, srcs=(), consistent=frozenset(), fork_pc=fork_pc,
+        dst_ctx=0, src_ctx=1, is_load=True, eff_addr=eff_addr,
+    )
+
+
+def _forward_event(instance, load_pc, store_pc, address):
+    return StoreForwardEvent(
+        cycle=0, instance_id=instance.id, instance_name=instance.name,
+        load_pc=load_pc, store_pc=store_pc, address=address, ctx=0,
+    )
+
+
+class TestR2Injection:
+    def test_reused_load_at_non_load_pc_is_caught(self, checker):
+        instance, pa = _template(checker)
+        fork_pc = _fork_pc(pa)
+        # reachable from the fork (so R1 doesn't trip first), not a load
+        non_load_pc = next(
+            pc for pc in sorted(pa.must_defs_from(fork_pc))
+            if pa.memdep.access_at(pc) is None
+        )
+        checker.reuse_events.append(
+            _reuse_event(instance, non_load_pc, fork_pc, 4096)
+        )
+        report = checker.verify()
+        assert any(v.rule == "R2" for v in report.violations)
+
+    def test_must_dirty_reuse_is_caught(self, checker):
+        instance, pa = _install_synthetic(checker, MUST_DIRTY)
+        load_pc = next(iter(pa.memdep.reusable_load_pcs()))
+        store_pc = pa.memdep.stores[0].pc
+        checker.reuse_events.append(
+            _reuse_event(instance, load_pc, _fork_pc(pa), 4096)
+        )
+        report = checker.verify()
+        r2 = [v for v in report.violations if v.rule == "R2"]
+        assert r2 and fmt_pc(store_pc) in r2[0].detail
+
+    def test_address_outside_static_set_is_caught(self, checker):
+        instance, pa = _template(checker)
+        md = pa.memdep
+        load = next(a for a in md.loads if a.known)
+        bogus = 0xDEAD000  # provably outside compress's data segment
+        assert not load.addr.contains_address(bogus)
+        checker.reuse_events.append(
+            _reuse_event(instance, load.pc, _fork_pc(pa), bogus)
+        )
+        report = checker.verify()
+        assert any(
+            v.rule == "R2" and "outside the static address set" in v.detail
+            for v in report.violations
+        )
+
+    def test_memory_off_never_runs_r2(self):
+        suite = WorkloadSuite()
+        spec = RunSpec(("compress",), features="REC/RS/RU", commit_target=200)
+        core = Core(spec.build_config())
+        chk = CrossChecker(core)  # memory defaults to False
+        core.load(suite.mix(spec.workload), commit_target=spec.commit_target)
+        instance, pa = _template(chk)
+        fork_pc = _fork_pc(pa)
+        non_load_pc = next(
+            pc for pc in sorted(pa.must_defs_from(fork_pc))
+            if pa.memdep.access_at(pc) is None
+        )
+        chk.reuse_events.append(
+            _reuse_event(instance, non_load_pc, fork_pc, 4096)
+        )
+        report = chk.verify()
+        assert not any(v.rule == "R2" for v in report.violations)
+
+
+class TestM6Injection:
+    def test_forward_between_disjoint_accesses_is_caught(self, checker):
+        instance, pa = _template(checker)
+        md = pa.memdep
+        # compress's load/store pair is provably disjoint (NO alias)
+        load, store = md.loads[0], md.stores[0]
+        checker.forward_events.append(
+            _forward_event(instance, load.pc, store.pc, 4096)
+        )
+        report = checker.verify()
+        assert any(
+            v.rule == "M6" and "disjoint" in v.detail
+            for v in report.violations
+        )
+
+    def test_forward_into_non_load_pc_is_caught(self, checker):
+        instance, pa = _template(checker)
+        store_pc = pa.memdep.stores[0].pc
+        checker.forward_events.append(
+            _forward_event(instance, store_pc, store_pc, 4096)
+        )
+        report = checker.verify()
+        assert any(
+            v.rule == "M6" and "not a static load site" in v.detail
+            for v in report.violations
+        )
+
+    def test_forward_address_outside_static_sets_is_caught(self, checker):
+        instance, pa = _install_synthetic(checker, MUST_DIRTY)
+        md = pa.memdep
+        load, store = md.loads[0], md.stores[0]
+        checker.forward_events.append(
+            _forward_event(instance, load.pc, store.pc, 0xDEAD000)
+        )
+        report = checker.verify()
+        assert any(
+            v.rule == "M6" and "outside the" in v.detail
+            for v in report.violations
+        )
+
+
+class TestLiveRunsAreClean:
+    @pytest.mark.parametrize("kernel", ["compress", "li"])
+    def test_memory_rules_quiet_on_real_traffic(self, kernel):
+        spec = RunSpec((kernel,), features="REC/RS/RU", commit_target=800)
+        result, report = check_spec(spec, memory=True)
+        assert report.ok, [str(v) for v in report.violations]
+        if kernel == "li":
+            # li actually exercises M6: forwarding hits are checked
+            assert report.forwards_checked > 0
+
+    def test_report_dict_includes_memory_counters(self):
+        spec = RunSpec(("li",), features="REC/RS/RU", commit_target=800)
+        _, report = check_spec(spec, memory=True)
+        d = report.to_dict()
+        for key in ("reuse_loads_checked", "reuse_loads_unknown_address",
+                    "forwards_checked", "forwards_unknown"):
+            assert key in d
+
+
+class TestViolationFormatting:
+    def test_message_is_hex_and_carries_rule_doc(self):
+        v = Violation("R2", "li", 0x1018, "something broke")
+        text = str(v)
+        assert "pc=0x1018" in text
+        assert RULE_DOCS["R2"] in text
+
+    def test_fmt_pc_handles_unknown(self):
+        assert fmt_pc(None) == "?"
+        assert fmt_pc(0x40) == "0x40"
+
+    def test_every_rule_has_a_doc_line(self):
+        for rule in ("M1", "M2", "M3", "M4", "M5", "M6", "R1", "R2"):
+            assert rule in RULE_DOCS and RULE_DOCS[rule]
+
+
+class TestMdbProbe:
+    def test_hit(self):
+        mdb = MemoryDisambiguationBuffer(entries=4)
+        mdb.record_load(0x100, 4096, token=7)
+        assert mdb.probe(0x100, 4096, token=7) is MdbProbe.HIT
+        assert mdb.can_reuse(0x100, 4096, token=7)
+
+    def test_store_conflict_reason(self):
+        mdb = MemoryDisambiguationBuffer(entries=4)
+        mdb.record_load(0x100, 4096, token=7)
+        mdb.record_store(4096)
+        assert mdb.probe(0x100, 4096, token=7) is MdbProbe.STORE_CONFLICT
+        assert mdb.miss_reasons["store-conflict"] == 1
+
+    def test_eviction_reason(self):
+        mdb = MemoryDisambiguationBuffer(entries=1)
+        mdb.record_load(0x100, 4096, token=1)
+        mdb.record_load(0x108, 8192, token=2)  # evicts 0x100 (FIFO)
+        assert mdb.probe(0x100, 4096, token=1) is MdbProbe.EVICTED
+
+    def test_stale_reason(self):
+        mdb = MemoryDisambiguationBuffer(entries=4)
+        mdb.record_load(0x100, 4096, token=1)
+        mdb.record_load(0x100, 4096, token=2)  # re-execution, new token
+        assert mdb.probe(0x100, 4096, token=1) is MdbProbe.STALE
+
+    def test_absent_reason(self):
+        mdb = MemoryDisambiguationBuffer(entries=4)
+        assert mdb.probe(0x100, 4096) is MdbProbe.ABSENT
+
+    def test_reinsert_clears_gone_reason(self):
+        mdb = MemoryDisambiguationBuffer(entries=4)
+        mdb.record_load(0x100, 4096, token=1)
+        mdb.record_store(4096)
+        mdb.record_load(0x100, 4096, token=2)
+        assert mdb.probe(0x100, 4096, token=2) is MdbProbe.HIT
+
+    def test_counters_track_probe_outcomes(self):
+        mdb = MemoryDisambiguationBuffer(entries=4)
+        mdb.record_load(0x100, 4096, token=1)
+        mdb.can_reuse(0x100, 4096, token=1)  # hit
+        mdb.can_reuse(0x100, 9999, token=1)  # stale (address mismatch)
+        mdb.can_reuse(0x200, 4096)  # absent
+        assert mdb.reuse_hits == 1 and mdb.reuse_misses == 2
+        assert mdb.miss_reasons["stale"] == 1
+        assert mdb.miss_reasons["absent"] == 1
+
+    def test_clear_resets_reason_tracking(self):
+        mdb = MemoryDisambiguationBuffer(entries=4)
+        mdb.record_load(0x100, 4096, token=1)
+        mdb.record_store(4096)
+        mdb.clear()
+        assert mdb.probe(0x100, 4096, token=1) is MdbProbe.ABSENT

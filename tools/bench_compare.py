@@ -35,6 +35,8 @@ def load_payload(path: str) -> Dict:
     try:
         with open(path) as handle:
             return json.load(handle)
+    except FileNotFoundError:
+        raise
     except (OSError, json.JSONDecodeError) as exc:
         raise SystemExit(f"bench_compare: cannot read {path}: {exc}")
 
@@ -90,7 +92,19 @@ def main(argv=None) -> int:
         help="maximum tolerated cycles/sec regression as a fraction (default 0.15)",
     )
     args = parser.parse_args(argv)
-    return compare(load_payload(args.baseline), load_payload(args.fresh), args.threshold)
+    try:
+        baseline = load_payload(args.baseline)
+        fresh = load_payload(args.fresh)
+    except FileNotFoundError as exc:
+        # Exit 3 = "nothing to compare" — distinct from a regression (1)
+        # and a spec mismatch (2) so CI can treat it as skip-or-seed.
+        print(
+            f"bench_compare: no such payload {exc.filename}; "
+            f"generate it with 'repro-sim profile'",
+            file=sys.stderr,
+        )
+        return 3
+    return compare(baseline, fresh, args.threshold)
 
 
 if __name__ == "__main__":

@@ -45,6 +45,7 @@ def snapshot_one(suite: WorkloadSuite, kernel: str, features: str) -> dict:
         "renamed": stats.renamed,
         "renamed_recycled": stats.renamed_recycled,
         "renamed_reused": stats.renamed_reused,
+        "renamed_reused_loads": stats.renamed_reused_loads,
         "squashed": stats.squashed,
         "ipc": stats.ipc,
         "pct_recycled": stats.pct_recycled,

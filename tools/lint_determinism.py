@@ -1,316 +1,57 @@
 #!/usr/bin/env python3
-"""AST-based determinism lint for the simulator's hot core.
+"""Determinism lint — thin shim over ``repro.analysis.lint``.
 
-Simulation results must be bit-identical across runs, Python versions
-and processes — the result cache, the resume journal and every
-regression test depend on it.  This lint statically bans the three
-classic ways nondeterminism sneaks in:
+The actual rules (DET001–DET005) and engine live in
+``src/repro/analysis/lint``; this entry point preserves the historical
+CLI contract that CI and the test-suite pin:
 
-``DET001`` wall-clock reads
-    ``time.time`` / ``time.time_ns`` / ``time.perf_counter`` /
-    ``time.monotonic`` / ``datetime.now`` / ``datetime.utcnow``.
+* ``python tools/lint_determinism.py`` lints the default determinism
+  profile (hot-core targets with the full rule set minus DET004, plus a
+  whole-package DET004 sweep), triaged against the committed baseline
+  in ``tools/lint_baseline.json``;
+* ``python tools/lint_determinism.py PATH...`` lints specific
+  files/dirs with every rule;
+* output is one ``path:line: CODE message`` line per violation;
+* exit status 1 on violations, 2 on missing paths, 0 otherwise.
 
-``DET002`` unseeded randomness
-    any call through the module-global ``random.*`` API, and
-    ``random.Random()`` without an explicit seed argument.
-
-``DET003`` order-dependent iteration
-    ``for`` loops and comprehensions iterating directly over a set
-    literal/constructor/comprehension or over ``.keys()`` /
-    ``.values()`` / ``.items()`` — including through a ``list()`` /
-    ``tuple()`` wrapper — unless wrapped in ``sorted()``.  Dict
-    iteration order is insertion order, which is deterministic *per
-    process* but fragile under refactoring; the core must not depend
-    on it.
-
-``DET004`` monkey-patching the core
-    ``setattr(core, ...)`` / ``setattr(self.core, ...)`` and direct
-    assignments to private attributes of a core or stage object
-    (``core._execute = f``, ``self.core.rename._x = f``).  Observers
-    must subscribe to the typed event bus
-    (``repro.pipeline.events.EventBus``) instead of wrapping methods —
-    method-wrapping breaks silently on rename and made instrumentation
-    part of the simulated semantics.  Checked across ``src/repro``
-    (tests may still patch delegators for fault injection).
-
-A line may be exempted with an inline justification comment::
-
-    stale = [k for k, v in table.items() if ...]  # det-ok: order-independent
-
-Every suppression must carry a reason after ``det-ok:``.
-
-Usage::
-
-    python tools/lint_determinism.py            # lint the default targets
-    python tools/lint_determinism.py PATH...    # lint specific files/dirs
-
-Exit status is 1 if any violation is found, 0 otherwise.
+``repro-sim lint`` is the full front end (rule selection, JSON/SARIF
+output, parallel analysis, baseline updates).
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
-from typing import Iterable, List, NamedTuple
+from typing import List
 
-#: Directories/files whose determinism the simulator's results rest on.
-DEFAULT_TARGETS = (
-    "src/repro/pipeline",
-    "src/repro/recycle",
-    "src/repro/exec/cache.py",
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis.lint import (  # noqa: E402
+    DEFAULT_BASELINE_PATH,
+    DETERMINISM_PROFILE,
+    Baseline,
+    LintTarget,
+    render_text,
+    run_lint,
 )
-
-#: DET004 sweeps the whole package: observers anywhere in src/ must go
-#: through the event bus, not just code in the hot-core directories.
-DET004_TARGETS = ("src/repro",)
-
-ALL_RULES = frozenset({"DET001", "DET002", "DET003", "DET004"})
-
-_WALL_CLOCK = {
-    ("time", "time"),
-    ("time", "time_ns"),
-    ("time", "perf_counter"),
-    ("time", "perf_counter_ns"),
-    ("time", "monotonic"),
-    ("time", "monotonic_ns"),
-    ("datetime", "now"),
-    ("datetime", "utcnow"),
-}
-
-_DICT_VIEWS = {"keys", "values", "items"}
-
-
-class Violation(NamedTuple):
-    path: Path
-    line: int
-    code: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}: {self.code} {self.message}"
-
-
-def _suppressed_lines(source: str) -> set:
-    """Line numbers carrying a ``# det-ok: <reason>`` justification."""
-    out = set()
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        if "det-ok:" in text and text.split("det-ok:", 1)[1].strip():
-            out.add(lineno)
-    return out
-
-
-def _dotted_call(node: ast.AST) -> tuple:
-    """``(base, attr)`` for a ``base.attr(...)`` call, else ``(None, None)``."""
-    if (
-        isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Attribute)
-        and isinstance(node.func.value, ast.Name)
-    ):
-        return node.func.value.id, node.func.attr
-    return None, None
-
-
-def _is_set_expr(node: ast.AST) -> bool:
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-        return node.func.id in ("set", "frozenset")
-    return False
-
-
-def _is_dict_view(node: ast.AST) -> bool:
-    return (
-        isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Attribute)
-        and node.func.attr in _DICT_VIEWS
-        and not node.args
-        and not node.keywords
-    )
-
-
-def _unwrap_sequencing(node: ast.AST) -> ast.AST:
-    """Strip ``list(...)``/``tuple(...)``/``reversed(...)`` wrappers —
-    they preserve the underlying order, so the hazard remains."""
-    while (
-        isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Name)
-        and node.func.id in ("list", "tuple", "reversed")
-        and len(node.args) == 1
-    ):
-        node = node.args[0]
-    return node
-
-
-def _is_core_ref(node: ast.AST) -> bool:
-    """True for expressions that reach a Core/stage object: a name
-    ``core``, an attribute ``<x>.core`` at any depth, or any attribute
-    chain hanging off one (``core.rename``, ``self.core.resolve``)."""
-    if isinstance(node, ast.Name):
-        return node.id == "core"
-    if isinstance(node, ast.Attribute):
-        return node.attr == "core" or _is_core_ref(node.value)
-    return False
-
-
-def _expr_text(node: ast.AST) -> str:
-    try:
-        return ast.unparse(node)  # py>=3.9
-    except Exception:  # pragma: no cover - unparse failure
-        return "<expr>"
-
-
-class _Checker(ast.NodeVisitor):
-    def __init__(self, path: Path, suppressed: set, rules: frozenset = ALL_RULES):
-        self.path = path
-        self.suppressed = suppressed
-        self.rules = rules
-        self.violations: List[Violation] = []
-
-    def _flag(self, node: ast.AST, code: str, message: str) -> None:
-        if code not in self.rules:
-            return
-        lineno = getattr(node, "lineno", 0)
-        if lineno in self.suppressed:
-            return
-        self.violations.append(Violation(self.path, lineno, code, message))
-
-    # -- DET001 / DET002 / DET004: calls -------------------------------
-    def visit_Call(self, node: ast.Call) -> None:
-        if (
-            isinstance(node.func, ast.Name)
-            and node.func.id == "setattr"
-            and node.args
-            and _is_core_ref(node.args[0])
-        ):
-            self._flag(
-                node, "DET004",
-                f"setattr({_expr_text(node.args[0])}, ...) monkey-patches "
-                f"the core; subscribe to the event bus instead",
-            )
-        base, attr = _dotted_call(node)
-        if (base, attr) in _WALL_CLOCK:
-            self._flag(node, "DET001", f"wall-clock read {base}.{attr}()")
-        elif base == "random":
-            if attr == "Random":
-                if not node.args and not node.keywords:
-                    self._flag(
-                        node, "DET002",
-                        "random.Random() without an explicit seed",
-                    )
-            else:
-                self._flag(
-                    node, "DET002",
-                    f"module-global random.{attr}() (use a seeded "
-                    f"random.Random instance)",
-                )
-        self.generic_visit(node)
-
-    # -- DET003: iteration order ---------------------------------------
-    def _check_iter(self, node: ast.AST, context: str) -> None:
-        inner = _unwrap_sequencing(node)
-        if _is_set_expr(inner):
-            self._flag(
-                node, "DET003",
-                f"{context} iterates over a set (order is salted per "
-                f"process); sort or use an ordered container",
-            )
-        elif _is_dict_view(inner):
-            attr = inner.func.attr  # type: ignore
-            self._flag(
-                node, "DET003",
-                f"{context} iterates over .{attr}() directly; wrap in "
-                f"sorted(...) or justify with '# det-ok: <reason>'",
-            )
-
-    def visit_For(self, node: ast.For) -> None:
-        self._check_iter(node.iter, "for loop")
-        self.generic_visit(node)
-
-    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
-        self._check_iter(node.iter, "async for loop")
-        self.generic_visit(node)
-
-    def _visit_comprehension(self, node) -> None:
-        for gen in node.generators:
-            self._check_iter(gen.iter, "comprehension")
-        self.generic_visit(node)
-
-    visit_ListComp = _visit_comprehension
-    visit_SetComp = _visit_comprehension
-    visit_DictComp = _visit_comprehension
-    visit_GeneratorExp = _visit_comprehension
-
-    # -- DET004: private-attribute writes on the core ------------------
-    def _check_core_write(self, target: ast.AST) -> None:
-        if (
-            isinstance(target, ast.Attribute)
-            and target.attr.startswith("_")
-            and _is_core_ref(target.value)
-        ):
-            self._flag(
-                target, "DET004",
-                f"assignment to {_expr_text(target)} replaces a private "
-                f"core/stage member; subscribe to the event bus instead",
-            )
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        for target in node.targets:
-            self._check_core_write(target)
-        self.generic_visit(node)
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        self._check_core_write(node.target)
-        self.generic_visit(node)
-
-
-def lint_file(path: Path, rules: frozenset = ALL_RULES) -> List[Violation]:
-    source = path.read_text()
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [Violation(path, exc.lineno or 0, "DET000", f"syntax error: {exc.msg}")]
-    checker = _Checker(path, _suppressed_lines(source), rules)
-    checker.visit(tree)
-    return checker.violations
-
-
-def lint_paths(paths: Iterable[str], rules: frozenset = ALL_RULES) -> List[Violation]:
-    violations: List[Violation] = []
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            files = sorted(path.rglob("*.py"))
-        elif path.suffix == ".py":
-            files = [path]
-        else:
-            continue
-        for file in files:
-            violations.extend(lint_file(file, rules))
-    return sorted(violations, key=lambda v: (str(v.path), v.line))
 
 
 def main(argv: List[str]) -> int:
-    targets = argv or list(DEFAULT_TARGETS) + [
-        t for t in DET004_TARGETS if Path(t).exists()
-    ]
-    missing = [t for t in targets if not Path(t).exists()]
-    if missing:
-        print(f"lint_determinism: no such path(s): {missing}", file=sys.stderr)
-        return 2
     if argv:
-        violations = lint_paths(argv)
+        targets = [LintTarget(paths=tuple(argv))]
     else:
-        # The hot-core targets get the full rule set; the wider package
-        # sweep applies only the monkey-patching ban (observers outside
-        # the core may legitimately read the wall clock, etc.).
-        violations = lint_paths(DEFAULT_TARGETS, ALL_RULES - {"DET004"})
-        violations += lint_paths(DET004_TARGETS, frozenset({"DET004"}))
-        violations = sorted(violations, key=lambda v: (str(v.path), v.line))
-    for violation in violations:
-        print(violation.render())
-    if violations:
-        print(f"{len(violations)} determinism violation(s)", file=sys.stderr)
+        targets = list(DETERMINISM_PROFILE)
+    baseline = Baseline.load(REPO / DEFAULT_BASELINE_PATH)
+    try:
+        result = run_lint(targets, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"lint_determinism: {exc}", file=sys.stderr)
+        return 2
+    for line in render_text(result):
+        print(line)
+    if not result.ok:
+        print(f"{len(result.blocking)} determinism violation(s)", file=sys.stderr)
         return 1
     return 0
 
