@@ -59,6 +59,7 @@ DEFAULT_TARGETS = (
     "src/repro/pipeline",
     "src/repro/recycle",
     "src/repro/exec/cache.py",
+    "src/repro/service",
 )
 
 #: DET004 sweeps the whole package: observers anywhere in src/ must go

@@ -8,6 +8,11 @@ Examples::
     repro-sim experiment fig3 --commit-target 2000
     repro-sim experiment table1 --jobs 4 --cache-dir .repro-cache
     repro-sim campaign paper --jobs 8
+    repro-sim serve --store .repro-service --port 8752
+    repro-sim serve --worker http://head:8752
+    repro-sim submit --workload compress go --grid active_list_size=32,64
+    repro-sim status c000001 --follow
+    repro-sim fetch c000001
     repro-sim analyze --workload compress --check
     repro-sim profile --workload compress -o BENCH_core.json
     repro-sim asm path/to/program.s --run
@@ -27,7 +32,7 @@ from .exec import ExecutionError, Executor, ProgressReporter, format_line
 from .isa.assembler import assemble
 from .sim.experiments import CAMPAIGNS, EXPERIMENTS, MACHINES, POLICIES, VARIANTS
 from .sim.runner import RunSpec, run_spec
-from .stats import stats_to_dict
+from .stats import run_result_to_dict
 from .workloads.suite import WorkloadSuite
 
 #: Experiments that take a ``num_mixes`` argument.
@@ -102,21 +107,9 @@ def _cmd_run(args) -> int:
         result, cached = outcome.result, outcome.cached
     elapsed = time.time() - started
     if args.json:
-        payload = {
-            "spec": {
-                "workload": list(spec.workload),
-                "machine": spec.machine,
-                "features": spec.features,
-                "policy": spec.policy,
-                "commit_target": spec.commit_target,
-                "max_cycles": spec.max_cycles,
-                "confidence_threshold": spec.confidence_threshold,
-            },
-            "stats": stats_to_dict(result.stats),
-            "per_program_ipc": result.per_program_ipc,
-            "wall_seconds": elapsed,
-            "cached": cached,
-        }
+        payload = run_result_to_dict(result)
+        payload["wall_seconds"] = elapsed
+        payload["cached"] = cached
         print(json.dumps(payload, indent=2))
         return 0
     print(result.summary_line() + ("  [cached]" if cached else ""))
@@ -165,6 +158,12 @@ def _cmd_campaign(args) -> int:
             return 2
     line = _ProgressLine()
     progress = ProgressReporter(callback=line)
+    if args.journal:
+        # Clean startup: rewrite the resume journal down to live entries
+        # (repeated resumed campaigns otherwise grow it without bound).
+        from .exec import Journal
+
+        Journal(args.journal).compact()
     executor = Executor(
         jobs=args.jobs,
         cache=None if args.no_cache else args.cache_dir,
@@ -196,6 +195,175 @@ def _cmd_campaign(args) -> int:
         f"[campaign: {event.done} jobs{cache_note}, "
         f"{time.time() - started:.1f}s wall, jobs={executor.jobs}]"
     )
+    return 0
+
+
+#: Default head URL the client subcommands talk to.
+_DEFAULT_SERVER = "http://127.0.0.1:8752"
+
+
+def _cmd_serve(args) -> int:
+    """Run the campaign server — or, with ``--worker URL``, a remote
+    worker leasing job shards from that head."""
+    if args.worker:
+        from .service.worker import run_worker
+
+        worker_id = args.worker_id or f"{os.uname().nodename}-{os.getpid()}"
+        print(f"worker {worker_id} leasing from {args.worker}", file=sys.stderr)
+        executed = run_worker(
+            args.worker,
+            worker_id=worker_id,
+            lease_size=args.lease_size,
+            poll=args.poll,
+            max_idle=args.max_idle,
+        )
+        print(f"worker {worker_id} exiting after {executed} task(s)", file=sys.stderr)
+        return 0
+
+    from .service.server import CampaignServer
+
+    server = CampaignServer(
+        args.store,
+        host=args.host,
+        port=args.port,
+        local_workers=args.local_workers,
+        lease_ttl=args.lease_ttl,
+        max_attempts=args.max_attempts,
+        resume=not args.no_resume,
+        verbose=args.verbose,
+    )
+    print(
+        f"campaign server on {server.url} "
+        f"(store {args.store}, {server.pool.workers} local worker(s))",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _grid_from_args(pairs) -> dict:
+    """Parse repeated ``field=v1,v2,...`` flags into a sweep grid."""
+    def coerce(text: str):
+        for cast in (int, float):
+            try:
+                return cast(text)
+            except ValueError:
+                continue
+        if text in ("true", "false"):
+            return text == "true"
+        return text
+
+    grid = {}
+    for pair in pairs or []:
+        name, _, values = pair.partition("=")
+        if not values:
+            raise SystemExit(f"--grid wants field=v1,v2,...; got {pair!r}")
+        grid[name] = [coerce(v) for v in values.split(",")]
+    return grid
+
+
+def _follow_events(client, campaign_id: str) -> None:
+    from .exec.progress import ProgressEvent
+
+    for event in client.events(campaign_id):
+        if event.get("type") == "campaign":
+            print(f"campaign {campaign_id}: {event['state']} "
+                  f"in {event['wall_seconds']:.1f}s")
+        else:
+            fields = {f: event[f] for f in
+                      ("done", "total", "cache_hits", "failures", "elapsed", "eta", "label")}
+            print(format_line(ProgressEvent(**fields)))
+
+
+def _cmd_submit(args) -> int:
+    from .service.client import ServiceClient, ServiceError
+    from .service.spec import sweep_spec
+
+    if args.spec:
+        handle = sys.stdin if args.spec == "-" else open(args.spec)
+        with handle:
+            spec = json.load(handle)
+    else:
+        if not args.workload:
+            print("submit wants a spec file or --workload", file=sys.stderr)
+            return 2
+        spec = sweep_spec(
+            workloads=[[w] for w in args.workload],
+            grid=_grid_from_args(args.grid),
+            machine=args.machine,
+            features=args.features,
+            commit_target=args.commit_target,
+            max_cycles=args.max_cycles,
+            label=args.label,
+        )
+    client = ServiceClient(args.server)
+    try:
+        status = client.submit(spec)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(f"campaign {status['id']}: {len(status['jobs'])} job(s) "
+              f"[{status['state']}]")
+        for job in status["jobs"]:
+            print(f"  {job['id']}  {job['state']:<8s} {job['label']}")
+    if args.follow:
+        _follow_events(client, status["id"])
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    try:
+        if args.campaign is None:
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+            return 0
+        if args.follow:
+            _follow_events(client, args.campaign)
+        status = client.status(args.campaign)
+    except ServiceError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        progress = status["progress"]
+        print(f"campaign {status['id']} [{status['state']}] "
+              f"{progress['done']}/{progress['total']} jobs, "
+              f"wall {status['wall_seconds']:.1f}s")
+        for job in status["jobs"]:
+            note = f"  ({job['error']})" if job.get("error") else ""
+            print(f"  {job['id']}  {job['state']:<9s} {job['resolution']:<6s} "
+                  f"{job['label']}{note}")
+    return 1 if status["state"] == "failed" else 0
+
+
+def _cmd_fetch(args) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    try:
+        if "." in args.id:  # job ids are campaign-scoped: c000001.0003
+            documents = [client.result(args.id)]
+        else:
+            documents = client.fetch_results(args.id)
+    except ServiceError as exc:
+        print(f"fetch failed: {exc}", file=sys.stderr)
+        return 1
+    text = json.dumps(documents, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output} ({len(documents)} result(s))")
+    else:
+        print(text)
     return 0
 
 
@@ -545,6 +713,75 @@ def build_parser() -> argparse.ArgumentParser:
         cache_default=".repro-cache",
     )
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the campaign server (or a remote worker with --worker)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8752)
+    serve_parser.add_argument("--store", default=".repro-service", metavar="DIR",
+                              help="shared artifact-store root")
+    serve_parser.add_argument("--local-workers", type=int, default=None,
+                              help="head-local worker threads (default: CPU count; "
+                                   "0 = rely on remote workers)")
+    serve_parser.add_argument("--lease-ttl", type=float, default=60.0,
+                              help="seconds before an unacknowledged lease re-queues")
+    serve_parser.add_argument("--max-attempts", type=int, default=3,
+                              help="attempts per task before its jobs fail")
+    serve_parser.add_argument("--no-resume", action="store_true",
+                              help="do not re-admit unfinished campaigns on startup")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="log every HTTP request")
+    serve_parser.add_argument("--worker", default=None, metavar="URL",
+                              help="worker mode: lease job shards from this head")
+    serve_parser.add_argument("--worker-id", default=None,
+                              help="worker name reported to the head")
+    serve_parser.add_argument("--lease-size", type=int, default=1,
+                              help="tasks leased per request (worker mode)")
+    serve_parser.add_argument("--poll", type=float, default=0.5,
+                              help="idle poll interval in seconds (worker mode)")
+    serve_parser.add_argument("--max-idle", type=float, default=None,
+                              help="exit after this many idle seconds (worker mode)")
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a campaign spec to a running server"
+    )
+    submit_parser.add_argument("spec", nargs="?", default=None,
+                               help="campaign spec JSON file ('-' = stdin); "
+                                    "omit to build a sweep from flags")
+    submit_parser.add_argument("--server", default=_DEFAULT_SERVER, metavar="URL")
+    submit_parser.add_argument("--workload", nargs="+", default=None,
+                               help="kernel names (one single-program job each)")
+    submit_parser.add_argument("--grid", action="append", default=None,
+                               metavar="FIELD=V1,V2",
+                               help="sweep grid axis (repeatable)")
+    submit_parser.add_argument("--machine", default="big.2.16", choices=MACHINES)
+    submit_parser.add_argument("--features", default="REC/RS/RU", choices=VARIANTS)
+    submit_parser.add_argument("--commit-target", type=int, default=3000)
+    submit_parser.add_argument("--max-cycles", type=int, default=2_000_000)
+    submit_parser.add_argument("--label", default="")
+    submit_parser.add_argument("--follow", action="store_true",
+                               help="stream progress events until done")
+    submit_parser.add_argument("--json", action="store_true")
+
+    status_parser = sub.add_parser(
+        "status", help="campaign status (or server metrics with no id)"
+    )
+    status_parser.add_argument("campaign", nargs="?", default=None,
+                               help="campaign id; omit for server /metrics")
+    status_parser.add_argument("--server", default=_DEFAULT_SERVER, metavar="URL")
+    status_parser.add_argument("--follow", action="store_true",
+                               help="stream progress events until done")
+    status_parser.add_argument("--json", action="store_true")
+
+    fetch_parser = sub.add_parser(
+        "fetch", help="fetch result documents for a campaign or one job"
+    )
+    fetch_parser.add_argument("id", help="campaign id (c000001) or job id (c000001.0003)")
+    fetch_parser.add_argument("--server", default=_DEFAULT_SERVER, metavar="URL")
+    fetch_parser.add_argument("--output", "-o", default=None,
+                              help="write JSON here instead of stdout")
+
     analyze_parser = sub.add_parser(
         "analyze",
         help="static program analysis (CFG/reconvergence/reuse bounds), "
@@ -646,6 +883,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "campaign": _cmd_campaign,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "fetch": _cmd_fetch,
         "analyze": _cmd_analyze,
         "lint": _cmd_lint,
         "profile": _cmd_profile,

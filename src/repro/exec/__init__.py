@@ -17,7 +17,7 @@ Quick start::
     results = ex.map([RunSpec(("gcc",)), RunSpec(("go",))])
 """
 
-from .cache import CACHE_SCHEMA, Journal, ResultCache, cache_key, canonicalize
+from .cache import CACHE_SCHEMA, Journal, ResultCache, cache_key, canonicalize, write_atomic
 from .jobs import Chaos, Job, JobFailure, JobOutcome, run_job
 from .pool import ExecutionError, Executor
 from .progress import ProgressEvent, ProgressReporter, format_line
@@ -28,6 +28,7 @@ __all__ = [
     "ResultCache",
     "cache_key",
     "canonicalize",
+    "write_atomic",
     "Chaos",
     "Job",
     "JobFailure",

@@ -25,7 +25,10 @@ entry.
 The :class:`Journal` is an append-only JSONL file recording completed
 (key, payload) pairs; an interrupted campaign replays it on startup and
 resumes where it left off, independently of (and in addition to) the
-content-addressed store.
+content-addressed store.  Repeatedly resumed campaigns re-append every
+completion, so the file grows without bound — :meth:`Journal.compact`
+rewrites it down to live entries and is called on clean startups (the
+campaign CLI and the service's artifact store both do).
 """
 
 from __future__ import annotations
@@ -38,7 +41,7 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterable, Optional, Union
 
 from ..workloads.suite import WorkloadSuite
 from .jobs import Job, job_to_payload, spec_to_payload
@@ -73,6 +76,31 @@ def canonicalize(value):
     return repr(value)
 
 
+def write_atomic(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` so readers never observe a torn file.
+
+    tmp file in the same directory → flush → fsync → ``os.replace``.  The
+    fsync matters: without it a crash shortly after the rename can leave
+    a zero-length or truncated file at the *final* path on some
+    filesystems, which is exactly the "poisoned entry" failure mode the
+    cache must never produce.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def cache_key(job: Job, suite_fingerprint: str, sim_version: Optional[str] = None) -> str:
     """Stable content address for one job's result."""
     document = {
@@ -103,22 +131,49 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict]:
-        """The stored result payload for ``key``, or None."""
+        """The stored result payload for ``key``, or None.
+
+        A corrupt entry (truncated JSON from a disk-full write or a
+        pre-atomic-write simulator, wrong schema, missing payload) is
+        *deleted* on read, so a poisoned key heals itself: the next
+        :meth:`put` stores a fresh entry instead of the corpse sitting
+        in the store forever.
+        """
         path = self.path_for(key)
         try:
             with open(path) as handle:
                 entry = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
             self.misses += 1
             return None
-        if entry.get("schema") != CACHE_SCHEMA:
+        except ValueError:
             self.misses += 1
+            self._evict_corrupt(path)
+            return None
+        if entry.get("schema") != CACHE_SCHEMA or "payload" not in entry:
+            self.misses += 1
+            self._evict_corrupt(path)
             return None
         self.hits += 1
         return entry["payload"]
 
+    @staticmethod
+    def _evict_corrupt(path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - already gone / unwritable dir
+            pass
+
     def put(self, key: str, payload: Dict, job: Optional[Job] = None) -> Path:
-        """Atomically store ``payload`` under ``key``."""
+        """Atomically store ``payload`` under ``key``.
+
+        The entry is written to a temp file in the destination directory,
+        flushed *and fsynced*, then :func:`os.replace`d into place — a
+        process killed at any point leaves either the old entry or the new
+        one at ``path``, never a truncated hybrid, and concurrent writers
+        of the same key are safe (last replace wins with identical bytes:
+        keys are content addresses, so both writers carry the same data).
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -129,17 +184,7 @@ class ResultCache:
             "job": job_to_payload(job) if job is not None else None,
             "payload": payload,
         }
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(entry, handle)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        write_atomic(path, json.dumps(entry))
         return path
 
     def __len__(self) -> int:
@@ -180,3 +225,27 @@ class Journal:
         with open(self.path, "a") as handle:
             handle.write(json.dumps({"key": key, "payload": payload}) + "\n")
             handle.flush()
+
+    def compact(self, live_keys: Optional[Iterable[str]] = None) -> int:
+        """Rewrite the journal down to one line per live key.
+
+        Resumed campaigns re-append nothing, but *repeated* campaigns
+        (and the long-running service) append every completion forever;
+        duplicates and torn tails accumulate.  Compaction keeps the last
+        entry per key — restricted to ``live_keys`` when given — and
+        rewrites the file atomically.  Returns the number of surviving
+        entries.  Call this on *clean* startup only (never mid-campaign:
+        a concurrent appender's new lines would be lost).
+        """
+        done = self.load()
+        if live_keys is not None:
+            wanted = set(live_keys)
+            done = {key: payload for key, payload in sorted(done.items()) if key in wanted}
+        if not done and not self.path.exists():
+            return 0
+        lines = "".join(
+            json.dumps({"key": key, "payload": payload}) + "\n"
+            for key, payload in sorted(done.items())
+        )
+        write_atomic(self.path, lines)
+        return len(done)

@@ -12,6 +12,7 @@ cache hits are excluded so a warm campaign doesn't wildly overpromise.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -28,6 +29,11 @@ class ProgressEvent:
     elapsed: float
     eta: Optional[float]  # seconds remaining; None until one job executed
     label: str = ""  # label of the job that just finished
+
+    def to_payload(self) -> dict:
+        """Plain JSON-able dict — the wire format of the service's
+        ``GET /campaigns/{id}/events`` NDJSON stream."""
+        return dataclasses.asdict(self)
 
 
 def _fmt_seconds(seconds: float) -> str:

@@ -1,0 +1,538 @@
+"""The campaign scheduler: dedupe table, lease queue, campaign lifecycle.
+
+Every submitted job maps to a **task** keyed by its content-addressed
+cache key.  Tasks are the unit of execution and of deduplication:
+
+* a job whose key resolves from the :class:`~repro.service.store.ArtifactStore`
+  (journal replay or cache) completes instantly (``resolution="store"``);
+* a job whose key matches a task already queued/leased *attaches* to it
+  (``resolution="dedup"``) — two clients submitting overlapping sweep
+  grids simulate every grid point exactly once;
+* otherwise a new task enters the queue (``resolution="run"``).
+
+Tasks are handed out as **leases** (to local worker threads and to
+remote workers over HTTP) with a TTL; a lease that expires — worker
+crashed, host vanished — silently re-queues, so a shard is never lost.
+Completions are persisted to the store *before* scheduler state is
+updated: a server killed between the two resumes the job as a store hit
+instead of re-running it.
+
+Campaign records persist in the store on every state transition;
+:meth:`Scheduler.resume` re-admits non-terminal campaigns on startup,
+resolving already-journaled keys without re-execution — the
+kill-the-server-mid-campaign acceptance path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..exec.cache import cache_key
+from ..exec.jobs import Job, job_to_payload, suite_for_args
+from ..exec.progress import ProgressReporter
+from .spec import CampaignSpec, parse_campaign
+from .store import ArtifactStore
+
+#: Service-side wall clock (lease TTLs, campaign wall time, ETA). Never
+#: enters simulation state or cache keys.
+_monotonic = time.monotonic  # det-ok: service timing, not simulation state
+
+JOB_PENDING = "pending"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+
+CAMPAIGN_RUNNING = "running"
+CAMPAIGN_DONE = "done"
+CAMPAIGN_FAILED = "failed"
+CAMPAIGN_CANCELLED = "cancelled"
+TERMINAL_CAMPAIGN_STATES = (CAMPAIGN_DONE, CAMPAIGN_FAILED, CAMPAIGN_CANCELLED)
+
+
+@dataclass
+class JobRecord:
+    """One client-visible job (campaign-scoped id) bound to a task key."""
+
+    job_id: str
+    campaign_id: str
+    index: int
+    job: Job
+    key: str
+    state: str = JOB_PENDING
+    resolution: str = "run"  # "run" | "store" | "dedup"
+    error: Optional[str] = None
+
+
+@dataclass
+class Task:
+    """One unit of execution, unique per cache key across all campaigns."""
+
+    key: str
+    payload: Dict  # job wire payload (exec.jobs.job_to_payload)
+    suite_args: Tuple[int, bool]
+    label: str
+    state: str = "queued"  # queued | leased | done | failed
+    job_ids: List[str] = field(default_factory=list)
+    attempts: int = 0
+    worker: Optional[str] = None
+    lease_deadline: Optional[float] = None
+
+
+@dataclass
+class Campaign:
+    """Server-side record of one submitted campaign."""
+
+    campaign_id: str
+    spec: CampaignSpec
+    state: str = CAMPAIGN_RUNNING
+    job_ids: List[str] = field(default_factory=list)
+    started: float = 0.0
+    wall_seconds: Optional[float] = None
+    reporter: Optional[ProgressReporter] = None
+    events: List[Dict] = field(default_factory=list)
+
+
+class Scheduler:
+    """Thread-safe campaign/task state machine over an artifact store."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        lease_ttl: float = 60.0,
+        max_attempts: int = 3,
+        clock: Callable[[], float] = _monotonic,
+    ):
+        self.store = store
+        self.lease_ttl = lease_ttl
+        self.max_attempts = max(1, int(max_attempts))
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self.campaigns: Dict[str, Campaign] = {}
+        self.jobs: Dict[str, JobRecord] = {}
+        self.tasks: Dict[str, Task] = {}
+        self._queue: Deque[str] = deque()  # task keys awaiting a lease
+        self.counters: Dict[str, int] = {
+            "jobs_submitted": 0,
+            "jobs_done": 0,
+            "jobs_failed": 0,
+            "jobs_cancelled": 0,
+            "jobs_from_store": 0,
+            "jobs_deduped": 0,
+            "jobs_run": 0,
+            "tasks_executed": 0,
+            "task_attempts": 0,
+            "leases_granted": 0,
+            "leases_expired": 0,
+            "campaigns_submitted": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, payload: Dict, campaign_id: Optional[str] = None) -> Dict:
+        """Validate and admit one campaign; returns its status document.
+
+        Raises :class:`~repro.service.spec.SpecError` on a bad spec (the
+        server maps it to HTTP 400).
+        """
+        spec = parse_campaign(payload)
+        if campaign_id is None:
+            campaign_id = self.store.next_campaign_id()
+        suite = suite_for_args(*spec.suite_args)
+        fingerprint = suite.fingerprint()
+        keys = [
+            cache_key(job, fingerprint, self.store.sim_version) for job in spec.jobs
+        ]
+        resolved = [(key, self.store.lookup(key)) for key in keys]
+
+        with self._lock:
+            campaign = Campaign(
+                campaign_id=campaign_id,
+                spec=spec,
+                started=self._clock(),
+                reporter=ProgressReporter(clock=self._clock),
+            )
+            campaign.reporter.add_total(len(spec.jobs))
+            self.campaigns[campaign_id] = campaign
+            self.counters["campaigns_submitted"] += 1
+            finished: List[Tuple[JobRecord, Dict]] = []
+            for index, (job, (key, stored)) in enumerate(zip(spec.jobs, resolved)):
+                record = JobRecord(
+                    job_id=f"{campaign_id}.{index:04d}",
+                    campaign_id=campaign_id,
+                    index=index,
+                    job=job,
+                    key=key,
+                )
+                self.jobs[record.job_id] = record
+                campaign.job_ids.append(record.job_id)
+                self.counters["jobs_submitted"] += 1
+                task = self.tasks.get(key)
+                if stored is None and task is not None and task.state == "done":
+                    # The task finished between our (unlocked) store probe
+                    # and here — resolve from the store, don't re-queue.
+                    stored = self.store.lookup(key)
+                if stored is not None:
+                    record.resolution = "store"
+                    finished.append((record, stored))
+                    continue
+                if task is not None and task.state in ("queued", "leased"):
+                    record.resolution = "dedup"
+                    record.state = JOB_RUNNING if task.state == "leased" else JOB_PENDING
+                    task.job_ids.append(record.job_id)
+                    self.counters["jobs_deduped"] += 1
+                    continue
+                self.tasks[key] = Task(
+                    key=key,
+                    payload=job_to_payload(job),
+                    suite_args=spec.suite_args,
+                    label=job.label(),
+                    job_ids=[record.job_id],
+                )
+                self._queue.append(key)
+            for record, stored in finished:
+                self._finish_job(record, ok=True)
+            self._persist_campaign(campaign)
+            self._maybe_finish_campaign(campaign)
+            self._cv.notify_all()
+            return self._campaign_status_locked(campaign)
+
+    # ------------------------------------------------------------------
+    # Leasing (local worker threads and remote workers share this API)
+    # ------------------------------------------------------------------
+    def lease(self, max_tasks: int = 1, worker: str = "local") -> List[Dict]:
+        """Hand out up to ``max_tasks`` queued tasks as wire documents."""
+        now = self._clock()
+        with self._lock:
+            self._reap_expired_locked(now)
+            out = []
+            while self._queue and len(out) < max(1, max_tasks):
+                key = self._queue.popleft()
+                task = self.tasks.get(key)
+                if task is None or task.state != "queued":
+                    continue
+                task.state = "leased"
+                task.worker = worker
+                task.attempts += 1
+                task.lease_deadline = now + self.lease_ttl
+                self.counters["leases_granted"] += 1
+                self.counters["task_attempts"] += 1
+                for job_id in task.job_ids:
+                    record = self.jobs.get(job_id)
+                    if record is not None and record.state == JOB_PENDING:
+                        record.state = JOB_RUNNING
+                out.append(
+                    {
+                        "key": task.key,
+                        "payload": task.payload,
+                        "suite": list(task.suite_args),
+                        "label": task.label,
+                        "attempt": task.attempts,
+                    }
+                )
+            return out
+
+    def wait_for_work(self, timeout: float) -> bool:
+        """Block until the queue is (probably) non-empty; True if it is."""
+        with self._lock:
+            if self._queue:
+                return True
+            self._cv.wait(timeout=timeout)
+            return bool(self._queue)
+
+    def complete(self, key: str, payload: Dict, worker: str = "local",
+                 elapsed: float = 0.0) -> bool:
+        """A worker finished ``key``; persist, then settle attached jobs.
+
+        The store write happens *before* scheduler state changes: a crash
+        in between resumes as a store hit, never a re-run.  Returns False
+        for an unknown/stale key (e.g. a lease that expired and was
+        completed elsewhere first — the result is persisted regardless,
+        which is harmless: identical key, identical payload).
+        """
+        self.store.record(key, payload)
+        with self._lock:
+            task = self.tasks.get(key)
+            if task is None or task.state in ("done", "failed"):
+                return False
+            task.state = "done"
+            task.lease_deadline = None
+            self.counters["tasks_executed"] += 1
+            for job_id in task.job_ids:
+                record = self.jobs.get(job_id)
+                if record is None or record.state in (JOB_DONE, JOB_FAILED, JOB_CANCELLED):
+                    continue
+                self._finish_job(record, ok=True, elapsed=elapsed)
+            self._cv.notify_all()
+            return True
+
+    def fail(self, key: str, message: str, worker: str = "local") -> bool:
+        """A worker's attempt on ``key`` failed; retry or fail the jobs."""
+        with self._lock:
+            task = self.tasks.get(key)
+            if task is None or task.state in ("done", "failed"):
+                return False
+            if task.attempts < self.max_attempts:
+                task.state = "queued"
+                task.worker = None
+                task.lease_deadline = None
+                self._queue.append(key)
+                self._cv.notify_all()
+                return True
+            task.state = "failed"
+            task.lease_deadline = None
+            for job_id in task.job_ids:
+                record = self.jobs.get(job_id)
+                if record is None or record.state in (JOB_DONE, JOB_FAILED, JOB_CANCELLED):
+                    continue
+                record.error = message
+                self._finish_job(record, ok=False)
+            self._cv.notify_all()
+            return True
+
+    def _reap_expired_locked(self, now: float) -> None:
+        for key in sorted(self.tasks):
+            task = self.tasks[key]
+            if (
+                task.state == "leased"
+                and task.lease_deadline is not None
+                and now > task.lease_deadline
+            ):
+                task.state = "queued"
+                task.worker = None
+                task.lease_deadline = None
+                self.counters["leases_expired"] += 1
+                self._queue.append(key)
+
+    # ------------------------------------------------------------------
+    # Job / campaign settlement (callers hold the lock)
+    # ------------------------------------------------------------------
+    def _finish_job(self, record: JobRecord, ok: bool, elapsed: float = 0.0) -> None:
+        record.state = JOB_DONE if ok else JOB_FAILED
+        cached = record.resolution != "run"
+        if ok:
+            self.counters["jobs_done"] += 1
+            if record.resolution == "store":
+                self.counters["jobs_from_store"] += 1
+            elif record.resolution == "run":
+                self.counters["jobs_run"] += 1
+        else:
+            self.counters["jobs_failed"] += 1
+        campaign = self.campaigns.get(record.campaign_id)
+        if campaign is None:  # pragma: no cover - job outlived its campaign
+            return
+        event = campaign.reporter.record(
+            cached=cached, failed=not ok, elapsed=elapsed, label=record.job.label()
+        )
+        entry = event.to_payload()
+        entry.update({"type": "job", "job_id": record.job_id, "state": record.state,
+                      "resolution": record.resolution})
+        campaign.events.append(entry)
+        self._maybe_finish_campaign(campaign)
+
+    def _maybe_finish_campaign(self, campaign: Campaign) -> None:
+        if campaign.state != CAMPAIGN_RUNNING:
+            return
+        states = [self.jobs[job_id].state for job_id in campaign.job_ids]
+        if any(state in (JOB_PENDING, JOB_RUNNING) for state in states):
+            return
+        if any(state == JOB_FAILED for state in states):
+            campaign.state = CAMPAIGN_FAILED
+        elif any(state == JOB_CANCELLED for state in states):
+            campaign.state = CAMPAIGN_CANCELLED
+        else:
+            campaign.state = CAMPAIGN_DONE
+        campaign.wall_seconds = self._clock() - campaign.started
+        campaign.events.append(
+            {
+                "type": "campaign",
+                "campaign_id": campaign.campaign_id,
+                "state": campaign.state,
+                "wall_seconds": campaign.wall_seconds,
+            }
+        )
+        self._persist_campaign(campaign)
+
+    def _persist_campaign(self, campaign: Campaign) -> None:
+        self.store.save_campaign(
+            {
+                "id": campaign.campaign_id,
+                "label": campaign.spec.label,
+                "state": campaign.state,
+                "spec": campaign.spec.raw,
+                "wall_seconds": campaign.wall_seconds,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, campaign_id: str) -> bool:
+        with self._lock:
+            campaign = self.campaigns.get(campaign_id)
+            if campaign is None:
+                return False
+            if campaign.state in TERMINAL_CAMPAIGN_STATES:
+                return True
+            for job_id in campaign.job_ids:
+                record = self.jobs[job_id]
+                if record.state in (JOB_DONE, JOB_FAILED, JOB_CANCELLED):
+                    continue
+                record.state = JOB_CANCELLED
+                self.counters["jobs_cancelled"] += 1
+                task = self.tasks.get(record.key)
+                if task is not None and job_id in task.job_ids:
+                    task.job_ids.remove(job_id)
+                    # A queued task nobody wants any more is dropped; a
+                    # leased one finishes (its result is still cached for
+                    # the next campaign) but settles no jobs.
+                    if not task.job_ids and task.state == "queued":
+                        task.state = "failed"
+                        try:
+                            self._queue.remove(record.key)
+                        except ValueError:  # pragma: no cover - already popped
+                            pass
+            campaign.state = CAMPAIGN_CANCELLED
+            campaign.wall_seconds = self._clock() - campaign.started
+            campaign.events.append(
+                {
+                    "type": "campaign",
+                    "campaign_id": campaign_id,
+                    "state": campaign.state,
+                    "wall_seconds": campaign.wall_seconds,
+                }
+            )
+            self._persist_campaign(campaign)
+            self._cv.notify_all()
+            return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def campaign_status(self, campaign_id: str) -> Optional[Dict]:
+        with self._lock:
+            campaign = self.campaigns.get(campaign_id)
+            if campaign is None:
+                return None
+            return self._campaign_status_locked(campaign)
+
+    def _campaign_status_locked(self, campaign: Campaign) -> Dict:
+        jobs = []
+        state_counts: Dict[str, int] = {}
+        for job_id in campaign.job_ids:
+            record = self.jobs[job_id]
+            state_counts[record.state] = state_counts.get(record.state, 0) + 1
+            jobs.append(
+                {
+                    "id": record.job_id,
+                    "label": record.job.label(),
+                    "key": record.key,
+                    "state": record.state,
+                    "resolution": record.resolution,
+                    "error": record.error,
+                }
+            )
+        wall = campaign.wall_seconds
+        if wall is None:
+            wall = self._clock() - campaign.started
+        return {
+            "id": campaign.campaign_id,
+            "label": campaign.spec.label,
+            "state": campaign.state,
+            "wall_seconds": wall,
+            "job_states": state_counts,
+            "progress": campaign.reporter.event().to_payload(),
+            "jobs": jobs,
+        }
+
+    def job_result(self, job_id: str) -> Tuple[Optional[JobRecord], Optional[Dict]]:
+        """The record and (if done) stored result payload for one job."""
+        with self._lock:
+            record = self.jobs.get(job_id)
+        if record is None:
+            return None, None
+        if record.state != JOB_DONE:
+            return record, None
+        return record, self.store.lookup(record.key)
+
+    def events_since(self, campaign_id: str, index: int,
+                     timeout: float = 10.0) -> Tuple[List[Dict], int, bool]:
+        """Events after ``index``; blocks up to ``timeout`` for fresh ones.
+
+        Returns ``(new_events, next_index, terminal)`` — the NDJSON
+        streaming loop calls this until ``terminal``.
+        """
+        deadline = self._clock() + timeout
+        with self._lock:
+            campaign = self.campaigns.get(campaign_id)
+            if campaign is None:
+                return [], index, True
+            while len(campaign.events) <= index:
+                if campaign.state in TERMINAL_CAMPAIGN_STATES:
+                    return [], index, True
+                remaining = deadline - self._clock()
+                if remaining <= 0 or not self._cv.wait(timeout=remaining):
+                    break
+            fresh = campaign.events[index:]
+            return (
+                list(fresh),
+                index + len(fresh),
+                campaign.state in TERMINAL_CAMPAIGN_STATES
+                and index + len(fresh) == len(campaign.events),
+            )
+
+    def metrics(self) -> Dict:
+        with self._lock:
+            queue_depth = len(self._queue)
+            leased = sum(1 for t in self.tasks.values() if t.state == "leased")  # det-ok: order-independent count
+            campaign_states: Dict[str, int] = {}
+            walls = {}
+            for campaign_id in sorted(self.campaigns):
+                campaign = self.campaigns[campaign_id]
+                campaign_states[campaign.state] = campaign_states.get(campaign.state, 0) + 1
+                walls[campaign_id] = (
+                    campaign.wall_seconds
+                    if campaign.wall_seconds is not None
+                    else self._clock() - campaign.started
+                )
+            done = self.counters["jobs_done"]
+            cached = self.counters["jobs_from_store"] + self.counters["jobs_deduped"]
+            counters = dict(sorted(self.counters.items()))
+        return {
+            "jobs": counters,
+            "queue_depth": queue_depth,
+            "leased_tasks": leased,
+            "cache_hit_rate": (cached / done) if done else 0.0,
+            "store": {"hits": self.store.hits, "misses": self.store.misses},
+            "campaigns": {
+                "states": dict(sorted(campaign_states.items())),
+                "wall_seconds": walls,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Restart / resume
+    # ------------------------------------------------------------------
+    def resume(self) -> List[str]:
+        """Re-admit campaigns a previous server life left unfinished.
+
+        Completed jobs resolve from the journal/cache (``resolution ==
+        "store"``) without re-running; only the remainder re-enters the
+        queue.  Returns the resumed campaign ids.
+        """
+        resumed = []
+        for record in self.store.load_campaigns():
+            if record.get("state") in TERMINAL_CAMPAIGN_STATES:
+                continue
+            campaign_id = record.get("id")
+            if not campaign_id or campaign_id in self.campaigns:
+                continue
+            self.submit(record["spec"], campaign_id=campaign_id)
+            resumed.append(campaign_id)
+        return resumed

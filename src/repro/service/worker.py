@@ -1,0 +1,122 @@
+"""Workers: turn leased tasks into results, locally or across hosts.
+
+Local and remote workers share one execution path and one protocol —
+lease → execute → complete/fail — differing only in transport:
+
+* :class:`LocalWorkerPool` threads call the :class:`~repro.service.scheduler.Scheduler`
+  directly (the head node's built-in capacity);
+* :func:`run_worker` speaks the same three endpoints over HTTP
+  (``repro-sim serve --worker http://head:PORT``), so a sweep grid
+  shards across as many hosts as are pointed at the head.  Workers are
+  stateless: results are pushed back into the head's artifact store and
+  a worker that dies simply lets its lease expire and re-queue.
+
+Execution itself is :func:`repro.exec.jobs.execute_payload` — the exact
+function the multiprocessing pool's workers run, so service results are
+bit-identical to ``Executor``/serial ones by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from ..exec.jobs import execute_payload
+from .client import ServiceClient
+
+#: Worker-side wall clock (elapsed reporting, idle timeouts only).
+_monotonic = time.monotonic  # det-ok: service timing, not simulation state
+
+
+def execute_task(task: Dict) -> Dict:
+    """Run one leased task document; returns the result payload."""
+    return execute_payload(task["payload"], tuple(task["suite"]))
+
+
+class LocalWorkerPool:
+    """Daemon threads executing the head's own queue (no HTTP hop)."""
+
+    def __init__(self, scheduler, workers: int = 1, poll: float = 0.5,
+                 name: str = "local"):
+        self.scheduler = scheduler
+        self.workers = max(0, int(workers))
+        self.poll = poll
+        self.name = name
+        self._stop = threading.Event()
+        self._threads: list = []
+
+    def start(self) -> None:
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._loop, args=(f"{self.name}-{index}",),
+                name=f"repro-worker-{index}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+
+    def _loop(self, worker_id: str) -> None:
+        while not self._stop.is_set():
+            leases = self.scheduler.lease(1, worker=worker_id)
+            if not leases:
+                self.scheduler.wait_for_work(timeout=self.poll)
+                continue
+            self._run_one(leases[0], worker_id)
+
+    def _run_one(self, task: Dict, worker_id: str) -> None:
+        started = _monotonic()
+        try:
+            payload = execute_task(task)
+        except Exception as exc:  # noqa: BLE001 - reported as a task failure
+            self.scheduler.fail(task["key"], f"{type(exc).__name__}: {exc}",
+                                worker=worker_id)
+            return
+        self.scheduler.complete(
+            task["key"], payload, worker=worker_id,
+            elapsed=_monotonic() - started,
+        )
+
+
+def run_worker(
+    head_url: str,
+    worker_id: str,
+    lease_size: int = 1,
+    poll: float = 0.5,
+    max_idle: Optional[float] = None,
+    stop: Optional[threading.Event] = None,
+) -> int:
+    """Remote worker main loop: lease shards from ``head_url``, execute,
+    push results back.  Returns the number of tasks executed.  Exits when
+    ``stop`` is set or nothing has been leased for ``max_idle`` seconds
+    (None = run forever, the daemon deployment mode)."""
+    client = ServiceClient(head_url)
+    executed = 0
+    idle_since = _monotonic()
+    while stop is None or not stop.is_set():
+        tasks = client.lease(max_tasks=lease_size, worker=worker_id)
+        if not tasks:
+            if max_idle is not None and _monotonic() - idle_since > max_idle:
+                break
+            time.sleep(poll)
+            continue
+        idle_since = _monotonic()
+        for task in tasks:
+            started = _monotonic()
+            try:
+                payload = execute_task(task)
+            except Exception as exc:  # noqa: BLE001 - reported to the head
+                client.fail_task(task["key"], f"{type(exc).__name__}: {exc}",
+                                 worker=worker_id)
+                continue
+            client.complete_task(
+                task["key"], payload, worker=worker_id,
+                elapsed=_monotonic() - started,
+            )
+            executed += 1
+    return executed

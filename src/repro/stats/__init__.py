@@ -1,7 +1,7 @@
 """Simulation statistics (IPC, Table 1 counters, bandwidth utilization)."""
 
 from .counters import SimStats
-from .export import stats_to_dict
+from .export import run_result_to_dict, stats_to_dict
 from .utilization import StageUtilization, UtilizationStats
 
-__all__ = ["SimStats", "stats_to_dict", "StageUtilization", "UtilizationStats"]
+__all__ = ["SimStats", "run_result_to_dict", "stats_to_dict", "StageUtilization", "UtilizationStats"]

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 from .counters import SimStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..sim.runner import RunResult
 
 
 def stats_to_dict(stats: SimStats) -> Dict:
@@ -67,4 +70,26 @@ def stats_to_dict(stats: SimStats) -> Dict:
             }
             for k in stats.per_instance_committed
         },
+    }
+
+
+def run_result_to_dict(result: "RunResult") -> Dict:
+    """Flatten a :class:`~repro.sim.runner.RunResult` into the canonical
+    JSON document shared by ``repro-sim run --json``, ``repro-sim fetch``
+    and the campaign service's ``GET /jobs/{id}/result`` endpoint — one
+    serialisation, so clients never see two shapes of the same result."""
+    spec = result.spec
+    return {
+        "spec": {
+            "workload": list(spec.workload),
+            "machine": spec.machine,
+            "features": spec.features,
+            "policy": spec.policy,
+            "commit_target": spec.commit_target,
+            "max_cycles": spec.max_cycles,
+            "confidence_threshold": spec.confidence_threshold,
+        },
+        "ipc": result.ipc,
+        "stats": stats_to_dict(result.stats),
+        "per_program_ipc": dict(result.per_program_ipc),
     }

@@ -104,3 +104,34 @@ class TestMain:
             {**data, "cycles_per_second": data["cycles_per_second"] * 2},
         )
         assert bench_compare.main(["--baseline", str(committed), "--fresh", fresh]) == 0
+
+
+class TestServiceLatencyWarnOnly:
+    def test_latency_regression_warns_but_passes(self, capsys):
+        base = payload(service_warm_submit_seconds=0.005)
+        fresh = payload(service_warm_submit_seconds=0.050)  # 10x slower
+        assert bench_compare.compare(base, fresh, 0.15) == 0
+        out = capsys.readouterr().out
+        assert "WARN" in out and "service latency" in out
+        assert "FAIL" not in out
+
+    def test_latency_improvement_is_quiet(self, capsys):
+        base = payload(service_warm_submit_seconds=0.050)
+        fresh = payload(service_warm_submit_seconds=0.005)
+        assert bench_compare.compare(base, fresh, 0.15) == 0
+        assert "WARN" not in capsys.readouterr().out
+
+    def test_untracked_latency_is_skipped(self, capsys):
+        assert bench_compare.compare(payload(), payload(), 0.15) == 0
+        assert "service latency not tracked" in capsys.readouterr().out
+
+    def test_throughput_gate_still_fails_independently(self, capsys):
+        base = payload(service_warm_submit_seconds=0.005)
+        fresh = payload(
+            cycles_per_second=5000.0 * 0.5, service_warm_submit_seconds=0.005
+        )
+        assert bench_compare.compare(base, fresh, 0.15) == 1
+
+    def test_committed_baseline_tracks_the_metric(self):
+        data = json.loads((REPO / "BENCH_core.json").read_text())
+        assert data["service_warm_submit_seconds"] > 0

@@ -215,3 +215,110 @@ class TestOrchestrationCli:
 
     def test_campaign_unknown_name(self, capsys):
         assert main(["campaign", "fig99"]) == 2
+
+
+class TestServiceCli:
+    def test_serve_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--store", "/tmp/s", "--port", "9000",
+             "--local-workers", "0", "--no-resume"]
+        )
+        assert args.command == "serve"
+        assert args.store == "/tmp/s" and args.port == 9000
+        assert args.local_workers == 0 and args.no_resume
+
+    def test_serve_worker_mode_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--worker", "http://head:8752", "--lease-size", "2",
+             "--max-idle", "30"]
+        )
+        assert args.worker == "http://head:8752"
+        assert args.lease_size == 2 and args.max_idle == 30.0
+
+    def test_submit_parses_grid_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "--workload", "compress", "go",
+             "--grid", "active_list_size=32,64", "--follow"]
+        )
+        assert args.spec is None
+        assert args.workload == ["compress", "go"]
+        assert args.grid == ["active_list_size=32,64"] and args.follow
+
+    def test_submit_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["submit", "--workload", "go", "--machine", "mega"]
+            )
+
+    def test_status_and_fetch_parse(self):
+        status_args = build_parser().parse_args(["status", "c000001", "--json"])
+        assert status_args.campaign == "c000001" and status_args.json
+        assert build_parser().parse_args(["status"]).campaign is None
+        fetch_args = build_parser().parse_args(
+            ["fetch", "c000001.0003", "-o", "out.json"]
+        )
+        assert fetch_args.id == "c000001.0003" and fetch_args.output == "out.json"
+
+    def test_grid_value_coercion(self):
+        from repro.cli import _grid_from_args
+
+        grid = _grid_from_args(
+            ["active_list_size=32,64", "x=1.5", "y=true,false", "z=name"]
+        )
+        assert grid == {"active_list_size": [32, 64], "x": [1.5],
+                        "y": [True, False], "z": ["name"]}
+        with pytest.raises(SystemExit):
+            _grid_from_args(["justafield"])
+
+    def test_submit_without_spec_or_workload(self, capsys):
+        assert main(["submit", "--server", "http://127.0.0.1:1"]) == 2
+
+    def test_submit_status_fetch_against_live_server(self, tmp_path, capsys):
+        import json
+
+        from repro.service import CampaignServer
+
+        server = CampaignServer(tmp_path / "store", port=0, local_workers=2).start()
+        try:
+            rc = main([
+                "submit", "--server", server.url,
+                "--workload", "compress", "go",
+                "--grid", "active_list_size=32",
+                "--commit-target", "150", "--follow",
+            ])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "campaign c000001: 2 job(s)" in out
+            assert "campaign c000001: done" in out
+
+            assert main(["status", "c000001", "--server", server.url]) == 0
+            out = capsys.readouterr().out
+            assert "[done] 2/2 jobs" in out
+
+            # Bare `status` dumps server metrics.
+            assert main(["status", "--server", server.url]) == 0
+            metrics = json.loads(capsys.readouterr().out)
+            assert metrics["jobs"]["jobs_done"] == 2
+
+            out_path = tmp_path / "results.json"
+            rc = main(["fetch", "c000001", "--server", server.url,
+                       "-o", str(out_path)])
+            assert rc == 0
+            assert "wrote" in capsys.readouterr().out
+            documents = json.loads(out_path.read_text())
+            assert len(documents) == 2
+            assert {d["job_id"] for d in documents} == {
+                "c000001.0000", "c000001.0001"
+            }
+
+            rc = main(["fetch", "c000001.0001", "--server", server.url])
+            assert rc == 0
+            (document,) = json.loads(capsys.readouterr().out)
+            assert document["spec"]["workload"] == ["go"]
+        finally:
+            server.stop()
+
+    def test_submit_connection_refused_fails_cleanly(self, capsys):
+        rc = main(["submit", "--server", "http://127.0.0.1:1",
+                   "--workload", "compress"])
+        assert rc == 1

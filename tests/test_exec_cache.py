@@ -169,3 +169,97 @@ class TestJournal:
         assert len(lines) == 1
         record = json.loads(lines[0])
         assert set(record) == {"key", "payload"}
+
+
+class TestCorruptEntryRecovery:
+    """A truncated/torn cache entry must never poison its key (satellite:
+    crash-safe writes + self-healing reads)."""
+
+    def test_corrupt_entry_is_evicted_on_read(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text('{"schema": 1, "payload": {"x"')  # killed mid-write
+        assert cache.get(key) is None
+        assert not path.exists(), "corrupt entry must be deleted, not kept"
+
+    def test_key_recovers_after_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {"ipc": 1.0})
+        # Simulate a pre-atomic-write simulator truncating the entry.
+        cache.path_for(key).write_text('{"schema"')
+        assert cache.get(key) is None
+        cache.put(key, {"ipc": 1.0})
+        assert cache.get(key) == {"ipc": 1.0}
+
+    def test_wrong_schema_entry_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"schema": 999, "payload": {"x": 1}}))
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_put_leaves_no_tmp_droppings(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("12" * 32, {"x": 1})
+        leftovers = [p for p in sorted(tmp_path.rglob("*")) if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_executor_reruns_after_corruption(self, tmp_path):
+        spec = tiny_spec()
+        cache = ResultCache(tmp_path)
+        executor = Executor(cache=cache)
+        first = executor.run([spec], suite=SUITE)[0]
+        key = cache.key_for(Job(spec=spec), SUITE)
+        cache.path_for(key).write_text("garbage")
+        again = Executor(cache=ResultCache(tmp_path)).run([spec], suite=SUITE)[0]
+        assert not again.cached  # corrupt entry -> a real re-run, not a crash
+        assert stats_to_payload(again.result.stats) == stats_to_payload(first.result.stats)
+
+
+class TestJournalCompaction:
+    """Resume journals grow without bound across resumed campaigns; clean
+    startup compacts them down to live entries (satellite)."""
+
+    def test_compaction_pins_size_to_live_entries(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        for round_ in range(3):  # three resumed campaigns, same two keys
+            journal.append("k1", {"round": round_})
+            journal.append("k2", {"round": round_})
+        with open(journal.path, "a") as handle:
+            handle.write('{"key": "k3", "pay')  # torn tail rides along
+        assert len(journal.path.read_text().splitlines()) == 7
+        survivors = journal.compact()
+        assert survivors == 2
+        lines = journal.path.read_text().strip().splitlines()
+        assert len(lines) == 2, "compacted journal must hold one line per key"
+        # Last write wins, and the result still loads.
+        assert journal.load() == {"k1": {"round": 2}, "k2": {"round": 2}}
+
+    def test_compaction_filters_dead_keys(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append("live", {"x": 1})
+        journal.append("dead", {"x": 2})
+        assert journal.compact(live_keys=["live"]) == 1
+        assert journal.load() == {"live": {"x": 1}}
+
+    def test_compacting_missing_journal_is_a_noop(self, tmp_path):
+        journal = Journal(tmp_path / "never-written.jsonl")
+        assert journal.compact() == 0
+        assert not journal.path.exists()
+
+    def test_resume_still_works_after_compaction(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        spec = tiny_spec()
+        Executor(journal=journal).run([spec], suite=SUITE)
+        Executor(journal=journal).run([spec], suite=SUITE)  # journal hit
+        Journal(journal).compact()
+        from repro.exec import Chaos
+
+        rigged = Job(spec=spec, chaos=Chaos(fail_first_attempts=99))
+        resumed = Executor(journal=journal, retries=0).run([rigged], suite=SUITE)[0]
+        assert resumed.cached and resumed.ok

@@ -1,0 +1,123 @@
+"""ProgressReporter edge cases: ETA math, batch reuse, empty campaigns."""
+
+from repro.exec.progress import ProgressEvent, ProgressReporter, format_line
+
+
+class FakeClock:
+    """Deterministic monotonic clock the tests advance by hand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make(callback=None):
+    clock = FakeClock()
+    return ProgressReporter(callback=callback, clock=clock), clock
+
+
+class TestEtaExcludesCacheHits:
+    def test_no_eta_until_one_job_executed(self):
+        reporter, clock = make()
+        reporter.add_total(10)
+        for _ in range(4):
+            clock.advance(0.5)
+            event = reporter.record(cached=True, failed=False, elapsed=0.0)
+        assert event.done == 4 and event.cache_hits == 4
+        # Only cache hits so far: no execution time sample, no promise.
+        assert event.eta is None
+
+    def test_cache_hits_do_not_dilute_the_estimate(self):
+        reporter, clock = make()
+        reporter.add_total(10)
+        # Four instant cache hits, then one real 2-second execution.
+        for _ in range(4):
+            reporter.record(cached=True, failed=False, elapsed=0.0)
+        clock.advance(2.0)
+        event = reporter.record(cached=False, failed=False, elapsed=2.0)
+        # 5 remaining jobs at 2s each on one worker: a warm campaign must
+        # not promise (total_elapsed / done) * remaining ≈ 0.4s per job.
+        assert event.eta == 2.0 * 5
+
+    def test_failures_count_as_executed_time(self):
+        reporter, _ = make()
+        reporter.add_total(2)
+        event = reporter.record(cached=False, failed=True, elapsed=3.0)
+        assert event.failures == 1
+        assert event.eta == 3.0  # one job left at the observed 3s pace
+
+    def test_workers_scale_eta(self):
+        reporter, _ = make()
+        reporter.workers = 4
+        reporter.add_total(9)
+        event = reporter.record(cached=False, failed=False, elapsed=4.0)
+        assert event.eta == 4.0 * 8 / 4
+
+
+class TestMultiBatchReuse:
+    def test_totals_accumulate_across_batches(self):
+        reporter, clock = make()
+        reporter.add_total(2)
+        reporter.record(cached=False, failed=False, elapsed=1.0)
+        reporter.record(cached=False, failed=False, elapsed=1.0)
+        # Second figure rides the same reporter (the `campaign` CLI path).
+        reporter.add_total(3)
+        event = reporter.event()
+        assert event.total == 5 and event.done == 2
+        assert event.eta == 1.0 * 3
+
+    def test_clock_starts_at_first_batch_only(self):
+        reporter, clock = make()
+        reporter.add_total(1)
+        clock.advance(7.0)
+        reporter.add_total(1)  # must NOT restart the clock
+        assert reporter.event().elapsed == 7.0
+
+    def test_counts_survive_batch_boundaries(self):
+        events = []
+        reporter, _ = make(callback=events.append)
+        reporter.add_total(1)
+        reporter.record(cached=True, failed=False, elapsed=0.0)
+        reporter.add_total(1)
+        reporter.record(cached=False, failed=True, elapsed=0.5)
+        assert events[-1].cache_hits == 1 and events[-1].failures == 1
+        assert events[-1].done == 2 and events[-1].total == 2
+
+
+class TestZeroJobCampaign:
+    def test_event_before_any_batch(self):
+        reporter, clock = make()
+        clock.advance(5.0)
+        event = reporter.event()
+        # No add_total yet: the clock never started.
+        assert event.elapsed == 0.0
+        assert event.done == 0 and event.total == 0 and event.eta is None
+
+    def test_empty_batch_still_starts_clock(self):
+        reporter, clock = make()
+        reporter.add_total(0)
+        clock.advance(2.0)
+        event = reporter.event()
+        assert event.elapsed == 2.0
+        assert event.total == 0 and event.eta is None
+
+    def test_format_line_handles_empty(self):
+        line = format_line(ProgressEvent(done=0, total=0, cache_hits=0,
+                                         failures=0, elapsed=0.0, eta=None))
+        assert line == "jobs 0/0 elapsed 00:00"
+
+
+class TestEventPayload:
+    def test_to_payload_round_trips_fields(self):
+        event = ProgressEvent(done=1, total=2, cache_hits=1, failures=0,
+                              elapsed=1.5, eta=None, label="x")
+        payload = event.to_payload()
+        assert payload == {"done": 1, "total": 2, "cache_hits": 1,
+                           "failures": 0, "elapsed": 1.5, "eta": None,
+                           "label": "x"}
+        assert ProgressEvent(**payload) == event

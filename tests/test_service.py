@@ -1,0 +1,361 @@
+"""End-to-end campaign service: dedupe, crash resume, workers, HTTP API.
+
+These tests run real simulations (tiny ``commit_target``) through real
+HTTP on loopback — the full ``submit → lease → execute → fetch`` path.
+"""
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import (
+    ArtifactStore,
+    CampaignServer,
+    ServiceClient,
+    ServiceError,
+    run_worker,
+    sweep_spec,
+)
+from repro.sim.sweep import Sweep
+
+#: Tiny commit target: each simulation lands in tens of milliseconds.
+CT = 150
+
+
+def grid_spec(alist_values, label=""):
+    return sweep_spec(
+        ["compress", "go"],
+        grid={"active_list_size": list(alist_values)},
+        commit_target=CT,
+        label=label,
+    )
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = CampaignServer(tmp_path / "store", port=0, local_workers=2).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url, timeout=60.0)
+
+
+@pytest.fixture
+def idle_server(tmp_path):
+    """A head with no local workers: queued work stays queued."""
+    srv = CampaignServer(tmp_path / "store", port=0, local_workers=0).start()
+    yield srv
+    srv.stop()
+
+
+class TestEndToEnd:
+    def test_submit_runs_to_completion(self, client):
+        submitted = client.submit(grid_spec([32], label="smoke"))
+        assert submitted["id"] == "c000001"
+        assert [job["id"] for job in submitted["jobs"]] == [
+            "c000001.0000", "c000001.0001"
+        ]
+        status = client.wait(submitted["id"], timeout=60.0)
+        assert status["state"] == "done"
+        assert status["job_states"] == {"done": 2}
+        assert all(job["resolution"] == "run" for job in status["jobs"])
+        results = client.fetch_results(submitted["id"])
+        assert len(results) == 2
+        for document in results:
+            assert document["ipc"] > 0
+            assert document["stats"]["cycles"] > 0
+
+    def test_results_bit_identical_to_serial_sweep(self, client):
+        grid = {"active_list_size": [32, 64]}
+        submitted = client.submit(grid_spec(grid["active_list_size"]))
+        client.wait(submitted["id"], timeout=120.0)
+        documents = client.fetch_results(submitted["id"])
+        rows = Sweep(
+            workloads=[("compress",), ("go",)], grid=grid, commit_target=CT
+        ).run()
+        assert len(documents) == len(rows) == 4
+        for document, row in zip(documents, rows):
+            assert tuple(document["spec"]["workload"]) == row.workload
+            assert document["overrides"] == row.params
+            assert document["ipc"] == row.ipc  # bit-identical, not approx
+            assert document["stats"]["cycles"] == row.cycles
+            recycled = document["stats"]["recycled"]
+            assert recycled["pct_recycled"] == row.pct_recycled
+            assert recycled["pct_reused"] == row.pct_reused
+
+    def test_resubmission_is_pure_store_hits(self, client):
+        first = client.submit(grid_spec([32, 64]))
+        client.wait(first["id"], timeout=120.0)
+        executed = client.metrics()["jobs"]["tasks_executed"]
+        second = client.submit(grid_spec([32, 64]))
+        status = client.wait(second["id"], timeout=30.0)
+        assert status["state"] == "done"
+        assert all(job["resolution"] == "store" for job in status["jobs"])
+        metrics = client.metrics()
+        assert metrics["jobs"]["tasks_executed"] == executed  # nothing re-ran
+        assert metrics["jobs"]["jobs_from_store"] == 4
+        assert metrics["cache_hit_rate"] == pytest.approx(0.5)
+        # And the warm campaign's results are byte-for-byte the originals.
+        assert client.fetch_results(second["id"]) == [
+            {**doc, "job_id": doc["job_id"].replace(first["id"], second["id"]),
+             "campaign_id": second["id"], "resolution": "store"}
+            for doc in client.fetch_results(first["id"])
+        ]
+
+
+class TestConcurrentClientsDedupe:
+    """Acceptance: two clients, overlapping grids, every point exactly once."""
+
+    def test_overlapping_grids_execute_each_point_once(self, server):
+        # A covers {32, 48}, B covers {48, 64}: 3 unique points x 2
+        # workloads = 6 unique tasks for 8 submitted jobs.
+        specs = {"A": grid_spec([32, 48], "A"), "B": grid_spec([48, 64], "B")}
+        statuses = {}
+
+        def submit_and_wait(name):
+            own_client = ServiceClient(server.url, timeout=60.0)
+            submitted = own_client.submit(specs[name])
+            statuses[name] = own_client.wait(submitted["id"], timeout=120.0)
+
+        threads = [
+            threading.Thread(target=submit_and_wait, args=(name,))
+            for name in sorted(specs)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert statuses["A"]["state"] == statuses["B"]["state"] == "done"
+        metrics = ServiceClient(server.url).metrics()
+        assert metrics["jobs"]["tasks_executed"] == 6, (
+            "every unique grid point must be simulated exactly once"
+        )
+        assert metrics["jobs"]["jobs_done"] == 8
+        jobs = metrics["jobs"]
+        assert (
+            jobs["jobs_run"] + jobs["jobs_from_store"] + jobs["jobs_deduped"] == 8
+        )
+
+        # The shared points produced identical payloads for both clients.
+        by_key = {}
+        own_client = ServiceClient(server.url)
+        for status in statuses.values():
+            for job in status["jobs"]:
+                document = own_client.result(job["id"])
+                scrubbed = {
+                    k: v for k, v in document.items()
+                    if k not in ("job_id", "campaign_id", "resolution")
+                }
+                assert by_key.setdefault(job["key"], scrubbed) == scrubbed
+
+
+def _serve_forever(root, url_file):
+    server = CampaignServer(root, port=0, local_workers=1).start()
+    Path(url_file).write_text(server.url)
+    signal.pause()
+
+
+class TestKillResume:
+    """Acceptance: SIGKILL the server mid-campaign; a restart resumes from
+    the journal without re-running completed jobs."""
+
+    def test_restart_resumes_without_rerunning(self, tmp_path):
+        root = tmp_path / "store"
+        url_file = tmp_path / "url"
+        process = multiprocessing.get_context("fork").Process(
+            target=_serve_forever, args=(str(root), str(url_file)), daemon=True
+        )
+        process.start()
+        deadline = time.monotonic() + 30.0
+        while not url_file.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        client = ServiceClient(url_file.read_text().strip(), timeout=30.0)
+
+        # 8 slower jobs on a single worker: a wide window to kill inside.
+        spec = sweep_spec(
+            ["compress", "go"],
+            grid={"active_list_size": [16, 24, 32, 48]},
+            commit_target=800,
+            label="doomed",
+        )
+        campaign_id = client.submit(spec)["id"]
+        while True:
+            done = client.metrics()["jobs"]["jobs_done"]
+            if done >= 2:
+                break
+            time.sleep(0.005)
+        os.kill(process.pid, signal.SIGKILL)
+        process.join(timeout=10.0)
+
+        # Clean startup: compaction runs, the journal tells us exactly
+        # which jobs the dead server had finished.
+        store = ArtifactStore(root)
+        completed = len(store.journaled_keys())
+        assert 0 < completed < 8, "kill must land mid-campaign"
+
+        restarted = CampaignServer(store, port=0, local_workers=2).start()
+        try:
+            assert campaign_id in restarted.resumed
+            fresh = ServiceClient(restarted.url, timeout=60.0)
+            status = fresh.wait(campaign_id, timeout=120.0)
+            assert status["state"] == "done"
+            resolutions = [job["resolution"] for job in status["jobs"]]
+            assert resolutions.count("store") == completed
+            metrics = fresh.metrics()
+            assert metrics["jobs"]["jobs_from_store"] == completed
+            assert metrics["jobs"]["tasks_executed"] == 8 - completed, (
+                "journaled jobs must not re-run after restart"
+            )
+            assert len(fresh.fetch_results(campaign_id)) == 8
+        finally:
+            restarted.stop()
+
+
+class TestRemoteWorker:
+    def test_worker_mode_drains_the_head(self, idle_server):
+        client = ServiceClient(idle_server.url, timeout=60.0)
+        campaign_id = client.submit(grid_spec([32, 64]))["id"]
+        assert client.metrics()["queue_depth"] == 4
+        assert client.status(campaign_id)["state"] == "running"
+
+        executed = []
+        thread = threading.Thread(
+            target=lambda: executed.append(
+                run_worker(idle_server.url, "w0", lease_size=2,
+                           poll=0.05, max_idle=1.0)
+            )
+        )
+        thread.start()
+        status = client.wait(campaign_id, timeout=120.0)
+        thread.join(timeout=30.0)
+        assert status["state"] == "done"
+        assert executed == [4]
+        metrics = client.metrics()
+        assert metrics["queue_depth"] == 0
+        assert metrics["jobs"]["leases_granted"] >= 2
+        assert all(job["resolution"] == "run"
+                   for job in status["jobs"])
+
+    def test_worker_failure_reports_and_retries_exhaust(self, idle_server):
+        client = ServiceClient(idle_server.url, timeout=30.0)
+        campaign_id = client.submit({
+            "kind": "jobs",
+            "jobs": [{"workload": ["no_such_kernel"]}],
+        })["id"]
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=run_worker,
+            args=(idle_server.url, "w0"),
+            kwargs={"poll": 0.05, "max_idle": 2.0, "stop": stop},
+        )
+        thread.start()
+        try:
+            status = client.wait(campaign_id, timeout=60.0)
+        finally:
+            stop.set()
+            thread.join(timeout=30.0)
+        assert status["state"] == "failed"
+        job = status["jobs"][0]
+        assert job["state"] == "failed"
+        assert "no_such_kernel" in job["error"]
+        metrics = client.metrics()["jobs"]
+        assert metrics["jobs_failed"] == 1
+        assert metrics["task_attempts"] == 3  # default max_attempts
+
+
+class TestHttpApi:
+    def test_healthz(self, client):
+        from repro import __version__
+
+        assert client.healthz() == {"ok": True, "version": __version__}
+
+    def test_bad_spec_is_400_with_message(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"kind": "sweep", "workloads": [["compress"]],
+                           "grid": {"no_such_knob": [1]}})
+        assert excinfo.value.status == 400
+        assert "no_such_knob" in str(excinfo.value)
+
+    def test_unknown_ids_are_404(self, client):
+        for call in (
+            lambda: client.status("c999999"),
+            lambda: client.cancel("c999999"),
+            lambda: client.result("c999999.0000"),
+        ):
+            with pytest.raises(ServiceError) as excinfo:
+                call()
+            assert excinfo.value.status == 404
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/campaigns/c000001/teapot")
+        assert excinfo.value.status == 404
+
+    def test_pending_result_is_409(self, idle_server):
+        client = ServiceClient(idle_server.url)
+        submitted = client.submit(grid_spec([32]))
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(submitted["jobs"][0]["id"])
+        assert excinfo.value.status == 409
+
+    def test_failed_result_is_410(self, client):
+        submitted = client.submit({
+            "kind": "jobs",
+            "jobs": [{"workload": ["no_such_kernel"]}],
+        })
+        client.wait(submitted["id"], timeout=60.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(submitted["jobs"][0]["id"])
+        assert excinfo.value.status == 410
+        assert "no_such_kernel" in str(excinfo.value)
+
+    def test_cancel_drains_the_queue(self, idle_server):
+        client = ServiceClient(idle_server.url)
+        campaign_id = client.submit(grid_spec([32, 64]))["id"]
+        assert client.metrics()["queue_depth"] == 4
+        status = client.cancel(campaign_id)
+        assert status["state"] == "cancelled"
+        assert status["job_states"] == {"cancelled": 4}
+        assert client.metrics()["queue_depth"] == 0
+        # Idempotent; and a cancelled job has no result to serve.
+        assert client.cancel(campaign_id)["state"] == "cancelled"
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(f"{campaign_id}.0000")
+        assert excinfo.value.status == 409
+
+
+class TestEventStream:
+    def test_stream_ends_with_terminal_campaign_event(self, client):
+        campaign_id = client.submit(grid_spec([32]))["id"]
+        events = list(client.events(campaign_id))  # live-follows until done
+        job_events = [e for e in events if e["type"] == "job"]
+        assert len(job_events) == 2
+        assert all(e["state"] == "done" for e in job_events)
+        assert {e["job_id"] for e in job_events} == {
+            f"{campaign_id}.0000", f"{campaign_id}.0001"
+        }
+        assert events[-1]["type"] == "campaign"
+        assert events[-1]["state"] == "done"
+        assert events[-1]["wall_seconds"] > 0
+
+    def test_replay_after_completion_is_complete(self, client):
+        campaign_id = client.submit(grid_spec([32]))["id"]
+        client.wait(campaign_id, timeout=60.0)
+        replay = list(client.events(campaign_id))
+        assert [e["type"] for e in replay] == ["job", "job", "campaign"]
+        # Progress counters ride every job event (the CLI renders these).
+        assert replay[1]["done"] == 2 and replay[1]["total"] == 2
+
+    def test_events_for_unknown_campaign_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            list(client.events("c999999"))
+        assert excinfo.value.status == 404

@@ -1,0 +1,160 @@
+"""Campaign spec parsing: validation, deterministic expansion, errors."""
+
+import pytest
+
+from repro.service import SpecError, parse_campaign, sweep_spec
+from repro.sim.sweep import Sweep
+
+
+def sweep_payload(**kwargs):
+    payload = {
+        "kind": "sweep",
+        "workloads": [["compress"], ["go"]],
+        "grid": {"active_list_size": [32, 64]},
+        "commit_target": 250,
+    }
+    payload.update(kwargs)
+    return payload
+
+
+class TestSweepParsing:
+    def test_expands_to_sweep_job_order(self):
+        spec = parse_campaign(sweep_payload())
+        sweep = Sweep(
+            workloads=[("compress",), ("go",)],
+            grid={"active_list_size": [32, 64]},
+            commit_target=250,
+        )
+        assert list(spec.jobs) == sweep.jobs()
+
+    def test_grid_key_order_is_irrelevant(self):
+        forward = parse_campaign(
+            sweep_payload(grid={"active_list_size": [32], "rename_width": [4, 8]})
+        )
+        backward = parse_campaign(
+            sweep_payload(grid={"rename_width": [4, 8], "active_list_size": [32]})
+        )
+        assert forward.jobs == backward.jobs
+
+    def test_kind_defaults_to_sweep(self):
+        payload = sweep_payload()
+        del payload["kind"]
+        assert len(parse_campaign(payload).jobs) == 4
+
+    def test_bare_workload_strings_accepted(self):
+        spec = parse_campaign(sweep_payload(workloads=["compress", "go"]))
+        assert [job.spec.workload for job in spec.jobs[:2]] == [
+            ("compress",), ("go",)
+        ]
+
+    def test_policy_applies_to_every_job(self):
+        spec = parse_campaign(sweep_payload(policy="stop-8"))
+        assert all(job.spec.policy == "stop-8" for job in spec.jobs)
+
+    def test_suite_defaults(self):
+        spec = parse_campaign(sweep_payload())
+        assert spec.suite_args == (5000, False)
+
+    def test_suite_overrides(self):
+        spec = parse_campaign(sweep_payload(suite={"iters": 100, "extended": True}))
+        assert spec.suite_args == (100, True)
+
+    def test_label_is_kept(self):
+        assert parse_campaign(sweep_payload(label="abl")).label == "abl"
+
+
+class TestJobsParsing:
+    def test_explicit_jobs(self):
+        spec = parse_campaign({
+            "kind": "jobs",
+            "jobs": [
+                {"workload": ["compress"], "overrides": {"active_list_size": 32}},
+                {"workload": ["go"], "features": "TME"},
+            ],
+        })
+        assert len(spec.jobs) == 2
+        assert spec.jobs[0].overrides == (("active_list_size", 32),)
+        assert spec.jobs[1].spec.features == "TME"
+
+    def test_override_order_is_canonical(self):
+        spec = parse_campaign({
+            "kind": "jobs",
+            "jobs": [{"workload": ["compress"],
+                      "overrides": {"rename_width": 4, "active_list_size": 32}}],
+        })
+        assert spec.jobs[0].overrides == (
+            ("active_list_size", 32), ("rename_width", 4)
+        )
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            lambda p: p.update(kind="mystery"),
+            lambda p: p.update(workloads=[]),
+            lambda p: p.update(workloads=[[]]),
+            lambda p: p.update(workloads=[[7]]),
+            lambda p: p.update(grid={"active_list_size": []}),
+            lambda p: p.update(grid={"no_such_knob": [1]}),
+            lambda p: p.update(grid="not-a-dict"),
+            lambda p: p.update(machine="imaginary.9.9"),
+            lambda p: p.update(suite={"iters": 0}),
+            lambda p: p.update(suite={"iters": "many"}),
+            lambda p: p.update(suite={"extended": "yes"}),
+            lambda p: p.update(suite={"flavour": "spicy"}),
+            lambda p: p.update(label=7),
+            lambda p: p.update(typo_field=1),
+        ],
+    )
+    def test_bad_sweep_payloads_raise(self, mangle):
+        payload = sweep_payload()
+        mangle(payload)
+        with pytest.raises(SpecError):
+            parse_campaign(payload)
+
+    @pytest.mark.parametrize(
+        "jobs",
+        [
+            [],
+            ["not-an-object"],
+            [{"workload": []}],
+            [{"workload": ["compress"], "overrides": {"no_such_knob": 1}}],
+            [{"workload": ["compress"], "surprise": 1}],
+            [{"workload": ["compress"], "machine": "imaginary.9.9"}],
+        ],
+    )
+    def test_bad_jobs_payloads_raise(self, jobs):
+        with pytest.raises(SpecError):
+            parse_campaign({"kind": "jobs", "jobs": jobs})
+
+    def test_non_object_spec_raises(self):
+        with pytest.raises(SpecError):
+            parse_campaign(["not", "an", "object"])
+
+    def test_error_message_names_the_bad_job(self):
+        with pytest.raises(SpecError, match=r"jobs\[1\]"):
+            parse_campaign({
+                "kind": "jobs",
+                "jobs": [{"workload": ["compress"]},
+                         {"workload": ["compress"], "machine": "imaginary.9.9"}],
+            })
+
+
+class TestSweepSpecBuilder:
+    def test_builder_output_parses(self):
+        payload = sweep_spec(
+            ["compress", ("go",)],
+            grid={"active_list_size": [32, 64]},
+            commit_target=250,
+            label="quick",
+        )
+        spec = parse_campaign(payload)
+        assert len(spec.jobs) == 4
+        assert spec.label == "quick"
+
+    def test_builder_sorts_grid(self):
+        payload = sweep_spec(
+            ["compress"], grid={"rename_width": [4], "active_list_size": [32]}
+        )
+        assert list(payload["grid"]) == ["active_list_size", "rename_width"]

@@ -1,0 +1,165 @@
+"""ArtifactStore + FileLock: the concurrency-safe layer under the server."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.service.store import ArtifactStore, FileLock, LockTimeout
+
+KEY_A = "aa" * 32
+KEY_B = "bb" * 32
+
+
+class TestFileLock:
+    def test_mutual_exclusion_across_threads(self, tmp_path):
+        # Each FileLock instance carries its own fd, so two instances on
+        # one path behave exactly like two processes would.
+        lock_path = tmp_path / "x.lock"
+        counter = {"value": 0}
+
+        def bump():
+            for _ in range(50):
+                with FileLock(lock_path, timeout=10.0):
+                    current = counter["value"]
+                    counter["value"] = current + 1
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter["value"] == 200
+
+    def test_timeout_raises(self, tmp_path):
+        lock_path = tmp_path / "x.lock"
+        holder = FileLock(lock_path)
+        holder.acquire()
+        try:
+            with pytest.raises(LockTimeout):
+                FileLock(lock_path, timeout=0.05).acquire()
+        finally:
+            holder.release()
+
+    def test_release_lets_next_waiter_in(self, tmp_path):
+        lock_path = tmp_path / "x.lock"
+        first = FileLock(lock_path)
+        first.acquire()
+        first.release()
+        with FileLock(lock_path, timeout=0.5):
+            pass
+
+    def test_lease_fallback_mutual_exclusion(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.service.store.fcntl", None)
+        lock_path = tmp_path / "x.lock"
+        with FileLock(lock_path, timeout=1.0):
+            assert lock_path.exists()
+            assert lock_path.read_text().strip() == str(os.getpid())
+            with pytest.raises(LockTimeout):
+                FileLock(lock_path, timeout=0.05).acquire()
+        assert not lock_path.exists(), "lease file must vanish on release"
+
+    def test_stale_lease_is_broken(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.service.store.fcntl", None)
+        lock_path = tmp_path / "x.lock"
+        lock_path.write_text("99999\n")  # owner long dead
+        os.utime(lock_path, (0, 0))  # epoch mtime: ancient by any clock
+        with FileLock(lock_path, timeout=1.0, stale=60.0):
+            assert lock_path.read_text().strip() == str(os.getpid())
+
+
+class TestArtifactStore:
+    def test_record_then_lookup(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.lookup(KEY_A) is None
+        store.record(KEY_A, {"ipc": 1.5})
+        assert store.lookup(KEY_A) == {"ipc": 1.5}
+
+    def test_record_reaches_cache_and_journal(self, tmp_path):
+        ArtifactStore(tmp_path).record(KEY_A, {"ipc": 1.5})
+        # A fresh store resolves the key from either half of the layout.
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.lookup(KEY_A) == {"ipc": 1.5}
+        assert fresh.journaled_keys() == [KEY_A]
+        assert fresh.get(KEY_A) == {"ipc": 1.5}  # plain ResultCache read
+
+    def test_plain_executor_cache_layout(self, tmp_path):
+        """An ArtifactStore root's cache/ is a valid ResultCache dir."""
+        from repro.exec import ResultCache
+
+        ArtifactStore(tmp_path).record(KEY_A, {"ipc": 1.5})
+        assert ResultCache(tmp_path / "cache").get(KEY_A) == {"ipc": 1.5}
+
+    def test_concurrent_writers_never_tear_the_journal(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        keys = [f"{i:02d}" * 32 for i in range(16)]
+
+        def write(key):
+            store.record(key, {"key": key})
+
+        threads = [threading.Thread(target=write, args=(key,)) for key in keys]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every line parses and every key survives a reload.
+        lines = (tmp_path / "journal.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 16
+        for line in lines:
+            json.loads(line)
+        assert ArtifactStore(tmp_path).journaled_keys() == sorted(keys)
+
+    def test_startup_compaction_shrinks_journal(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for round_ in range(5):
+            store.record(KEY_A, {"round": round_})
+        assert len((tmp_path / "journal.jsonl").read_text().splitlines()) == 5
+        ArtifactStore(tmp_path)  # clean startup compacts
+        lines = (tmp_path / "journal.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert ArtifactStore(tmp_path).lookup(KEY_A) == {"round": 4}
+
+    def test_compaction_can_be_disabled(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.record(KEY_A, {"round": 0})
+        store.record(KEY_A, {"round": 1})
+        ArtifactStore(tmp_path, compact_on_start=False)
+        assert len((tmp_path / "journal.jsonl").read_text().splitlines()) == 2
+
+
+class TestCampaignPersistence:
+    def test_ids_are_sequential_and_unique_under_contention(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        minted = []
+        minted_lock = threading.Lock()
+
+        def mint():
+            for _ in range(10):
+                campaign_id = store.next_campaign_id()
+                with minted_lock:
+                    minted.append(campaign_id)
+
+        threads = [threading.Thread(target=mint) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(minted) == [f"c{i:06d}" for i in range(1, 41)]
+
+    def test_ids_survive_restart(self, tmp_path):
+        assert ArtifactStore(tmp_path).next_campaign_id() == "c000001"
+        assert ArtifactStore(tmp_path).next_campaign_id() == "c000002"
+
+    def test_save_and_load_campaigns(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save_campaign({"id": "c000002", "state": "running"})
+        store.save_campaign({"id": "c000001", "state": "done"})
+        store.save_campaign({"id": "c000002", "state": "done"})  # overwrite
+        assert store.load_campaigns() == [
+            {"id": "c000001", "state": "done"},
+            {"id": "c000002", "state": "done"},
+        ]
+
+    def test_load_campaigns_empty_store(self, tmp_path):
+        assert ArtifactStore(tmp_path).load_campaigns() == []

@@ -65,6 +65,7 @@ def compare(baseline: Dict, fresh: Dict, threshold: float) -> int:
         f"baseline {base_cps:,.0f} cycles/s, fresh {fresh_cps:,.0f} cycles/s "
         f"({change:+.1%}, {verdict})"
     )
+    compare_service_latency(baseline, fresh, threshold)
     if change < -threshold:
         print(
             f"bench_compare: FAIL — regression {-change:.1%} exceeds "
@@ -73,6 +74,29 @@ def compare(baseline: Dict, fresh: Dict, threshold: float) -> int:
         return 1
     print("bench_compare: OK")
     return 0
+
+
+def compare_service_latency(baseline: Dict, fresh: Dict, threshold: float) -> None:
+    """Warn-only check of ``service_warm_submit_seconds`` (campaign-server
+    submit→result latency for an all-cached single-job campaign, recorded
+    by ``tools/service_smoke.py``).  Latency on shared CI runners is far
+    noisier than simulator throughput, so a regression here prints a
+    warning and never changes the exit code."""
+    base = baseline.get("service_warm_submit_seconds")
+    new = fresh.get("service_warm_submit_seconds")
+    if not base or not new:
+        print("bench_compare: service latency not tracked in both payloads; skipping")
+        return
+    change = (new - base) / base  # positive = slower
+    print(
+        f"service warm submit->result: baseline {base * 1000:.1f} ms, "
+        f"fresh {new * 1000:.1f} ms ({change:+.1%})"
+    )
+    if change > threshold:
+        print(
+            f"bench_compare: WARN — service latency up {change:.1%} "
+            f"(warn-only, does not fail the gate)"
+        )
 
 
 def main(argv=None) -> int:
