@@ -1,0 +1,54 @@
+"""Whole-program concurrency analysis for the service layer.
+
+Static side (pure AST, no imports of the analysed code):
+
+* :mod:`.lockflow` — intraprocedural lock-context dataflow
+* :mod:`.model` — per-file lock/attribute/binding models
+* :mod:`.guards` — guarded-by inference (majority heuristic)
+* :mod:`.lockorder` — entry contexts, call summaries, lock-order graph
+* :mod:`.facts` — the :class:`ConcProgram` driver + CONC findings
+
+Dynamic side:
+
+* :mod:`.sanitizer` — TSan-lite runtime checker (lock-order + guarded
+  attribute access) that cross-checks the static facts during e2e runs.
+
+The CONC lint rules in :mod:`repro.analysis.lint.rules_concurrency`
+are thin adapters over :class:`~repro.analysis.conc.facts.ConcProgram`.
+"""
+
+from .facts import CONC_CODES, ConcFinding, ConcProgram, service_facts
+from .guards import GUARD_RATIO, MIN_GUARDED_ACCESSES, GuardInference, infer_guards
+from .lockorder import LockOrderGraph, apply_entry_contexts, summarize_program
+from .model import ClassModel, ModuleModel, build_module
+from .sanitizer import (
+    ConcViolation,
+    Sanitizer,
+    conc_wrap,
+    current_sanitizer,
+    install_guards,
+    sanitized,
+)
+
+__all__ = [
+    "CONC_CODES",
+    "ConcFinding",
+    "ConcProgram",
+    "ConcViolation",
+    "ClassModel",
+    "GuardInference",
+    "GUARD_RATIO",
+    "LockOrderGraph",
+    "MIN_GUARDED_ACCESSES",
+    "ModuleModel",
+    "Sanitizer",
+    "apply_entry_contexts",
+    "build_module",
+    "conc_wrap",
+    "current_sanitizer",
+    "infer_guards",
+    "install_guards",
+    "sanitized",
+    "service_facts",
+    "summarize_program",
+]

@@ -1,0 +1,310 @@
+"""The whole-program concurrency analysis driver and the CONC facts.
+
+:class:`ConcProgram` runs the full stack over a set of source files —
+per-file models, interprocedural entry contexts, method summaries,
+guarded-by inference, the global lock-order graph — and renders the
+results as :class:`ConcFinding` records for the six CONC lint rules:
+
+========  ============================================================
+CONC001   unguarded access to an attribute with an inferred guard
+CONC002   lock-order inversion (a cycle in the static order graph)
+CONC003   blocking call (file/network/sleep/subprocess) while holding
+          an in-memory lock
+CONC004   explicit ``acquire()`` without a guaranteed release path
+CONC005   unsynchronized publication of a fresh mutable container on a
+          lock-owning class
+CONC006   TOCTOU between a filesystem existence check and a use of the
+          same path (outside a held FileLock / EAFP handler)
+========  ============================================================
+
+:func:`service_facts` runs the analysis over the *installed*
+``repro.service`` + ``repro.exec`` sources; its guard table and static
+order edges are what the dynamic sanitizer cross-checks at runtime —
+the same static-facts-vs-live-execution move as rules R2/M6 for memory
+dependence.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .guards import GuardInference, infer_guards
+from .lockorder import (
+    LockOrderGraph,
+    MethodSummary,
+    apply_entry_contexts,
+    build_lock_order,
+    summarize_program,
+)
+from .model import ClassModel, ModuleModel, build_module
+
+__all__ = ["ConcFinding", "ConcProgram", "CONC_CODES", "service_facts",
+           "service_source_paths"]
+
+CONC_CODES = ("CONC001", "CONC002", "CONC003", "CONC004", "CONC005", "CONC006")
+
+
+@dataclass(frozen=True)
+class ConcFinding:
+    """One concurrency-rule hit (converted to a lint Finding upstream)."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+
+@dataclass
+class ConcProgram:
+    """The analysed program: models plus every derived fact."""
+
+    modules: List[ModuleModel] = field(default_factory=list)
+    summaries: Dict[Tuple[str, str], MethodSummary] = field(default_factory=dict)
+    graph: LockOrderGraph = field(default_factory=LockOrderGraph)
+    guards: Dict[str, Dict[str, GuardInference]] = field(default_factory=dict)
+    entry_contexts: Dict[Tuple[str, str], FrozenSet[str]] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sources(cls, sources: Sequence[Tuple[str, str]]) -> "ConcProgram":
+        """Build from ``(path, source_text)`` pairs; unparseable files are
+        skipped (the file-scope lint pass reports the syntax error)."""
+        program = cls()
+        for path, text in sources:
+            try:
+                tree = ast.parse(text, filename=path)
+            except SyntaxError:
+                continue
+            program.modules.append(build_module(path, tree))
+        program.entry_contexts = apply_entry_contexts(program.modules)
+        program.summaries = summarize_program(program.modules)
+        program.graph = build_lock_order(program.modules, program.summaries)
+        for module in program.modules:
+            for klass in module.classes.values():
+                inferred = infer_guards(klass)
+                if inferred:
+                    program.guards[klass.name] = inferred
+        return program
+
+    @classmethod
+    def from_paths(cls, paths: Sequence) -> "ConcProgram":
+        return cls.from_sources(
+            [(str(p), Path(p).read_text()) for p in paths]
+        )
+
+    # ------------------------------------------------------------------
+    # Derived facts for the sanitizer cross-check and the docs table
+    # ------------------------------------------------------------------
+    def guard_attrs(self, class_name: str) -> Dict[str, str]:
+        """attr → guarding lock attribute, for descriptor installation."""
+        return {
+            attr: inference.lock
+            for attr, inference in sorted(self.guards.get(class_name, {}).items())
+        }
+
+    def order_edges(self) -> FrozenSet[Tuple[str, str]]:
+        """Global static lock-order edges (dynamic edges must be a subset)."""
+        return self.graph.edge_set
+
+    def guard_table(self) -> List[Tuple[str, str, str, str]]:
+        """(class, attr, lock, evidence) rows for docs/CONCURRENCY.md."""
+        rows = []
+        for class_name in sorted(self.guards):
+            for attr, inference in sorted(self.guards[class_name].items()):
+                rows.append((
+                    class_name, attr, inference.lock,
+                    f"{inference.guarded}/{inference.total} accesses",
+                ))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Findings
+    # ------------------------------------------------------------------
+    def findings(self, codes: Optional[Sequence[str]] = None) -> List[ConcFinding]:
+        wanted = set(codes) if codes is not None else set(CONC_CODES)
+        out: List[ConcFinding] = []
+        if "CONC001" in wanted:
+            out.extend(self._unguarded_accesses())
+        if "CONC002" in wanted:
+            out.extend(self._lock_order_cycles())
+        if "CONC003" in wanted:
+            out.extend(self._blocking_under_lock())
+        if "CONC004" in wanted:
+            out.extend(self._unbalanced_acquires())
+        if "CONC005" in wanted:
+            out.extend(self._unsynchronized_publication())
+        if "CONC006" in wanted:
+            out.extend(self._toctou())
+        out.sort(key=lambda f: (f.path, f.line, f.code, f.message))
+        return out
+
+    def _each_class(self):
+        for module in self.modules:
+            for klass in module.classes.values():
+                yield module, klass
+
+    def _unguarded_accesses(self) -> List[ConcFinding]:
+        out = []
+        for module, klass in self._each_class():
+            for attr, inference in sorted(self.guards.get(klass.name, {}).items()):
+                for access in inference.violations:
+                    mode = "write to" if access.write else "read of"
+                    out.append(ConcFinding(
+                        module.path, access.line, "CONC001",
+                        f"unguarded {mode} {klass.name}.{attr} in "
+                        f"{access.func}(): inferred guarded by "
+                        f"self.{inference.lock} (held at {inference.guarded}/"
+                        f"{inference.total} accesses)",
+                    ))
+        return out
+
+    def _lock_order_cycles(self) -> List[ConcFinding]:
+        out = []
+        for cycle in self.graph.find_cycles():
+            ring = " -> ".join(cycle + [cycle[0]])
+            first_edge = (cycle[0], cycle[1 % len(cycle)])
+            site = self.graph.edges.get(first_edge)
+            sites = "; ".join(
+                f"{a}->{b} at {self.graph.edges[(a, b)].path}:"
+                f"{self.graph.edges[(a, b)].line}"
+                for a, b in zip(cycle, cycle[1:] + [cycle[0]])
+                if (a, b) in self.graph.edges
+            )
+            out.append(ConcFinding(
+                site.path if site else "<program>",
+                site.line if site else 0,
+                "CONC002",
+                f"lock-order inversion: cycle {ring} ({sites})",
+            ))
+        return out
+
+    def _blocking_under_lock(self) -> List[ConcFinding]:
+        from .lockorder import _ProgramIndex
+        from .model import qualify_held
+
+        index = _ProgramIndex(self.modules)
+        out = []
+        for module in self.modules:
+            scopes = [(klass, klass.methods) for klass in module.classes.values()]
+            scopes.append((None, module.functions))
+            for klass, methods in scopes:
+                mem = klass.memory_locks if klass is not None else frozenset(
+                    d.name for d in module.module_locks.values()
+                    if d.kind == "memory" and d.alias_of is None
+                )
+                for name, facts in methods.items():
+                    for op in facts.blocking:
+                        held_mem = sorted(op.held & mem)
+                        if held_mem:
+                            out.append(ConcFinding(
+                                module.path, op.line, "CONC003",
+                                f"blocking call {op.desc} while holding "
+                                f"{', '.join(held_mem)} in {name}()",
+                            ))
+                    for site in facts.calls:
+                        held_mem = sorted(site.held & mem)
+                        if not held_mem:
+                            continue
+                        callee = index.resolve_call(klass, site)
+                        if callee is None:
+                            continue
+                        summary = self.summaries.get(callee)
+                        if summary is None or not summary.blocking:
+                            continue
+                        # Report only the deepest frame: when the callee's
+                        # entry context already includes a lock held here,
+                        # the blocking fact fires inside the callee itself.
+                        entry = self.entry_contexts.get(callee)
+                        if entry:
+                            c_mod, c_cls, _ = index.facts_for(callee)
+                            entry_q = qualify_held(c_cls, c_mod, entry)
+                            held_q = qualify_held(klass, module, site.held)
+                            if entry_q & held_q:
+                                continue
+                        callee_name = ".".join(p for p in callee if p)
+                        out.append(ConcFinding(
+                            module.path, site.line, "CONC003",
+                            f"call to {callee_name}() performs blocking I/O "
+                            f"({summary.blocking}) while holding "
+                            f"{', '.join(held_mem)} in {name}()",
+                        ))
+        return out
+
+    def _unbalanced_acquires(self) -> List[ConcFinding]:
+        out = []
+        for module in self.modules:
+            scopes = [klass.methods for klass in module.classes.values()]
+            scopes.append(module.functions)
+            for methods in scopes:
+                for name, facts in methods.items():
+                    for raw in facts.raw_acquires:
+                        if raw.safe:
+                            continue
+                        out.append(ConcFinding(
+                            module.path, raw.line, "CONC004",
+                            f"{raw.lock}.acquire() in {name}() has no "
+                            f"guaranteed release on all paths; use 'with' or "
+                            f"try/finally",
+                        ))
+        return out
+
+    def _unsynchronized_publication(self) -> List[ConcFinding]:
+        out = []
+        for module, klass in self._each_class():
+            mem = klass.memory_locks
+            if not mem:
+                continue
+            for name, facts in sorted(klass.methods.items()):
+                for access in facts.accesses:
+                    if not access.publishes_container or access.in_init:
+                        continue
+                    if access.held & mem:
+                        continue
+                    out.append(ConcFinding(
+                        module.path, access.line, "CONC005",
+                        f"unsynchronized publication: {klass.name}.{access.attr} "
+                        f"rebound to a fresh container in {name}() without "
+                        f"holding {', '.join(sorted(mem))}",
+                    ))
+        return out
+
+    def _toctou(self) -> List[ConcFinding]:
+        out = []
+        for module in self.modules:
+            scopes = [klass.methods for klass in module.classes.values()]
+            scopes.append(module.functions)
+            for methods in scopes:
+                for name, facts in methods.items():
+                    for race in facts.toctou:
+                        out.append(ConcFinding(
+                            module.path, race.use_line, "CONC006",
+                            f"TOCTOU: {race.path_expr} checked for existence "
+                            f"at line {race.check_line} but {race.use_desc} at "
+                            f"line {race.use_line} can race; use EAFP "
+                            f"(try/except OSError) or hold the FileLock",
+                        ))
+        return out
+
+
+def service_source_paths() -> List[Path]:
+    """Every ``.py`` file of the installed service + exec subsystems."""
+    import repro.exec
+    import repro.service
+
+    paths: List[Path] = []
+    for package in (repro.service, repro.exec):
+        root = Path(package.__file__).parent
+        paths.extend(sorted(root.glob("*.py")))
+    return paths
+
+
+def service_facts() -> ConcProgram:
+    """The concurrency facts for the live service layer (sanitizer input)."""
+    return ConcProgram.from_paths(service_source_paths())

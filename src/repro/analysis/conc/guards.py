@@ -1,0 +1,80 @@
+"""Guarded-by inference: which lock protects each shared attribute.
+
+Classic majority inference (RacerD/LockSmith style): for each guardable
+attribute of a lock-owning class, count how often each root lock is
+held across the attribute's accesses *outside* ``__init__`` (object
+construction happens before publication, so unguarded init writes are
+fine).  A lock **guards** the attribute when it dominates: held at
+≥ :data:`GUARD_RATIO` of all accesses, with at least
+:data:`MIN_GUARDED_ACCESSES` guarded sites.  Every access where the
+inferred guard is *not* held is a candidate CONC001 violation.
+
+The inference runs after interprocedural entry contexts are applied
+(see :mod:`.lockorder`), so accesses inside ``_private`` helpers whose
+callers all hold the lock count as guarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .lockflow import AttrAccess
+from .model import ClassModel
+
+__all__ = ["GuardInference", "infer_guards", "GUARD_RATIO", "MIN_GUARDED_ACCESSES"]
+
+#: A lock must be held at this fraction of accesses to be the guard.
+GUARD_RATIO = 0.75
+
+#: ... and at that many sites at minimum (one locked access proves nothing).
+MIN_GUARDED_ACCESSES = 2
+
+
+@dataclass
+class GuardInference:
+    """The inferred guard for one attribute, with its evidence."""
+
+    attr: str
+    lock: str  # local (class-attr) lock name
+    guarded: int
+    total: int
+    violations: List[AttrAccess] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> float:
+        return self.guarded / self.total if self.total else 0.0
+
+
+def infer_guards(cls: ClassModel) -> Dict[str, GuardInference]:
+    """attr → inference for every attribute with a dominating lock."""
+    if not cls.root_locks:
+        return {}
+    out: Dict[str, GuardInference] = {}
+    for attr in sorted(cls.guardable_attrs):
+        accesses = [
+            access
+            for facts in cls.methods.values()
+            for access in facts.accesses
+            if access.attr == attr and not access.in_init
+        ]
+        if not accesses:
+            continue
+        counts: Dict[str, int] = {}
+        for access in accesses:
+            for lock in access.held:
+                counts[lock] = counts.get(lock, 0) + 1
+        if not counts:
+            continue
+        # Deterministic winner: highest count, then lexicographic.
+        lock = min(counts, key=lambda name: (-counts[name], name))
+        guarded = counts[lock]
+        if guarded < MIN_GUARDED_ACCESSES:
+            continue
+        if guarded / len(accesses) < GUARD_RATIO:
+            continue
+        inference = GuardInference(attr=attr, lock=lock, guarded=guarded,
+                                   total=len(accesses))
+        inference.violations = [a for a in accesses if lock not in a.held]
+        out[attr] = inference
+    return out

@@ -1,0 +1,584 @@
+"""Intraprocedural lock-context dataflow over one function body.
+
+The walker interprets a function statement-by-statement carrying the
+set of locks *must*-held at each program point:
+
+* ``with self._lock:`` (and ``with lock:`` for module locks) holds the
+  lock for the body;
+* explicit ``lock.acquire()`` adds the lock from that statement on,
+  ``lock.release()`` removes it;
+* branches meet with set intersection (must-hold semantics: a lock held
+  on only one arm of an ``if`` is not held after it);
+* ``try``/``finally`` is conservative — the handler and ``finally``
+  bodies are analysed with the entry-held set.
+
+Lock identity is canonical: ``self._cv`` created as
+``threading.Condition(self._lock)`` *aliases* ``self._lock`` (the
+condition acquires the same mutex), so both spellings resolve to the
+root lock name.  While walking, the flow records everything the
+concurrency rules need downstream:
+
+* :class:`AttrAccess` — every ``self.<attr>`` touch with the held set
+  (guarded-by inference, CONC001/CONC005);
+* :class:`LockOp` — every acquisition with the locks already held
+  (lock-order graph, CONC002);
+* :class:`CallSite` — every call with the held set (interprocedural
+  blocking/acquire summaries, CONC003);
+* :class:`BlockingOp` — direct blocking operations (CONC003);
+* :class:`RawAcquire` — explicit ``acquire()`` sites and whether a
+  guaranteed-release idiom covers them (CONC004);
+* :class:`Toctou` — check-then-use races on filesystem paths (CONC006).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "AttrAccess",
+    "BlockingOp",
+    "CallSite",
+    "FunctionFacts",
+    "LockEnv",
+    "LockOp",
+    "RawAcquire",
+    "Toctou",
+    "analyze_function",
+]
+
+#: Direct blocking calls by dotted name (``base.attr`` form).
+_BLOCKING_DOTTED = {
+    ("time", "sleep"),
+    ("os", "open"), ("os", "stat"), ("os", "unlink"), ("os", "replace"),
+    ("os", "fsync"), ("os", "rename"), ("os", "listdir"), ("os", "scandir"),
+    ("os", "makedirs"), ("os", "fdopen"), ("os", "ftruncate"), ("os", "write"),
+}
+
+#: Any call through these modules blocks (network, processes, archives).
+_BLOCKING_MODULES = {"subprocess", "socket", "shutil", "requests", "urllib"}
+
+#: Method names that perform file/socket I/O on their receiver.
+_BLOCKING_METHODS = {
+    "read_text", "write_text", "read_bytes", "write_bytes", "open",
+    "unlink", "mkdir", "stat", "replace", "rename", "rmdir", "touch",
+    "urlopen", "recv", "send", "sendall", "connect", "accept", "fsync",
+    "flush", "write", "join",
+}
+
+#: Receiver methods that are lock/condition protocol, never flagged.
+_LOCK_PROTOCOL_METHODS = {
+    "acquire", "release", "wait", "wait_for", "notify", "notify_all",
+    "locked", "is_set", "set", "clear",
+}
+
+#: Existence probes that open a TOCTOU window before a use.
+_EXISTENCE_CHECKS = {"exists", "is_file", "is_dir"}
+
+#: Path/file operations that consume the window.
+_TOCTOU_USES = {
+    "open", "read_text", "write_text", "read_bytes", "write_bytes",
+    "unlink", "stat", "rename", "replace", "rmdir", "touch", "chmod",
+    "read", "utime",
+}
+
+#: Exception names whose handlers make a use EAFP-safe.
+_OS_ERROR_NAMES = {
+    "OSError", "IOError", "FileNotFoundError", "PermissionError",
+    "FileExistsError", "Exception", "BaseException", "EnvironmentError",
+}
+
+Held = FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One ``self.<attr>`` touch at a program point."""
+
+    attr: str
+    line: int
+    write: bool  # True for a rebinding (Store context on self.<attr>)
+    held: Held
+    func: str
+    in_init: bool
+    publishes_container: bool = False  # write of a fresh dict/list/set/deque
+
+
+@dataclass(frozen=True)
+class LockOp:
+    """One lock acquisition with the locks already held at that point."""
+
+    lock: str
+    line: int
+    held: Held  # held *before* this acquisition
+    via: str  # "with" | "acquire"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression with the held set, for summary propagation.
+
+    ``target`` is ``("self", meth)``, ``("attr", attr, meth)`` for
+    ``self.<attr>.<meth>()``, ``("global", dotted)`` for module-level
+    callables, or ``("expr", meth)`` for a method on an arbitrary value.
+    """
+
+    target: Tuple[str, ...]
+    line: int
+    held: Held
+
+
+@dataclass(frozen=True)
+class BlockingOp:
+    """A direct blocking operation (file/network/process/sleep)."""
+
+    desc: str
+    line: int
+    held: Held
+
+
+@dataclass(frozen=True)
+class RawAcquire:
+    """An explicit ``.acquire()`` call and whether its release is
+    structurally guaranteed (``try``/``finally`` immediately after, or
+    the enclosing class implements the lock protocol itself)."""
+
+    lock: str
+    line: int
+    safe: bool
+
+
+@dataclass(frozen=True)
+class Toctou:
+    """A filesystem check-then-use pair on the same path expression."""
+
+    path_expr: str
+    check_line: int
+    use_line: int
+    use_desc: str
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the concurrency rules need about one function."""
+
+    name: str
+    line: int
+    accesses: List[AttrAccess] = field(default_factory=list)
+    acquires: List[LockOp] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    blocking: List[BlockingOp] = field(default_factory=list)
+    raw_acquires: List[RawAcquire] = field(default_factory=list)
+    toctou: List[Toctou] = field(default_factory=list)
+    held_at_line: Dict[int, Held] = field(default_factory=dict)
+
+
+class LockEnv:
+    """Resolves lock references to canonical root names.
+
+    ``locks`` maps a local lock name (a ``self`` attribute for methods,
+    a bare variable for module scope) to the name it aliases (itself for
+    a root lock; the wrapped lock for a ``threading.Condition``).
+    ``kinds`` maps each *root* name to ``"memory"`` or ``"file"``.
+    """
+
+    def __init__(self, locks: Dict[str, str], kinds: Dict[str, str],
+                 self_based: bool = True):
+        self.locks = dict(locks)
+        self.kinds = dict(kinds)
+        self.self_based = self_based
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical root lock name for an expression, or None."""
+        name = None
+        if (
+            self.self_based
+            and isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            name = node.attr
+        elif not self.self_based and isinstance(node, ast.Name):
+            name = node.id
+        if name is None or name not in self.locks:
+            return None
+        seen = set()
+        while self.locks.get(name, name) != name and name not in seen:
+            seen.add(name)
+            name = self.locks[name]
+        return name
+
+    def memory_locks(self, held: Held) -> Held:
+        return frozenset(h for h in held if self.kinds.get(h) == "memory")
+
+    def file_locks(self, held: Held) -> Held:
+        return frozenset(h for h in held if self.kinds.get(h) == "file")
+
+
+def classify_call(call: ast.Call) -> Tuple[str, ...]:
+    """See :class:`CallSite` for the target forms."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return ("global", func.id)
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id == "self":
+                return ("self", func.attr)
+            return ("global", f"{base.id}.{func.attr}")
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+        ):
+            return ("attr", base.attr, func.attr)
+        return ("expr", func.attr)
+    return ("expr", "<call>")
+
+
+def _expr_text(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failure
+        return "<expr>"
+
+
+def _blocking_desc(target: Tuple[str, ...], call: ast.Call) -> Optional[str]:
+    """A human-readable description if the call blocks directly."""
+    if target[0] == "global":
+        dotted = target[1]
+        if dotted == "open":
+            return "open()"
+        parts = tuple(dotted.split("."))
+        if len(parts) == 2 and parts in _BLOCKING_DOTTED:
+            return f"{dotted}()"
+        if parts[0] in _BLOCKING_MODULES:
+            return f"{dotted}()"
+        # `path.write_text(...)`: a blocking method on a local-variable
+        # receiver parses as a two-part "global" name.
+        if (
+            len(parts) == 2
+            and parts[1] in _BLOCKING_METHODS
+            and parts[1] not in _LOCK_PROTOCOL_METHODS
+        ):
+            return f"{dotted}()"
+        return None
+    meth = target[-1]
+    if meth in _LOCK_PROTOCOL_METHODS:
+        return None
+    if meth in _BLOCKING_METHODS:
+        return f"{_expr_text(call.func)}()"
+    return None
+
+
+def _is_container_expr(node: ast.AST) -> bool:
+    """A fresh mutable container: literal, comprehension, or constructor."""
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in (
+            "dict", "list", "set", "deque", "defaultdict", "OrderedDict",
+            "Counter", "bytearray",
+        )
+    return False
+
+
+def _handler_catches_oserror(handler: ast.ExceptHandler) -> bool:
+    names: List[str] = []
+    node = handler.type
+    if node is None:
+        return True  # bare except
+    for part in node.elts if isinstance(node, ast.Tuple) else [node]:
+        if isinstance(part, ast.Name):
+            names.append(part.id)
+        elif isinstance(part, ast.Attribute):
+            names.append(part.attr)
+    return bool(set(names) & _OS_ERROR_NAMES)
+
+
+class _FunctionWalker:
+    """The statement interpreter; one instance per analysed function."""
+
+    def __init__(self, env: LockEnv, name: str, line: int):
+        self.env = env
+        self.facts = FunctionFacts(name=name, line=line)
+        self.in_init = name == "__init__"
+        self.protocol_class = False  # set by the caller for lock classes
+
+    # ------------------------------------------------------------------
+    # Statement flow
+    # ------------------------------------------------------------------
+    def walk_body(self, stmts: Sequence[ast.stmt], held: Held) -> Held:
+        for index, stmt in enumerate(stmts):
+            held = self._walk_stmt(stmt, held, stmts, index)
+        return held
+
+    def _walk_stmt(self, stmt: ast.stmt, held: Held,
+                   siblings: Sequence[ast.stmt], index: int) -> Held:
+        self.facts.held_at_line.setdefault(stmt.lineno, held)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return held  # nested scopes are analysed separately (or not at all)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._walk_with(stmt, held)
+        if isinstance(stmt, ast.If):
+            self._scan_expr(stmt.test, held)
+            self._check_toctou(stmt, held, siblings, index)
+            after_body = self.walk_body(stmt.body, held)
+            after_else = self.walk_body(stmt.orelse, held)
+            return after_body & after_else
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_expr(stmt.iter, held)
+            self._scan_expr(stmt.target, held)
+            self.walk_body(stmt.body, held)
+            self.walk_body(stmt.orelse, held)
+            return held
+        if isinstance(stmt, ast.While):
+            self._scan_expr(stmt.test, held)
+            self.walk_body(stmt.body, held)
+            self.walk_body(stmt.orelse, held)
+            return held
+        if isinstance(stmt, ast.Try):
+            self.walk_body(stmt.body, held)
+            for handler in stmt.handlers:
+                self.walk_body(handler.body, held)
+            self.walk_body(stmt.orelse, held)
+            self.walk_body(stmt.finalbody, held)
+            return held
+        # Leaf statements: scan expressions, then apply acquire/release
+        # transfer functions.
+        for expr in ast.iter_child_nodes(stmt):
+            if isinstance(expr, ast.expr):
+                self._scan_expr(expr, held)
+        return self._apply_lock_calls(stmt, held, siblings, index)
+
+    def _walk_with(self, stmt, held: Held) -> Held:
+        body_held = held
+        for item in stmt.items:
+            lock = self.env.resolve(item.context_expr)
+            if lock is not None:
+                self.facts.acquires.append(
+                    LockOp(lock, stmt.lineno, body_held, via="with")
+                )
+                body_held = body_held | {lock}
+            else:
+                self._scan_expr(item.context_expr, held)
+        self.walk_body(stmt.body, body_held)
+        return held
+
+    # ------------------------------------------------------------------
+    # Explicit acquire/release
+    # ------------------------------------------------------------------
+    def _lock_protocol_call(self, stmt: ast.stmt):
+        """``(lock, op)`` if the statement's value is ``<lockref>.acquire()``
+        or ``.release()`` (possibly on the RHS of an assignment)."""
+        node = getattr(stmt, "value", None)
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            return None
+        if node.func.attr not in ("acquire", "release"):
+            return None
+        lock = self.env.resolve(node.func.value)
+        if lock is None:
+            return None
+        return lock, node.func.attr
+
+    def _apply_lock_calls(self, stmt: ast.stmt, held: Held,
+                          siblings: Sequence[ast.stmt], index: int) -> Held:
+        op = self._lock_protocol_call(stmt)
+        if op is None:
+            return held
+        lock, kind = op
+        if kind == "acquire":
+            self.facts.acquires.append(LockOp(lock, stmt.lineno, held, via="acquire"))
+            safe = self.protocol_class or self._release_guaranteed(
+                lock, siblings, index
+            )
+            self.facts.raw_acquires.append(RawAcquire(lock, stmt.lineno, safe))
+            return held | {lock}
+        return held - {lock}
+
+    def _release_guaranteed(self, lock: str, siblings: Sequence[ast.stmt],
+                            index: int) -> bool:
+        """True when the statement after the acquire is a ``try`` whose
+        ``finally`` releases the same lock — the one safe explicit idiom."""
+        if index + 1 >= len(siblings):
+            return False
+        nxt = siblings[index + 1]
+        if not isinstance(nxt, ast.Try) or not nxt.finalbody:
+            return False
+        for node in ast.walk(ast.Module(body=list(nxt.finalbody), type_ignores=[])):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "release"
+                and self.env.resolve(node.func.value) == lock
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Expression scanning: accesses, calls, blocking ops
+    # ------------------------------------------------------------------
+    def _scan_expr(self, expr: ast.AST, held: Held) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Attribute):
+                self._record_access(node, held)
+            elif isinstance(node, ast.Call):
+                self._record_call(node, held)
+
+    def _record_access(self, node: ast.Attribute, held: Held) -> None:
+        if not (isinstance(node.value, ast.Name) and node.value.id == "self"):
+            return
+        if node.attr in self.env.locks:
+            return  # lock attributes are tracked as locks, not data
+        write = isinstance(node.ctx, (ast.Store, ast.Del))
+        self.facts.accesses.append(
+            AttrAccess(
+                attr=node.attr,
+                line=node.lineno,
+                write=write,
+                held=held,
+                func=self.facts.name,
+                in_init=self.in_init,
+            )
+        )
+
+    def _record_call(self, node: ast.Call, held: Held) -> None:
+        target = classify_call(node)
+        if target[-1] in ("acquire", "release") and self.env.resolve(
+            node.func.value if isinstance(node.func, ast.Attribute) else node
+        ):
+            return  # handled by the statement-level transfer function
+        self.facts.calls.append(CallSite(target, node.lineno, held))
+        desc = _blocking_desc(target, node)
+        if desc is not None:
+            self.facts.blocking.append(BlockingOp(desc, node.lineno, held))
+
+    # ------------------------------------------------------------------
+    # Publication (CONC005) support: rewrite access records for rebinds
+    # ------------------------------------------------------------------
+    def note_publication(self, stmt: ast.stmt) -> None:
+        """Mark Store accesses whose RHS is a fresh container."""
+        targets: List[ast.expr] = []
+        value = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None or not _is_container_expr(value):
+            return
+        lines = {
+            t.lineno
+            for t in targets
+            if isinstance(t, ast.Attribute)
+            and isinstance(t.value, ast.Name)
+            and t.value.id == "self"
+        }
+        if not lines:
+            return
+        self.facts.accesses = [
+            access if not (access.write and access.line in lines)
+            else AttrAccess(
+                attr=access.attr, line=access.line, write=True,
+                held=access.held, func=access.func, in_init=access.in_init,
+                publishes_container=True,
+            )
+            for access in self.facts.accesses
+        ]
+
+    # ------------------------------------------------------------------
+    # TOCTOU (CONC006)
+    # ------------------------------------------------------------------
+    def _existence_checks(self, test: ast.expr) -> List[str]:
+        """Path expressions probed for existence in an ``if`` test."""
+        out = []
+        for node in ast.walk(test):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            if node.func.attr in _EXISTENCE_CHECKS:
+                if node.args and _expr_text(node.func).endswith("path.exists"):
+                    out.append(_expr_text(node.args[0]))  # os.path.exists(p)
+                elif not node.args:
+                    out.append(_expr_text(node.func.value))  # p.exists()
+        return [p for p in out if p]
+
+    def _check_toctou(self, stmt: ast.If, held: Held,
+                      siblings: Sequence[ast.stmt], index: int) -> None:
+        paths = self._existence_checks(stmt.test)
+        if not paths or self.env.file_locks(held):
+            return  # a held file lock serialises check and use
+        negated = isinstance(stmt.test, ast.UnaryOp) and isinstance(
+            stmt.test.op, ast.Not
+        )
+        if negated:
+            # ``if not p.exists(): return`` — the window spans the rest of
+            # the block, but only when the guard actually diverts flow.
+            if not stmt.body or not isinstance(
+                stmt.body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+            ):
+                return
+            scope: List[ast.stmt] = list(siblings[index + 1:])
+        else:
+            scope = list(stmt.body)
+        for use_line, desc in self._toctou_uses(scope, paths):
+            self.facts.toctou.append(
+                Toctou(paths[0], stmt.lineno, use_line, desc)
+            )
+
+    def _toctou_uses(self, scope: List[ast.stmt], paths: List[str]):
+        """(line, desc) for unprotected filesystem uses of ``paths``."""
+        wanted = set(paths)
+        out = []
+        for stmt in scope:
+            if isinstance(stmt, ast.Try) and any(
+                _handler_catches_oserror(h) for h in stmt.handlers
+            ):
+                continue  # EAFP: the use handles the race
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _TOCTOU_USES
+                    and _expr_text(func.value) in wanted
+                ):
+                    out.append((node.lineno, f"{_expr_text(func)}()"))
+                elif (
+                    isinstance(func, ast.Name)
+                    and func.id == "open"
+                    and node.args
+                    and _expr_text(node.args[0]) in wanted
+                ):
+                    out.append((node.lineno, "open()"))
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "os"
+                    and func.attr in _TOCTOU_USES | {"unlink", "stat", "replace"}
+                    and node.args
+                    and _expr_text(node.args[0]) in wanted
+                ):
+                    out.append((node.lineno, f"os.{func.attr}()"))
+        return out
+
+
+def analyze_function(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+    env: LockEnv,
+    entry_held: Held = frozenset(),
+    protocol_class: bool = False,
+) -> FunctionFacts:
+    """Run the lock-context dataflow over one function body."""
+    walker = _FunctionWalker(env, fn.name, fn.lineno)
+    walker.protocol_class = protocol_class
+    walker.walk_body(fn.body, frozenset(entry_held))
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            walker.note_publication(node)
+    return walker.facts

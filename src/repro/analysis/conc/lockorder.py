@@ -1,0 +1,290 @@
+"""Whole-program lock-order graph, call summaries, entry contexts.
+
+Three interprocedural facts are computed over the per-file models:
+
+**Entry contexts** — a ``_private`` method called *only* via
+``self._method(...)`` inherits the intersection of the lock sets held
+at its call sites (``Scheduler._finish_job`` is only ever called with
+``self._lock`` held, so its body is analysed under that context).
+Public methods and externally-called helpers get the empty context.
+The fixpoint iterates because a caller's own entry context feeds the
+held set at its call sites.
+
+**Method summaries** — for every method/function: does it (transitively)
+perform blocking I/O, and which locks does it (transitively) acquire?
+Calls resolve through ``self``-method dispatch and the attribute type
+bindings (``self.store.record`` → ``ArtifactStore.record``).  The
+blocking summary powers CONC003 ("calls f() which blocks, while
+holding a lock"); the acquire summary adds call-through edges to the
+lock-order graph.
+
+**The lock-order graph** — a directed edge ``A → B`` for every site
+that acquires ``B`` while holding ``A`` (directly or through a call).
+A cycle is a potential ABBA deadlock (CONC002).  Lock names are
+globally qualified (``Scheduler._lock``, ``ArtifactStore.journal_lock``)
+so the graph spans classes and files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .lockflow import CallSite, FunctionFacts
+from .model import ClassModel, ModuleModel, qualify_held
+
+__all__ = [
+    "EdgeSite",
+    "FuncKey",
+    "LockOrderGraph",
+    "MethodSummary",
+    "apply_entry_contexts",
+    "build_lock_order",
+    "summarize_program",
+]
+
+#: (class name or "" for module scope, function name)
+FuncKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class EdgeSite:
+    """Provenance of one lock-order edge."""
+
+    path: str
+    line: int
+    func: str
+
+
+@dataclass
+class MethodSummary:
+    """Transitive effects of one method/function."""
+
+    key: FuncKey
+    blocking: Optional[str] = None  # description of the blocking op, if any
+    acquires: Set[str] = field(default_factory=set)  # global lock names
+
+
+class LockOrderGraph:
+    """Directed graph over global lock names with edge provenance."""
+
+    def __init__(self):
+        self.edges: Dict[Tuple[str, str], EdgeSite] = {}
+
+    def add_edge(self, held: str, acquired: str, site: EdgeSite) -> None:
+        if held == acquired:
+            return  # re-entrant acquire, not an ordering fact
+        self.edges.setdefault((held, acquired), site)
+
+    @property
+    def edge_set(self) -> FrozenSet[Tuple[str, str]]:
+        return frozenset(self.edges)
+
+    def successors(self, lock: str) -> List[str]:
+        return sorted(b for (a, b) in self.edges if a == lock)
+
+    def find_cycles(self) -> List[List[str]]:
+        """Every elementary cycle's node list, deterministically ordered.
+
+        The graph is tiny (a handful of locks), so a DFS from each node
+        in sorted order is plenty; each cycle is canonicalised to start
+        at its smallest node and deduplicated.
+        """
+        nodes = sorted({n for edge in self.edges for n in edge})
+        seen: Set[Tuple[str, ...]] = set()
+        cycles: List[List[str]] = []
+
+        def dfs(start: str, node: str, path: List[str]) -> None:
+            for succ in self.successors(node):
+                if succ == start:
+                    cycle = path[:]
+                    smallest = min(cycle)
+                    while cycle[0] != smallest:
+                        cycle.append(cycle.pop(0))
+                    canon = tuple(cycle)
+                    if canon not in seen:
+                        seen.add(canon)
+                        cycles.append(cycle)
+                elif succ > start and succ not in path:
+                    dfs(start, succ, path + [succ])
+
+        for node in nodes:
+            dfs(node, node, [node])
+        return cycles
+
+
+class _ProgramIndex:
+    """Shared lookup tables over all modules."""
+
+    def __init__(self, modules: Sequence[ModuleModel]):
+        self.modules = list(modules)
+        self.classes: Dict[str, Tuple[ModuleModel, ClassModel]] = {}
+        self.module_funcs: Dict[str, Tuple[ModuleModel, FunctionFacts]] = {}
+        for module in modules:
+            for cls in module.classes.values():
+                self.classes.setdefault(cls.name, (module, cls))
+            for name, facts in module.functions.items():
+                self.module_funcs.setdefault(name, (module, facts))
+
+    def resolve_call(self, cls: Optional[ClassModel],
+                     site: CallSite) -> Optional[FuncKey]:
+        """Map a call site to a (class, function) key inside the program."""
+        target = site.target
+        if target[0] == "self" and cls is not None:
+            if target[1] in cls.methods:
+                return (cls.name, target[1])
+            return None
+        if target[0] == "attr" and cls is not None:
+            bound = cls.bindings.get(target[1])
+            if bound is not None and bound in self.classes:
+                callee_cls = self.classes[bound][1]
+                if target[2] in callee_cls.methods:
+                    return (bound, target[2])
+            return None
+        if target[0] == "global":
+            name = target[1]
+            if "." not in name and name in self.module_funcs:
+                return ("", name)
+        return None
+
+    def facts_for(self, key: FuncKey) -> Tuple[ModuleModel, Optional[ClassModel],
+                                               FunctionFacts]:
+        cls_name, func = key
+        if cls_name:
+            module, cls = self.classes[cls_name]
+            return module, cls, cls.methods[func]
+        module, facts = self.module_funcs[func]
+        return module, None, facts
+
+
+def apply_entry_contexts(modules: Sequence[ModuleModel],
+                         max_rounds: int = 5) -> Dict[FuncKey, FrozenSet[str]]:
+    """Infer and *apply* caller-held lock contexts for private methods.
+
+    Re-analyses each ``_private`` method under the intersection of its
+    intra-class call-site held sets (local lock names), iterating to a
+    fixpoint since entry contexts feed call-site held sets.  Returns the
+    final contexts keyed by (class, method).
+    """
+    contexts: Dict[FuncKey, FrozenSet[str]] = {}
+    for _ in range(max_rounds):
+        changed = False
+        for module in modules:
+            for cls in module.classes.values():
+                all_locks = frozenset(cls.locks)
+                for name in cls.method_asts:
+                    if not name.startswith("_") or name.startswith("__"):
+                        continue  # public / dunder: externally callable
+                    sites = [
+                        site
+                        for facts in cls.methods.values()
+                        for site in facts.calls
+                        if site.target == ("self", name)
+                    ]
+                    if not sites:
+                        entry: FrozenSet[str] = frozenset()
+                    else:
+                        entry = all_locks
+                        for site in sites:
+                            entry &= site.held
+                    if contexts.get((cls.name, name)) != entry:
+                        contexts[(cls.name, name)] = entry
+                        cls.reanalyze(name, entry)
+                        changed = True
+        if not changed:
+            break
+    return contexts
+
+
+def summarize_program(modules: Sequence[ModuleModel],
+                      max_rounds: int = 8) -> Dict[FuncKey, MethodSummary]:
+    """Fixpoint of transitive blocking/acquire summaries over the call
+    graph (monotone: both facts only grow, so iteration terminates)."""
+    index = _ProgramIndex(modules)
+    summaries: Dict[FuncKey, MethodSummary] = {}
+
+    def seed(key: FuncKey, module: ModuleModel, cls: Optional[ClassModel],
+             facts: FunctionFacts) -> None:
+        summary = MethodSummary(key=key)
+        if facts.blocking:
+            summary.blocking = facts.blocking[0].desc
+        for op in facts.acquires:
+            summary.acquires.update(qualify_held(cls, module, frozenset([op.lock])))
+        summaries[key] = summary
+
+    for module in modules:
+        for cls in module.classes.values():
+            for name, facts in cls.methods.items():
+                seed((cls.name, name), module, cls, facts)
+        for name, facts in module.functions.items():
+            seed(("", name), module, None, facts)
+
+    for _ in range(max_rounds):
+        changed = False
+        for module in modules:
+            for cls in list(module.classes.values()) + [None]:
+                if cls is None:
+                    items = [(("", n), f) for n, f in module.functions.items()]
+                else:
+                    items = [((cls.name, n), f) for n, f in cls.methods.items()]
+                for key, facts in items:
+                    summary = summaries[key]
+                    for site in facts.calls:
+                        callee = index.resolve_call(cls, site)
+                        if callee is None or callee == key:
+                            continue
+                        callee_summary = summaries.get(callee)
+                        if callee_summary is None:
+                            continue
+                        if callee_summary.blocking and not summary.blocking:
+                            callee_name = ".".join(part for part in callee if part)
+                            summary.blocking = (
+                                f"{callee_name} -> {callee_summary.blocking}"
+                            )
+                            changed = True
+                        new_locks = callee_summary.acquires - summary.acquires
+                        if new_locks:
+                            summary.acquires.update(new_locks)
+                            changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def build_lock_order(modules: Sequence[ModuleModel],
+                     summaries: Dict[FuncKey, MethodSummary]) -> LockOrderGraph:
+    """Edges from direct nested acquisitions and call-through acquires."""
+    index = _ProgramIndex(modules)
+    graph = LockOrderGraph()
+    for module in modules:
+        for cls in list(module.classes.values()) + [None]:
+            if cls is None:
+                items = list(module.functions.items())
+            else:
+                items = list(cls.methods.items())
+            for name, facts in items:
+                for op in facts.acquires:
+                    if not op.held:
+                        continue
+                    acquired = next(iter(
+                        qualify_held(cls, module, frozenset([op.lock]))
+                    ))
+                    for held in qualify_held(cls, module, op.held):
+                        graph.add_edge(held, acquired,
+                                       EdgeSite(module.path, op.line, name))
+                for site in facts.calls:
+                    if not site.held:
+                        continue
+                    callee = index.resolve_call(cls, site)
+                    if callee is None:
+                        continue
+                    callee_summary = summaries.get(callee)
+                    if callee_summary is None or not callee_summary.acquires:
+                        continue
+                    for held in qualify_held(cls, module, site.held):
+                        for acquired in sorted(callee_summary.acquires):
+                            graph.add_edge(
+                                held, acquired,
+                                EdgeSite(module.path, site.line, name),
+                            )
+    return graph

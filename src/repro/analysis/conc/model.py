@@ -1,0 +1,307 @@
+"""Program model for the concurrency analysis: locks, classes, bindings.
+
+One :class:`ModuleModel` per source file, built purely from the AST:
+
+* **Lock discovery** — ``self.X = threading.Lock()`` / ``RLock()`` /
+  ``FileLock(...)`` / ``Condition(...)`` assignments (module-level
+  variants too).  A ``Condition(self._lock)`` *aliases* the wrapped
+  lock; a bare ``Condition()`` owns a fresh mutex.  The sanitizer's
+  :func:`~repro.analysis.conc.sanitizer.conc_wrap` is transparent:
+  ``conc_wrap(threading.Lock(), "name")`` is a lock.
+* **Attribute classification** — every ``self.X = ...`` assignment
+  names a data attribute; the *guardable* subset (what guarded-by
+  inference considers shared mutable state) is attributes bound to a
+  fresh mutable container, annotated as one, or rebound outside
+  ``__init__``.
+* **Type bindings** — ``self.store = store`` where ``store`` is an
+  ``__init__`` parameter annotated ``store: ArtifactStore``, and
+  ``self.journal = Journal(...)`` constructor calls, bind the attribute
+  to a class name so the whole-program layer can resolve
+  ``self.store.record(...)`` to ``ArtifactStore.record``.
+* **Per-function lock-context facts** via
+  :func:`~repro.analysis.conc.lockflow.analyze_function`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .lockflow import FunctionFacts, LockEnv, analyze_function
+
+__all__ = ["LockDecl", "ClassModel", "ModuleModel", "build_module"]
+
+#: Constructor names that create a lock, by kind.
+_MEMORY_LOCK_CTORS = {"Lock", "RLock"}
+_FILE_LOCK_CTORS = {"FileLock"}
+_CONDITION_CTORS = {"Condition"}
+
+#: Container constructors/annotations marking an attribute guardable.
+_CONTAINER_ANNOTATIONS = {
+    "dict", "list", "set", "deque", "defaultdict", "ordereddict",
+    "counter", "bytearray",
+}
+
+
+@dataclass(frozen=True)
+class LockDecl:
+    """One lock attribute/variable declared in a class or module."""
+
+    name: str
+    kind: str  # "memory" | "file"
+    alias_of: Optional[str]  # Condition(self._lock) aliases "_lock"
+    line: int
+
+
+@dataclass
+class ClassModel:
+    """Static facts about one class definition."""
+
+    name: str
+    path: str
+    line: int
+    locks: Dict[str, LockDecl] = field(default_factory=dict)
+    bindings: Dict[str, str] = field(default_factory=dict)  # attr -> class name
+    data_attrs: Set[str] = field(default_factory=set)
+    guardable_attrs: Set[str] = field(default_factory=set)
+    methods: Dict[str, FunctionFacts] = field(default_factory=dict)
+    method_asts: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    defines_lock_protocol: bool = False
+
+    @property
+    def memory_locks(self) -> FrozenSet[str]:
+        return frozenset(
+            d.name for d in self.locks.values()
+            if d.kind == "memory" and d.alias_of is None
+        )
+
+    @property
+    def root_locks(self) -> FrozenSet[str]:
+        return frozenset(
+            d.name for d in self.locks.values() if d.alias_of is None
+        )
+
+    def lock_env(self) -> LockEnv:
+        aliases = {
+            d.name: d.alias_of if d.alias_of is not None else d.name
+            for d in self.locks.values()
+        }
+        kinds = {
+            d.name: d.kind for d in self.locks.values() if d.alias_of is None
+        }
+        return LockEnv(aliases, kinds, self_based=True)
+
+    def qualify(self, lock: str) -> str:
+        """Global name of one of this class's locks."""
+        return f"{self.name}.{lock}"
+
+    def reanalyze(self, method: str, entry_held: FrozenSet[str]) -> None:
+        """Redo one method's dataflow with an interprocedural entry
+        context (locks guaranteed held by every caller)."""
+        fn = self.method_asts[method]
+        self.methods[method] = analyze_function(
+            fn, self.lock_env(), entry_held=entry_held,
+            protocol_class=self.defines_lock_protocol,
+        )
+
+
+@dataclass
+class ModuleModel:
+    """Static facts about one source file."""
+
+    path: str
+    classes: Dict[str, ClassModel] = field(default_factory=dict)
+    functions: Dict[str, FunctionFacts] = field(default_factory=dict)
+    module_locks: Dict[str, LockDecl] = field(default_factory=dict)
+
+    @property
+    def basename(self) -> str:
+        stem = self.path.rsplit("/", 1)[-1]
+        return stem[:-3] if stem.endswith(".py") else stem
+
+
+def _lock_ctor(node: ast.AST) -> Optional[Tuple[str, Optional[ast.AST]]]:
+    """``(kind, condition_arg)`` when ``node`` constructs a lock.
+
+    Unwraps ``conc_wrap(<ctor>, ...)``.  ``condition_arg`` is the lock
+    expression wrapped by a ``Condition``, if any.
+    """
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name == "conc_wrap" and node.args:
+        return _lock_ctor(node.args[0])
+    if name in _MEMORY_LOCK_CTORS:
+        return ("memory", None)
+    if name in _FILE_LOCK_CTORS:
+        return ("file", None)
+    if name in _CONDITION_CTORS:
+        return ("memory", node.args[0] if node.args else None)
+    return None
+
+
+def _annotation_is_container(annotation: Optional[ast.AST]) -> bool:
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    return name is not None and name.lower() in _CONTAINER_ANNOTATIONS
+
+
+def _annotation_class(annotation: Optional[ast.AST]) -> Optional[str]:
+    """A plain class-name annotation (``store: ArtifactStore``)."""
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.strip("'\"").split("[")[0]
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    return None
+
+
+def _is_container_value(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name is not None and name.lower() in _CONTAINER_ANNOTATIONS
+    return False
+
+
+def _self_attr_target(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _ClassScanner:
+    """First pass over a class body: locks, attributes, bindings."""
+
+    def __init__(self, model: ClassModel):
+        self.model = model
+        self._param_types: Dict[str, str] = {}
+
+    def scan(self, node: ast.ClassDef) -> None:
+        method_names = {
+            item.name for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        self.model.defines_lock_protocol = (
+            "acquire" in method_names and "release" in method_names
+        )
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_method(item)
+
+    def _scan_method(self, fn) -> None:
+        self.model.method_asts[fn.name] = fn
+        self._param_types = {}
+        for arg in list(fn.args.args) + list(fn.args.kwonlyargs):
+            cls_name = _annotation_class(arg.annotation)
+            if cls_name is not None:
+                self._param_types[arg.arg] = cls_name
+        in_init = fn.name == "__init__"
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._scan_assignment(target, node.value, None, in_init)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._scan_assignment(
+                    node.target, node.value, node.annotation, in_init
+                )
+
+    def _scan_assignment(self, target, value, annotation, in_init: bool) -> None:
+        attr = _self_attr_target(target)
+        if attr is None:
+            return
+        ctor = _lock_ctor(value)
+        if ctor is not None:
+            kind, cond_arg = ctor
+            alias = None
+            if cond_arg is not None:
+                alias = _self_attr_target(cond_arg)
+            self.model.locks[attr] = LockDecl(attr, kind, alias, target.lineno)
+            return
+        self.model.data_attrs.add(attr)
+        if (
+            _is_container_value(value)
+            or _annotation_is_container(annotation)
+            or not in_init  # rebinding outside __init__ marks it shared
+        ):
+            self.model.guardable_attrs.add(attr)
+        # Type bindings for interprocedural call resolution.
+        if isinstance(value, ast.Name) and value.id in self._param_types:
+            self.model.bindings[attr] = self._param_types[value.id]
+        elif isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            if value.func.id[:1].isupper():
+                self.model.bindings[attr] = value.func.id
+        elif isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+            if value.func.attr[:1].isupper():
+                self.model.bindings[attr] = value.func.attr
+
+
+def build_module(path: str, tree: ast.AST) -> ModuleModel:
+    """Build the full per-file model (classes, functions, locks)."""
+    module = ModuleModel(path=path)
+    module_lock_aliases: Dict[str, str] = {}
+    module_lock_kinds: Dict[str, str] = {}
+    for node in tree.body if isinstance(tree, ast.Module) else []:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            ctor = _lock_ctor(node.value)
+            if isinstance(target, ast.Name) and ctor is not None:
+                kind, cond_arg = ctor
+                alias = cond_arg.id if isinstance(cond_arg, ast.Name) else None
+                module.module_locks[target.id] = LockDecl(
+                    target.id, kind, alias, node.lineno
+                )
+                module_lock_aliases[target.id] = alias or target.id
+                if alias is None:
+                    module_lock_kinds[target.id] = kind
+    module_env = LockEnv(module_lock_aliases, module_lock_kinds, self_based=False)
+
+    for node in tree.body if isinstance(tree, ast.Module) else []:
+        if isinstance(node, ast.ClassDef):
+            cls = ClassModel(name=node.name, path=path, line=node.lineno)
+            _ClassScanner(cls).scan(node)
+            env = cls.lock_env()
+            for name, fn in cls.method_asts.items():
+                cls.methods[name] = analyze_function(
+                    fn, env, protocol_class=cls.defines_lock_protocol
+                )
+            module.classes[node.name] = cls
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            module.functions[node.name] = analyze_function(node, module_env)
+    return module
+
+
+def qualify_held(cls: Optional[ClassModel], module: ModuleModel,
+                 held: FrozenSet[str]) -> FrozenSet[str]:
+    """Map local lock names to global ``Owner.lock`` names."""
+    out: List[str] = []
+    for lock in held:
+        if cls is not None and lock in cls.locks:
+            out.append(cls.qualify(lock))
+        elif lock in module.module_locks:
+            out.append(f"{module.basename}.{lock}")
+        else:  # pragma: no cover - unresolvable lock name
+            out.append(lock)
+    return frozenset(out)

@@ -1,0 +1,394 @@
+"""TSan-lite dynamic concurrency sanitizer.
+
+The runtime half of the concurrency analysis: where the static side
+*predicts* lock discipline (guarded-by facts, a lock-order graph), the
+sanitizer *observes* it in a live process and cross-checks the two —
+the same static-vs-dynamic move the memory-dependence rules R2/M6 use.
+
+Three mechanisms, all zero-cost when the sanitizer is inactive:
+
+* :func:`conc_wrap` — production code wraps its locks at construction
+  time (``self._lock = conc_wrap(threading.Lock(), "Scheduler._lock")``).
+  With no active sanitizer this returns the lock untouched; with one it
+  returns a :class:`SanitizedLock` proxy that records per-thread held
+  stacks and the dynamic lock-order graph on every acquire/release.
+* :func:`install_guards` — installs :class:`GuardedAttribute` data
+  descriptors on a class so every read/write of a guarded attribute is
+  checked against the current thread's held set.  Values still live in
+  the instance ``__dict__`` under the plain attribute name, so
+  pre-existing instances keep working and uninstall is clean.
+* **Static cross-check** — when constructed with the static lock-order
+  edge set (from :func:`~repro.analysis.conc.facts.service_facts`),
+  any *dynamic* edge missing from the static graph is flagged: either
+  the static analysis lost coverage or the code nests locks in a way
+  no reviewer has blessed.
+
+Violations never raise at the access site (that would change the very
+interleavings being observed); they accumulate on the sanitizer and
+are asserted on by :meth:`Sanitizer.assert_quiet` at the end of a test
+or smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "ConcViolation",
+    "GuardedAttribute",
+    "Sanitizer",
+    "SanitizedLock",
+    "conc_wrap",
+    "current_sanitizer",
+    "disable",
+    "enable",
+    "enable_from_env",
+    "install_guards",
+    "sanitized",
+]
+
+#: Environment switch checked by the service entry points.
+SANITIZE_ENV = "REPRO_CONC_SANITIZE"
+
+
+@dataclass(frozen=True)
+class ConcViolation:
+    """One dynamic rule hit."""
+
+    kind: str  # "lock-order" | "unguarded-access" | "static-mismatch"
+    message: str
+
+
+class Sanitizer:
+    """Collects lock events and guard checks from all threads."""
+
+    def __init__(self, static_edges: Optional[Iterable[Tuple[str, str]]] = None):
+        self._state_lock = threading.Lock()  # internal; never user-visible
+        self._tls = threading.local()
+        self.static_edges: Optional[FrozenSet[Tuple[str, str]]] = (
+            frozenset(static_edges) if static_edges is not None else None
+        )
+        #: dynamic (held, acquired) -> thread name that first created it
+        self.edges: Dict[Tuple[str, str], str] = {}
+        self.violations: List[ConcViolation] = []
+        self.acquire_count = 0
+        self.guard_checks = 0
+
+    # ------------------------------------------------------------------
+    # Per-thread held stack
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Tuple[int, str]]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def held_names(self) -> List[str]:
+        return [name for _, name in self._stack()]
+
+    def holds(self, lock_id: int) -> bool:
+        return any(lid == lock_id for lid, _ in self._stack())
+
+    # ------------------------------------------------------------------
+    # Lock events (called by SanitizedLock with the user lock HELD;
+    # _state_lock is leaf-level and never blocks on user code)
+    # ------------------------------------------------------------------
+    def note_acquire(self, lock_id: int, name: str) -> None:
+        stack = self._stack()
+        thread = threading.current_thread().name
+        with self._state_lock:
+            self.acquire_count += 1
+            for held_id, held_name in stack:
+                if held_id == lock_id:
+                    continue  # re-entrant acquire of the same lock object
+                edge = (held_name, name)
+                if edge not in self.edges:
+                    self.edges[edge] = thread
+                    if (name, held_name) in self.edges:
+                        self._violate(
+                            "lock-order",
+                            f"lock-order inversion: {thread} acquired "
+                            f"{name} while holding {held_name}, but the "
+                            f"opposite order {name} -> {held_name} was "
+                            f"observed on {self.edges[(name, held_name)]}",
+                        )
+                    if (
+                        self.static_edges is not None
+                        and edge not in self.static_edges
+                    ):
+                        self._violate(
+                            "static-mismatch",
+                            f"dynamic lock-order edge {held_name} -> {name} "
+                            f"(thread {thread}) is absent from the static "
+                            f"lock-order graph",
+                        )
+        stack.append((lock_id, name))
+
+    def note_release(self, lock_id: int, name: str) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][0] == lock_id:
+                del stack[i]
+                return
+        with self._state_lock:
+            self._violate(
+                "lock-order",
+                f"release of {name} on thread "
+                f"{threading.current_thread().name} which does not hold it",
+            )
+
+    def _violate(self, kind: str, message: str) -> None:
+        # _state_lock is held by every caller.
+        self.violations.append(ConcViolation(kind, message))
+
+    # ------------------------------------------------------------------
+    # Guard checks (called by GuardedAttribute)
+    # ------------------------------------------------------------------
+    def note_guard_check(self, ok: bool, message: str) -> None:
+        with self._state_lock:
+            self.guard_checks += 1
+            if not ok:
+                self._violate("unguarded-access", message)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> List[ConcViolation]:
+        with self._state_lock:
+            return list(self.violations)
+
+    def counts(self) -> Dict[str, int]:
+        with self._state_lock:
+            return {
+                "acquires": self.acquire_count,
+                "guard_checks": self.guard_checks,
+                "dynamic_edges": len(self.edges),
+                "violations": len(self.violations),
+            }
+
+    def assert_quiet(self) -> None:
+        violations = self.report()
+        if violations:
+            lines = "\n".join(f"  [{v.kind}] {v.message}" for v in violations)
+            raise AssertionError(
+                f"concurrency sanitizer recorded {len(violations)} "
+                f"violation(s):\n{lines}"
+            )
+
+
+class SanitizedLock:
+    """Transparent acquire/release-recording proxy around a lock.
+
+    Works for ``threading.Lock``/``RLock`` and anything exposing the
+    lock protocol (the service ``FileLock`` included).  ``Condition``
+    interoperates because it only uses ``acquire``/``release`` (and
+    probes the optional ``_release_save`` family via ``getattr``, which
+    this proxy forwards faithfully).
+    """
+
+    def __init__(self, lock, name: str, sanitizer: Sanitizer):
+        self._conc_lock = lock
+        self._conc_name = name
+        self._conc_sanitizer = sanitizer
+        #: threads that ever acquired this lock (creator-tolerance input)
+        self._conc_owner_threads: Set[int] = set()
+
+    def acquire(self, *args, **kwargs):
+        got = self._conc_lock.acquire(*args, **kwargs)
+        # FileLock.acquire returns None on success (raises on timeout);
+        # threading locks return True/False.
+        if got is not False:
+            self._conc_owner_threads.add(threading.get_ident())
+            self._conc_sanitizer.note_acquire(id(self), self._conc_name)
+        return got
+
+    def release(self, *args, **kwargs):
+        self._conc_sanitizer.note_release(id(self), self._conc_name)
+        return self._conc_lock.release(*args, **kwargs)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.release()
+        return False
+
+    def __getattr__(self, name):
+        return getattr(self._conc_lock, name)
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"<SanitizedLock {self._conc_name} wrapping {self._conc_lock!r}>"
+
+
+class GuardedAttribute:
+    """Data descriptor enforcing "hold the guard lock to touch this".
+
+    The value lives in the instance ``__dict__`` under the plain
+    attribute name — the descriptor shadows it while installed, and
+    plain attribute access resumes seamlessly after uninstall.
+
+    Creator tolerance: single-threaded setup (``__init__``, wiring
+    before workers start) must not trip the check, so unguarded access
+    from the thread that first wrote the attribute is tolerated until
+    some *other* thread has acquired the guard lock.
+    """
+
+    def __init__(self, name: str, guard_attr: str, owner: str = "?"):
+        self.name = name
+        self.guard_attr = guard_attr
+        self.owner = owner
+        self._creator_key = f"_conc_creator_{name}"
+
+    def _creator(self, obj) -> int:
+        """The attribute's construction-era thread: recorded on the
+        first write, or adopted from the first observed access when the
+        descriptor was installed onto a class with live instances."""
+        creator = obj.__dict__.get(self._creator_key)
+        if creator is None:
+            creator = threading.get_ident()
+            obj.__dict__[self._creator_key] = creator
+        return creator
+
+    def _check(self, obj, mode: str) -> None:
+        sanitizer = current_sanitizer()
+        if sanitizer is None:
+            return
+        guard = getattr(obj, self.guard_attr, None)
+        if not isinstance(guard, SanitizedLock):
+            return  # unwrapped lock: the sanitizer cannot observe it
+        if sanitizer.holds(id(guard)):
+            sanitizer.note_guard_check(True, "")
+            return
+        me = threading.get_ident()
+        if self._creator(obj) == me and not (guard._conc_owner_threads - {me}):
+            sanitizer.note_guard_check(True, "")
+            return
+        sanitizer.note_guard_check(
+            False,
+            f"unguarded {mode} of {self.owner}.{self.name} on thread "
+            f"{threading.current_thread().name}: guard "
+            f"{guard._conc_name} not held",
+        )
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        self._check(obj, "read")
+        try:
+            return obj.__dict__[self.name]
+        except KeyError:
+            raise AttributeError(self.name) from None
+
+    def __set__(self, obj, value):
+        if self._creator_key not in obj.__dict__:
+            obj.__dict__[self._creator_key] = threading.get_ident()
+            obj.__dict__[self.name] = value
+            return  # first write is construction, never checked
+        self._check(obj, "write")
+        obj.__dict__[self.name] = value
+
+
+def install_guards(cls: type, guards: Dict[str, str]) -> Callable[[], None]:
+    """Install guard descriptors for ``{attr: guard_lock_attr}`` on a
+    class; returns a callable that removes them again."""
+    installed: List[str] = []
+    for attr, guard_attr in sorted(guards.items()):
+        if isinstance(cls.__dict__.get(attr), GuardedAttribute):
+            continue
+        setattr(cls, attr, GuardedAttribute(attr, guard_attr, owner=cls.__name__))
+        installed.append(attr)
+
+    def uninstall() -> None:
+        for attr in installed:
+            if isinstance(cls.__dict__.get(attr), GuardedAttribute):
+                delattr(cls, attr)
+
+    return uninstall
+
+
+# ----------------------------------------------------------------------
+# Global activation
+# ----------------------------------------------------------------------
+_active: Optional[Sanitizer] = None
+_uninstallers: List[Callable[[], None]] = []
+
+
+def current_sanitizer() -> Optional[Sanitizer]:
+    return _active
+
+
+def conc_wrap(lock, name: str):
+    """Wrap a lock for sanitizing when a sanitizer is active, else
+    return it untouched.  Call at construction time, *before* handing
+    the lock to a ``Condition`` — the Condition must see the proxy."""
+    if _active is None:
+        return lock
+    return SanitizedLock(lock, name, _active)
+
+
+def enable(sanitizer: Sanitizer) -> Sanitizer:
+    global _active
+    if _active is not None:
+        raise RuntimeError("a concurrency sanitizer is already active")
+    _active = sanitizer
+    return sanitizer
+
+
+def disable() -> None:
+    global _active
+    _active = None
+    while _uninstallers:
+        _uninstallers.pop()()
+
+
+class sanitized:
+    """Context manager: activate a fresh sanitizer for the block.
+
+    >>> with sanitized() as s:
+    ...     run_workload()
+    >>> s.assert_quiet()
+    """
+
+    def __init__(self, static_edges: Optional[Iterable[Tuple[str, str]]] = None,
+                 guards: Optional[Dict[type, Dict[str, str]]] = None):
+        self.sanitizer = Sanitizer(static_edges=static_edges)
+        self._guards = guards or {}
+
+    def __enter__(self) -> Sanitizer:
+        enable(self.sanitizer)
+        for cls, mapping in self._guards.items():
+            _uninstallers.append(install_guards(cls, mapping))
+        return self.sanitizer
+
+    def __exit__(self, exc_type, exc, tb):
+        disable()
+        return False
+
+
+def enable_from_env() -> Optional[Sanitizer]:
+    """Activate the sanitizer when :data:`SANITIZE_ENV` is set.
+
+    Runs the static analysis over the installed service sources to get
+    the lock-order edge set (cross-check input) and the guarded-by
+    table (descriptor installation on ``Scheduler``/``ArtifactStore``).
+    Call before constructing any service objects.
+    """
+    if os.environ.get(SANITIZE_ENV) != "1" or _active is not None:
+        return None
+    from repro.service.scheduler import Scheduler
+    from repro.service.store import ArtifactStore
+
+    from .facts import service_facts
+
+    program = service_facts()
+    sanitizer = enable(Sanitizer(static_edges=program.order_edges()))
+    for cls in (Scheduler, ArtifactStore):
+        mapping = program.guard_attrs(cls.__name__)
+        if mapping:
+            _uninstallers.append(install_guards(cls, mapping))
+    return sanitizer

@@ -14,28 +14,41 @@ See ``docs/LINTING.md`` for how to write a rule.
 
 from .baseline import DEFAULT_BASELINE_PATH, Baseline
 from .engine import (
+    CONC_PROFILE,
     DETERMINISM_PROFILE,
     LintResult,
     LintTarget,
     collect_files,
     lint_files,
+    lint_program,
     lint_source,
     run_lint,
 )
-from .registry import FileContext, Finding, Rule, all_rules, get_rule, register
+from .registry import (
+    FileContext,
+    Finding,
+    ProgramContext,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+)
 from .report import render_text, to_json, to_sarif, write_sarif
 
 __all__ = [
     "Baseline",
+    "CONC_PROFILE",
     "DEFAULT_BASELINE_PATH",
     "DETERMINISM_PROFILE",
     "LintResult",
     "LintTarget",
     "collect_files",
     "lint_files",
+    "lint_program",
     "lint_source",
     "run_lint",
     "FileContext",
+    "ProgramContext",
     "Finding",
     "Rule",
     "all_rules",

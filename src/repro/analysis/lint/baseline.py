@@ -63,5 +63,13 @@ class Baseline:
     def covers(self, finding: Finding) -> bool:
         return finding.fingerprint in self.entries
 
+    def prune(self, fingerprints: Iterable[str]) -> int:
+        """Drop the given fingerprints; returns how many were removed."""
+        removed = 0
+        for fingerprint in fingerprints:
+            if self.entries.pop(fingerprint, None) is not None:
+                removed += 1
+        return removed
+
     def __len__(self) -> int:
         return len(self.entries)

@@ -24,17 +24,20 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ...exec.fanout import fanout_map
+from . import rules_concurrency  # noqa: F401 - registers the CONC rules
 from . import rules_determinism  # noqa: F401 - registers the DET rules
 from .baseline import Baseline
-from .registry import FileContext, Finding, all_rules
+from .registry import FileContext, Finding, ProgramContext, all_rules
 
 __all__ = [
     "LintResult",
     "LintTarget",
+    "CONC_PROFILE",
     "DETERMINISM_PROFILE",
     "collect_files",
     "lint_source",
     "lint_files",
+    "lint_program",
     "run_lint",
 ]
 
@@ -59,6 +62,17 @@ DETERMINISM_PROFILE = (
     LintTarget(paths=rules_determinism.DET004_TARGETS, codes=("DET004",)),
 )
 
+#: The concurrency sweep: whole-program CONC rules over the subsystems
+#: that share state across threads/processes.  One target, because the
+#: analysis must see scheduler *and* store *and* cache together to
+#: resolve cross-class calls.
+CONC_PROFILE = (
+    LintTarget(
+        paths=("src/repro/service", "src/repro/exec", "src/repro/analysis/conc"),
+        codes=rules_concurrency.CONC_RULE_CODES,
+    ),
+)
+
 
 @dataclass
 class LintResult:
@@ -67,6 +81,10 @@ class LintResult:
     findings: List[Finding] = field(default_factory=list)  # everything, sorted
     blocking: List[Finding] = field(default_factory=list)  # fail the run
     baselined: List[Finding] = field(default_factory=list)  # known warn-first debt
+    #: baseline fingerprints this run *would* have re-checked (their code
+    #: ran and their file was linted) but that no longer fire — paid-off
+    #: debt that should be pruned from the baseline file
+    stale: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -92,27 +110,37 @@ def collect_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
     return files
 
 
-def _suppressed_lines(source: str) -> Set[int]:
-    """Line numbers carrying a ``# det-ok: <reason>`` justification."""
+def _suppressed_lines(source: str, marker: str = "det-ok:") -> Set[int]:
+    """Line numbers carrying a justified ``# <marker> <reason>``."""
     out = set()
     for lineno, text in enumerate(source.splitlines(), start=1):
-        if "det-ok:" in text and text.split("det-ok:", 1)[1].strip():
+        if marker in text and text.split(marker, 1)[1].strip():
             out.add(lineno)
     return out
+
+
+def _file_context(path: str, source: str) -> FileContext:
+    tree = ast.parse(source, filename=path)
+    return FileContext(
+        path, source, tree,
+        _suppressed_lines(source),
+        conc_suppressed=_suppressed_lines(source, "conc-ok:"),
+    )
 
 
 def lint_source(
     path: str, source: str, codes: Optional[Tuple[str, ...]] = None
 ) -> List[Finding]:
-    """Run the selected rules over one file's text."""
+    """Run the selected file-scope rules over one file's text."""
     try:
-        tree = ast.parse(source, filename=path)
+        ctx = _file_context(path, source)
     except SyntaxError as exc:
         return [Finding(path, exc.lineno or 0, SYNTAX_ERROR_CODE,
                         f"syntax error: {exc.msg}")]
-    ctx = FileContext(path, source, tree, _suppressed_lines(source))
     findings: List[Finding] = []
     for rule in all_rules(set(codes) if codes is not None else None):
+        if rule.scope != "file":
+            continue
         findings.extend(
             f for f in rule.check(ctx) if f.line not in ctx.suppressed
         )
@@ -137,6 +165,46 @@ def lint_files(
     return sorted(findings, key=lambda f: (f.path, f.line, f.code))
 
 
+def lint_program(
+    files: Sequence[Union[str, Path]],
+    codes: Optional[Tuple[str, ...]] = None,
+) -> List[Finding]:
+    """Run the selected program-scope rules over all files at once.
+
+    Runs serially in the parent (the whole-program model is built once
+    and shared, so there is nothing to fan out).  Unparseable files are
+    skipped here — the file-scope pass reports the syntax error.
+    """
+    rules = [
+        r for r in all_rules(set(codes) if codes is not None else None)
+        if r.scope == "program"
+    ]
+    if not rules:
+        return []
+    contexts: List[FileContext] = []
+    for f in files:
+        path = str(f)
+        try:
+            contexts.append(_file_context(path, Path(path).read_text()))
+        except SyntaxError:
+            continue
+    pctx = ProgramContext(contexts)
+    by_path = {ctx.path: ctx for ctx in contexts}
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check_program(pctx):
+            ctx = by_path.get(finding.path)
+            if ctx is not None:
+                suppressed = (
+                    ctx.conc_suppressed if finding.code.startswith("CONC")
+                    else ctx.suppressed
+                )
+                if finding.line in suppressed:
+                    continue
+            findings.append(finding)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.code))
+
+
 def run_lint(
     targets: Sequence[LintTarget],
     jobs: int = 1,
@@ -152,9 +220,17 @@ def run_lint(
     blocking_codes.add(SYNTAX_ERROR_CODE)
 
     findings: List[Finding] = []
+    linted_paths: Set[str] = set()
+    ran_codes: Set[str] = set()
     for target in targets:
         files = collect_files(target.paths)
+        linted_paths.update(str(f) for f in files)
+        ran_codes.update(
+            target.codes if target.codes is not None
+            else (r.code for r in all_rules())
+        )
         findings.extend(lint_files(files, codes=target.codes, jobs=jobs))
+        findings.extend(lint_program(files, codes=target.codes))
     findings.sort(key=lambda f: (f.path, f.line, f.code))
 
     result = LintResult(findings=findings)
@@ -163,4 +239,15 @@ def run_lint(
             result.baselined.append(finding)
         else:
             result.blocking.append(finding)
+
+    # Stale baseline entries: this run re-checked them (code ran, file
+    # was linted) and they no longer fire.
+    live = {f.fingerprint for f in findings}
+    for fingerprint in sorted(baseline.entries):
+        parts = fingerprint.split("::", 2)
+        if len(parts) != 3:
+            continue
+        path, code, _ = parts
+        if code in ran_codes and path in linted_paths and fingerprint not in live:
+            result.stale.append(fingerprint)
     return result

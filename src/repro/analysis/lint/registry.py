@@ -30,7 +30,15 @@ import ast
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set, Type
 
-__all__ = ["Finding", "FileContext", "Rule", "register", "all_rules", "get_rule"]
+__all__ = [
+    "Finding",
+    "FileContext",
+    "ProgramContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+]
 
 
 @dataclass(frozen=True)
@@ -60,13 +68,38 @@ class FileContext:
     themselves.
     """
 
-    __slots__ = ("path", "source", "tree", "suppressed")
+    __slots__ = ("path", "source", "tree", "suppressed", "conc_suppressed")
 
-    def __init__(self, path: str, source: str, tree: ast.AST, suppressed: Set[int]):
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.AST,
+        suppressed: Set[int],
+        conc_suppressed: Set[int] = frozenset(),
+    ):
         self.path = path
         self.source = source
         self.tree = tree
         self.suppressed = suppressed
+        #: lines carrying ``# conc-ok: <reason>`` (CONC-family suppression)
+        self.conc_suppressed = conc_suppressed
+
+
+class ProgramContext:
+    """Every file of one lint target, for whole-program rules.
+
+    Program-scope rules see all files at once (cross-file facts like a
+    lock-order graph need the full picture).  ``cache`` is a scratch
+    dict shared by the rules of one run, so a family of rules can build
+    its expensive program model exactly once.
+    """
+
+    __slots__ = ("files", "cache")
+
+    def __init__(self, files: List[FileContext]):
+        self.files = files
+        self.cache: Dict[str, object] = {}
 
 
 class Rule:
@@ -77,8 +110,14 @@ class Rule:
     #: blocking rules always fail the run; warn-first rules defer to the
     #: baseline ratchet
     blocking: bool = True
+    #: "file" rules get one FileContext at a time; "program" rules get a
+    #: ProgramContext covering the whole target
+    scope: str = "file"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check_program(self, pctx: ProgramContext) -> Iterator[Finding]:
         raise NotImplementedError
 
     def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:

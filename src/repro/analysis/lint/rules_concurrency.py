@@ -1,0 +1,107 @@
+"""CONC001–CONC006: lock-discipline rules for the service layer.
+
+Thin adapters over the whole-program concurrency analysis in
+:mod:`repro.analysis.conc` — the expensive model (per-file lock
+dataflow, interprocedural entry contexts, guarded-by inference, the
+global lock-order graph) is built once per lint target and shared by
+all six rules through the :class:`ProgramContext` cache.
+
+Failure semantics follow the engine's ratchet convention:
+
+* **Blocking** (a hit always fails the run): CONC002 lock-order
+  inversion, CONC004 unbalanced acquire, CONC006 TOCTOU — these are
+  outright bugs with no legitimate steady state.
+* **Warn-first** (baseline ratchet): CONC001 unguarded access, CONC003
+  blocking-under-lock, CONC005 unsynchronized publication — real
+  designs sometimes do these deliberately (startup-only reads, the
+  store-write-before-state-update crash-consistency contract), so the
+  escape hatch is an explicit ``# conc-ok: <reason>`` annotation or a
+  baselined fingerprint.
+
+Suppression: a ``# conc-ok: <reason>`` comment on the reported line
+silences CONC rules only (``# det-ok:`` does not silence CONC and vice
+versa).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..conc.facts import ConcProgram
+from .registry import Finding, ProgramContext, Rule, register
+
+__all__ = ["CONC_RULE_CODES"]
+
+CONC_RULE_CODES = (
+    "CONC001", "CONC002", "CONC003", "CONC004", "CONC005", "CONC006",
+)
+
+_CACHE_KEY = "conc_program"
+
+
+def _program(pctx: ProgramContext) -> ConcProgram:
+    """The shared ConcProgram for this target (built once)."""
+    program = pctx.cache.get(_CACHE_KEY)
+    if program is None:
+        program = ConcProgram.from_sources(
+            [(ctx.path, ctx.source) for ctx in pctx.files]
+        )
+        pctx.cache[_CACHE_KEY] = program
+    return program
+
+
+class _ConcRule(Rule):
+    """Base: emit the driver's findings for this rule's code."""
+
+    scope = "program"
+
+    def check_program(self, pctx: ProgramContext) -> Iterator[Finding]:
+        for fact in _program(pctx).findings([self.code]):
+            yield Finding(fact.path, fact.line, fact.code, fact.message)
+
+
+@register
+class UnguardedAccess(_ConcRule):
+    code = "CONC001"
+    summary = ("access to a shared attribute without its inferred guard "
+               "lock held")
+    blocking = False
+
+
+@register
+class LockOrderInversion(_ConcRule):
+    code = "CONC002"
+    summary = "cycle in the static lock-order graph (potential ABBA deadlock)"
+    blocking = True
+
+
+@register
+class BlockingUnderLock(_ConcRule):
+    code = "CONC003"
+    summary = ("blocking call (file/network/sleep/subprocess) while "
+               "holding an in-memory lock")
+    blocking = False
+
+
+@register
+class UnbalancedAcquire(_ConcRule):
+    code = "CONC004"
+    summary = ("lock.acquire() without a guaranteed release on every "
+               "path; use 'with' or try/finally")
+    blocking = True
+
+
+@register
+class UnsynchronizedPublication(_ConcRule):
+    code = "CONC005"
+    summary = ("shared container attribute rebound without holding the "
+               "class's lock")
+    blocking = False
+
+
+@register
+class ToctouFilesystemRace(_ConcRule):
+    code = "CONC006"
+    summary = ("time-of-check/time-of-use race between an existence "
+               "check and a filesystem operation")
+    blocking = True

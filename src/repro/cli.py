@@ -494,6 +494,7 @@ def _cmd_analyze(args) -> int:
 def _cmd_lint(args) -> int:
     """Whole-repo lint over the pluggable rule engine."""
     from .analysis.lint import (
+        CONC_PROFILE,
         DEFAULT_BASELINE_PATH,
         DETERMINISM_PROFILE,
         Baseline,
@@ -521,6 +522,8 @@ def _cmd_lint(args) -> int:
         targets = [LintTarget(paths=profile_paths, codes=codes)]
     else:
         targets = list(DETERMINISM_PROFILE)
+    if args.conc and not args.paths:
+        targets.extend(CONC_PROFILE)
 
     baseline_path = args.baseline or DEFAULT_BASELINE_PATH
     try:
@@ -544,6 +547,14 @@ def _cmd_lint(args) -> int:
         print(f"wrote {baseline_path} ({len(warn_first)} finding(s))")
         return 0
 
+    if args.prune_baseline:
+        removed = baseline.prune(result.stale)
+        if removed:
+            baseline.save(baseline_path)
+        print(f"pruned {removed} stale entr{'y' if removed == 1 else 'ies'} "
+              f"from {baseline_path} ({len(baseline)} left)")
+        return 0
+
     if args.sarif:
         write_sarif(result, args.sarif)
     if args.json:
@@ -553,6 +564,16 @@ def _cmd_lint(args) -> int:
             print(line)
         if not result.ok:
             print(f"{len(result.blocking)} lint violation(s)", file=sys.stderr)
+    if args.fail_stale and result.stale:
+        for fingerprint in result.stale:
+            print(f"stale baseline entry: {fingerprint}", file=sys.stderr)
+        print(
+            f"{len(result.stale)} stale baseline entr"
+            f"{'y' if len(result.stale) == 1 else 'ies'}; run "
+            f"'repro-sim lint --prune-baseline' to remove",
+            file=sys.stderr,
+        )
+        return 1
     return result.exit_code
 
 
@@ -843,13 +864,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_parser = sub.add_parser(
         "lint",
-        help="whole-repo lint (determinism rules DET001-DET005)",
+        help="whole-repo lint (determinism DET001-DET005, "
+             "concurrency CONC001-CONC006)",
     )
     lint_parser.add_argument("paths", nargs="*", default=None,
                              help="files/dirs to lint; default: the "
                                   "determinism profile")
     lint_parser.add_argument("--rules", nargs="*", default=None, metavar="CODE",
                              help="restrict to specific rule codes")
+    lint_parser.add_argument("--conc", action="store_true",
+                             help="also run the whole-program concurrency "
+                                  "profile (CONC rules over the service/"
+                                  "exec layers)")
     lint_parser.add_argument("--jobs", type=int, default=1,
                              help="parallel per-file analysis processes")
     lint_parser.add_argument("--json", action="store_true",
@@ -864,6 +890,12 @@ def build_parser() -> argparse.ArgumentParser:
                                   "warn-first findings and exit 0")
     lint_parser.add_argument("--show-baselined", action="store_true",
                              help="also print baselined warn-first findings")
+    lint_parser.add_argument("--prune-baseline", action="store_true",
+                             help="drop stale entries (rechecked but no "
+                                  "longer firing) from the baseline file")
+    lint_parser.add_argument("--fail-stale", action="store_true",
+                             help="exit 1 when the baseline has stale "
+                                  "entries (CI hygiene)")
     lint_parser.add_argument("--list-rules", action="store_true",
                              help="list registered rules and exit")
 

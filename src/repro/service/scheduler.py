@@ -31,6 +31,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from ..analysis.conc.sanitizer import conc_wrap
 from ..exec.cache import cache_key
 from ..exec.jobs import Job, job_to_payload, suite_for_args
 from ..exec.progress import ProgressReporter
@@ -111,7 +112,9 @@ class Scheduler:
         self.lease_ttl = lease_ttl
         self.max_attempts = max(1, int(max_attempts))
         self._clock = clock
-        self._lock = threading.Lock()
+        # conc_wrap must happen before Condition() so the CV and the
+        # sanitizer observe the same object.
+        self._lock = conc_wrap(threading.Lock(), "Scheduler._lock")
         self._cv = threading.Condition(self._lock)
         self.campaigns: Dict[str, Campaign] = {}
         self.jobs: Dict[str, JobRecord] = {}
@@ -360,7 +363,10 @@ class Scheduler:
         self._persist_campaign(campaign)
 
     def _persist_campaign(self, campaign: Campaign) -> None:
-        self.store.save_campaign(
+        # Crash-consistency contract: the campaign record must hit disk
+        # before the state transition is observable, so this atomic write
+        # deliberately happens under _lock (docs/CONCURRENCY.md).
+        self.store.save_campaign(  # conc-ok: persistence-before-visibility contract
             {
                 "id": campaign.campaign_id,
                 "label": campaign.spec.label,
@@ -531,7 +537,7 @@ class Scheduler:
             if record.get("state") in TERMINAL_CAMPAIGN_STATES:
                 continue
             campaign_id = record.get("id")
-            if not campaign_id or campaign_id in self.campaigns:
+            if not campaign_id or campaign_id in self.campaigns:  # conc-ok: resume() runs before worker threads start
                 continue
             self.submit(record["spec"], campaign_id=campaign_id)
             resumed.append(campaign_id)

@@ -29,6 +29,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Union
 
 from .. import __version__
+from ..analysis.conc.sanitizer import current_sanitizer, enable_from_env
 from ..stats.export import stats_to_dict
 from ..exec.jobs import result_from_payload, spec_from_payload
 from .scheduler import JOB_FAILED, Scheduler
@@ -113,7 +114,11 @@ class _Handler(BaseHTTPRequestHandler):
             if self.path == "/healthz":
                 self._send_json(200, {"ok": True, "version": __version__})
             elif self.path == "/metrics":
-                self._send_json(200, self.scheduler.metrics())
+                document = self.scheduler.metrics()
+                sanitizer = self.server.campaign_server.sanitizer  # type: ignore[attr-defined]
+                if sanitizer is not None:
+                    document["conc_sanitizer"] = sanitizer.counts()
+                self._send_json(200, document)
             elif match := _CAMPAIGN_RE.match(self.path):
                 self._get_campaign(match.group(1))
             elif match := _EVENTS_RE.match(self.path):
@@ -245,6 +250,10 @@ class CampaignServer:
         resume: bool = True,
         verbose: bool = False,
     ):
+        # The TSan-lite sanitizer must activate before any locks are
+        # constructed (REPRO_CONC_SANITIZE=1; see docs/CONCURRENCY.md).
+        enable_from_env()
+        self.sanitizer = current_sanitizer()
         if not isinstance(store, ArtifactStore):
             store = ArtifactStore(store)
         self.store = store

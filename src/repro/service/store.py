@@ -32,10 +32,12 @@ from __future__ import annotations
 import errno
 import json
 import os
+import random
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from ..analysis.conc.sanitizer import conc_wrap
 from ..exec.cache import Journal, ResultCache, write_atomic
 
 try:  # pragma: no cover - platform probe
@@ -59,6 +61,14 @@ class FileLock:
     leases (older than ``stale`` seconds) broken on the assumption the
     owner died.  Both variants are re-entrant-free and cheap: journal
     appends and id allocation hold the lock for microseconds.
+
+    A contended acquire retries with exponential backoff plus jitter —
+    starting at ``poll`` and doubling up to ``max_poll`` — so a herd of
+    workers waking on a released lock does not retry in lockstep.  The
+    jitter source is seeded from the pid (deterministic per process,
+    decorrelated across processes).  Whichever variant holds the lock
+    writes its pid into the lock file, so a :class:`LockTimeout` can
+    name the holder and how long it has held on.
     """
 
     def __init__(
@@ -67,24 +77,53 @@ class FileLock:
         timeout: float = 30.0,
         poll: float = 0.01,
         stale: float = 120.0,
+        max_poll: float = 0.5,
     ):
         self.path = Path(path)
         self.timeout = timeout
         self.poll = poll
         self.stale = stale
+        self.max_poll = max_poll
         self._fd: Optional[int] = None
         self._leased = False
+        self._jitter: Optional[random.Random] = None
 
     # ------------------------------------------------------------------
     def acquire(self) -> None:
         deadline = _clock() + self.timeout
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        delay = self.poll
         while True:
             if self._try_acquire():
                 return
-            if _clock() >= deadline:
-                raise LockTimeout(f"could not lock {self.path} within {self.timeout}s")
-            time.sleep(self.poll)
+            now = _clock()
+            if now >= deadline:
+                raise LockTimeout(
+                    f"could not lock {self.path} within {self.timeout}s"
+                    f"{self._holder_clause()}"
+                )
+            if self._jitter is None:
+                # Lazy and per-instance: a fork after construction still
+                # gets a pid-distinct sequence.
+                self._jitter = random.Random(os.getpid())
+            # Full jitter over [poll, delay], capped by the deadline.
+            sleep_for = min(
+                self._jitter.uniform(self.poll, delay), deadline - now
+            )
+            time.sleep(sleep_for)
+            delay = min(delay * 2, self.max_poll)
+
+    def _holder_clause(self) -> str:
+        """Best-effort `` (held by pid N for X.Ys)`` from the lock file."""
+        try:
+            raw = self.path.read_text().strip()
+            age = time.time() - os.stat(self.path).st_mtime  # det-ok: diagnostic age in an error message
+        except OSError:
+            return ""
+        pid = raw.splitlines()[0].strip() if raw else ""
+        if not pid:
+            return ""
+        return f" (held by pid {pid} for {age:.1f}s)"
 
     def release(self) -> None:
         if self._fd is not None:
@@ -115,6 +154,11 @@ class FileLock:
             except OSError:
                 os.close(fd)
                 return False
+            try:  # advertise the holder for LockTimeout diagnostics
+                os.ftruncate(fd, 0)
+                os.write(fd, f"{os.getpid()}\n".encode())
+            except OSError:  # pragma: no cover - diagnostics only
+                pass
             self._fd = fd
             return True
         return self._try_lease()
@@ -163,9 +207,14 @@ class ArtifactStore(ResultCache):
         self.root_dir = Path(root)
         super().__init__(self.root_dir / "cache", sim_version=sim_version)
         self.journal = Journal(self.root_dir / "journal.jsonl")
-        self.journal_lock = FileLock(self.root_dir / "journal.lock")
+        self.journal_lock = conc_wrap(
+            FileLock(self.root_dir / "journal.lock"),
+            "ArtifactStore.journal_lock",
+        )
         self._ids_path = self.root_dir / "ids"
-        self._ids_lock = FileLock(self.root_dir / "ids.lock")
+        self._ids_lock = conc_wrap(
+            FileLock(self.root_dir / "ids.lock"), "ArtifactStore._ids_lock"
+        )
         self.campaigns_dir = self.root_dir / "campaigns"
         if compact_on_start:
             with self.journal_lock:

@@ -1,0 +1,327 @@
+"""Unit tests for the static concurrency model: lock discovery, lock
+dataflow, guard inference, entry contexts, lock-order graph."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.conc import ConcProgram
+from repro.analysis.conc.guards import infer_guards
+from repro.analysis.conc.model import build_module
+
+import ast
+
+
+def module(source: str, path: str = "m.py"):
+    return build_module(path, ast.parse(textwrap.dedent(source)))
+
+
+def program(*sources):
+    return ConcProgram.from_sources(
+        [(f"m{i}.py", textwrap.dedent(src)) for i, src in enumerate(sources)]
+    )
+
+
+# ----------------------------------------------------------------------
+# Lock discovery
+# ----------------------------------------------------------------------
+class TestLockDiscovery:
+    def test_threading_lock_kinds(self):
+        m = module(
+            """
+            import threading
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._r = threading.RLock()
+                    self.flock = FileLock("x")
+            """
+        )
+        cls = m.classes["S"]
+        assert cls.locks["_lock"].kind == "memory"
+        assert cls.locks["_r"].kind == "memory"
+        assert cls.locks["flock"].kind == "file"
+        assert cls.memory_locks == frozenset({"_lock", "_r"})
+
+    def test_condition_aliases_wrapped_lock(self):
+        m = module(
+            """
+            import threading
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cv = threading.Condition(self._lock)
+            """
+        )
+        cls = m.classes["S"]
+        assert cls.locks["_cv"].alias_of == "_lock"
+        assert cls.memory_locks == frozenset({"_lock"})
+
+    def test_conc_wrap_is_transparent(self):
+        m = module(
+            """
+            import threading
+            class S:
+                def __init__(self):
+                    self._lock = conc_wrap(threading.Lock(), "S._lock")
+            """
+        )
+        assert m.classes["S"].locks["_lock"].kind == "memory"
+
+    def test_module_level_lock(self):
+        m = module(
+            """
+            import threading
+            _GLOBAL = threading.Lock()
+            """
+        )
+        assert m.module_locks["_GLOBAL"].kind == "memory"
+
+
+# ----------------------------------------------------------------------
+# Lock-context dataflow
+# ----------------------------------------------------------------------
+class TestLockflow:
+    def test_with_block_and_cv_alias(self):
+        m = module(
+            """
+            import threading
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cv = threading.Condition(self._lock)
+                    self.items = []
+                def a(self):
+                    with self._lock:
+                        self.items.append(1)
+                def b(self):
+                    with self._cv:
+                        self.items.append(2)
+                def c(self):
+                    self.items.append(3)
+            """
+        )
+        cls = m.classes["S"]
+        held = {
+            f.name: [sorted(a.held) for a in facts.accesses]
+            for f, facts in ((cls.method_asts[n], cls.methods[n])
+                             for n in ("a", "b", "c"))
+        }
+        assert held["a"] == [["_lock"]]
+        assert held["b"] == [["_lock"]]  # CV resolves to the root lock
+        assert held["c"] == [[]]
+
+    def test_if_branches_meet_by_intersection(self):
+        m = module(
+            """
+            import threading
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []
+                def f(self, flag):
+                    if flag:
+                        self._lock.acquire()
+                    self.items.append(1)
+            """
+        )
+        facts = m.classes["S"].methods["f"]
+        # lock only held on one arm -> not held at the join
+        assert facts.accesses[0].held == frozenset()
+
+    def test_entry_context_applied_to_private_helper(self):
+        p = program(
+            """
+            import threading
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []
+                def public(self):
+                    with self._lock:
+                        self._helper()
+                def also_public(self):
+                    with self._lock:
+                        self._helper()
+                def _helper(self):
+                    self.items.append(1)
+            """
+        )
+        assert p.entry_contexts[("S", "_helper")] == frozenset({"_lock"})
+        facts = p.modules[0].classes["S"].methods["_helper"]
+        assert facts.accesses[0].held == frozenset({"_lock"})
+
+    def test_entry_context_is_intersection_of_callers(self):
+        p = program(
+            """
+            import threading
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []
+                def locked_path(self):
+                    with self._lock:
+                        self._helper()
+                def unlocked_path(self):
+                    self._helper()
+                def _helper(self):
+                    self.items.append(1)
+            """
+        )
+        assert p.entry_contexts[("S", "_helper")] == frozenset()
+
+
+# ----------------------------------------------------------------------
+# Guard inference
+# ----------------------------------------------------------------------
+class TestGuardInference:
+    SRC = """
+        import threading
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.items = {}
+            def a(self):
+                with self._lock:
+                    self.items["a"] = 1
+            def b(self):
+                with self._lock:
+                    return self.items.get("b")
+            def c(self):
+                with self._lock:
+                    del self.items["c"]
+    """
+
+    def test_infers_dominating_lock(self):
+        m = module(self.SRC)
+        guards = infer_guards(m.classes["S"])
+        assert guards["items"].lock == "_lock"
+        assert guards["items"].violations == []
+
+    def test_minority_unguarded_access_is_violation(self):
+        m = module(self.SRC + """
+            def d(self):
+                return len(self.items)
+        """)
+        guards = infer_guards(m.classes["S"])
+        inference = guards["items"]
+        assert inference.lock == "_lock"
+        assert len(inference.violations) == 1
+        assert inference.violations[0].func == "d"
+
+    def test_below_ratio_no_inference(self):
+        m = module(
+            """
+            import threading
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []
+                def a(self):
+                    with self._lock:
+                        self.items.append(1)
+                def b(self):
+                    self.items.append(2)
+                def c(self):
+                    self.items.append(3)
+            """
+        )
+        assert infer_guards(m.classes["S"]) == {}
+
+    def test_init_writes_do_not_count(self):
+        m = module(self.SRC)
+        guards = infer_guards(m.classes["S"])
+        assert guards["items"].total == 3  # a, b, c — not __init__
+
+    def test_lockless_class_has_no_guards(self):
+        m = module(
+            """
+            class P:
+                def __init__(self):
+                    self.items = []
+                def a(self):
+                    self.items.append(1)
+            """
+        )
+        assert infer_guards(m.classes["P"]) == {}
+
+
+# ----------------------------------------------------------------------
+# Lock-order graph
+# ----------------------------------------------------------------------
+class TestLockOrder:
+    def test_nested_with_creates_edge(self):
+        p = program(
+            """
+            import threading
+            class S:
+                def __init__(self):
+                    self.a = threading.Lock()
+                    self.b = threading.Lock()
+                def f(self):
+                    with self.a:
+                        with self.b:
+                            pass
+            """
+        )
+        assert ("S.a", "S.b") in p.order_edges()
+
+    def test_inversion_detected_as_cycle(self):
+        p = program(
+            """
+            import threading
+            class S:
+                def __init__(self):
+                    self.a = threading.Lock()
+                    self.b = threading.Lock()
+                def f(self):
+                    with self.a:
+                        with self.b:
+                            pass
+                def g(self):
+                    with self.b:
+                        with self.a:
+                            pass
+            """
+        )
+        cycles = p.graph.find_cycles()
+        assert cycles == [["S.a", "S.b"]]
+
+    def test_call_through_edge_across_classes(self):
+        p = program(
+            """
+            import threading
+            class Store:
+                def __init__(self):
+                    self.journal_lock = threading.Lock()
+                def record(self):
+                    with self.journal_lock:
+                        pass
+            class Sched:
+                def __init__(self, store: Store):
+                    self._lock = threading.Lock()
+                    self.store = store
+                def f(self):
+                    with self._lock:
+                        self.store.record()
+            """
+        )
+        assert ("Sched._lock", "Store.journal_lock") in p.order_edges()
+
+    def test_transitive_blocking_summary(self):
+        p = program(
+            """
+            import threading, time
+            def helper():
+                time.sleep(1)
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                def f(self):
+                    with self._lock:
+                        helper()
+            """
+        )
+        findings = p.findings(["CONC003"])
+        assert len(findings) == 1
+        assert "helper" in findings[0].message

@@ -1,0 +1,363 @@
+"""Injection tests: every CONC rule must fire on deliberately broken
+code, stay quiet on the fixed variant, and respect ``# conc-ok``.
+
+Each case lints a synthetic file through the *real* engine path
+(``lint_program``), so registration, scope dispatch and suppression are
+all exercised — a rule that silently stopped firing fails here.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import run_lint, CONC_PROFILE, LintTarget
+from repro.analysis.lint.engine import lint_program
+from repro.analysis.lint.rules_concurrency import CONC_RULE_CODES
+
+
+def lint(tmp_path, source, codes=CONC_RULE_CODES, name="inj.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return lint_program([path], codes=tuple(codes))
+
+
+def codes_of(findings):
+    return sorted({f.code for f in findings})
+
+
+# ----------------------------------------------------------------------
+# CONC001 — unguarded access
+# ----------------------------------------------------------------------
+BROKEN_001 = """
+    import threading
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.items = {}
+        def a(self):
+            with self._lock:
+                self.items["a"] = 1
+        def b(self):
+            with self._lock:
+                return self.items.get("b")
+        def c(self):
+            with self._lock:
+                del self.items["c"]
+        def racy(self):
+            return len(self.items)
+"""
+
+
+def test_conc001_fires_on_unguarded_access(tmp_path):
+    findings = lint(tmp_path, BROKEN_001)
+    assert codes_of(findings) == ["CONC001"]
+    assert "racy" in findings[0].message
+
+
+def test_conc001_quiet_when_guarded(tmp_path):
+    fixed = BROKEN_001.replace(
+        "def racy(self):\n            return len(self.items)",
+        "def racy(self):\n            with self._lock:\n"
+        "                return len(self.items)",
+    )
+    assert lint(tmp_path, fixed) == []
+
+
+def test_conc001_conc_ok_suppresses(tmp_path):
+    suppressed = BROKEN_001.replace(
+        "return len(self.items)",
+        "return len(self.items)  # conc-ok: startup only",
+    )
+    assert lint(tmp_path, suppressed) == []
+
+
+def test_det_ok_does_not_suppress_conc(tmp_path):
+    wrong_marker = BROKEN_001.replace(
+        "return len(self.items)",
+        "return len(self.items)  # det-ok: wrong family",
+    )
+    assert codes_of(lint(tmp_path, wrong_marker)) == ["CONC001"]
+
+
+# ----------------------------------------------------------------------
+# CONC002 — lock-order inversion
+# ----------------------------------------------------------------------
+BROKEN_002 = """
+    import threading
+    class S:
+        def __init__(self):
+            self.a = threading.Lock()
+            self.b = threading.Lock()
+        def f(self):
+            with self.a:
+                with self.b:
+                    pass
+        def g(self):
+            with self.b:
+                with self.a:
+                    pass
+"""
+
+
+def test_conc002_fires_on_inversion(tmp_path):
+    findings = lint(tmp_path, BROKEN_002)
+    assert codes_of(findings) == ["CONC002"]
+    assert "S.a -> S.b -> S.a" in findings[0].message
+
+
+def test_conc002_quiet_on_consistent_order(tmp_path):
+    fixed = BROKEN_002.replace(
+        "with self.b:\n                with self.a:",
+        "with self.a:\n                with self.b:",
+    )
+    assert lint(tmp_path, fixed) == []
+
+
+def test_conc002_cross_class_inversion(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import threading
+        class Store:
+            def __init__(self, sched: "Sched"):
+                self.journal_lock = threading.Lock()
+                self.sched = sched
+            def record(self):
+                with self.journal_lock:
+                    self.sched.poke()
+        class Sched:
+            def __init__(self, store: Store):
+                self._lock = threading.Lock()
+                self.store = store
+            def poke(self):
+                with self._lock:
+                    pass
+            def f(self):
+                with self._lock:
+                    self.store.record()
+        """,
+    )
+    assert "CONC002" in codes_of(findings)
+
+
+# ----------------------------------------------------------------------
+# CONC003 — blocking while holding an in-memory lock
+# ----------------------------------------------------------------------
+BROKEN_003 = """
+    import threading, time
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+        def f(self):
+            with self._lock:
+                time.sleep(5)
+"""
+
+
+def test_conc003_fires_on_sleep_under_lock(tmp_path):
+    findings = lint(tmp_path, BROKEN_003)
+    assert codes_of(findings) == ["CONC003"]
+    assert "time.sleep" in findings[0].message
+
+
+def test_conc003_fires_on_transitive_io(tmp_path):
+    findings = lint(
+        tmp_path,
+        """
+        import threading
+        def persist(path, data):
+            path.write_text(data)
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+            def f(self, path):
+                with self._lock:
+                    persist(path, "x")
+        """,
+    )
+    assert codes_of(findings) == ["CONC003"]
+    assert "persist" in findings[0].message
+
+
+def test_conc003_quiet_outside_lock(tmp_path):
+    fixed = """
+        import threading, time
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+            def f(self):
+                time.sleep(5)
+                with self._lock:
+                    pass
+    """
+    assert lint(tmp_path, fixed) == []
+
+
+def test_conc003_file_lock_exempt(tmp_path):
+    # Blocking I/O under a *file* lock is the point of a file lock.
+    source = """
+        class S:
+            def __init__(self):
+                self.flock = FileLock("x")
+            def f(self, path):
+                with self.flock:
+                    path.write_text("x")
+    """
+    assert lint(tmp_path, source) == []
+
+
+# ----------------------------------------------------------------------
+# CONC004 — acquire without guaranteed release
+# ----------------------------------------------------------------------
+BROKEN_004 = """
+    import threading
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+        def f(self, risky):
+            self._lock.acquire()
+            risky()
+            self._lock.release()
+"""
+
+
+def test_conc004_fires_on_unprotected_acquire(tmp_path):
+    findings = lint(tmp_path, BROKEN_004)
+    assert codes_of(findings) == ["CONC004"]
+
+
+def test_conc004_quiet_with_try_finally(tmp_path):
+    fixed = """
+        import threading
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+            def f(self, risky):
+                self._lock.acquire()
+                try:
+                    risky()
+                finally:
+                    self._lock.release()
+    """
+    assert lint(tmp_path, fixed) == []
+
+
+def test_conc004_quiet_with_with(tmp_path):
+    fixed = """
+        import threading
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+            def f(self, risky):
+                with self._lock:
+                    risky()
+    """
+    assert lint(tmp_path, fixed) == []
+
+
+# ----------------------------------------------------------------------
+# CONC005 — unsynchronized publication
+# ----------------------------------------------------------------------
+BROKEN_005 = """
+    import threading
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.snapshot = {}
+        def refresh(self):
+            self.snapshot = {}
+"""
+
+
+def test_conc005_fires_on_unlocked_rebind(tmp_path):
+    findings = lint(tmp_path, BROKEN_005)
+    assert "CONC005" in codes_of(findings)
+
+
+def test_conc005_quiet_under_lock(tmp_path):
+    fixed = """
+        import threading
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.snapshot = {}
+            def refresh(self):
+                with self._lock:
+                    self.snapshot = {}
+    """
+    assert lint(tmp_path, fixed) == []
+
+
+# ----------------------------------------------------------------------
+# CONC006 — TOCTOU
+# ----------------------------------------------------------------------
+BROKEN_006 = """
+    class S:
+        def load(self, path):
+            if path.exists():
+                return path.read_text()
+            return None
+"""
+
+
+def test_conc006_fires_on_check_then_use(tmp_path):
+    findings = lint(tmp_path, BROKEN_006)
+    assert codes_of(findings) == ["CONC006"]
+
+
+def test_conc006_quiet_with_eafp(tmp_path):
+    fixed = """
+        class S:
+            def load(self, path):
+                try:
+                    return path.read_text()
+                except OSError:
+                    return None
+    """
+    assert lint(tmp_path, fixed) == []
+
+
+def test_conc006_quiet_under_file_lock(tmp_path):
+    fixed = """
+        class S:
+            def __init__(self):
+                self.flock = FileLock("x")
+            def load(self, path):
+                with self.flock:
+                    if path.exists():
+                        return path.read_text()
+                    return None
+    """
+    assert lint(tmp_path, fixed) == []
+
+
+# ----------------------------------------------------------------------
+# The real tree
+# ----------------------------------------------------------------------
+def test_conc_profile_clean_on_real_tree():
+    """The committed service/exec layers pass the CONC profile (their
+    deliberate exceptions carry ``# conc-ok`` annotations)."""
+    result = run_lint(CONC_PROFILE)
+    assert result.findings == [], [f.render() for f in result.findings]
+
+
+def test_real_tree_inferred_guards_are_the_documented_ones():
+    from repro.analysis.conc import service_facts
+
+    facts = service_facts()
+    assert facts.guard_attrs("Scheduler") == {
+        "_queue": "_lock",
+        "campaigns": "_lock",
+        "counters": "_lock",
+        "jobs": "_lock",
+        "tasks": "_lock",
+    }
+
+
+def test_every_conc_rule_has_an_injection_proof():
+    """Meta: the six registered CONC codes are exactly the ones the
+    injection cases above cover."""
+    from repro.analysis.lint import all_rules
+
+    registered = {r.code for r in all_rules() if r.code.startswith("CONC")}
+    assert registered == set(CONC_RULE_CODES)

@@ -1,0 +1,281 @@
+"""The TSan-lite dynamic sanitizer: lock-order recording, guarded
+attribute checks, the static cross-check, and service-layer wiring."""
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.conc import service_facts
+from repro.analysis.conc.sanitizer import (
+    Sanitizer,
+    SanitizedLock,
+    conc_wrap,
+    current_sanitizer,
+    install_guards,
+    sanitized,
+)
+
+
+class Box:
+    """Minimal lock-owning class for guard tests."""
+
+    def __init__(self):
+        self._lock = conc_wrap(threading.Lock(), "Box._lock")
+        self.items = []
+
+
+# ----------------------------------------------------------------------
+# conc_wrap activation
+# ----------------------------------------------------------------------
+def test_conc_wrap_is_identity_when_inactive():
+    lock = threading.Lock()
+    assert conc_wrap(lock, "x") is lock
+    assert current_sanitizer() is None
+
+
+def test_conc_wrap_proxies_when_active():
+    with sanitized():
+        lock = conc_wrap(threading.Lock(), "x")
+        assert isinstance(lock, SanitizedLock)
+        with lock:
+            assert lock.locked()  # protocol delegates through the proxy
+        assert not lock.locked()
+
+
+def test_nested_activation_rejected():
+    with sanitized():
+        with pytest.raises(RuntimeError):
+            sanitized().__enter__()
+
+
+# ----------------------------------------------------------------------
+# Dynamic lock-order checking
+# ----------------------------------------------------------------------
+def test_lock_order_inversion_detected():
+    with sanitized() as s:
+        a = conc_wrap(threading.Lock(), "A")
+        b = conc_wrap(threading.Lock(), "B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+    violations = s.report()
+    assert [v.kind for v in violations] == ["lock-order"]
+    assert "A" in violations[0].message and "B" in violations[0].message
+
+
+def test_consistent_order_is_quiet():
+    with sanitized() as s:
+        a = conc_wrap(threading.Lock(), "A")
+        b = conc_wrap(threading.Lock(), "B")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+    s.assert_quiet()
+    assert ("A", "B") in s.edges
+
+
+def test_cross_thread_inversion_detected():
+    with sanitized() as s:
+        a = conc_wrap(threading.Lock(), "A")
+        b = conc_wrap(threading.Lock(), "B")
+        with a:
+            with b:
+                pass
+
+        def invert():
+            with b:
+                with a:
+                    pass
+
+        t = threading.Thread(target=invert)
+        t.start()
+        t.join()
+    assert [v.kind for v in s.report()] == ["lock-order"]
+
+
+def test_reentrant_rlock_not_an_edge():
+    with sanitized() as s:
+        r = conc_wrap(threading.RLock(), "R")
+        with r:
+            with r:
+                pass
+    s.assert_quiet()
+    assert s.edges == {}
+
+
+# ----------------------------------------------------------------------
+# Static cross-check
+# ----------------------------------------------------------------------
+def test_dynamic_edge_must_be_in_static_graph():
+    with sanitized(static_edges=frozenset({("A", "B")})) as s:
+        a = conc_wrap(threading.Lock(), "A")
+        b = conc_wrap(threading.Lock(), "B")
+        c = conc_wrap(threading.Lock(), "C")
+        with a:
+            with b:  # statically known edge: fine
+                pass
+        with a:
+            with c:  # never predicted statically: flagged
+                pass
+    violations = s.report()
+    assert [v.kind for v in violations] == ["static-mismatch"]
+    assert "A -> C" in violations[0].message
+
+
+def test_no_static_edges_no_cross_check():
+    with sanitized() as s:  # static_edges=None disables the subset check
+        a = conc_wrap(threading.Lock(), "A")
+        b = conc_wrap(threading.Lock(), "B")
+        with a:
+            with b:
+                pass
+    s.assert_quiet()
+
+
+# ----------------------------------------------------------------------
+# Guarded attributes
+# ----------------------------------------------------------------------
+def test_unguarded_cross_thread_access_detected():
+    with sanitized() as s:
+        uninstall = install_guards(Box, {"items": "_lock"})
+        box = Box()  # guards first, construction second: creator recorded
+        try:
+            def worker():
+                box.items.append(1)  # no lock, different thread
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        finally:
+            uninstall()
+    violations = s.report()
+    assert [v.kind for v in violations] == ["unguarded-access"]
+    assert "Box.items" in violations[0].message
+
+
+def test_guarded_access_is_quiet():
+    with sanitized() as s:
+        box = Box()
+        uninstall = install_guards(Box, {"items": "_lock"})
+        try:
+            def worker():
+                with box._lock:
+                    box.items.append(1)
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            uninstall()
+    s.assert_quiet()
+    assert box.items == [1, 1, 1, 1]
+
+
+def test_creator_thread_tolerated_until_contention():
+    with sanitized() as s:
+        uninstall = install_guards(Box, {"items": "_lock"})
+        box = Box()
+        try:
+            box.items.append(1)  # single-threaded setup: tolerated
+            s.assert_quiet()
+
+            def worker():
+                with box._lock:
+                    box.items.append(2)
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            box.items  # now another thread uses the lock: flagged
+        finally:
+            uninstall()
+    assert [v.kind for v in s.report()] == ["unguarded-access"]
+
+
+def test_uninstall_restores_plain_attribute_access():
+    with sanitized():
+        box = Box()
+        uninstall = install_guards(Box, {"items": "_lock"})
+        with box._lock:
+            box.items.append(1)
+        uninstall()
+    assert box.items == [1]
+    assert "items" not in Box.__dict__
+
+
+def test_guards_inert_without_sanitizer():
+    box = Box()
+    uninstall = install_guards(Box, {"items": "_lock"})
+    try:
+        box.items.append(1)  # no active sanitizer: descriptor is passive
+        assert box.items == [1]
+    finally:
+        uninstall()
+
+
+# ----------------------------------------------------------------------
+# Service integration: static facts drive the dynamic checks
+# ----------------------------------------------------------------------
+def test_service_e2e_with_static_facts_is_quiet(tmp_path):
+    """A real campaign through Scheduler + ArtifactStore + workers with
+    the inferred guards installed and the static edge set cross-checked:
+    the production locking discipline must be violation-free."""
+    facts = service_facts()
+    guard_map = facts.guard_attrs("Scheduler")
+    assert guard_map  # inference found the Scheduler invariants
+
+    from repro.service.scheduler import Scheduler
+    from repro.service.store import ArtifactStore
+    from repro.service.worker import LocalWorkerPool
+    from repro.service.spec import sweep_spec
+
+    with sanitized(static_edges=facts.order_edges()) as s:
+        store = ArtifactStore(tmp_path)
+        scheduler = Scheduler(store, lease_ttl=30.0)
+        uninstall = install_guards(Scheduler, guard_map)
+        try:
+            pool = LocalWorkerPool(scheduler, workers=2, poll=0.01)
+            pool.start()
+            status = scheduler.submit(
+                sweep_spec(
+                    ["compress"],
+                    grid={"active_list_size": [16, 32]},
+                    commit_target=200,
+                    label="sanitized",
+                )
+            )
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                current = scheduler.campaign_status(status["id"])
+                if current["state"] == "done":
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("campaign did not finish under the sanitizer")
+            pool.stop()
+        finally:
+            uninstall()
+    counts = s.counts()
+    assert counts["acquires"] > 0
+    assert counts["guard_checks"] > 0
+    s.assert_quiet()
+
+
+def test_sanitized_scheduler_lock_is_proxied(tmp_path):
+    from repro.service.scheduler import Scheduler
+    from repro.service.store import ArtifactStore
+
+    with sanitized():
+        scheduler = Scheduler(ArtifactStore(tmp_path))
+        assert isinstance(scheduler._lock, SanitizedLock)
+        assert isinstance(scheduler.store.journal_lock, SanitizedLock)
+        # The condition variable shares the proxied mutex.
+        with scheduler._cv:
+            pass

@@ -1,0 +1,161 @@
+"""Baseline hygiene: stale-entry detection, pruning, and the CLI flags
+that enforce it (``--prune-baseline``, ``--fail-stale``, ``--conc``).
+
+A baseline entry goes *stale* when the run re-checked it — its rule ran
+and its file was linted — yet the finding no longer fires.  Stale
+entries are ratchet debt that silently re-admits regressions, so CI can
+fail on them and ``--prune-baseline`` removes them.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import Baseline, LintTarget, run_lint
+from repro.cli import main
+
+# One CONC001 hit: three guarded accesses and one racy (3/4 = ratio).
+RACY = """
+    import threading
+    class S:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.items = {}
+        def a(self):
+            with self._lock:
+                self.items["a"] = 1
+        def b(self):
+            with self._lock:
+                return self.items.get("b")
+        def c(self):
+            with self._lock:
+                del self.items["c"]
+        def racy(self):
+            return len(self.items)
+"""
+
+FIXED = RACY.replace(
+    "def racy(self):\n            return len(self.items)",
+    "def racy(self):\n            with self._lock:\n"
+    "                return len(self.items)",
+)
+
+
+def write_module(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def conc001_target(path):
+    return [LintTarget(paths=(str(path),), codes=("CONC001",))]
+
+
+@pytest.fixture
+def racy_baseline(tmp_path):
+    """A module with one CONC001 hit and a baseline that covers it."""
+    path = write_module(tmp_path, RACY)
+    result = run_lint(conc001_target(path))
+    assert len(result.findings) == 1
+    baseline = Baseline.from_findings(result.findings)
+    baseline_path = tmp_path / "baseline.json"
+    baseline.save(baseline_path)
+    return path, baseline_path, result.findings[0].fingerprint
+
+
+class TestStaleDetection:
+    def test_live_entry_is_not_stale(self, racy_baseline):
+        path, baseline_path, _ = racy_baseline
+        result = run_lint(
+            conc001_target(path), baseline=Baseline.load(baseline_path)
+        )
+        assert result.stale == []
+        assert result.blocking == []  # covered by the baseline
+        assert len(result.baselined) == 1
+
+    def test_fixed_finding_goes_stale(self, racy_baseline):
+        path, baseline_path, fingerprint = racy_baseline
+        path.write_text(textwrap.dedent(FIXED))
+        result = run_lint(
+            conc001_target(path), baseline=Baseline.load(baseline_path)
+        )
+        assert result.stale == [fingerprint]
+        assert result.findings == []
+
+    def test_unchecked_entry_is_left_alone(self, racy_baseline):
+        """An entry is only stale when this run actually re-checked it:
+        linting a *different* file, or skipping the rule, must not
+        condemn it."""
+        path, baseline_path, _ = racy_baseline
+        path.write_text(textwrap.dedent(FIXED))
+        baseline = Baseline.load(baseline_path)
+
+        other = write_module(path.parent, FIXED, name="other.py")
+        assert run_lint(conc001_target(other), baseline=baseline).stale == []
+
+        different_rule = [LintTarget(paths=(str(path),), codes=("CONC003",))]
+        assert run_lint(different_rule, baseline=baseline).stale == []
+
+
+class TestPrune:
+    def test_prune_removes_and_counts(self):
+        baseline = Baseline({"a::CONC001::x": 1, "b::CONC001::y": 2})
+        assert baseline.prune(["a::CONC001::x", "never::CONC001::z"]) == 1
+        assert sorted(baseline.entries) == ["b::CONC001::y"]
+
+    def test_prune_empty_is_noop(self):
+        baseline = Baseline({"a::CONC001::x": 1})
+        assert baseline.prune([]) == 0
+        assert len(baseline) == 1
+
+
+class TestCliHygieneFlags:
+    def lint(self, *argv):
+        return main(["lint", *argv])
+
+    def test_fail_stale_exits_nonzero(self, racy_baseline, capsys):
+        path, baseline_path, fingerprint = racy_baseline
+        path.write_text(textwrap.dedent(FIXED))
+        code = self.lint(
+            str(path), "--rules", "CONC001",
+            "--baseline", str(baseline_path), "--fail-stale",
+        )
+        assert code == 1
+        assert fingerprint in capsys.readouterr().err
+
+    def test_fail_stale_quiet_when_baseline_is_live(self, racy_baseline):
+        path, baseline_path, _ = racy_baseline
+        code = self.lint(
+            str(path), "--rules", "CONC001",
+            "--baseline", str(baseline_path), "--fail-stale",
+        )
+        assert code == 0
+
+    def test_prune_baseline_rewrites_file(self, racy_baseline, capsys):
+        path, baseline_path, fingerprint = racy_baseline
+        path.write_text(textwrap.dedent(FIXED))
+        code = self.lint(
+            str(path), "--rules", "CONC001",
+            "--baseline", str(baseline_path), "--prune-baseline",
+        )
+        assert code == 0
+        assert "pruned 1 stale entry" in capsys.readouterr().out
+        assert json.loads(baseline_path.read_text())["entries"] == {}
+        # A second prune finds nothing left to do.
+        code = self.lint(
+            str(path), "--rules", "CONC001",
+            "--baseline", str(baseline_path), "--prune-baseline",
+        )
+        assert code == 0
+        assert "pruned 0 stale entries" in capsys.readouterr().out
+
+    def test_conc_flag_runs_conc_profile_clean(self, monkeypatch, capsys):
+        """``lint --conc`` adds the whole-program concurrency profile to
+        the default determinism run — and the committed tree passes it
+        against the committed baseline, with nothing stale."""
+        import pathlib
+
+        monkeypatch.chdir(pathlib.Path(__file__).resolve().parent.parent)
+        code = self.lint("--conc", "--fail-stale")
+        assert code == 0, capsys.readouterr().err

@@ -69,6 +69,90 @@ class TestFileLock:
             assert lock_path.read_text().strip() == str(os.getpid())
 
 
+class TestFileLockBackoff:
+    def test_timeout_names_holder_pid_and_age(self, tmp_path):
+        lock_path = tmp_path / "x.lock"
+        holder = FileLock(lock_path)
+        holder.acquire()
+        try:
+            with pytest.raises(LockTimeout) as excinfo:
+                FileLock(lock_path, timeout=0.05).acquire()
+        finally:
+            holder.release()
+        message = str(excinfo.value)
+        assert f"held by pid {os.getpid()}" in message
+        assert message.rstrip().endswith("s)")  # ... for X.Ys)
+
+    def test_holder_pid_written_on_fcntl_path(self, tmp_path):
+        lock_path = tmp_path / "x.lock"
+        with FileLock(lock_path):
+            assert lock_path.read_text().strip() == str(os.getpid())
+
+    def test_backoff_grows_and_respects_max_poll(self, tmp_path, monkeypatch):
+        """Under contention the retry delay doubles (with jitter) up to
+        ``max_poll`` — far fewer wakeups than fixed-interval polling."""
+        import repro.service.store as store_mod
+
+        fake_now = [0.0]
+        sleeps = []
+
+        def fake_clock():
+            return fake_now[0]
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            fake_now[0] += seconds
+
+        monkeypatch.setattr(store_mod, "_clock", fake_clock)
+        monkeypatch.setattr(store_mod.time, "sleep", fake_sleep)
+
+        lock_path = tmp_path / "x.lock"
+        holder = FileLock(lock_path)
+        holder.acquire()
+        try:
+            waiter = FileLock(
+                lock_path, timeout=10.0, poll=0.01, max_poll=0.5
+            )
+            with pytest.raises(LockTimeout):
+                waiter.acquire()
+        finally:
+            holder.release()
+
+        assert sleeps, "a contended acquire must back off, not spin"
+        assert all(s <= 0.5 + 1e-9 for s in sleeps)
+        assert sum(sleeps) <= 10.0 + 1e-9  # never sleeps past the deadline
+        # Exponential backoff: covering 10s takes far fewer than the
+        # 1000 wakeups a fixed 10ms poll would need.
+        assert len(sleeps) < 500
+        assert max(sleeps) > 0.01  # the delay actually grew past `poll`
+
+    def test_jitter_decorrelates_but_stays_in_range(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock", poll=0.01, max_poll=0.5)
+        import random
+
+        lock._jitter = random.Random(1234)
+        samples = [lock._jitter.uniform(lock.poll, 0.5) for _ in range(100)]
+        assert all(0.01 <= s <= 0.5 for s in samples)
+        assert len(set(samples)) > 1
+
+    def test_contended_acquire_succeeds_after_release(self, tmp_path):
+        lock_path = tmp_path / "x.lock"
+        holder = FileLock(lock_path)
+        holder.acquire()
+        released = threading.Event()
+
+        def let_go():
+            released.wait()
+            holder.release()
+
+        thread = threading.Thread(target=let_go)
+        thread.start()
+        released.set()
+        with FileLock(lock_path, timeout=5.0):
+            pass  # backoff retried until the holder let go
+        thread.join()
+
+
 class TestArtifactStore:
     def test_record_then_lookup(self, tmp_path):
         store = ArtifactStore(tmp_path)
