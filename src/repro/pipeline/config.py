@@ -141,6 +141,10 @@ class MachineConfig:
     extra_phys_regs: int = 100  # beyond the contexts' logical registers
     regread_stages: int = 2  # issue → execute latency (9-stage pipe)
     decode_latency: int = 1
+    # Decoded-uop cache entries shared by all programs (the simulator's
+    # own recycling: fetch/rename never re-decode a hot PC).  0 disables
+    # caching; modelled behaviour is identical either way.
+    uop_cache_entries: int = 4096
     spawn_latency: int = 1  # cycles before a spawned alternate may fetch
     btb_miss_redirect_penalty: int = 2
     decode_buffer_size: int = 32  # per context

@@ -18,7 +18,7 @@ from ..compat import slots_dataclass
 from ..isa.instruction import Instruction
 from .active_list import ActiveList
 from .rename import RenameMap
-from .uop import Uop, UopState
+from .uop import ST_COMMITTED, ST_COMPLETED, ST_SQUASHED, Uop
 
 
 class CtxState(enum.Enum):
@@ -40,6 +40,9 @@ class FetchedInstr:
     next_pc: int  # predicted successor (the recorded path geometry)
     pred: Optional[Prediction]
     ready_cycle: int  # earliest cycle rename may consume it
+    #: Predigested static record from the decoded-uop cache; rename
+    #: reads it instead of re-classifying the instruction.
+    dec: Optional[object] = None
 
 
 @slots_dataclass
@@ -89,8 +92,6 @@ class HardwareContext:
         #: one store is still architecturally in flight (reuse gate).
         self._live_stores: List[Uop] = []
         # Scheduler bookkeeping --------------------------------------------
-        self.icount_pos = ctx_id  # slot in CoreState.icount_order
-        self.icount_cache = 0  # icount as of the last IcountOrder.note
         self.fetch_mark = -1  # cycle-stamped fetch-candidate marker
         # TME state --------------------------------------------------------
         self.fork_uop: Optional[Uop] = None  # branch this alternate covers
@@ -147,7 +148,11 @@ class HardwareContext:
         if mp is None:
             return False
         uop = self.active_list.try_entry(mp.pos)
-        return uop is not None and uop.pc == mp.pc and uop.state is not UopState.SQUASHED
+        return (
+            uop is not None
+            and uop.pc == mp.pc
+            and uop.cols.state[uop.uid] != ST_SQUASHED
+        )
 
     def set_back_merge(self, target_pc: int) -> None:
         """Record the target of the last backward branch (Section 3.2)."""
@@ -198,8 +203,8 @@ class HardwareContext:
         heap = self._own_pending
         while heap:
             top = heap[0]
-            state = top[1].state
-            if state is UopState.RENAMED or state is UopState.ISSUED:
+            store = top[1]
+            if store.cols.state[store.uid] < ST_COMPLETED:  # renamed/issued
                 if top[0] < seq:
                     return True
                 break
@@ -208,13 +213,13 @@ class HardwareContext:
         while heap:
             top = heap[0]
             store = top[1]
-            state = store.state
-            if state is UopState.RENAMED or state is UopState.ISSUED:
+            code = store.cols.state[store.uid]
+            if code < ST_COMPLETED:  # renamed/issued
                 if top[0] < seq:
                     return True
                 break
             heappop(heap)
-            if state is UopState.COMPLETED:
+            if code == ST_COMPLETED:
                 # Drained past an executed inherited store: it becomes
                 # forwardable here (own stores arrive via the resolve
                 # hook; inherited ones as the load window passes them).
@@ -254,7 +259,7 @@ class HardwareContext:
                 hi = mid
         for i in range(lo - 1, -1, -1):
             store = lst[i]
-            if store.state is UopState.COMPLETED:
+            if store.cols.state[store.uid] == ST_COMPLETED:
                 return store
         return None
 
@@ -285,8 +290,8 @@ class HardwareContext:
         """
         stack = self._live_stores
         while stack:
-            state = stack[-1].state
-            if state is UopState.SQUASHED or state is UopState.COMMITTED:
+            top = stack[-1]
+            if top.cols.state[top.uid] >= ST_COMMITTED:  # committed/squashed
                 stack.pop()
             else:
                 return True
@@ -332,63 +337,39 @@ class HardwareContext:
         return f"<ctx{self.id} {self.state.value}/{role} pc={self.pc:#x}>"
 
 
+def _icount_key(ctx: HardwareContext):
+    # The (icount, id) fetch/rename priority; ids break ties, so this
+    # is a strict total order and the sorted list is unique.
+    return (len(ctx.decode_buffer) + ctx.n_queued, ctx.id)
+
+
 class IcountOrder:
-    """Contexts kept permanently sorted by ``(icount, id)``.
+    """Contexts kept sorted by ``(icount, id)``, resorted lazily.
 
     ICOUNT changes at a handful of well-known points (fetch delivers,
     rename consumes/queues, issue/squash dequeue); each such point
-    calls :meth:`note` and the changed context bubbles to its slot.
-    The per-cycle ``sorted()`` calls in rename and fetch become a read
-    of :meth:`ordered`.  The key is a strict total order (ids break
-    ties), so the maintained order equals what the old stable sorts
-    produced.
+    calls :meth:`note`, which merely marks the order dirty.  The next
+    :meth:`ordered` read sorts the (tiny) context list once.  The key
+    is a strict total order (ids break ties), so the result equals
+    what the old per-cycle stable sorts produced -- no matter how many
+    mutations landed between reads.
     """
 
-    __slots__ = ("_order",)
+    __slots__ = ("_order", "_dirty")
 
     def __init__(self, contexts: List[HardwareContext]):
-        self._order = list(contexts)  # all icounts 0 → id order is sorted
-        for pos, ctx in enumerate(self._order):
-            ctx.icount_pos = pos
-            ctx.icount_cache = ctx.icount
+        self._order = list(contexts)  # all icounts 0 -> id order is sorted
+        self._dirty = False
 
     def ordered(self) -> List[HardwareContext]:
         """The live, sorted list.  Callers must not mutate it, and must
         snapshot (e.g. filter into a new list) before fetching/renaming,
         since those actions re-enter :meth:`note`."""
+        if self._dirty:
+            self._order.sort(key=_icount_key)
+            self._dirty = False
         return self._order
 
     def note(self, ctx: HardwareContext) -> None:
-        """Re-slot ``ctx`` after its icount may have changed.
-
-        Neighbours are compared by their *cached* icount — valid
-        because every icount mutation site notes its context before any
-        other context is noted, so all other caches are current.
-        """
-        order = self._order
-        pos = ctx.icount_pos
-        icount = len(ctx.decode_buffer) + ctx.n_queued
-        ctx.icount_cache = icount
-        cid = ctx.id
-        moved = False
-        while pos > 0:
-            prev = order[pos - 1]
-            prev_icount = prev.icount_cache
-            if prev_icount < icount or (prev_icount == icount and prev.id < cid):
-                break
-            order[pos] = prev
-            prev.icount_pos = pos
-            pos -= 1
-            moved = True
-        if not moved:
-            last = len(order) - 1
-            while pos < last:
-                nxt = order[pos + 1]
-                nxt_icount = nxt.icount_cache
-                if icount < nxt_icount or (icount == nxt_icount and cid < nxt.id):
-                    break
-                order[pos] = nxt
-                nxt.icount_pos = pos
-                pos += 1
-        order[pos] = ctx
-        ctx.icount_pos = pos
+        """Mark the order stale after ``ctx``'s icount may have changed."""
+        self._dirty = True

@@ -36,7 +36,7 @@ from typing import Dict, List
 
 from ..isa.opcodes import FuClass
 from .regfile import PhysicalRegisterFile
-from .uop import Uop, UopState
+from .uop import ST_RENAMED, ST_SQUASHED, Uop
 
 
 class InstructionQueue:
@@ -76,16 +76,38 @@ class InstructionQueue:
         regfile = self.regfile
         ready_cycles = regfile.ready_cycle
         never = regfile.NEVER
+        cols = uop.cols
+        uid = uop.uid
         pending = 0
         latest = 0
-        for src in uop.phys_srcs:
+        # Unrolled over the (at most three) source columns — the hot
+        # path allocates no list and chases no attributes.
+        n = cols.nsrcs[uid]
+        if n:
+            src = cols.src0[uid]
             rc = ready_cycles[src]
             if rc == never:
                 regfile.add_waiter(src, self, uop)
-                pending += 1
+                pending = 1
             elif rc > latest:
                 latest = rc
-        uop.wait_count = pending
+            if n > 1:
+                src = cols.src1[uid]
+                rc = ready_cycles[src]
+                if rc == never:
+                    regfile.add_waiter(src, self, uop)
+                    pending += 1
+                elif rc > latest:
+                    latest = rc
+                if n > 2:
+                    src = cols.src2[uid]
+                    rc = ready_cycles[src]
+                    if rc == never:
+                        regfile.add_waiter(src, self, uop)
+                        pending += 1
+                    elif rc > latest:
+                        latest = rc
+        cols.wait_count[uid] = pending
         if not pending:
             heappush(self._due, (latest, uop.seq, uop))
 
@@ -101,7 +123,9 @@ class InstructionQueue:
 
     def remove_squashed(self) -> int:
         before = len(self._members)
-        self._members = {u: None for u in self._members if not u.squashed}
+        self._members = {
+            u: None for u in self._members if u.cols.state[u.uid] != ST_SQUASHED
+        }
         return before - len(self._members)
 
     def clear(self) -> None:
@@ -112,17 +136,28 @@ class InstructionQueue:
     # -- event-driven readiness ----------------------------------------
     def _wake(self, uop: Uop) -> None:
         """One pending source of ``uop`` got its ready cycle."""
-        uop.wait_count -= 1
-        if uop.wait_count:
+        cols = uop.cols
+        uid = uop.uid
+        wc = cols.wait_count[uid] - 1
+        cols.wait_count[uid] = wc
+        if wc:
             return
-        if uop not in self._members or uop.state is not UopState.RENAMED:
+        if uop not in self._members or cols.state[uid] != ST_RENAMED:
             return  # stale waiter: the uop issued or was squashed/dequeued
         ready_cycles = self.regfile.ready_cycle
         latest = 0
-        for src in uop.phys_srcs:
-            rc = ready_cycles[src]
+        n = cols.nsrcs[uid]
+        rc = ready_cycles[cols.src0[uid]]
+        if rc > latest:
+            latest = rc
+        if n > 1:
+            rc = ready_cycles[cols.src1[uid]]
             if rc > latest:
                 latest = rc
+            if n > 2:
+                rc = ready_cycles[cols.src2[uid]]
+                if rc > latest:
+                    latest = rc
         self.wakeups += 1
         heappush(self._due, (latest, uop.seq, uop))
 
@@ -144,7 +179,7 @@ class InstructionQueue:
         members = self._members
         while ready:
             uop = heappop(ready)[1]
-            if uop in members and uop.state is UopState.RENAMED:
+            if uop in members and uop.cols.state[uop.uid] == ST_RENAMED:
                 out.append(uop)
         self.ready_polls += 1
         self.ready_returned += len(out)
@@ -187,6 +222,33 @@ class FunctionalUnits:
                 self._int_used += 1
                 return True
             return False
+        if self._int_used < self.int_units:
+            self._int_used += 1
+            return True
+        return False
+
+    def try_issue_code(self, code: int) -> bool:
+        """:meth:`try_issue` keyed by the decoded-uop ``fu_code`` int
+        (see :mod:`repro.pipeline.uopcache`) — the issue hot loop's
+        variant; checks ordered by dynamic frequency."""
+        if code == 0:  # FU_INT (and FU_NONE falls through to int below)
+            if self._int_used < self.int_units:
+                self._int_used += 1
+                return True
+            return False
+        if code == 2:  # FU_LDST: an integer unit with a memory port
+            if self._ldst_used < self.ldst_ports and self._int_used < self.int_units:
+                self._ldst_used += 1
+                self._int_used += 1
+                return True
+            return False
+        if code == 1:  # FU_FP
+            if self._fp_used < self.fp_units:
+                self._fp_used += 1
+                return True
+            return False
+        # FU_NONE (halt/nop shapes) claims an integer slot, matching
+        # ``try_issue``'s final branch.
         if self._int_used < self.int_units:
             self._int_used += 1
             return True

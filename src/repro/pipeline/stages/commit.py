@@ -14,7 +14,8 @@ from ...isa.registers import NUM_LOGICAL_REGS
 from ..context import CtxState, HardwareContext
 from ..events import Retired
 from ..instance import ProgramInstance
-from ..uop import Uop, UopState
+from ..uop import ST_COMMITTED, ST_COMPLETED, Uop, UopState
+from ..uopcache import decode_standalone
 from .state import Stage, SimulationError
 
 
@@ -71,7 +72,7 @@ class CommitStage(Stage):
             if pos >= al.tail_pos:
                 break
             uop = al._ring[pos % al.capacity]
-            if uop is None or uop.state is not UopState.COMPLETED:
+            if uop is None or uop.cols.state[uop.uid] != ST_COMPLETED:
                 break
             self.core._retire(instance, ctx, uop)
             budget -= 1
@@ -84,8 +85,12 @@ class CommitStage(Stage):
         if self.config.golden_check:
             self.golden_check(instance, uop)
         ctx.active_list.advance_commit()
-        oi = uop.instr.info
-        if oi.is_store:
+        cols = uop.cols
+        uid = uop.uid
+        dec = uop.dec
+        if dec is None:
+            dec = uop.dec = decode_standalone(uop.instr, uop.pc)
+        if dec.is_store:
             instance.memory.write64(uop.eff_addr, uop.store_bits)
             # Re-invalidate at retirement: MDB entries must not survive a
             # store that is architecturally older than any later reuse.
@@ -95,18 +100,19 @@ class CommitStage(Stage):
             except ValueError:
                 pass
             ctx.fwd_index_discard(uop)
-        if uop.phys_dst is not None and uop.prev_map is not None:
-            self.regfile.decref(uop.prev_map)
-            uop.prev_map = None
+        prev = cols.prev_map[uid]
+        if prev is not None and cols.phys_dst[uid] is not None:
+            self.regfile.decref(prev)
+            cols.prev_map[uid] = None
         if uop.reused and uop.reuse_src_ctx is not None:
             self.contexts[uop.reuse_src_ctx].reuse_pins.discard(uop.seq)
-        uop.state = UopState.COMMITTED
+        cols.state[uid] = ST_COMMITTED
         instance.committed += 1
         self.stats.committed += 1
         state.last_commit_cycle = state.cycle
         if Retired in self.bus_active:
             self.bus.publish(Retired(state.cycle, uop, instance))
-        if oi.is_halt:
+        if dec.is_halt:
             self.halt_instance(instance, ctx)
 
     def halt_instance(
@@ -181,3 +187,12 @@ class CommitStage(Stage):
         for inst in state.instances:
             self.stats.per_instance_committed[inst.id] = inst.committed
             self.stats.per_instance_cycles.setdefault(inst.id, state.cycle)
+        # Decoded-uop cache counters (frontend recycling; the cache is
+        # simulator-level, so the copy happens once at finalisation).
+        ucache = state.uop_cache
+        stats = self.stats
+        stats.uop_cache_hits = ucache.hits
+        stats.uop_cache_misses = ucache.misses
+        stats.uop_cache_evictions = ucache.evictions
+        stats.decode_counts = dict(sorted(ucache.decode_counts.items()))
+        stats.uop_cache_hits_by_class = dict(sorted(ucache.hits_by_class.items()))

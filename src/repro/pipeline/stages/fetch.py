@@ -10,11 +10,10 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ...isa.instruction import INSTRUCTION_BYTES
 from ...recycle.stream import RecycleStream, StreamKind, TraceEntry
 from ..context import CtxState, FetchedInstr, HardwareContext, MergePoint
 from ..events import FetchBlock, StreamOpened
-from ..uop import UopState
+from ..uop import ST_SQUASHED
 from .state import Stage
 
 
@@ -103,34 +102,39 @@ class FetchStage(Stage):
         # Alternate-length accounting only applies to TME alternates;
         # primaryship cannot change mid-block.
         check_limit = not ctx.is_primary and cfg.features.tme
-        instr_at = program.instr_at
+        ucache = state.uop_cache
+        view = ucache.program_view(program)
+        view_get = view.get
+        hits_by_class = ucache.hits_by_class
         append = ctx.decode_buffer.append
         predict = state.predictor.predict
         ctx_id = ctx.id
         while count < budget and pc < line_end and not ctx.fetch_stopped:
             if count > 0 and recycle and self.check_merge_at(ctx, pc):
                 return self._published(ctx, count)  # mid-block merge
-            instr = instr_at(pc)
-            if instr is None:
-                ctx.fetch_stopped = True  # ran off the text segment (wrong path)
-                break
+            dec = view_get(pc)
+            if dec is None:
+                dec = ucache.decode(program, pc, view)
+                if dec is None:
+                    ctx.fetch_stopped = True  # ran off the text (wrong path)
+                    break
+            else:
+                ucache.hits += 1
+                key = dec.decant_key
+                hits_by_class[key] = hits_by_class.get(key, 0) + 1
+            instr = dec.instr
             count += 1
             if check_limit and not self.core._alt_fetch_allowed(ctx):
                 ctx.fetch_stopped = True
-            oi = instr.info
-            if oi.is_halt:
-                append(FetchedInstr(instr, pc, pc, None, ready))
-                ctx.fetch_stopped = True
-                break
-            if oi.is_branch:
+            if dec.is_branch:
                 pred = predict(ctx_id, pc, instr)
                 if pred.taken and pred.target is None:
                     # Unresolvable indirect: stall fetch until resolution.
-                    append(FetchedInstr(instr, pc, pc + INSTRUCTION_BYTES, pred, ready))
+                    append(FetchedInstr(instr, pc, dec.seq_next, pred, ready, dec))
                     ctx.fetch_stopped = True
                     break
-                next_pc = pred.target if pred.taken else pc + INSTRUCTION_BYTES
-                append(FetchedInstr(instr, pc, next_pc, pred, ready))
+                next_pc = pred.target if pred.taken else dec.seq_next
+                append(FetchedInstr(instr, pc, next_pc, pred, ready, dec))
                 pc = next_pc
                 ctx.pc = pc
                 if pred.taken:
@@ -139,9 +143,13 @@ class FetchStage(Stage):
                             state.cycle + cfg.btb_miss_redirect_penalty
                         )
                     break  # fetch blocks end at a predicted-taken branch
+            elif dec.is_halt:
+                append(FetchedInstr(instr, pc, pc, None, ready, dec))
+                ctx.fetch_stopped = True
+                break
             else:
-                append(FetchedInstr(instr, pc, pc + INSTRUCTION_BYTES, None, ready))
-                pc += INSTRUCTION_BYTES
+                append(FetchedInstr(instr, pc, dec.seq_next, None, ready, dec))
+                pc = dec.seq_next
                 ctx.pc = pc
         return self._published(ctx, count)
 
@@ -278,10 +286,12 @@ class FetchStage(Stage):
         prev_next: Optional[int] = None
         for pos in range(from_pos, ring.tail_pos):
             uop = cells[pos % capacity] if pos >= start else None
-            if uop is None or uop.state is UopState.SQUASHED:
+            if uop is None or uop.cols.state[uop.uid] == ST_SQUASHED:
                 break
             if prev_next is not None and uop.pc != prev_next:
                 break
-            entries.append(TraceEntry(uop.instr, uop.pc, uop.next_pc, src_pos=pos))
+            entries.append(
+                TraceEntry(uop.instr, uop.pc, uop.next_pc, src_pos=pos, dec=uop.dec)
+            )
             prev_next = uop.next_pc
         return entries

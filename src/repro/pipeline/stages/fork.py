@@ -13,7 +13,7 @@ from ...isa.instruction import INSTRUCTION_BYTES
 from ...recycle.stream import RecycleStream, StreamKind, TraceEntry
 from ..context import CtxState, HardwareContext
 from ..events import Forked, Respawned
-from ..uop import Uop, UopState
+from ..uop import ST_COMMITTED, Uop
 from .state import Stage
 
 
@@ -83,9 +83,22 @@ class ForkUnit(Stage):
         # Seq-ascending by construction: every inherited store predates
         # the parent's own (adoption happened before the parent renamed
         # any store), which keeps the pending heap valid as built.
-        squashed = UopState.SQUASHED
-        stores = [s for s in parent.inherited_stores if s.state is not squashed]
-        stores += [s for s in parent.store_buffer if s.state is not squashed]
+        #
+        # Only in-flight stores are visible to the child: a committed
+        # store's value is already in instance memory (retire writes
+        # memory before marking the uop committed), a squashed one never
+        # happened, and neither is ever returned by forward_lookup or
+        # counted by older_store_pending/has_live_stores.  The parent's
+        # own list is pruned in place with the same test, so a
+        # long-lived context's inheritance stays window-bounded instead
+        # of accreting the whole run's store history across fork
+        # generations.
+        parent.inherited_stores = inh = [
+            s for s in parent.inherited_stores if s.cols.state[s.uid] < ST_COMMITTED
+        ]
+        stores = inh + [
+            s for s in parent.store_buffer if s.cols.state[s.uid] < ST_COMMITTED
+        ]
         spare.adopt_inherited_stores(stores)
         self.state.predictor.fork_context(
             parent.id, spare.id, cond_branch=True, alt_taken=not branch.pred.taken
@@ -111,7 +124,10 @@ class ForkUnit(Stage):
         existing.was_respawned = True
         self.core._reclaim_context(existing)
         self.core._spawn(parent, branch, existing, alt_pc)
-        detached = [TraceEntry(e.instr, e.pc, e.next_pc, src_pos=None) for e in trace]
+        detached = [
+            TraceEntry(e.instr, e.pc, e.next_pc, src_pos=None, dec=e.dec)
+            for e in trace
+        ]
         stream = RecycleStream(
             kind=StreamKind.RESPAWN,
             dst_ctx=existing.id,

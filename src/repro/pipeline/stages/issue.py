@@ -18,7 +18,6 @@ from __future__ import annotations
 from typing import Optional
 
 from ...isa import semantics
-from ...isa.opcodes import Op
 
 _effective_address = semantics.effective_address
 _load_value = semantics.load_value
@@ -27,7 +26,8 @@ _branch_outcome = semantics.branch_outcome
 _compute_value = semantics.compute_value
 from ..context import HardwareContext
 from ..events import Issued, StoreForwarded
-from ..uop import Uop, UopState
+from ..uop import ST_ISSUED, Uop
+from ..uopcache import K_ALU, K_BRANCH, K_LOAD, K_STORE, decode_standalone
 from .state import Stage
 
 
@@ -39,8 +39,13 @@ class IssueStage(Stage):
         prio = self.config.primary_issue_priority
         cycle = state.cycle
         contexts = self.contexts
-        note = state.icount_order.note
+        try_issue_code = fus.try_issue_code
         execute = self.core._execute
+        # Contexts whose pre-issue count changed; re-slotted once at the
+        # end — the maintained (icount, id) order is a strict total
+        # order, so the final arrangement is independent of when each
+        # note lands within the stage.
+        touched = {}
         for queue in (self.int_queue, self.fp_queue):
             ready = queue.take_ready(cycle)
             if not ready:
@@ -64,23 +69,34 @@ class IssueStage(Stage):
                 # Inline memory_order_ok; the memory check must run
                 # *before* try_issue so a blocked load never claims a
                 # functional-unit slot.
-                oi = uop.instr.info
+                dec = uop.dec
+                if dec is None:
+                    dec = uop.dec = decode_standalone(uop.instr, uop.pc)
                 if (
-                    oi.is_load and contexts[uop.ctx].older_store_pending(uop.seq)
-                ) or not fus.try_issue(oi.fu):
+                    dec.kind == K_LOAD
+                    and contexts[uop.ctx].older_store_pending(uop.seq)
+                ) or not try_issue_code(dec.fu_code):
                     if blocked is None:
                         blocked = [uop]
                     else:
                         blocked.append(uop)
                     continue
                 queue.remove(uop)
-                uop.in_queue = False
-                ctx = contexts[uop.ctx]
+                cid = uop.ctx
+                uop.cols.in_queue[uop.uid] = False
+                ctx = contexts[cid]
                 ctx.n_queued -= 1
-                note(ctx)
+                touched[cid] = ctx
                 execute(uop)
             if blocked is not None:
                 queue.requeue(blocked)
+        if touched:
+            note = state.icount_order.note
+            # note() only marks the order dirty; the rebuild is a full
+            # sort on a strict total order, so visit order here cannot
+            # influence the resulting priority list.
+            for ctx in touched.values():  # det-ok: order-independent dirty marks
+                note(ctx)
 
     def memory_order_ok(self, uop: Uop) -> bool:
         """Conservative load ordering: all older stores have executed."""
@@ -91,49 +107,70 @@ class IssueStage(Stage):
     def execute(self, uop: Uop) -> None:
         """Begin execution: compute the result, schedule completion."""
         state = self.state
-        uop.state = UopState.ISSUED
+        cols = uop.cols
+        uid = uop.uid
+        cols.state[uid] = ST_ISSUED
         cycle = state.cycle
         uop.issue_cycle = cycle
         state.issued_this_cycle += 1
         ctx = self.contexts[uop.ctx]
         instr = uop.instr
-        oi = instr.info
+        dec = uop.dec
+        if dec is None:
+            dec = uop.dec = decode_standalone(instr, uop.pc)
         values = self.regfile.values
-        # The semantics helpers only index ``srcs``; skip the tuple() copy.
-        srcs = [values[p] for p in uop.phys_srcs]
-        latency = oi.latency
-        if oi.is_load:
+        # The semantics helpers only index ``srcs``; build the operand
+        # tuple straight from the source columns (no list, no
+        # ``phys_srcs`` reconstruction).
+        n = cols.nsrcs[uid]
+        if n == 0:
+            srcs = ()
+        elif n == 1:
+            srcs = (values[cols.src0[uid]],)
+        elif n == 2:
+            srcs = (values[cols.src0[uid]], values[cols.src1[uid]])
+        else:
+            srcs = (
+                values[cols.src0[uid]],
+                values[cols.src1[uid]],
+                values[cols.src2[uid]],
+            )
+        latency = dec.latency
+        kind = dec.kind
+        if kind == K_ALU:
+            uop.value = _compute_value(instr, srcs, uop.pc)
+        elif kind == K_LOAD:
             addr = _effective_address(instr, srcs[0])
             uop.eff_addr = addr
             instance = ctx.instance
             forwarded = self.forward_store(ctx, uop, addr)
             if forwarded is not None:
-                uop.value = _load_value(forwarded, oi.dst_fp)
+                uop.value = _load_value(forwarded, dec.dst_fp)
                 latency = 1
             else:
                 bits = instance.memory.read64(addr)
-                uop.value = _load_value(bits, oi.dst_fp)
+                uop.value = _load_value(bits, dec.dst_fp)
                 latency = 1 + state.hierarchy.data_latency(addr, cycle, instance.id)
             instance.mdb.record_load(uop.pc, addr, token=uop.seq)
-        elif oi.is_store:
+        elif kind == K_STORE:
             addr = _effective_address(instr, srcs[0])
             uop.eff_addr = addr
-            uop.store_bits = _store_bits(srcs[1], oi.src_fp)
+            uop.store_bits = _store_bits(srcs[1], dec.info.src_fp)
             instance = ctx.instance
             state.hierarchy.data_latency(addr, cycle, instance.id)
             instance.mdb.record_store(addr)
-        elif oi.is_branch:
+        elif kind == K_BRANCH:
             taken, target = _branch_outcome(instr, srcs, uop.pc)
             uop.taken = taken
             uop.target = target
-            if oi.is_call:
+            if dec.is_call:
                 uop.value = _compute_value(instr, srcs, uop.pc)
-        elif not oi.is_halt and instr.op is not Op.NOP:
-            uop.value = _compute_value(instr, srcs, uop.pc)
-        if uop.phys_dst is not None:
+        # K_NONE (halt / nop): nothing to compute.
+        pd = cols.phys_dst[uid]
+        if pd is not None:
             # Bypass network: the result is forwardable ``latency``
             # cycles after issue; dependents may issue then.
-            self.regfile.write(uop.phys_dst, uop.value, ready_at=cycle + latency)
+            self.regfile.write(pd, uop.value, ready_at=cycle + latency)
         done = cycle + self.config.regread_stages + latency
         completions = state.completions
         lst = completions.get(done)

@@ -12,14 +12,15 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ...isa.instruction import INSTRUCTION_BYTES, Instruction
+from ...isa.instruction import Instruction
 from ...isa.opcodes import FuClass
 from ...isa.registers import FP_BASE
 from ...recycle.stream import RecycleStream, StreamKind, TraceEntry
 from ..config import PolicyKind
 from ..context import CtxState, HardwareContext, MergePoint
 from ..events import Renamed, Reused, StreamEnded
-from ..uop import Uop, UopState
+from ..uop import ST_COMMITTED, ST_COMPLETED, ST_SQUASHED, Uop, UopState
+from ..uopcache import DecodedUop, decode_standalone
 from .state import Stage
 
 
@@ -37,7 +38,37 @@ class RenameStage(Stage):
         budget = self.config.rename_width
         state = self.state
         cycle = state.cycle
-        rename_one = self.core._rename_one
+        # The fetched-path inner loop below is a hand-inlined copy of
+        # ``resources_ok`` + ``rename_one`` (which remain the readable
+        # spec and the entry point for the recycle datapath and
+        # synthetic callers) with every per-run invariant hoisted out
+        # of the per-uop body.  Any behavioural change must land in
+        # both copies; the golden-stats suite pins them together.
+        cols = state.uop_cols
+        stats = self.stats
+        regfile = self.regfile
+        refcount = regfile.refcount
+        ready_cycle = regfile.ready_cycle
+        values = regfile.values
+        NEVER = regfile.NEVER
+        free_int = regfile._free_int
+        free_fp = regfile._free_fp
+        int_queue = self.int_queue
+        fp_queue = self.fp_queue
+        int_members = int_queue._members
+        fp_members = fp_queue._members
+        int_size = int_queue.size
+        fp_size = fp_queue.size
+        int_alt_cap = self._int_alt_cap
+        fp_alt_cap = self._fp_alt_cap
+        policy_fetch = self._policy_fetch
+        tme = self._tme
+        renamed_active = Renamed in self.bus_active
+        publish = self.bus.publish
+        note = state.icount_order.note
+        consider_fork = self.core._consider_fork
+        reclaim_for_pressure = self.core._reclaim_for_pressure
+        INACTIVE = CtxState.INACTIVE
         # Fetched instructions, lowest-ICOUNT thread first.  The
         # maintained (icount, id) order replaces the per-cycle sort;
         # snapshot it, since renaming re-slots contexts as it goes.
@@ -48,15 +79,116 @@ class RenameStage(Stage):
             # Program order: a thread with an open stream renames its
             # pre-merge fetched instructions first; the stream follows.
             buf = ctx.decode_buffer
+            al = ctx.active_list
+            table = ctx.map.table
+            ctx_id = ctx.id
+            instance = ctx.instance
+            is_primary = ctx.is_primary
+            self_written = ctx.self_written
+            renamed_here = 0
             while budget > 0 and buf:
                 fi = buf[0]
                 if fi.ready_cycle > cycle:
                     break
-                if not self.resources_ok(ctx, fi.instr, needs_queue=True):
+                dec = fi.dec
+                if dec is None:
+                    # Synthetic decode-buffer entries (tests): take the
+                    # uninlined spec path, which decodes on the fly.
+                    if not self.resources_ok(ctx, fi.instr, True, None):
+                        break
+                    buf.popleft()
+                    # rename_one does its own stats/note accounting.
+                    self.core._rename_one(
+                        ctx, fi.instr, fi.pc, fi.next_pc, fi.pred
+                    )
+                    budget -= 1
+                    continue
+                # --- inline resources_ok -----------------------------
+                if al.tail_pos - al.commit_pos >= al.capacity:
                     break
+                dst = dec.dst
+                if dst is not None:
+                    pool = free_fp if dec.dst_fp else free_int
+                    if not pool:
+                        reclaim_for_pressure(ctx)
+                        if not pool:
+                            break
+                if dec.fu_fp:
+                    occ = len(fp_members)
+                    if occ >= fp_size or (occ >= fp_alt_cap and not is_primary):
+                        break
+                    queue = fp_queue
+                else:
+                    occ = len(int_members)
+                    if occ >= int_size or (occ >= int_alt_cap and not is_primary):
+                        break
+                    queue = int_queue
                 buf.popleft()
-                rename_one(ctx, fi.instr, fi.pc, fi.next_pc, fi.pred)
                 budget -= 1
+                renamed_here += 1
+                # --- inline rename_one (fetched path) ----------------
+                instr = fi.instr
+                pc = fi.pc
+                next_pc = fi.next_pc
+                pred = fi.pred
+                uop = Uop(instr, pc, ctx_id, instance, cols, dec)
+                uid = uop.uid
+                uop.next_pc = next_pc
+                uop.pred = pred
+                uop.rename_cycle = cycle
+                n = dec.nsrcs
+                if n:
+                    cols.nsrcs[uid] = n
+                    cols.src0[uid] = table[dec.src0]
+                    if n > 1:
+                        cols.src1[uid] = table[dec.src1]
+                        if n > 2:
+                            cols.src2[uid] = table[dec.src2]
+                if dst is not None:
+                    new_reg = pool.pop()
+                    assert refcount[new_reg] == 0, (
+                        f"allocating live register p{new_reg}"
+                    )
+                    refcount[new_reg] = 1
+                    ready_cycle[new_reg] = NEVER
+                    values[new_reg] = 0.0 if dec.dst_fp else 0
+                    regfile.allocations += 1
+                    cols.phys_dst[uid] = new_reg
+                    cols.prev_map[uid] = table[dst]
+                    table[dst] = new_reg
+                    self_written.add(dst)
+                    if is_primary:
+                        partition = instance.partition
+                        partition.written._rows[dst] |= partition.spare_mask
+                if policy_fetch and ctx.state is INACTIVE:
+                    uop.no_execute = True
+                else:
+                    queue.insert(uop)
+                    cols.in_queue[uid] = True
+                    ctx.n_queued += 1
+                pos = al.append(uop)
+                uop.al_pos = pos
+                if ctx.first_merge is None:  # inline ctx.note_first_entry
+                    ctx.first_merge = MergePoint(pc, pos)
+                    ctx.path_start_pos = pos
+                if dec.is_store:
+                    ctx.note_store_renamed(uop)
+                if dec.is_branch and next_pc is not None:
+                    if dec.backward and next_pc != dec.seq_next:
+                        ctx.set_back_merge(dec.target)
+                if (
+                    tme
+                    and pred is not None
+                    and dec.is_cond_branch
+                    and pred.low_confidence
+                    and is_primary
+                ):
+                    consider_fork(ctx, uop)
+                if renamed_active:
+                    publish(Renamed(cycle, uop))
+            if renamed_here:
+                stats.renamed += renamed_here
+                note(ctx)
         # Recycle streams, prioritised by the separate (pre-issue)
         # counter.  Ties must keep stream-creation (dict insertion)
         # order — a stable insertion sort over the tiny snapshot
@@ -83,7 +215,11 @@ class RenameStage(Stage):
                 del streams_map[cid]
 
     def resources_ok(
-        self, ctx: HardwareContext, instr: Instruction, needs_queue: bool
+        self,
+        ctx: HardwareContext,
+        instr: Instruction,
+        needs_queue: bool,
+        dec: Optional[DecodedUop] = None,
     ) -> bool:
         al = ctx.active_list
         if al.tail_pos - al.commit_pos >= al.capacity:
@@ -97,7 +233,8 @@ class RenameStage(Stage):
                 if not pool:
                     return False
         if needs_queue:
-            if instr.info.fu is FuClass.FP:
+            fp = dec.fu_fp if dec is not None else instr.info.fu is FuClass.FP
+            if fp:
                 queue, alt_cap = self.fp_queue, self._fp_alt_cap
             else:
                 queue, alt_cap = self.int_queue, self._int_alt_cap
@@ -118,29 +255,34 @@ class RenameStage(Stage):
         pred,
         recycled: bool = False,
         back_merge: bool = False,
+        dec: Optional[DecodedUop] = None,
     ) -> Uop:
         """Common rename path for fetched and recycled instructions."""
         state = self.state
-        oi = instr.info
-        uop = Uop(instr, pc, ctx.id, ctx.instance)
+        if dec is None:
+            # Synthetic callers (tests driving rename directly); the
+            # fetch and recycle paths always supply the cached record.
+            dec = decode_standalone(instr, pc)
+        cols = state.uop_cols
+        uop = Uop(instr, pc, ctx.id, ctx.instance, cols, dec)
+        uid = uop.uid
         uop.next_pc = next_pc
         uop.pred = pred
         uop.recycled = recycled
         uop.back_merge = back_merge
         uop.rename_cycle = state.cycle
-        # RenameMap.define / note_register_write, inlined (hot path).
+        # RenameMap.define / note_register_write, inlined (hot path);
+        # physical sources go straight into the columns.
         table = ctx.map.table
-        srcs = instr.srcs
-        if srcs:
-            # The 1- and 2-source shapes cover nearly every instruction;
-            # handling them directly skips a comprehension frame.
-            if len(srcs) == 2:
-                uop.phys_srcs = [table[srcs[0]], table[srcs[1]]]
-            elif len(srcs) == 1:
-                uop.phys_srcs = [table[srcs[0]]]
-            else:
-                uop.phys_srcs = [table[s] for s in srcs]
-        dst = instr.dst
+        n = dec.nsrcs
+        if n:
+            cols.nsrcs[uid] = n
+            cols.src0[uid] = table[dec.src0]
+            if n > 1:
+                cols.src1[uid] = table[dec.src1]
+                if n > 2:
+                    cols.src2[uid] = table[dec.src2]
+        dst = dec.dst
         if dst is not None:
             # Inline of ``regfile.alloc`` (the readable spec):
             # resources_ok already reserved a free register.
@@ -153,8 +295,8 @@ class RenameStage(Stage):
             regfile.ready_cycle[new_reg] = regfile.NEVER
             regfile.values[new_reg] = 0.0 if fp else 0
             regfile.allocations += 1
-            uop.phys_dst = new_reg
-            uop.prev_map = table[dst]
+            cols.phys_dst[uid] = new_reg
+            cols.prev_map[uid] = table[dst]
             table[dst] = new_reg
             ctx.self_written.add(dst)
             if ctx.is_primary:
@@ -164,24 +306,23 @@ class RenameStage(Stage):
         no_execute = ctx.state is CtxState.INACTIVE and self._policy_fetch
         uop.no_execute = no_execute
         if not no_execute:
-            queue = self.fp_queue if oi.fu is FuClass.FP else self.int_queue
+            queue = self.fp_queue if dec.fu_fp else self.int_queue
             queue.insert(uop)
-            uop.in_queue = True
+            cols.in_queue[uid] = True
             ctx.n_queued += 1
         pos = ctx.active_list.append(uop)
         uop.al_pos = pos
         if ctx.first_merge is None:  # inline ctx.note_first_entry
-            ctx.first_merge = MergePoint(uop.pc, pos)
+            ctx.first_merge = MergePoint(pc, pos)
             ctx.path_start_pos = pos
         # One re-slot covers both this cycle's decode-buffer pop (done
         # by the caller) and the queue insert above.
         state.icount_order.note(ctx)
-        if oi.is_store:
+        if dec.is_store:
             ctx.note_store_renamed(uop)
-        if oi.is_branch and next_pc is not None:
-            taken_recorded = next_pc != pc + INSTRUCTION_BYTES
-            if taken_recorded and instr.target is not None and instr.target <= pc:
-                ctx.set_back_merge(instr.target)
+        if dec.is_branch and next_pc is not None:
+            if dec.backward and next_pc != dec.seq_next:
+                ctx.set_back_merge(dec.target)
         self.stats.renamed += 1
         if recycled:
             self.stats.renamed_recycled += 1
@@ -189,7 +330,7 @@ class RenameStage(Stage):
         if (
             self._tme
             and pred is not None
-            and oi.is_cond_branch
+            and dec.is_cond_branch
             and pred.low_confidence
             and ctx.is_primary
         ):
@@ -237,24 +378,28 @@ class RenameStage(Stage):
                     self.core._end_stream(stream, dst, "squashed")
                     break
             instr = entry.instr
+            dec = entry.dec
+            if dec is None:
+                # Entries built from synthetic traces (tests) decode once
+                # here; the fetch-built traces carry the cached record.
+                dec = entry.dec = decode_standalone(instr, entry.pc)
             pred = None
             next_pc = entry.next_pc
             mismatch_target = None
-            oi = instr.info
-            if oi.is_cond_branch and not repredict:
+            if dec.is_cond_branch and not repredict:
                 # "Former method": keep the trace's recorded direction as
                 # the prediction and update the history with it.
-                recorded_taken = entry.next_pc != entry.pc + INSTRUCTION_BYTES
+                recorded_taken = entry.next_pc != dec.seq_next
                 pred = predictor.record_direction(
                     dst.id, entry.pc, recorded_taken,
                     entry.next_pc if recorded_taken else instr.target,
                 )
-            elif oi.is_branch:
+            elif dec.is_branch:
                 pred = predictor.predict(dst.id, entry.pc, instr)
                 pred_next = (
                     (pred.target if pred.target is not None else entry.next_pc)
                     if pred.taken
-                    else entry.pc + INSTRUCTION_BYTES
+                    else dec.seq_next
                 )
                 if pred_next != entry.next_pc:
                     # The prediction changed since the trace was built:
@@ -262,7 +407,7 @@ class RenameStage(Stage):
                     # newly predicted path (the paper's chosen method).
                     next_pc = pred_next
                     mismatch_target = pred_next
-            if not self.resources_ok(dst, instr, needs_queue=True):
+            if not self.resources_ok(dst, instr, True, dec):
                 break
             stream.advance()
             # Alternate-path length cap applies to recycled paths too.
@@ -286,9 +431,9 @@ class RenameStage(Stage):
                             "branch_mismatch", stream.index,
                         )
                     )
-            elif limit_hit or oi.is_halt:
+            elif limit_hit or dec.is_halt:
                 core._end_stream(stream, dst, "exhausted")
-            if limit_hit or oi.is_halt:
+            if limit_hit or dec.is_halt:
                 dst.fetch_stopped = True
         return budget
 
@@ -349,6 +494,7 @@ class RenameStage(Stage):
             pred,
             recycled=True,
             back_merge=stream.kind is StreamKind.BACK,
+            dec=entry.dec,
         )
         # Track stream-local value consistency: a re-executed entry whose
         # sources all matched the trace produces the trace's value again.
@@ -384,7 +530,10 @@ class RenameStage(Stage):
             # Reuse applies to finished (inactive) threads only (Section 3.5).
             return None
         uop = src.active_list.try_entry(entry.src_pos)
-        if uop is None or uop.state is UopState.SQUASHED or uop.pc != entry.pc:
+        if uop is None or uop.pc != entry.pc:
+            return None
+        code = uop.cols.state[uop.uid]
+        if code == ST_SQUASHED:
             return None
         instr = uop.instr
         oi = instr.info
@@ -392,9 +541,10 @@ class RenameStage(Stage):
             return None
         # Inline of uop.executed_on_path.
         if (
-            uop.state is not UopState.COMPLETED
-            and uop.state is not UopState.COMMITTED
-        ) or uop.no_execute or uop.phys_dst is None:
+            (code != ST_COMPLETED and code != ST_COMMITTED)
+            or uop.no_execute
+            or uop.phys_dst is None
+        ):
             return None
         consistent_writes = stream.consistent_writes
         written = dst.instance.partition.written
@@ -435,7 +585,7 @@ class RenameStage(Stage):
             frozenset(stream.consistent_writes) if bus.wants(Reused) else None
         )
         instr = src_uop.instr
-        uop = Uop(instr, entry.pc, dst.id, dst.instance)
+        uop = Uop(instr, entry.pc, dst.id, dst.instance, self.state.uop_cols, entry.dec)
         uop.next_pc = entry.next_pc
         uop.recycled = True
         uop.reused = True
@@ -459,11 +609,19 @@ class RenameStage(Stage):
         # dependent reuses alive.
         self.note_register_write(dst, instr.dst)
         stream.consistent_writes.add(instr.dst)
-        self.stats.renamed += 1
-        self.stats.renamed_recycled += 1
-        self.stats.renamed_reused += 1
+        stats = self.stats
+        stats.renamed += 1
+        stats.renamed_recycled += 1
+        stats.renamed_reused += 1
         if instr.info.is_load:
-            self.stats.renamed_reused_loads += 1
+            stats.renamed_reused_loads += 1
+        dec = uop.dec
+        if dec is not None:
+            # Decanting breakdown (Coppieters et al.): reuse hits by
+            # instruction class and loop membership.
+            key = dec.decant_key
+            rbc = stats.reused_by_class
+            rbc[key] = rbc.get(key, 0) + 1
         if bus.wants(Renamed):
             bus.publish(Renamed(self.state.cycle, uop))
         if consistent is not None:

@@ -17,7 +17,8 @@ from ...tme.partition import Partition
 from ..config import PolicyKind
 from ..context import CtxState, HardwareContext, MergePoint
 from ..events import BranchResolved, Completed, PrimarySwapped, Squashed, StreamEnded
-from ..uop import Uop, UopState
+from ..uop import ST_COMMITTED, ST_COMPLETED, ST_SQUASHED, Uop
+from ..uopcache import decode_standalone
 from .state import Stage
 
 
@@ -27,19 +28,24 @@ class ResolveStage(Stage):
         due = state.completions.pop(state.cycle, None)
         if due is None:
             return
+        cycle = state.cycle
         wants_completed = Completed in self.bus_active
         contexts = self.contexts
         for uop in due:
-            if uop.state is UopState.SQUASHED:
+            cols = uop.cols
+            uid = uop.uid
+            if cols.state[uid] == ST_SQUASHED:
                 continue
-            uop.state = UopState.COMPLETED
-            uop.complete_cycle = state.cycle
-            oi = uop.instr.info
-            if oi.is_store:
+            cols.state[uid] = ST_COMPLETED
+            uop.complete_cycle = cycle
+            dec = uop.dec
+            if dec is None:
+                dec = uop.dec = decode_standalone(uop.instr, uop.pc)
+            if dec.is_store:
                 contexts[uop.ctx].note_store_completed(uop)
             if wants_completed:
-                self.bus.publish(Completed(state.cycle, uop))
-            if oi.is_branch:
+                self.bus.publish(Completed(cycle, uop))
+            if dec.is_branch:
                 self.resolve_branch(uop)
 
     def resolve_branch(self, uop: Uop) -> None:
@@ -222,9 +228,9 @@ class ResolveStage(Stage):
         """
         for pos in ctx.active_list.retained_positions():
             uop = ctx.active_list.try_entry(pos)
-            if uop is not None and uop.in_queue:
+            if uop is not None and uop.cols.in_queue[uop.uid]:
                 (self.fp_queue if uop.instr.info.fu is FuClass.FP else self.int_queue).remove(uop)
-                uop.in_queue = False
+                uop.cols.in_queue[uop.uid] = False
                 uop.no_execute = True
                 ctx.n_queued -= 1
         self.state.icount_order.note(ctx)
@@ -302,9 +308,9 @@ class ResolveStage(Stage):
             return
         for pos in range(from_pos, ctx.active_list.tail_pos):
             uop = ctx.active_list.try_entry(pos)
-            if uop is not None and uop.in_queue:
+            if uop is not None and uop.cols.in_queue[uop.uid]:
                 (self.fp_queue if uop.instr.info.fu is FuClass.FP else self.int_queue).remove(uop)
-                uop.in_queue = False
+                uop.cols.in_queue[uop.uid] = False
                 uop.no_execute = True
                 ctx.n_queued -= 1
         self.state.icount_order.note(ctx)
@@ -320,17 +326,21 @@ class ResolveStage(Stage):
     # ------------------------------------------------------------------
     def squash_uop(self, uop: Uop) -> None:
         ctx = self.contexts[uop.ctx]
-        oi = uop.instr.info
-        if uop.in_queue:
-            (self.fp_queue if oi.fu is FuClass.FP else self.int_queue).remove(uop)
-            uop.in_queue = False
+        cols = uop.cols
+        uid = uop.uid
+        dec = uop.dec
+        if dec is None:
+            dec = uop.dec = decode_standalone(uop.instr, uop.pc)
+        if cols.in_queue[uid]:
+            (self.fp_queue if dec.fu_fp else self.int_queue).remove(uop)
+            cols.in_queue[uid] = False
             ctx.n_queued -= 1
             self.state.icount_order.note(ctx)
-        if uop.phys_dst is not None:
-            ctx.map.restore(uop.instr.dst, uop.prev_map)
+        if cols.phys_dst[uid] is not None:
+            ctx.map.restore(dec.dst, cols.prev_map[uid])
         if uop.reused and uop.reuse_src_ctx is not None:
             self.contexts[uop.reuse_src_ctx].reuse_pins.discard(uop.seq)
-        if oi.is_store:
+        if dec.is_store:
             try:
                 ctx.store_buffer.remove(uop)
             except ValueError:
@@ -340,7 +350,7 @@ class ResolveStage(Stage):
             child = self.covering_alternate(uop)
             if child is not None:
                 self.squash_context(child)
-        uop.state = UopState.SQUASHED
+        cols.state[uid] = ST_SQUASHED
         self.stats.squashed += 1  # inline: squashes are a hot path under TME
         if Squashed in self.bus_active:
             self.bus.publish(Squashed(self.state.cycle, uop))
@@ -356,7 +366,7 @@ class ResolveStage(Stage):
         count = 0
         squash = self.core._squash_uop
         for uop in dropped:  # youngest first
-            if uop.state is not UopState.SQUASHED:
+            if uop.cols.state[uop.uid] != ST_SQUASHED:
                 squash(uop)
                 count += 1
         ctx.decode_buffer.clear()
@@ -392,8 +402,8 @@ class ResolveStage(Stage):
         for pos in range(ring.tail_pos - 1, ring.commit_pos - 1, -1):
             uop = ring.try_entry(pos)
             if uop is not None:
-                state = uop.state
-                if state is not UopState.SQUASHED and state is not UopState.COMMITTED:
+                code = uop.cols.state[uop.uid]
+                if code != ST_SQUASHED and code != ST_COMMITTED:
                     squash(uop)
         if ctx.map.valid:
             ctx.map.discard()

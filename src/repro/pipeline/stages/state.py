@@ -32,7 +32,8 @@ from ..events import EventBus
 from ..instance import ProgramInstance
 from ..queues import FunctionalUnits, InstructionQueue
 from ..regfile import PhysicalRegisterFile
-from ..uop import Uop
+from ..uop import Uop, UopColumns
+from ..uopcache import DecodedUopCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core import Core
@@ -76,6 +77,14 @@ class CoreState:
             cfg.fetch_total, cfg.rename_width, cfg.int_units + cfg.fp_units,
             cfg.commit_width,
         )
+        #: Structure-of-arrays backing store for every Uop's hot fields
+        #: (state, operands, destination mapping, scheduler counters) —
+        #: core-owned parallel columns keyed by dense uop id, so a
+        #: future lockstep-batch sweep can step many cores over plain
+        #: arrays.  The Uop objects are thin views over these columns.
+        self.uop_cols = UopColumns()
+        #: Decoded-uop cache: (program, pc) -> predigested static record.
+        self.uop_cache = DecodedUopCache(cfg.uop_cache_entries)
         self.bus = EventBus()
         self.cycle = 0
         self.issued_this_cycle = 0

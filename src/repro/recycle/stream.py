@@ -26,6 +26,9 @@ class TraceEntry:
     pc: int
     next_pc: int  # recorded path successor
     src_pos: Optional[int] = None  # position in the source active list
+    #: Decoded-uop record carried over from the source uop, so stream
+    #: draining re-injects without re-decoding.
+    dec: Optional[object] = None
 
 
 class StreamKind(enum.Enum):

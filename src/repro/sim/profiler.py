@@ -91,6 +91,7 @@ def profile_spec(spec, suite=None) -> Dict:
     wall = time.perf_counter() - started
     state = core.state
     assert istats.cycles == stats.cycles, "profiled pass diverged"
+    uop_cache = state.uop_cache.snapshot()
     wakeups = state.int_queue.wakeups + state.fp_queue.wakeups
     polls = state.int_queue.ready_polls + state.fp_queue.ready_polls
     returned = state.int_queue.ready_returned + state.fp_queue.ready_returned
@@ -121,6 +122,7 @@ def profile_spec(spec, suite=None) -> Dict:
         "stage_seconds_total": round(profiler.total_seconds, 4),
         "stages": profiler.breakdown(),
         "scheduler": scheduler,
+        "uop_cache": uop_cache,
     }
 
 
@@ -150,6 +152,19 @@ def format_profile(payload: Dict) -> str:
             f"store-fwd hit rate {sched['store_fwd_hit_rate']:.1%} "
             f"({sched['store_fwd_hits']:,}/{sched['store_fwd_hits'] + sched['store_fwd_misses']:,})"
         )
+    ucache = payload.get("uop_cache")
+    if ucache:
+        lines.append(
+            "  uop cache: "
+            f"{ucache['hits']:,} hits / {ucache['misses']:,} misses "
+            f"({ucache['hit_rate']:.1%}), "
+            f"{ucache['evictions']:,} evictions, "
+            f"{ucache['entries']:,}/{ucache['capacity']:,} entries"
+        )
+        decodes = ucache.get("decode_counts") or {}
+        if decodes:
+            per_kernel = ", ".join(f"{k}: {v:,}" for k, v in decodes.items())
+            lines.append(f"  decodes by kernel: {per_kernel}")
     return "\n".join(lines)
 
 

@@ -9,9 +9,8 @@ path, and the share of backward-branch merges.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 
 @dataclass
@@ -54,6 +53,18 @@ class SimStats:
     # Per-program commits.
     per_instance_committed: Dict[int, int] = field(default_factory=dict)
     per_instance_cycles: Dict[int, int] = field(default_factory=dict)
+    # Decoded-uop cache (the simulator's own frontend recycling;
+    # copied from the cache at finalisation).
+    uop_cache_hits: int = 0
+    uop_cache_misses: int = 0
+    uop_cache_evictions: int = 0
+    #: Decodes per program name (cache misses that found text).
+    decode_counts: Dict[str, int] = field(default_factory=dict)
+    # Decanting breakdowns (Coppieters et al., arXiv:1711.06672):
+    # hits keyed by "<fuclass>[.loop]" — instruction class crossed with
+    # backward-branch loop membership.
+    uop_cache_hits_by_class: Dict[str, int] = field(default_factory=dict)
+    reused_by_class: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -67,6 +78,11 @@ class SimStats:
     @property
     def pct_reused(self) -> float:
         return 100.0 * self.renamed_reused / self.renamed if self.renamed else 0.0
+
+    @property
+    def uop_cache_hit_rate(self) -> float:
+        lookups = self.uop_cache_hits + self.uop_cache_misses
+        return self.uop_cache_hits / lookups if lookups else 0.0
 
     @property
     def branch_miss_coverage(self) -> float:

@@ -62,6 +62,23 @@ def stats_to_dict(stats: SimStats) -> Dict:
             "for_spawn": stats.reclaim_for_spawn,
             "for_pressure": stats.reclaim_for_pressure,
         },
+        # The simulator's own frontend recycling: decoded-uop cache
+        # effectiveness for this run.
+        "uop_cache": {
+            "hits": stats.uop_cache_hits,
+            "misses": stats.uop_cache_misses,
+            "evictions": stats.uop_cache_evictions,
+            "hit_rate": stats.uop_cache_hit_rate,
+            "decode_counts": dict(stats.decode_counts),
+        },
+        # Decanting breakdowns (Coppieters et al., arXiv:1711.06672):
+        # uop-cache and reuse hits attributed by functional-unit class
+        # crossed with backward-branch loop membership
+        # ("<fuclass>[.loop]").
+        "decant": {
+            "uop_cache_hits_by_class": dict(stats.uop_cache_hits_by_class),
+            "reused_by_class": dict(stats.reused_by_class),
+        },
         "per_instance": {
             str(k): {
                 "committed": stats.per_instance_committed.get(k, 0),

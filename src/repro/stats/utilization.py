@@ -79,17 +79,27 @@ class UtilizationStats:
     def record_cycle(self, fetched: int, renamed: int, recycled: int,
                      issued: int, committed: int) -> None:
         # Inline of StageUtilization.record ×5 — this runs once per
-        # simulated cycle and the call fan-out was measurable.
-        for stage, used in (
-            (self.fetch, fetched),
-            (self.rename, renamed),
-            (self.recycled_rename, recycled),
-            (self.issue, issued),
-            (self.commit, committed),
-        ):
-            stage.cycles += 1
-            stage.slots_used += used
-            stage.histogram[used] += 1
+        # simulated cycle and the call (and tuple) fan-out was measurable.
+        stage = self.fetch
+        stage.cycles += 1
+        stage.slots_used += fetched
+        stage.histogram[fetched] += 1
+        stage = self.rename
+        stage.cycles += 1
+        stage.slots_used += renamed
+        stage.histogram[renamed] += 1
+        stage = self.recycled_rename
+        stage.cycles += 1
+        stage.slots_used += recycled
+        stage.histogram[recycled] += 1
+        stage = self.issue
+        stage.cycles += 1
+        stage.slots_used += issued
+        stage.histogram[issued] += 1
+        stage = self.commit
+        stage.cycles += 1
+        stage.slots_used += committed
+        stage.histogram[committed] += 1
 
     @property
     def rename_fill_from_recycling(self) -> float:

@@ -21,18 +21,25 @@ class Partition:
         self.contexts = contexts
         self.primary = primary
         self.written = WrittenBitArray(num_contexts=8)
+        #: Bitmask and list of the non-primary contexts; membership is
+        #: fixed, so these only change when primaryship moves
+        #: (set_primary).  Callers treat ``spares()`` as read-only.
+        self.spare_mask = 0
+        self._spares: List[HardwareContext] = []
+        self._recompute_spares()
 
-    @property
-    def spare_mask(self) -> int:
-        """Bitmask of every non-primary context id in the partition."""
+    def _recompute_spares(self) -> None:
         mask = 0
+        spares = []
         for ctx in self.contexts:
             if ctx is not self.primary:
                 mask |= 1 << ctx.id
-        return mask
+                spares.append(ctx)
+        self.spare_mask = mask
+        self._spares = spares
 
     def spares(self) -> List[HardwareContext]:
-        return [c for c in self.contexts if c is not self.primary]
+        return self._spares
 
     def idle_context(self) -> Optional[HardwareContext]:
         for ctx in self.spares():
@@ -72,3 +79,4 @@ class Partition:
         if ctx not in self.contexts:
             raise ValueError("new primary must belong to the partition")
         self.primary = ctx
+        self._recompute_spares()

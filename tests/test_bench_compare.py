@@ -106,6 +106,54 @@ class TestMain:
         assert bench_compare.main(["--baseline", str(committed), "--fresh", fresh]) == 0
 
 
+class TestRatchet:
+    def test_improvement_bumps_the_baseline_file(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", payload())
+        fresh = write(tmp_path, "fresh.json", payload(cycles_per_second=6000.0))
+        code = bench_compare.main(
+            ["--baseline", base, "--fresh", fresh, "--ratchet"]
+        )
+        assert code == 0
+        assert "ratcheted" in capsys.readouterr().out
+        bumped = json.loads(Path(base).read_text())
+        assert bumped["cycles_per_second"] == 6000.0
+
+    def test_regression_leaves_baseline_untouched(self, tmp_path):
+        base = write(tmp_path, "base.json", payload())
+        fresh = write(tmp_path, "fresh.json", payload(cycles_per_second=4900.0))
+        code = bench_compare.main(
+            ["--baseline", base, "--fresh", fresh, "--ratchet"]
+        )
+        assert code == 0  # -2%: inside even the tightened threshold
+        untouched = json.loads(Path(base).read_text())
+        assert untouched["cycles_per_second"] == 5000.0
+
+    def test_ratchet_tightens_default_threshold_to_5pct(self, tmp_path):
+        base = write(tmp_path, "base.json", payload())
+        fresh = write(tmp_path, "fresh.json", payload(cycles_per_second=4500.0))
+        args = ["--baseline", base, "--fresh", fresh]
+        # -10%: passes the plain 15% gate, fails the ratchet's 5% gate.
+        assert bench_compare.main(args) == 0
+        assert bench_compare.main(args + ["--ratchet"]) == 1
+
+    def test_explicit_threshold_overrides_ratchet_default(self, tmp_path):
+        base = write(tmp_path, "base.json", payload())
+        fresh = write(tmp_path, "fresh.json", payload(cycles_per_second=4500.0))
+        code = bench_compare.main(
+            ["--baseline", base, "--fresh", fresh, "--ratchet",
+             "--threshold", "0.2"]
+        )
+        assert code == 0
+
+    def test_equal_throughput_does_not_rewrite(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", payload())
+        fresh = write(tmp_path, "fresh.json", payload())
+        assert bench_compare.main(
+            ["--baseline", base, "--fresh", fresh, "--ratchet"]
+        ) == 0
+        assert "ratcheted" not in capsys.readouterr().out
+
+
 class TestServiceLatencyWarnOnly:
     def test_latency_regression_warns_but_passes(self, capsys):
         base = payload(service_warm_submit_seconds=0.005)

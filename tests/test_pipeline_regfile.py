@@ -98,6 +98,86 @@ class TestRefcounting:
             assert rf.refcount[reg] == n
 
 
+class _RefModel:
+    """Reference refcount model: plain dicts, no free-list machinery.
+
+    Mirrors the rename-path lifecycle the real register file serves —
+    alloc (map entry), fork (incref every mapped register), discard
+    (decref every mapped register), commit (release the displaced
+    ``prev_map`` reference) — with the dumbest possible bookkeeping, so
+    any divergence is a bug in the SoA structure, not the model.
+    """
+
+    def __init__(self, total):
+        self.counts = {reg: 0 for reg in range(total)}
+
+    def alloc(self, reg):
+        assert self.counts[reg] == 0
+        self.counts[reg] = 1
+
+    def incref(self, reg):
+        self.counts[reg] += 1
+
+    def decref(self, reg):
+        self.counts[reg] -= 1
+        assert self.counts[reg] >= 0
+
+
+class TestObservationalEquivalence:
+    """SoA regfile vs the reference model under random map lifecycles."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 7)),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60)
+    def test_random_map_lifecycles_match_reference(self, ops):
+        rf = PhysicalRegisterFile(12, 4)
+        model = _RefModel(16)
+        maps = [[]]  # start with one (empty) architectural map
+        for op, arg in ops:
+            if op == 0:  # rename: allocate a destination into a map
+                fp = bool(arg & 1)
+                if rf.can_alloc(fp):
+                    reg = rf.alloc(fp)
+                    model.alloc(reg)
+                    maps[arg % len(maps)].append(reg)
+            elif op == 1 and len(maps) < 6:  # fork: duplicate a map
+                src = maps[arg % len(maps)]
+                rf.incref_all(src)
+                for reg in src:
+                    model.incref(reg)
+                maps.append(list(src))
+            elif op == 2 and len(maps) > 1:  # reclaim: discard a map
+                victim = maps.pop(arg % len(maps))
+                rf.decref_all(victim)
+                for reg in victim:
+                    model.decref(reg)
+            elif op == 3:  # commit: displace a map entry (prev_map free)
+                m = maps[arg % len(maps)]
+                if m:
+                    prev = m.pop(arg % (len(m) or 1))
+                    rf.decref(prev)
+                    model.decref(prev)
+        # Observational equivalence: identical per-register refcounts,
+        # identical free capacity, and the structural invariants hold.
+        rf.check_consistency()
+        for reg in range(16):
+            assert rf.refcount[reg] == model.counts[reg], f"p{reg} diverged"
+        dead_int = sum(
+            1 for reg in range(12) if model.counts[reg] == 0
+        )
+        dead_fp = sum(
+            1 for reg in range(12, 16) if model.counts[reg] == 0
+        )
+        assert rf.free_count(False) == dead_int
+        assert rf.free_count(True) == dead_fp
+        assert rf.live_count() == sum(1 for c in model.counts.values() if c)
+
+
 class TestValues:
     def test_write_sets_ready(self):
         rf = PhysicalRegisterFile(4, 4)

@@ -15,6 +15,14 @@ Usage::
     python tools/bench_compare.py --baseline BENCH_core.json \
         --fresh BENCH_fresh.json
 
+``--ratchet`` turns the gate into a one-way ratchet: the threshold
+tightens to 5% by default, and whenever the fresh measurement *beats*
+the committed baseline, the baseline file is rewritten with the fresh
+payload so the floor only ever moves up.  CI commits the bumped file,
+which means a hot-loop optimisation permanently raises the bar and a
+later regression is judged against the best throughput ever recorded,
+not against a stale low-water mark.
+
 Exit codes: 0 ok, 1 regression beyond threshold, 2 unusable inputs
 (missing file / spec mismatch — comparing different workloads or
 machines would be meaningless).
@@ -41,7 +49,20 @@ def load_payload(path: str) -> Dict:
         raise SystemExit(f"bench_compare: cannot read {path}: {exc}")
 
 
-def compare(baseline: Dict, fresh: Dict, threshold: float) -> int:
+def ratchet_baseline(baseline_path: str, fresh: Dict) -> None:
+    """Rewrite the baseline file with the fresh payload (fresh won)."""
+    with open(baseline_path, "w") as handle:
+        json.dump(fresh, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def compare(
+    baseline: Dict,
+    fresh: Dict,
+    threshold: float,
+    baseline_path: str = "",
+    ratchet: bool = False,
+) -> int:
     """Return the exit code; prints a human-readable verdict."""
     mismatched = [
         f"{field}: baseline={baseline.get(field)!r} fresh={fresh.get(field)!r}"
@@ -72,6 +93,12 @@ def compare(baseline: Dict, fresh: Dict, threshold: float) -> int:
             f"the {threshold:.0%} threshold"
         )
         return 1
+    if ratchet and change > 0 and baseline_path:
+        ratchet_baseline(baseline_path, fresh)
+        print(
+            f"bench_compare: ratcheted {baseline_path} up to "
+            f"{fresh_cps:,.0f} cycles/s"
+        )
     print("bench_compare: OK")
     return 0
 
@@ -112,10 +139,20 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--threshold",
         type=float,
-        default=0.15,
-        help="maximum tolerated cycles/sec regression as a fraction (default 0.15)",
+        default=None,
+        help="maximum tolerated cycles/sec regression as a fraction "
+        "(default 0.15, or 0.05 with --ratchet)",
+    )
+    parser.add_argument(
+        "--ratchet",
+        action="store_true",
+        help="tighten the threshold to 5%% and rewrite the baseline file "
+        "with the fresh payload whenever throughput improved (the gate "
+        "only ever moves up)",
     )
     args = parser.parse_args(argv)
+    if args.threshold is None:
+        args.threshold = 0.05 if args.ratchet else 0.15
     try:
         baseline = load_payload(args.baseline)
         fresh = load_payload(args.fresh)
@@ -128,7 +165,13 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 3
-    return compare(baseline, fresh, args.threshold)
+    return compare(
+        baseline,
+        fresh,
+        args.threshold,
+        baseline_path=args.baseline,
+        ratchet=args.ratchet,
+    )
 
 
 if __name__ == "__main__":
