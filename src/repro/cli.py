@@ -170,6 +170,7 @@ def _cmd_campaign(args) -> int:
         journal=args.journal,
         timeout=args.timeout,
         progress=progress,
+        batch_size=args.batch_size,
     )
     started = time.time()
     for name in names:
@@ -216,6 +217,7 @@ def _cmd_serve(args) -> int:
             lease_size=args.lease_size,
             poll=args.poll,
             max_idle=args.max_idle,
+            batch_size=args.batch_size,
         )
         print(f"worker {worker_id} exiting after {executed} task(s)", file=sys.stderr)
         return 0
@@ -679,6 +681,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="show kernels, variants, machines, experiments")
 
+    def batch_size_arg(value: str) -> int:
+        # Eager validation: a bad batch size should die at parse time,
+        # not after the first slice of simulations has already run.
+        size = int(value)
+        if size < 1:
+            raise argparse.ArgumentTypeError(
+                f"batch size must be >= 1, got {size}"
+            )
+        return size
+
     def add_exec_flags(p, jobs_default: int = 1, cache_default: Optional[str] = None):
         p.add_argument(
             "--jobs", type=int, default=jobs_default,
@@ -727,7 +739,15 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--journal", default=None, metavar="PATH",
                                  help="append-only completion journal (resume)")
     campaign_parser.add_argument("--timeout", type=float, default=None,
-                                 help="per-job wall-clock budget in seconds")
+                                 help="per-job wall-clock budget in seconds "
+                                      "(bounds a whole slice when batching)")
+    campaign_parser.add_argument("--batch-size", type=batch_size_arg, default=1,
+                                 metavar="N",
+                                 help="lockstep-simulate up to N compatible "
+                                      "jobs per worker attempt (same machine "
+                                      "config; incompatible jobs never share "
+                                      "a slice); 1 = classic one job per "
+                                      "attempt")
     add_exec_flags(
         campaign_parser,
         jobs_default=os.cpu_count() or 1,
@@ -763,6 +783,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="idle poll interval in seconds (worker mode)")
     serve_parser.add_argument("--max-idle", type=float, default=None,
                               help="exit after this many idle seconds (worker mode)")
+    serve_parser.add_argument("--batch-size", type=batch_size_arg, default=1,
+                              metavar="N",
+                              help="lockstep-simulate up to N compatible leased "
+                                   "tasks at once (worker mode; results still "
+                                   "complete per task)")
 
     submit_parser = sub.add_parser(
         "submit", help="submit a campaign spec to a running server"

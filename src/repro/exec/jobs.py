@@ -204,3 +204,23 @@ def execute_payload(payload: Dict, suite_args: Tuple[int, bool]) -> Dict:
     suite = suite_for_args(*suite_args)
     result = run_job(job_from_payload(payload), suite)
     return result_to_payload(result)
+
+
+def execute_payload_batch(payloads, suite_args: Tuple[int, bool]):
+    """Worker-side batch entry: run compatible payloads in lockstep.
+
+    Returns one ``("ok", result_payload)`` or ``("error", message)`` pair
+    per payload, in input order — a point that fails never sinks its
+    batch siblings; the pool retries failed points as singletons.
+    """
+    from ..sim.batch import BatchRunner  # late: sim.batch is import-light
+
+    suite = suite_for_args(*suite_args)
+    jobs = [job_from_payload(p) for p in payloads]
+    out = []
+    for point in BatchRunner(jobs, suite=suite).run():
+        if point.result is not None:
+            out.append(("ok", result_to_payload(point.result)))
+        else:
+            out.append(("error", point.error or "unknown batch failure"))
+    return out

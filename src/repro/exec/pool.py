@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..sim.batch import BatchRunner, group_batches
 from ..sim.runner import RunResult, RunSpec
 from ..workloads.suite import WorkloadSuite
 from .cache import Journal, ResultCache, cache_key
@@ -45,6 +46,7 @@ from .jobs import (
     JobFailure,
     JobOutcome,
     execute_payload,
+    execute_payload_batch,
     job_to_payload,
     result_from_payload,
     result_to_payload,
@@ -96,11 +98,34 @@ def _worker_entry(conn, payload: Dict, suite_args: Tuple[int, bool], chaos: Opti
         conn.close()
 
 
+def _batch_worker_entry(conn, payloads: List[Dict], suite_args: Tuple[int, bool]) -> None:
+    """Top-level batch worker target: one lockstep batch per process.
+
+    Replies ``("batch", [(status, body), ...])`` with one entry per
+    payload; per-point failures are structured inside the list, so only
+    a whole-batch failure (e.g. mixed-machine validation) uses the
+    ``("error", message)`` shape.
+    """
+    try:
+        conn.send(("batch", execute_payload_batch(payloads, suite_args)))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
 @dataclass
 class _Running:
-    """Book-keeping for one in-flight worker process."""
+    """Book-keeping for one in-flight worker process.
 
-    index: int
+    ``indices`` holds one job index for a classic single-job attempt and
+    the whole slice for a lockstep-batch attempt.
+    """
+
+    indices: List[int]
     attempt: int
     process: multiprocessing.Process
     conn: "multiprocessing.connection.Connection"
@@ -128,6 +153,14 @@ class Executor:
         appended as they land so an interrupted batch resumes for free.
     progress:
         A :class:`ProgressReporter` shared across batches.
+    batch_size:
+        Lockstep batch width.  ``1`` (the default) preserves the classic
+        one-job-per-attempt behaviour; ``N > 1`` makes each attempt a
+        compatible slice of up to N jobs simulated in lockstep in one
+        process (see :mod:`repro.sim.batch`).  First attempts batch;
+        retries always re-run failed points singly.  In parallel mode
+        ``timeout`` bounds a whole batch attempt, and a crashed or timed
+        out batch falls back to singleton retries for every member.
     """
 
     def __init__(
@@ -139,8 +172,10 @@ class Executor:
         journal: Optional[Union[Journal, str, "os.PathLike"]] = None,
         progress: Optional[ProgressReporter] = None,
         mp_context: Optional[str] = None,
+        batch_size: int = 1,
     ):
         self.jobs = max(1, int(jobs))
+        self.batch_size = max(1, int(batch_size))
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
@@ -192,7 +227,10 @@ class Executor:
 
         if pending:
             if self.jobs <= 1:
-                self._run_serial(jobs, pending, suite, keys, outcomes)
+                if self.batch_size > 1:
+                    self._run_serial_batched(jobs, pending, suite, keys, outcomes)
+                else:
+                    self._run_serial(jobs, pending, suite, keys, outcomes)
             else:
                 self._run_parallel(jobs, pending, suite, keys, outcomes)
         return [outcome for outcome in outcomes if outcome is not None]
@@ -250,13 +288,21 @@ class Executor:
         )
         self._record(outcomes[index])
 
+    def _pending_batches(self, jobs, pending) -> List[List[int]]:
+        """Group pending job indices into compatible lockstep slices."""
+        groups = group_batches([jobs[index] for index in pending], self.batch_size)
+        return [[pending[position] for position in group] for group in groups]
+
     # ------------------------------------------------------------------
-    def _run_serial(self, jobs, pending, suite, keys, outcomes) -> None:
+    def _run_serial(self, jobs, pending, suite, keys, outcomes,
+                    first_attempt: int = 1) -> None:
+        """Classic in-process path; ``first_attempt > 1`` resumes the
+        attempt budget for points whose batched first attempt failed."""
         max_attempts = self.retries + 1
         for index in pending:
             job = jobs[index]
             started = time.monotonic()
-            for attempt in range(1, max_attempts + 1):
+            for attempt in range(first_attempt, max_attempts + 1):
                 try:
                     _apply_chaos(job.chaos, attempt, allow_exit=False)
                     payload = result_to_payload(run_job(job, suite))
@@ -273,25 +319,67 @@ class Executor:
                     )
                     break
 
+    def _run_serial_batched(self, jobs, pending, suite, keys, outcomes) -> None:
+        """Serial mode with lockstep slices: batch the first attempt of
+        every multi-job slice, then push failures (and all singleton
+        slices — which may carry chaos) through the classic path."""
+        max_attempts = self.retries + 1
+        singles: List[int] = []
+        for indices in self._pending_batches(jobs, pending):
+            if len(indices) <= 1:
+                singles.extend(indices)
+                continue
+            started = time.monotonic()
+            try:
+                points = BatchRunner(
+                    [jobs[index] for index in indices], suite=suite
+                ).run()
+            except Exception as exc:  # noqa: BLE001 - whole-slice failure
+                message = f"{type(exc).__name__}: {exc}"
+                if max_attempts > 1:
+                    self._run_serial(jobs, indices, suite, keys, outcomes,
+                                     first_attempt=2)
+                else:
+                    for index in indices:
+                        self._fail(index, jobs[index], "error", message,
+                                   1, time.monotonic() - started, outcomes)
+                continue
+            elapsed = time.monotonic() - started
+            retry: List[int] = []
+            for index, point in zip(indices, points):
+                if point.result is not None:
+                    self._commit(index, jobs[index], keys[index],
+                                 result_to_payload(point.result), 1, elapsed,
+                                 outcomes)
+                elif max_attempts > 1:
+                    retry.append(index)
+                else:
+                    self._fail(index, jobs[index], "error",
+                               point.error or "batch point failed", 1, elapsed,
+                               outcomes)
+            if retry:
+                self._run_serial(jobs, retry, suite, keys, outcomes,
+                                 first_attempt=2)
+        if singles:
+            self._run_serial(jobs, singles, suite, keys, outcomes)
+
     # ------------------------------------------------------------------
-    def _spawn(self, index: int, attempt: int, jobs, suite) -> _Running:
+    def _spawn(self, indices: List[int], attempt: int, jobs, suite) -> _Running:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-        job = jobs[index]
-        process = self._ctx.Process(
-            target=_worker_entry,
-            args=(
-                child_conn,
-                job_to_payload(job),
-                (suite.iters, suite.extended),
-                job.chaos,
-                attempt,
-            ),
-            daemon=True,
-        )
+        suite_args = (suite.iters, suite.extended)
+        if len(indices) == 1:
+            job = jobs[indices[0]]
+            args = (child_conn, job_to_payload(job), suite_args, job.chaos, attempt)
+            target = _worker_entry
+        else:
+            payloads = [job_to_payload(jobs[index]) for index in indices]
+            args = (child_conn, payloads, suite_args)
+            target = _batch_worker_entry
+        process = self._ctx.Process(target=target, args=args, daemon=True)
         process.start()
         child_conn.close()  # parent keeps only the read end
         return _Running(
-            index=index, attempt=attempt, process=process,
+            indices=list(indices), attempt=attempt, process=process,
             conn=parent_conn, started=time.monotonic(),
         )
 
@@ -303,8 +391,19 @@ class Executor:
             handle.process.join(timeout=1.0)
 
     def _run_parallel(self, jobs, pending, suite, keys, outcomes) -> None:
+        """Pool scheduler over work units of one-or-more job indices.
+
+        With ``batch_size == 1`` every unit is a single index and this is
+        the classic one-process-per-job-attempt pool.  With batching,
+        first attempts are compatible slices (one process simulates the
+        whole slice in lockstep) and any failure — a point error inside
+        the slice, or the whole worker crashing or timing out — degrades
+        the affected indices to singleton retries with the attempt budget
+        carried over.
+        """
         max_attempts = self.retries + 1
-        queue = list(pending)  # indices awaiting a first attempt
+        # Work units awaiting a first attempt.
+        queue: List[List[int]] = self._pending_batches(jobs, pending)
         retry_queue: List[Tuple[int, int]] = []  # (index, next attempt)
         running: List[_Running] = []
         started_at: Dict[int, float] = {}
@@ -313,28 +412,34 @@ class Executor:
             while len(running) < self.jobs and (retry_queue or queue):
                 if retry_queue:
                     index, attempt = retry_queue.pop(0)
+                    indices = [index]
                 else:
-                    index, attempt = queue.pop(0), 1
-                started_at.setdefault(index, time.monotonic())
-                running.append(self._spawn(index, attempt, jobs, suite))
+                    indices, attempt = queue.pop(0), 1
+                now = time.monotonic()
+                for index in indices:
+                    started_at.setdefault(index, now)
+                running.append(self._spawn(indices, attempt, jobs, suite))
 
-        def settle(handle: _Running, kind: str, message: str) -> None:
-            """One attempt ended without a usable result."""
-            self._reap(handle)
-            if handle.attempt >= max_attempts:
+        def settle_index(index: int, attempt: int, kind: str, message: str) -> None:
+            """One index's attempt ended without a usable result."""
+            if attempt >= max_attempts:
                 self._fail(
-                    handle.index, jobs[handle.index], kind, message,
-                    handle.attempt, time.monotonic() - started_at[handle.index],
-                    outcomes,
+                    index, jobs[index], kind, message,
+                    attempt, time.monotonic() - started_at[index], outcomes,
                 )
             else:
-                retry_queue.append((handle.index, handle.attempt + 1))
+                retry_queue.append((index, attempt + 1))
+
+        def settle(handle: _Running, kind: str, message: str) -> None:
+            """A whole attempt (single or slice) died: settle each member."""
+            self._reap(handle)
+            for index in handle.indices:
+                settle_index(index, handle.attempt, kind, message)
 
         launch_capacity()
         while running:
             progressed = False
             for handle in list(running):
-                message = None
                 if handle.conn.poll():
                     running.remove(handle)
                     progressed = True
@@ -345,11 +450,29 @@ class Executor:
                         continue
                     if status == "ok":
                         self._reap(handle)
+                        index = handle.indices[0]
                         self._commit(
-                            handle.index, jobs[handle.index], keys[handle.index],
+                            index, jobs[index], keys[index],
                             body, handle.attempt,
-                            time.monotonic() - started_at[handle.index], outcomes,
+                            time.monotonic() - started_at[index], outcomes,
                         )
+                    elif status == "batch":
+                        self._reap(handle)
+                        for index, (point_status, point_body) in zip(
+                            handle.indices, body
+                        ):
+                            if point_status == "ok":
+                                self._commit(
+                                    index, jobs[index], keys[index],
+                                    point_body, handle.attempt,
+                                    time.monotonic() - started_at[index],
+                                    outcomes,
+                                )
+                            else:
+                                settle_index(
+                                    index, handle.attempt, "error",
+                                    str(point_body),
+                                )
                     else:
                         settle(handle, "error", str(body))
                 elif not handle.process.is_alive():

@@ -59,13 +59,14 @@ from .stages import (
     SimulationError,
 )
 from .stages.commit import _values_equal  # noqa: F401  (re-export for tests)
+from .uop import ST_COMPLETED
 
 __all__ = ["Core", "SimulationError"]
 
 
 class Core:
-    def __init__(self, config: Optional[MachineConfig] = None):
-        self.state = CoreState(config)
+    def __init__(self, config: Optional[MachineConfig] = None, uop_cache=None):
+        self.state = CoreState(config, uop_cache=uop_cache)
         self.fetch = FetchStage(self)
         self.rename = RenameStage(self)
         self.forker = ForkUnit(self)
@@ -209,7 +210,11 @@ class Core:
         finally:
             if gc_was_enabled:
                 gc.enable()
-                gc.collect()
+            # Collect even when gc was already disabled on entry: batch
+            # drivers manage the collector themselves, and skipping the
+            # collection here would carry this run's cyclic garbage into
+            # every later point of the batch.
+            gc.collect()
         self._finalize_stats()
         return self.stats
 
@@ -244,6 +249,101 @@ class Core:
         )
         state.cycle += 1
         stats.cycles = state.cycle
+
+    def next_activity_cycle(self) -> Optional[int]:
+        """Earliest cycle at which stepping this core could change state.
+
+        Returns the current cycle when any stage provably has work *now*,
+        a future cycle when every stage is idle until a known wakeup
+        (queue due-heaps, in-flight completions, icache fills, decode
+        latency), or ``None`` when the core is fully quiescent (done or
+        deadlocked — no event will ever arrive).
+
+        The predicate is deliberately conservative: anything not
+        *provably* idle counts as activity, so a lockstep batch driver
+        may fast-forward ``state.cycle`` to the returned bound and record
+        the gap as idle cycles without changing a single simulated
+        outcome.  The per-stage no-op conditions mirror the stage
+        entry points:
+
+        * rename drains open recycle streams every cycle, so any open
+          stream means activity now;
+        * commit retires when an instance's commit-chain head is
+          COMPLETED, or advances the chain when a handover is pinned;
+        * resolve pops ``state.completions`` at exactly its key cycle;
+        * issue pops the queues' ready/due heaps (stale entries count as
+          activity — popping them is cheap and keeps this conservative);
+        * rename consumes decode-buffer heads once ``ready_cycle``
+          arrives (per-context ready cycles are monotonic, so the head
+          is the earliest);
+        * fetch is eligibility-gated; for a context blocked only by its
+          fetch stall the bound is ``fetch_stall_until``, and every other
+          blocker (buffer full, stream open, halted) can only be lifted
+          by activity that is itself accounted above.  Merge detection
+          (``try_merge``) is side-effectful, so a context that is
+          fetch-eligible *now* counts as activity even if it would only
+          open a stream.
+        """
+        state = self.state
+        now = state.cycle
+        if state.streams:
+            return now
+        contexts = state.contexts
+        for inst in state.instances:
+            if inst.halted:
+                continue
+            ctx = contexts[inst.commit_ctx]
+            al = ctx.active_list
+            pos = al.commit_pos
+            if ctx.commit_limit_pos is not None and pos >= ctx.commit_limit_pos:
+                if ctx.commit_successor is not None:
+                    return now  # chain handover pending
+                continue  # waits on a primaryship swap (a completion event)
+            if pos < al.tail_pos:
+                uop = al._ring[pos % al.capacity]
+                if uop is not None and uop.cols.state[uop.uid] == ST_COMPLETED:
+                    return now
+        bound: Optional[int] = None
+        completions = state.completions
+        if completions:
+            due = min(completions)
+            if due <= now:
+                return now
+            bound = due
+        for queue in (state.int_queue, state.fp_queue):
+            if queue._ready:
+                return now
+            heap = queue._due
+            if heap:
+                due = heap[0][0]
+                if due <= now:
+                    return now
+                if bound is None or due < bound:
+                    bound = due
+        decode_cap = state.config.decode_buffer_size
+        streams = state.streams
+        for ctx in contexts:
+            buf = ctx.decode_buffer
+            if buf:
+                ready = buf[0].ready_cycle
+                if ready <= now:
+                    return now
+                if bound is None or ready < bound:
+                    bound = ready
+            cstate = ctx.state
+            if (
+                (cstate is CtxState.ACTIVE or cstate is CtxState.INACTIVE)
+                and not ctx.fetch_stopped
+                and len(buf) < decode_cap
+                and ctx.id not in streams
+                and not (ctx.instance and ctx.instance.halted)
+            ):
+                stall = ctx.fetch_stall_until
+                if stall <= now:
+                    return now
+                if bound is None or stall < bound:
+                    bound = stall
+        return bound
 
     def set_profiler(self, profiler) -> None:
         """Attach (or clear) a per-stage profiler with a ``timed(name, fn)``

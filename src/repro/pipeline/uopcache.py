@@ -19,6 +19,17 @@ Capacity semantics: bounded FIFO over all programs.  ``capacity == 0``
 disables caching entirely (every lookup decodes, nothing is stored) —
 the simulated machine's behaviour is identical either way; only the
 simulator's speed and the hit/miss counters change.
+
+Batching: the decoded records and the FIFO bound live in a
+:class:`DecodeStore`, and a :class:`DecodedUopCache` is a per-core
+*view* of one — counters (hits, misses, decodes, decanting) always
+belong to the core that performed the lookup.  A standalone core owns
+a private store; a lockstep batch (:mod:`repro.sim.batch`) hands the
+same store to every sibling core so all points running the same kernel
+share one warm cache and each program is decoded once per process.
+Sharing is safe precisely because record content is a pure function of
+``(program, pc)`` and cache state never feeds back into the simulated
+machine.
 """
 
 from __future__ import annotations
@@ -167,38 +178,17 @@ def loop_pcs_of(program: Program) -> "set[int]":
     return member
 
 
-class DecodedUopCache:
-    """Bounded FIFO cache of :class:`DecodedUop` records per program.
+class DecodeStore:
+    """The structural half of the cache: decoded records, program views,
+    and the bounded FIFO.  One per core in standalone runs; one per
+    *batch* under lockstep batching, shared by every sibling core with
+    the same configured capacity.  Holds no counters — attribution
+    stays with the :class:`DecodedUopCache` views."""
 
-    Owned by :class:`~repro.pipeline.stages.state.CoreState` (one per
-    core, like every other column structure — batchable later, never a
-    module global).  The fetch hot loop holds the per-program view dict
-    from :meth:`program_view` and probes it directly; the miss path
-    funnels through :meth:`decode`, which is also where capacity
-    eviction and the per-program decode counters live.
-    """
-
-    __slots__ = (
-        "capacity",
-        "hits",
-        "misses",
-        "evictions",
-        "decode_counts",
-        "hits_by_class",
-        "_programs",
-        "_fifo",
-        "_size",
-    )
+    __slots__ = ("capacity", "_programs", "_fifo", "_size")
 
     def __init__(self, capacity: int = 4096):
         self.capacity = capacity
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        #: Decodes per program name (cache misses that found text).
-        self.decode_counts: Dict[str, int] = {}
-        #: Cache hits per ``decant_key`` (FuClass × loop membership).
-        self.hits_by_class: Dict[str, int] = {}
         #: id(program) -> (program, {pc: DecodedUop}, loop_pcs).  The
         #: program reference pins the id against reuse.
         self._programs: Dict[int, Tuple[Program, Dict[int, DecodedUop], set]] = {}
@@ -207,14 +197,81 @@ class DecodedUopCache:
         self._fifo: Deque[Tuple[Dict[int, DecodedUop], int]] = deque()
         self._size = 0
 
-    # -- hot-path handles ----------------------------------------------
-    def program_view(self, program: Program) -> Dict[int, DecodedUop]:
-        """The per-program ``{pc: DecodedUop}`` dict, for direct probing."""
+    def record(self, program: Program) -> Tuple[Program, Dict[int, DecodedUop], set]:
         rec = self._programs.get(id(program))
         if rec is None:
             rec = (program, {}, loop_pcs_of(program))
             self._programs[id(program)] = rec
-        return rec[1]
+        return rec
+
+    def insert(self, view: Dict[int, DecodedUop], pc: int, dec: DecodedUop) -> int:
+        """Install ``dec``; returns how many FIFO-oldest entries were
+        evicted to make room (0 when replacing in place)."""
+        evicted = 0
+        if pc not in view:
+            while self._size >= self.capacity:
+                old_view, old_pc = self._fifo.popleft()
+                if old_view.pop(old_pc, None) is not None:
+                    self._size -= 1
+                    evicted += 1
+            self._fifo.append((view, pc))
+            self._size += 1
+        view[pc] = dec
+        return evicted
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class DecodedUopCache:
+    """Bounded FIFO cache of :class:`DecodedUop` records per program.
+
+    Owned by :class:`~repro.pipeline.stages.state.CoreState` (one per
+    core, like every other column structure — never a module global).
+    The fetch hot loop holds the per-program view dict from
+    :meth:`program_view` and probes it directly; the miss path funnels
+    through :meth:`decode`, which is also where capacity eviction and
+    the per-program decode counters live.
+
+    Pass ``store`` to share one :class:`DecodeStore` between several
+    caches (lockstep batching): records and capacity are then common,
+    while every counter on this object still counts only this core's
+    lookups.  The store's capacity must match ``capacity`` — mixing
+    bounds on one FIFO would make eviction accounting meaningless.
+    """
+
+    __slots__ = (
+        "capacity",
+        "store",
+        "hits",
+        "misses",
+        "evictions",
+        "decode_counts",
+        "hits_by_class",
+    )
+
+    def __init__(self, capacity: int = 4096, store: Optional[DecodeStore] = None):
+        if store is None:
+            store = DecodeStore(capacity)
+        elif store.capacity != capacity:
+            raise ValueError(
+                f"shared DecodeStore capacity {store.capacity} != "
+                f"cache capacity {capacity}"
+            )
+        self.capacity = capacity
+        self.store = store
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Decodes per program name (cache misses that found text).
+        self.decode_counts: Dict[str, int] = {}
+        #: Cache hits per ``decant_key`` (FuClass × loop membership).
+        self.hits_by_class: Dict[str, int] = {}
+
+    # -- hot-path handles ----------------------------------------------
+    def program_view(self, program: Program) -> Dict[int, DecodedUop]:
+        """The per-program ``{pc: DecodedUop}`` dict, for direct probing."""
+        return self.store.record(program)[1]
 
     def decode(
         self,
@@ -228,10 +285,7 @@ class DecodedUopCache:
         instr = program.instr_at(pc)
         if instr is None:
             return None
-        rec = self._programs.get(id(program))
-        if rec is None:
-            rec = (program, {}, loop_pcs_of(program))
-            self._programs[id(program)] = rec
+        rec = self.store.record(program)
         dec = DecodedUop(instr, pc, loop_member=pc in rec[2])
         name = program.name
         self.decode_counts[name] = self.decode_counts.get(name, 0) + 1
@@ -239,15 +293,7 @@ class DecodedUopCache:
             return dec
         if view is None:
             view = rec[1]
-        if pc not in view:
-            while self._size >= self.capacity:
-                old_view, old_pc = self._fifo.popleft()
-                if old_view.pop(old_pc, None) is not None:
-                    self._size -= 1
-                    self.evictions += 1
-            self._fifo.append((view, pc))
-            self._size += 1
-        view[pc] = dec
+        self.evictions += self.store.insert(view, pc, dec)
         return dec
 
     def lookup(self, program: Program, pc: int) -> Optional[DecodedUop]:
@@ -265,39 +311,51 @@ class DecodedUopCache:
     def invalidate(self, program: Program, pc: int) -> bool:
         """Drop one entry (e.g. self-modifying text in a future ISA);
         returns whether anything was cached there."""
-        rec = self._programs.get(id(program))
+        store = self.store
+        rec = store._programs.get(id(program))
         if rec is None:
             return False
         if rec[1].pop(pc, None) is None:
             return False
-        self._size -= 1
+        store._size -= 1
         return True
 
     def invalidate_program(self, program: Program) -> int:
-        """Drop every entry (and the loop map) for ``program``."""
-        rec = self._programs.pop(id(program), None)
+        """Drop every entry (and the loop map) for ``program``.
+
+        Sibling caches sharing the store keep working: a fetch loop
+        still holding the view dict sees it emptied in place and falls
+        back to the decode path, which re-registers the program.
+        """
+        store = self.store
+        rec = store._programs.pop(id(program), None)
         if rec is None:
             return 0
         dropped = len(rec[1])
-        self._size -= dropped
+        store._size -= dropped
         rec[1].clear()  # the fetch hot loop may still hold this view
         return dropped
 
     def clear(self) -> None:
-        self._programs.clear()
-        self._fifo.clear()
-        self._size = 0
+        store = self.store
+        store._programs.clear()
+        store._fifo.clear()
+        store._size = 0
 
     # -- reporting -----------------------------------------------------
     def __len__(self) -> int:
-        return self._size
+        return self.store._size
 
     def snapshot(self) -> Dict:
-        """JSON-ready counter payload (profiler / stats export)."""
+        """JSON-ready counter payload (profiler / stats export).
+
+        ``entries`` reflects the backing store (shared under batching);
+        every other field counts this core's own lookups.
+        """
         lookups = self.hits + self.misses
         return {
             "capacity": self.capacity,
-            "entries": self._size,
+            "entries": self.store._size,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,

@@ -1,0 +1,126 @@
+"""Shared :class:`DecodeStore` semantics under lockstep batching.
+
+Several sibling cores hold :class:`DecodedUopCache` counter views over
+one store.  The invariants: structural operations from one view (
+``invalidate_program``, ``clear``) must not corrupt a sibling
+mid-round; ``capacity == 0`` disables storage for the whole batch while
+the simulated machine is unaffected; and every counter attributes to
+the view that performed the lookup, not to whoever warmed the store.
+"""
+
+import pytest
+
+from repro.exec.jobs import Job
+from repro.pipeline.uopcache import DecodedUopCache, DecodeStore
+from repro.sim.batch import BatchRunner
+from repro.sim.runner import RunSpec
+from repro.workloads.suite import WorkloadSuite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return WorkloadSuite()
+
+
+@pytest.fixture()
+def programs(suite):
+    return suite.program("compress", 0), suite.program("li", 1)
+
+
+class TestSharedStoreStructure:
+    def test_views_share_records(self, programs):
+        compress, _ = programs
+        store = DecodeStore(64)
+        a = DecodedUopCache(64, store=store)
+        b = DecodedUopCache(64, store=store)
+        pc = compress.text_base
+        dec = a.lookup(compress, pc)  # a decodes...
+        assert b.lookup(compress, pc) is dec  # ...b hits the same record
+        assert a.misses == 1 and a.hits == 0
+        assert b.misses == 0 and b.hits == 1
+
+    def test_capacity_mismatch_rejected(self):
+        store = DecodeStore(64)
+        with pytest.raises(ValueError, match="capacity"):
+            DecodedUopCache(128, store=store)
+
+    def test_invalidate_program_empties_sibling_views_in_place(self, programs):
+        compress, _ = programs
+        store = DecodeStore(64)
+        a = DecodedUopCache(64, store=store)
+        b = DecodedUopCache(64, store=store)
+        pc = compress.text_base
+        a.lookup(compress, pc)
+        view_b = b.program_view(compress)  # b's fetch loop holds the view
+        assert pc in view_b
+        dropped = a.invalidate_program(compress)
+        assert dropped == 1
+        # The sibling's held dict was emptied in place — no stale record,
+        # and its next probe misses into a clean re-registration.
+        assert pc not in view_b
+        assert b.lookup(compress, pc) is not None
+        assert b.misses == 1
+        assert len(store) == 1
+
+    def test_capacity_zero_disables_storage_for_the_batch(self, programs):
+        compress, _ = programs
+        store = DecodeStore(0)
+        a = DecodedUopCache(0, store=store)
+        b = DecodedUopCache(0, store=store)
+        pc = compress.text_base
+        assert a.lookup(compress, pc) is not None
+        assert b.lookup(compress, pc) is not None
+        assert len(store) == 0  # nothing ever stored
+        assert a.misses == 1 and b.misses == 1  # every lookup decodes
+        assert a.hits == 0 and b.hits == 0
+
+    def test_counters_attribute_to_the_right_kernel(self, programs):
+        """Two views over one store, each driving a different kernel:
+        decode_counts name the kernel the *owning* view decoded, and a
+        view that only ever touched one kernel never shows the other."""
+        compress, li = programs
+        store = DecodeStore(4096)
+        a = DecodedUopCache(4096, store=store)
+        b = DecodedUopCache(4096, store=store)
+        for pc in range(compress.text_base, compress.text_base + 5 * 8, 8):
+            a.lookup(compress, pc)
+        for pc in range(li.text_base, li.text_base + 3 * 8, 8):
+            b.lookup(li, pc)
+        assert set(a.decode_counts) == {compress.name}
+        assert set(b.decode_counts) == {li.name}
+        assert a.decode_counts[compress.name] == 5
+        assert b.decode_counts[li.name] == 3
+
+
+class TestBatchAttribution:
+    def test_batch_uop_cache_counters_attribute_per_point(self, suite):
+        """In a real lockstep batch, every point's SimStats decode
+        counts name only that point's own kernel, and whole-batch
+        conservation holds: total decodes equal what one cold run of
+        each distinct kernel needs (each program decodes once per
+        process, not once per point)."""
+        specs = [
+            RunSpec(workload=(kernel,), commit_target=400)
+            for kernel in ("compress", "compress", "li", "li")
+        ]
+        runner = BatchRunner([Job(spec=s) for s in specs], suite=suite)
+        points = runner.run()
+        assert all(p.error is None for p in points)
+        for spec, point in zip(specs, points):
+            stats = point.result.stats
+            assert set(stats.decode_counts) <= {spec.workload[0]}
+            lookups = stats.uop_cache_hits + stats.uop_cache_misses
+            assert lookups > 0  # every point did its own fetching
+        # Conservation: across the batch each distinct (kernel, pc) was
+        # decoded exactly once, so summed decode counts match a cold
+        # serial run of one compress + one li point.
+        batched_total = {}
+        for point in points:
+            for name, count in point.result.stats.decode_counts.items():
+                batched_total[name] = batched_total.get(name, 0) + count
+        for kernel in ("compress", "li"):
+            solo = BatchRunner(
+                [Job(spec=RunSpec(workload=(kernel,), commit_target=400))],
+                suite=suite,
+            ).run()[0]
+            assert batched_total[kernel] <= solo.result.stats.decode_counts[kernel]

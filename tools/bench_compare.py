@@ -87,6 +87,7 @@ def compare(
         f"({change:+.1%}, {verdict})"
     )
     compare_service_latency(baseline, fresh, threshold)
+    compare_sweep_throughput(baseline, fresh, threshold)
     if change < -threshold:
         print(
             f"bench_compare: FAIL — regression {-change:.1%} exceeds "
@@ -122,6 +123,29 @@ def compare_service_latency(baseline: Dict, fresh: Dict, threshold: float) -> No
     if change > threshold:
         print(
             f"bench_compare: WARN — service latency up {change:.1%} "
+            f"(warn-only, does not fail the gate)"
+        )
+
+
+def compare_sweep_throughput(baseline: Dict, fresh: Dict, threshold: float) -> None:
+    """Warn-only check of ``sweep_points_per_second`` (batched-pool
+    throughput of the pinned 8-point sweep, recorded by
+    ``tools/bench_batch_sweep.py``).  The metric folds in process-spawn
+    cost, which varies wildly across CI runners, so this PR it warns
+    only; the ratchet comes once nightly numbers show a stable floor."""
+    base = baseline.get("sweep_points_per_second")
+    new = fresh.get("sweep_points_per_second")
+    if not base or not new:
+        print("bench_compare: sweep throughput not tracked in both payloads; skipping")
+        return
+    change = (new - base) / base  # positive = faster
+    print(
+        f"batched sweep throughput: baseline {base:.2f} points/s, "
+        f"fresh {new:.2f} points/s ({change:+.1%})"
+    )
+    if change < -threshold:
+        print(
+            f"bench_compare: WARN — sweep throughput down {-change:.1%} "
             f"(warn-only, does not fail the gate)"
         )
 
