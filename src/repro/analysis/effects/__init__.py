@@ -1,0 +1,55 @@
+"""Whole-program effect & ownership analysis.
+
+The static half of the batch-sharing contract: per-function effect
+summaries (attribute/subscript writes, container mutations, escapes)
+propagated over a call graph rooted at the batch run loop, classifying
+the fields of the batch-critical classes (``CoreState``,
+``BatchRunner``, ``DecodeStore``, ``WorkloadSuite``) into an ownership
+map — per-core-private, batch-shared-immutable, or
+shared-mutable-guarded.  The SHR lint rules
+(:mod:`repro.analysis.lint.rules_sharing`) and the runtime share
+sanitizer (:mod:`.share`, ``REPRO_SHARE_SANITIZE=1``) are both backed
+by the same facts, mirroring how the CONC rules and the TSan-lite
+sanitizer share :mod:`repro.analysis.conc`.
+
+See ``docs/EFFECTS.md`` for the summary format and the rule family.
+"""
+
+from .callgraph import ClassInfo, EffectsGraph, FieldType
+from .facts import EffectFinding, EffectsProgram, SHR_CODES, batch_facts
+from .ownership import OwnershipEntry, OwnershipMap
+from .share import SANITIZE_ENV, ShareSanitizer, sanitizer_from_env
+from .specmatch import InlineRegion, SpecMismatch, check_regions, parse_regions
+from .summaries import (
+    LOCAL,
+    Chain,
+    EffectSite,
+    FunctionSummary,
+    MUTATORS,
+    summarize_function,
+)
+
+__all__ = [
+    "Chain",
+    "ClassInfo",
+    "EffectFinding",
+    "EffectSite",
+    "EffectsGraph",
+    "EffectsProgram",
+    "FieldType",
+    "FunctionSummary",
+    "InlineRegion",
+    "LOCAL",
+    "MUTATORS",
+    "OwnershipEntry",
+    "OwnershipMap",
+    "SANITIZE_ENV",
+    "SHR_CODES",
+    "ShareSanitizer",
+    "SpecMismatch",
+    "batch_facts",
+    "check_regions",
+    "parse_regions",
+    "sanitizer_from_env",
+    "summarize_function",
+]

@@ -1,0 +1,564 @@
+"""Class models, field typing and the batch-phase call graph.
+
+The interprocedural layer: every class's fields are typed from its
+constructor (and other ``self.x = ...`` assignments) — constructor
+calls, parameter annotations (including string and ``Optional[...]``
+forms), list-comprehension element types, ``param or Ctor()``
+fallbacks — with base-class fields inherited, so a chain like
+``self.core.state.uop_cache.store`` resolves step by step to
+``DecodeStore``.
+
+Two resolution features carry the pipeline's idioms:
+
+* **Callable fields** — ``Core._bind_delegators`` rebinds stage entry
+  points as instance attributes (``self._execute = self.issue.execute``)
+  for hot-loop speed; such assignments become edges in the call graph,
+  so ``self.core._execute(uop)`` inside a stage reaches
+  ``IssueStage.execute``.
+* **Bound-method aliases** — ``step = core.step; ... step()`` resolves
+  through the summary's alias map before lookup.
+
+Reachability walks call edges from the batch run roots
+(``BatchRunner.run``, the point drivers, ``Core.run/step``) and stops
+at the *build-phase cut*: constructors, ``BatchRunner._build_drivers``
+and ``Core.load`` run before lockstep stepping begins, so their
+mutations are setup, not steady-state sharing violations.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .summaries import LOCAL, Chain, FunctionSummary, summarize_function
+
+__all__ = [
+    "BUILD_PHASE_CUT",
+    "ClassInfo",
+    "EffectsGraph",
+    "FieldType",
+    "FuncKey",
+    "RUN_ROOTS",
+]
+
+#: (class-or-"", function) pairs that start the steady-state run phase.
+RUN_ROOTS: Tuple[Tuple[str, str], ...] = (
+    ("BatchRunner", "run"),
+    ("_PointDriver", "advance"),
+    ("_PointDriver", "finish"),
+    ("Core", "run"),
+    ("Core", "step"),
+)
+
+#: Methods never expanded during reachability: they run before the
+#: lockstep rounds start (or construct fresh objects), so their writes
+#: are build-phase by definition.
+BUILD_PHASE_CUT: FrozenSet[Tuple[str, str]] = frozenset({
+    ("", "__init__"),
+    ("", "__post_init__"),
+    ("", "__new__"),
+    ("BatchRunner", "_build_drivers"),
+    ("Core", "load"),
+})
+
+#: (class_name or "", function_name) — module paths are collapsed: the
+#: profile is one program and class names are unique within it.
+FuncKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class FieldType:
+    """Inferred type of one instance field."""
+
+    cls: Optional[str] = None  # class name, when the field is an instance
+    elem: Optional[str] = None  # element class, when it is a container
+
+
+@dataclass
+class ClassInfo:
+    """One class: typed fields, methods, delegator bindings."""
+
+    name: str
+    path: str
+    line: int
+    bases: Tuple[str, ...] = ()
+    fields: Dict[str, FieldType] = field(default_factory=dict)
+    #: field name -> (owner class, method) for ``self.x = self.f.m``
+    callable_fields: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    methods: Dict[str, FunctionSummary] = field(default_factory=dict)
+    #: class-body mutable container attributes (``registry = {}``)
+    class_attrs: Set[str] = field(default_factory=set)
+    #: raw ``self.x = <expr>`` assignments pending type resolution
+    pending: List[Tuple[str, ast.AST, str]] = field(default_factory=list)
+    #: ``self.x: T = ...`` annotations pending resolution
+    annotated: Dict[str, str] = field(default_factory=dict)
+
+
+def _parse_annotation(text: Optional[str]) -> Optional[str]:
+    """Class name out of an annotation string; None when untypable."""
+    if not text:
+        return None
+    text = text.strip().strip("\"'")
+    for wrapper in ("Optional[", "typing.Optional["):
+        if text.startswith(wrapper) and text.endswith("]"):
+            text = text[len(wrapper):-1].strip().strip("\"'")
+    if text.startswith("List[") or text.startswith("Sequence["):
+        return None  # containers handled by _infer_field_type
+    if not text or "[" in text or "." in text:
+        return None
+    return text if text[0].isalpha() or text[0] == "_" else None
+
+
+class EffectsGraph:
+    """The program model: classes, functions, call edges, reachability."""
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[FuncKey, FunctionSummary] = {}
+        #: module-level names bound to mutable literals, per path
+        self.module_globals: Dict[str, Set[str]] = {}
+        self.edges: Dict[FuncKey, Set[FuncKey]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, sources: Sequence[Tuple[str, str]]) -> "EffectsGraph":
+        graph = cls()
+        for path, text in sources:
+            try:
+                tree = ast.parse(text, filename=path)
+            except SyntaxError:
+                continue
+            graph._collect_module(path, tree)
+        graph._inherit_base_fields()
+        graph._resolve_field_types()
+        graph._build_edges()
+        return graph
+
+    def _collect_module(self, path: str, tree: ast.Module) -> None:
+        mutable_names = self.module_globals.setdefault(path, set())
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, (ast.List, ast.Dict, ast.Set)
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        mutable_names.add(target.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                summary = summarize_function(node, path)  # type: ignore[arg-type]
+                self.functions[("", node.name)] = summary
+            elif isinstance(node, ast.ClassDef):
+                self._collect_class(path, node)
+
+    def _collect_class(self, path: str, node: ast.ClassDef) -> None:
+        info = ClassInfo(
+            name=node.name,
+            path=path,
+            line=node.lineno,
+            bases=tuple(
+                base.id for base in node.bases if isinstance(base, ast.Name)
+            ),
+        )
+        for member in node.body:
+            if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                summary = summarize_function(
+                    member, path, class_name=node.name  # type: ignore[arg-type]
+                )
+                info.methods[member.name] = summary
+                self.functions[(node.name, member.name)] = summary
+                self._collect_self_assignments(info, member, summary)
+            elif isinstance(member, ast.Assign) and isinstance(
+                member.value, (ast.List, ast.Dict, ast.Set)
+            ):
+                for target in member.targets:
+                    if isinstance(target, ast.Name):
+                        info.class_attrs.add(target.id)
+            elif isinstance(member, ast.AnnAssign) and isinstance(
+                member.target, ast.Name
+            ):
+                # Dataclass-style field annotation.
+                annotated = _parse_annotation(_annotation_source(member.annotation))
+                if annotated:
+                    info.fields[member.target.id] = FieldType(cls=annotated)
+        self.classes[node.name] = info
+
+    def _collect_self_assignments(
+        self, info: ClassInfo, node: ast.AST, summary: FunctionSummary
+    ) -> None:
+        """Record every ``self.<f> = <expr>`` for field typing, from any
+        method — ``_build_drivers`` types ``BatchRunner.stores`` even
+        though it is build-phase for reachability."""
+        for statement in ast.walk(node):
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if _is_self_attr(target):
+                        info.pending.append(
+                            (target.attr, statement.value, summary.name)  # type: ignore[union-attr]
+                        )
+            elif isinstance(statement, ast.AnnAssign):
+                target = statement.target
+                if _is_self_attr(target):
+                    text = _annotation_source(statement.annotation)
+                    if text:
+                        info.annotated.setdefault(target.attr, text)  # type: ignore[union-attr]
+                    if statement.value is not None:
+                        info.pending.append(
+                            (target.attr, statement.value, summary.name)  # type: ignore[union-attr]
+                        )
+
+    # ------------------------------------------------------------------
+    # Field typing
+    # ------------------------------------------------------------------
+    def _inherit_base_fields(self) -> None:
+        # One level is enough for this codebase's Stage hierarchy; walk
+        # transitively anyway, bounded by the class count.
+        for _ in range(3):
+            changed = False
+            for info in self.classes.values():
+                for base_name in info.bases:
+                    base = self.classes.get(base_name)
+                    if base is None:
+                        continue
+                    for pending in base.pending:
+                        if pending not in info.pending:
+                            info.pending.append(pending)
+                            changed = True
+                    for method_name, summary in base.methods.items():
+                        if method_name not in info.methods:
+                            info.methods[method_name] = summary
+            if not changed:
+                break
+
+    def _resolve_field_types(self) -> None:
+        # Iterate: CoreState.uop_cache needs DecodedUopCache's own
+        # annotation resolved first; a few passes reach the fixpoint.
+        for info in self.classes.values():
+            for field_name, text in info.annotated.items():
+                if field_name not in info.fields:
+                    info.fields[field_name] = self._annotation_field_type(text)
+        for _ in range(5):
+            changed = False
+            for info in self.classes.values():
+                summary_by_func = {
+                    name: s for name, s in info.methods.items()
+                }
+                for field_name, value, func_name in info.pending:
+                    summary = summary_by_func.get(func_name)
+                    inferred = self._infer_field_type(info, summary, value)
+                    if inferred is not None and (
+                        info.fields.get(field_name) != inferred
+                    ):
+                        # __init__ wins over later refinements.
+                        if field_name not in info.fields:
+                            info.fields[field_name] = inferred
+                            changed = True
+                    callable_target = self._infer_callable(info, value)
+                    if callable_target is not None and (
+                        info.callable_fields.get(field_name) != callable_target
+                    ):
+                        info.callable_fields[field_name] = callable_target
+                        changed = True
+            if not changed:
+                break
+
+    def _annotation_field_type(self, text: str) -> FieldType:
+        """Field type from a ``self.x: T`` annotation; containers give
+        an element type (``Dict[tuple, Program]`` -> elem Program)."""
+        named = _parse_annotation(text)
+        if named and named in self.classes:
+            return FieldType(cls=named)
+        stripped = text.strip()
+        for wrapper in ("Dict[", "typing.Dict[", "Mapping[", "DefaultDict["):
+            if stripped.startswith(wrapper) and stripped.endswith("]"):
+                value_part = stripped[len(wrapper):-1].rsplit(",", 1)[-1]
+                elem = _parse_annotation(value_part)
+                if elem and elem in self.classes:
+                    return FieldType(elem=elem)
+        for wrapper in ("List[", "Sequence[", "Deque[", "Tuple[", "Set["):
+            if stripped.startswith(wrapper) and stripped.endswith("]"):
+                elem = _parse_annotation(stripped[len(wrapper):-1])
+                if elem and elem in self.classes:
+                    return FieldType(elem=elem)
+        return FieldType()
+
+    def _infer_field_type(
+        self,
+        info: ClassInfo,
+        summary: Optional[FunctionSummary],
+        value: ast.AST,
+    ) -> Optional[FieldType]:
+        if isinstance(value, ast.Call):
+            name = _call_name(value)
+            if name and name in self.classes:
+                return FieldType(cls=name)
+            return None
+        if isinstance(value, ast.ListComp) and isinstance(
+            value.elt, ast.Call
+        ):
+            name = _call_name(value.elt)
+            if name and name in self.classes:
+                return FieldType(elem=name)
+            return None
+        if isinstance(value, ast.BoolOp) and isinstance(value.op, ast.Or):
+            # ``suite or WorkloadSuite()``: the fallback names the type.
+            for option in value.values:
+                inferred = self._infer_field_type(info, summary, option)
+                if inferred is not None:
+                    return inferred
+            return None
+        if isinstance(value, ast.Name) and summary is not None:
+            # A parameter (typed by annotation) or a local alias.
+            if value.id in summary.params:
+                annotated = _parse_annotation(summary.params[value.id])
+                if annotated and annotated in self.classes:
+                    return FieldType(cls=annotated)
+                return None
+            resolved = self._chain_type_in(info, summary, (value.id,))
+            if resolved is not None:
+                return FieldType(cls=resolved)
+            return None
+        if isinstance(value, (ast.Attribute, ast.Subscript)):
+            chains = _node_chains(value)
+            for chain in chains:
+                resolved = self._chain_type_in(info, summary, chain)
+                if resolved is not None:
+                    return FieldType(cls=resolved)
+        return None
+
+    def _infer_callable(
+        self, info: ClassInfo, value: ast.AST
+    ) -> Optional[Tuple[str, str]]:
+        """``self.x = self.f.m`` where ``f: F`` and ``F.m`` is a method."""
+        if not isinstance(value, ast.Attribute):
+            return None
+        chains = _node_chains(value)
+        for chain in chains:
+            if len(chain) < 3 or chain[0] != "self":
+                continue
+            owner = self._chain_type(info.name, chain[:-1])
+            if owner is None:
+                continue
+            owner_info = self.classes.get(owner)
+            if owner_info is not None and chain[-1] in owner_info.methods:
+                return (owner, chain[-1])
+        return None
+
+    # ------------------------------------------------------------------
+    # Chain typing
+    # ------------------------------------------------------------------
+    def root_type(
+        self, summary: FunctionSummary, root: str
+    ) -> Optional[str]:
+        """Type of a chain root inside ``summary``'s scope."""
+        if root == "self":
+            return summary.class_name
+        if root in summary.params:
+            annotated = _parse_annotation(summary.params[root])
+            if annotated and annotated in self.classes:
+                return annotated
+        return None
+
+    def _chain_type_in(
+        self,
+        info: ClassInfo,
+        summary: Optional[FunctionSummary],
+        chain: Chain,
+    ) -> Optional[str]:
+        if summary is None:
+            return None
+        for expanded in summary.expand(chain):
+            resolved = self._typed_chain(summary, expanded)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def _typed_chain(
+        self, summary: FunctionSummary, chain: Chain
+    ) -> Optional[str]:
+        root = self.root_type(summary, chain[0])
+        if root is None:
+            return None
+        return self._chain_type_from(root, chain[1:])
+
+    def _chain_type(self, owner: str, chain: Chain) -> Optional[str]:
+        """Type of ``chain`` whose root is typed ``owner`` (root element
+        included in the chain)."""
+        return self._chain_type_from(owner, chain[1:])
+
+    def _chain_type_from(
+        self, current: Optional[str], steps: Chain
+    ) -> Optional[str]:
+        for step in steps:
+            if current is None:
+                return None
+            info = self.classes.get(current)
+            if info is None:
+                return None
+            if step == "[]":
+                return None  # container elements resolved via FieldType.elem
+            field_type = info.fields.get(step)
+            if field_type is None:
+                return None
+            if field_type.cls is not None:
+                current = field_type.cls
+            elif field_type.elem is not None:
+                current = None  # need a "[]" step; handled by caller
+            else:
+                return None
+        return current
+
+    def resolve_owner(
+        self, summary: FunctionSummary, chain: Chain
+    ) -> Optional[Tuple[str, str]]:
+        """Deepest (class, field) a chain's mutation lands on.
+
+        ``("self", "store", "_fifo")`` in a ``DecodedUopCache`` method
+        resolves to ``("DecodeStore", "_fifo")``.  Chains whose owner
+        type is unknown resolve to None (conservatively unreported —
+        the runtime sanitizer is the backstop).
+        """
+        best: Optional[Tuple[str, str]] = None
+        current = self.root_type(summary, chain[0])
+        index = 1
+        while index < len(chain) and current is not None:
+            step = chain[index]
+            info = self.classes.get(current)
+            if info is None or step == "[]":
+                break
+            # Any attribute of a known class is an owner candidate even
+            # when its type is unresolved (container/int literals carry
+            # no constructor): ``self._fifo.popleft()`` must land on
+            # ("DecodeStore", "_fifo").
+            best = (current, step)
+            field_type = info.fields.get(step)
+            if field_type is None:
+                break
+            if field_type.cls is not None:
+                current = field_type.cls
+            elif field_type.elem is not None and (
+                index + 1 < len(chain) and chain[index + 1] == "[]"
+            ):
+                current = field_type.elem
+                index += 1  # consume the subscript step
+            else:
+                current = None
+            index += 1
+        return best
+
+    # ------------------------------------------------------------------
+    # Call edges & reachability
+    # ------------------------------------------------------------------
+    def _build_edges(self) -> None:
+        for key, summary in self.functions.items():
+            out = self.edges.setdefault(key, set())
+            for _site, chains in summary.expanded_calls():
+                for chain in chains:
+                    target = self._resolve_call(summary, chain)
+                    if target is not None:
+                        out.add(target)
+
+    def _resolve_call(
+        self, summary: FunctionSummary, chain: Chain
+    ) -> Optional[FuncKey]:
+        if chain[0] == LOCAL:
+            return None
+        if len(chain) == 1:
+            name = chain[0]
+            if ("", name) in self.functions:
+                return ("", name)
+            if name in self.classes:  # constructor — cut anyway
+                return (name, "__init__")
+            return None
+        owner: Optional[str]
+        if len(chain) == 2 and chain[0] == "self":
+            owner = summary.class_name
+        else:
+            owner = self._typed_chain(summary, chain[:-1])
+        if owner is None:
+            return None
+        info = self.classes.get(owner)
+        if info is None:
+            return None
+        method = chain[-1]
+        if method in info.methods:
+            target_class = info.methods[method].class_name or owner
+            # Inherited methods run with the *subclass* field map, but
+            # the summary registry is keyed by defining class; prefer
+            # the defining class so the summary exists.
+            if (target_class, method) in self.functions:
+                return (target_class, method)
+            return (owner, method)
+        if method in info.callable_fields:
+            return info.callable_fields[method]
+        return None
+
+    def reachable(
+        self,
+        roots: Sequence[Tuple[str, str]] = RUN_ROOTS,
+        cut: FrozenSet[Tuple[str, str]] = BUILD_PHASE_CUT,
+    ) -> Set[FuncKey]:
+        """Functions reachable from ``roots`` without crossing ``cut``.
+
+        Cut matching: an exact (class, name) pair, or ("", name) which
+        cuts the method name in every class (constructors).
+        """
+        cut_names = {name for cls_name, name in cut if cls_name == ""}
+        seen: Set[FuncKey] = set()
+        work: List[FuncKey] = [key for key in roots if key in self.functions]
+        while work:
+            key = work.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            for target in sorted(self.edges.get(key, ())):
+                if target in seen:
+                    continue
+                if target in cut or target[1] in cut_names:
+                    continue
+                work.append(target)
+        return seen
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _node_chains(node: ast.AST) -> List[Chain]:
+    out: List[Chain] = []
+    if isinstance(node, ast.Name):
+        out.append((node.id,))
+    elif isinstance(node, ast.Attribute):
+        for base in _node_chains(node.value):
+            out.append(base + (node.attr,))
+    elif isinstance(node, ast.Subscript):
+        for base in _node_chains(node.value):
+            out.append(base + ("[]",))
+    elif isinstance(node, ast.IfExp):
+        out.extend(_node_chains(node.body))
+        out.extend(_node_chains(node.orelse))
+    elif isinstance(node, ast.BoolOp):
+        for value in node.values:
+            out.extend(_node_chains(value))
+    return out
+
+
+def _annotation_source(node: ast.AST) -> Optional[str]:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover
+        return None

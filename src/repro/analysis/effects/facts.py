@@ -1,0 +1,274 @@
+"""The whole-program effects driver and the SHR facts.
+
+:class:`EffectsProgram` runs the full stack over a set of sources —
+per-function summaries, the typed call graph, run-phase reachability,
+the ownership map — and renders :class:`EffectFinding` records for the
+five SHR lint rules:
+
+========  ============================================================
+SHR001    run-phase mutation of a batch-shared object reachable from
+          ``BatchRunner`` (warn-first; bless with ``# shr-ok:``)
+SHR002    spec-vs-inlined drift: a marker-delimited inlined region's
+          effect set differs from its spec methods' (blocking)
+SHR003    event payload mutated after ``publish`` (warn-first)
+SHR004    per-core state escaping into a shared container (blocking)
+SHR005    mutable default / class-level / module-level mutable state
+          shared across cores (warn-first)
+========  ============================================================
+
+The ``# shr-ok:`` blessing is read *here*, not only in the lint
+engine, so the ownership map, the lint findings and the runtime share
+sanitizer all agree on which mutations are tolerated — blessing a line
+simultaneously reclassifies the field as shared-mutable-guarded and
+whitelists the site for the sanitizer.
+
+:func:`batch_facts` runs the analysis over the *installed* batch-
+critical sources (``repro.pipeline``, ``repro.sim``,
+``repro.workloads``, ``repro.isa.program``); the sanitizer
+cross-checks its runtime mutation reports against this map the way the
+CONC sanitizer cross-checks dynamic lock order against the static
+graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import EffectsGraph
+from .ownership import OwnershipMap
+from .specmatch import check_regions
+from .summaries import LOCAL, FunctionSummary
+
+__all__ = [
+    "EffectFinding",
+    "EffectsProgram",
+    "SHR_CODES",
+    "batch_facts",
+    "batch_source_paths",
+    "blessed_lines",
+]
+
+SHR_CODES = ("SHR001", "SHR002", "SHR003", "SHR004", "SHR005")
+
+#: The blessing marker; same grammar as ``det-ok:`` / ``conc-ok:``.
+BLESS_MARKER = "shr-ok:"
+
+
+@dataclass(frozen=True)
+class EffectFinding:
+    """One sharing-rule hit (converted to a lint Finding upstream)."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+
+def blessed_lines(source: str) -> FrozenSet[int]:
+    """Line numbers carrying a ``# shr-ok: <why>`` blessing."""
+    out: Set[int] = set()
+    for number, text in enumerate(source.splitlines(), start=1):
+        if BLESS_MARKER in text and "#" in text.split(BLESS_MARKER)[0]:
+            out.add(number)
+    return frozenset(out)
+
+
+class EffectsProgram:
+    """The analysed program: graph, ownership map, and derived findings."""
+
+    def __init__(self) -> None:
+        self.sources: List[Tuple[str, str]] = []
+        self.graph: EffectsGraph = EffectsGraph()
+        self.ownership: OwnershipMap = OwnershipMap()
+        self.blessed: Dict[str, FrozenSet[int]] = {}
+        self.guards: Dict[str, FrozenSet[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sources(
+        cls, sources: Sequence[Tuple[str, str]]
+    ) -> "EffectsProgram":
+        """Build from ``(path, source_text)`` pairs; unparseable files
+        are skipped (the file-scope lint pass reports the syntax
+        error)."""
+        program = cls()
+        program.sources = [
+            (path, text) for path, text in sources if _parses(path, text)
+        ]
+        program.blessed = {
+            path: blessed_lines(text) for path, text in program.sources
+        }
+        program.guards = _conc_guards(program.sources)
+        program.graph = EffectsGraph.build(program.sources)
+        program.ownership = OwnershipMap.build(
+            program.graph, program.blessed, program.guards
+        )
+        return program
+
+    @classmethod
+    def from_paths(cls, paths: Sequence) -> "EffectsProgram":
+        return cls.from_sources(
+            [(str(p), Path(p).read_text()) for p in paths]
+        )
+
+    # ------------------------------------------------------------------
+    # Findings
+    # ------------------------------------------------------------------
+    def findings(
+        self, codes: Optional[Sequence[str]] = None
+    ) -> List[EffectFinding]:
+        wanted = set(codes) if codes is not None else set(SHR_CODES)
+        out: List[EffectFinding] = []
+        if wanted & {"SHR001", "SHR004"}:
+            for violation in self.ownership.violations:
+                if violation.code in wanted:
+                    out.append(EffectFinding(
+                        violation.path, violation.line,
+                        violation.code, violation.message,
+                    ))
+        if "SHR002" in wanted:
+            out.extend(self._spec_drift())
+        if "SHR003" in wanted:
+            out.extend(self._publish_then_mutate())
+        if "SHR005" in wanted:
+            out.extend(self._shared_mutable_state())
+        out.sort(key=lambda f: (f.path, f.line, f.code, f.message))
+        return out
+
+    def _spec_drift(self) -> List[EffectFinding]:
+        out = []
+        for path, text in self.sources:
+            for mismatch in check_regions(self.graph, path, text):
+                out.append(EffectFinding(
+                    path, mismatch.line, "SHR002", mismatch.message,
+                ))
+        return out
+
+    def _publish_then_mutate(self) -> List[EffectFinding]:
+        out = []
+        for summary in self.graph.functions.values():
+            for name, publish_line in summary.publishes:
+                for site in summary.mutations:
+                    if site.line <= publish_line:
+                        continue
+                    if site.chain[0] != name or len(site.chain) < 2:
+                        continue
+                    out.append(EffectFinding(
+                        summary.path, site.line, "SHR003",
+                        "event %r mutated after publish at line %d (in %s); "
+                        "subscribers have already observed the old payload"
+                        % (name, publish_line, _describe(summary)),
+                    ))
+        return out
+
+    def _shared_mutable_state(self) -> List[EffectFinding]:
+        """Mutable defaults, class-level state and module globals mutated
+        at runtime — one instance shared by every core in the process.
+
+        Not reachability-gated: ``__post_init__`` and other build-phase
+        code still shares the single object across cores.
+        """
+        out = []
+        for summary in self.graph.functions.values():
+            blessed = self.blessed.get(summary.path, frozenset())
+            for line in summary.mutable_defaults:
+                if line in blessed:
+                    continue
+                out.append(EffectFinding(
+                    summary.path, line, "SHR005",
+                    "mutable default argument in %s: one instance is "
+                    "shared by every call from every core"
+                    % _describe(summary),
+                ))
+            module_mutables = self.graph.module_globals.get(
+                summary.path, set()
+            )
+            for site in summary.mutations:
+                if site.line in blessed or len(site.chain) < 2:
+                    continue
+                root = site.chain[0]
+                if root in ("self", "cls") or root in summary.params:
+                    continue
+                if root in summary.aliases:
+                    continue  # a local rebind, not the global/class name
+                if root in self.graph.classes:
+                    out.append(EffectFinding(
+                        summary.path, site.line, "SHR005",
+                        "class-level state %s.%s mutated in %s: class "
+                        "attributes are process-global, shared by every "
+                        "core in a batch" % (
+                            root, site.chain[1], _describe(summary)
+                        ),
+                    ))
+                elif root in module_mutables:
+                    out.append(EffectFinding(
+                        summary.path, site.line, "SHR005",
+                        "module-level mutable %r mutated in %s: module "
+                        "globals are process-global, shared by every core "
+                        "in a batch" % (root, _describe(summary)),
+                    ))
+        return out
+
+
+def _parses(path: str, text: str) -> bool:
+    try:
+        ast.parse(text, filename=path)
+    except SyntaxError:
+        return False
+    return True
+
+
+def _conc_guards(
+    sources: Sequence[Tuple[str, str]]
+) -> Dict[str, FrozenSet[str]]:
+    """The PR 7 guarded-by facts, joined in: attributes with an inferred
+    lock guard are shared-mutable-*guarded*, not violations."""
+    from ..conc.guards import infer_guards
+    from ..conc.model import build_module
+
+    out: Dict[str, FrozenSet[str]] = {}
+    for path, text in sources:
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError:
+            continue
+        module = build_module(path, tree)
+        for klass in module.classes.values():
+            inferred = infer_guards(klass)
+            if inferred:
+                out[klass.name] = frozenset(inferred)
+    return out
+
+
+def _describe(summary: FunctionSummary) -> str:
+    if summary.class_name:
+        return "%s.%s" % (summary.class_name, summary.name)
+    return summary.name
+
+
+# ----------------------------------------------------------------------
+# The installed batch-critical program (sanitizer input)
+# ----------------------------------------------------------------------
+def batch_source_paths() -> List[Path]:
+    """Every ``.py`` file of the installed batch-critical subsystems."""
+    import repro.isa.program
+    import repro.pipeline
+    import repro.sim
+    import repro.workloads
+
+    paths: List[Path] = []
+    for package in (repro.pipeline, repro.sim, repro.workloads):
+        root = Path(package.__file__).parent
+        paths.extend(sorted(root.rglob("*.py")))
+    paths.append(Path(repro.isa.program.__file__))
+    return paths
+
+
+def batch_facts() -> EffectsProgram:
+    """The sharing facts for the live batch layer (sanitizer input)."""
+    return EffectsProgram.from_paths(batch_source_paths())

@@ -1,0 +1,301 @@
+"""Ownership classification of batch-critical state.
+
+Joins three fact sources — run-phase reachable effect sites from the
+:class:`~.callgraph.EffectsGraph`, the PR 7 concurrency guard facts
+(attributes proven lock-guarded), and the ``# shr-ok:`` blessing lines
+— into one map: every field of the batch-critical classes is
+
+* ``per-core-private`` — owned by exactly one core's state tree;
+* ``batch-shared-immutable`` — reachable from every core but never
+  written during the lockstep run phase; or
+* ``shared-mutable-guarded`` — written during the run phase, but each
+  write site is either lock-guarded (CONC facts) or explicitly blessed
+  (``# shr-ok:`` — the decode store's bounded FIFO, whose mutations are
+  deterministic in lockstep order).
+
+Everything else is a violation: an unblessed run-phase write to shared
+state is SHR001, and a value of a per-core type stored *into* a shared
+container is SHR004 (the write may be blessed, the escape is not).
+The runtime share sanitizer consumes the same map to decide which
+containers to watch and which mutations to forgive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from .callgraph import EffectsGraph, FuncKey
+from .summaries import LOCAL, Chain, EffectSite, FunctionSummary
+
+__all__ = [
+    "OwnershipEntry",
+    "OwnershipMap",
+    "OwnershipViolation",
+    "PER_CORE_CLASSES",
+    "SHARED_CLASSES",
+]
+
+#: Classes whose instances are shared by every core in a batch.
+SHARED_CLASSES: FrozenSet[str] = frozenset({
+    "DecodeStore",
+    "Program",
+    "WorkloadSuite",
+})
+
+#: Classes whose instances belong to exactly one core.
+PER_CORE_CLASSES: FrozenSet[str] = frozenset({
+    "Core",
+    "CoreState",
+    "HardwareContext",
+    "PhysicalRegisterFile",
+    "InstructionQueue",
+    "UopColumns",
+    "Uop",
+    "ProgramInstance",
+    "DecodedUopCache",
+    "SimStats",
+    "BranchPredictor",
+    "MemoryHierarchy",
+    "Partition",
+})
+
+#: The classes whose full field inventory the map reports (the ISSUE's
+#: batch-critical set); other classes appear only when they violate.
+REPORT_CLASSES: Tuple[str, ...] = (
+    "BatchRunner",
+    "CoreState",
+    "DecodeStore",
+    "WorkloadSuite",
+)
+
+PER_CORE_PRIVATE = "per-core-private"
+BATCH_SHARED_IMMUTABLE = "batch-shared-immutable"
+SHARED_MUTABLE_GUARDED = "shared-mutable-guarded"
+
+
+@dataclass(frozen=True)
+class OwnershipViolation:
+    """One SHR001/SHR004 hit, pre-lint-Finding."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+
+
+@dataclass
+class OwnershipEntry:
+    """Classification of one (class, field)."""
+
+    cls: str
+    field: str
+    classification: str
+    #: (path, line) write sites observed during the run phase
+    write_sites: List[Tuple[str, int]] = field(default_factory=list)
+    #: why a mutable field is tolerated: "shr-ok" | "guarded"
+    blessing: Optional[str] = None
+
+
+class OwnershipMap:
+    """The computed ownership facts for one program snapshot."""
+
+    def __init__(self) -> None:
+        self.entries: Dict[Tuple[str, str], OwnershipEntry] = {}
+        self.violations: List[OwnershipViolation] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: EffectsGraph,
+        blessed: Mapping[str, FrozenSet[int]],
+        guards: Mapping[str, FrozenSet[str]],
+    ) -> "OwnershipMap":
+        """Classify fields from run-phase reachable effect sites.
+
+        ``blessed`` maps path -> line numbers carrying ``# shr-ok:``;
+        ``guards`` maps class name -> lock-guarded attribute names
+        (the PR 7 CONC facts).
+        """
+        out = cls()
+        reachable = graph.reachable()
+        for key in sorted(reachable):
+            summary = graph.functions.get(key)
+            if summary is None:
+                continue
+            out._scan_function(graph, key, summary, blessed, guards)
+        out._fill_inventory(graph)
+        out.violations.sort(key=lambda v: (v.path, v.line, v.code, v.message))
+        return out
+
+    # ------------------------------------------------------------------
+    def _scan_function(
+        self,
+        graph: EffectsGraph,
+        key: FuncKey,
+        summary: FunctionSummary,
+        blessed: Mapping[str, FrozenSet[int]],
+        guards: Mapping[str, FrozenSet[str]],
+    ) -> None:
+        blessed_lines = blessed.get(summary.path, frozenset())
+        for site, chains in summary.expanded_mutations():
+            for chain in chains:
+                if chain[0] == LOCAL:
+                    continue
+                owner = graph.resolve_owner(summary, chain)
+                if owner is None:
+                    continue
+                owner_cls, owner_field = owner
+                self._record_write(
+                    graph, summary, site, owner_cls, owner_field,
+                    blessed_lines, guards,
+                )
+                self._check_escape(
+                    graph, summary, site, owner_cls, owner_field,
+                )
+
+    def _record_write(
+        self,
+        graph: EffectsGraph,
+        summary: FunctionSummary,
+        site: EffectSite,
+        owner_cls: str,
+        owner_field: str,
+        blessed_lines: FrozenSet[int],
+        guards: Mapping[str, FrozenSet[str]],
+    ) -> None:
+        entry = self._entry(owner_cls, owner_field)
+        entry.write_sites.append((summary.path, site.line))
+        if owner_cls not in SHARED_CLASSES:
+            return
+        if site.line in blessed_lines:
+            entry.classification = SHARED_MUTABLE_GUARDED
+            entry.blessing = entry.blessing or "shr-ok"
+            return
+        if owner_field in guards.get(owner_cls, frozenset()):
+            entry.classification = SHARED_MUTABLE_GUARDED
+            entry.blessing = entry.blessing or "guarded"
+            return
+        self.violations.append(OwnershipViolation(
+            "SHR001",
+            summary.path,
+            site.line,
+            "run-phase mutation of batch-shared %s.%s (in %s); every core "
+            "in a lockstep batch observes this write — bless with "
+            "'# shr-ok: <why>' only if it is deterministic in batch order"
+            % (owner_cls, owner_field, _describe(summary)),
+        ))
+
+    def _check_escape(
+        self,
+        graph: EffectsGraph,
+        summary: FunctionSummary,
+        site: EffectSite,
+        owner_cls: str,
+        owner_field: str,
+    ) -> None:
+        """SHR004: per-core value stored into a shared container."""
+        if owner_cls not in SHARED_CLASSES:
+            return
+        if site.kind not in ("setitem", "mutator-call"):
+            return
+        escaping: Set[str] = set()
+        for value_chain in site.values:
+            for expanded in summary.expand(value_chain):
+                if expanded[0] == LOCAL:
+                    continue
+                value_cls = _chain_class(graph, summary, expanded)
+                if value_cls in PER_CORE_CLASSES:
+                    escaping.add(value_cls)
+        for value_cls in sorted(escaping):
+            self.violations.append(OwnershipViolation(
+                "SHR004",
+                summary.path,
+                site.line,
+                "per-core %s escapes into batch-shared %s.%s (in %s); "
+                "other cores in the batch can now reach one core's "
+                "private state" % (
+                    value_cls, owner_cls, owner_field, _describe(summary)
+                ),
+            ))
+
+    # ------------------------------------------------------------------
+    def _entry(self, owner_cls: str, owner_field: str) -> OwnershipEntry:
+        key = (owner_cls, owner_field)
+        entry = self.entries.get(key)
+        if entry is None:
+            default = (
+                BATCH_SHARED_IMMUTABLE
+                if owner_cls in SHARED_CLASSES
+                else PER_CORE_PRIVATE
+            )
+            entry = OwnershipEntry(owner_cls, owner_field, default)
+            self.entries[key] = entry
+        return entry
+
+    def _fill_inventory(self, graph: EffectsGraph) -> None:
+        """Every declared field of the report classes gets an entry even
+        when no run-phase site touches it (those are the immutable /
+        private ones the SIMD PR wants to read off)."""
+        for cls_name in REPORT_CLASSES:
+            info = graph.classes.get(cls_name)
+            if info is None:
+                continue
+            declared = set(info.fields)
+            declared.update(name for name, _value, _fn in info.pending)
+            for field_name in declared:
+                self._entry(cls_name, field_name)
+
+    # ------------------------------------------------------------------
+    def classification(self, cls_name: str, field_name: str) -> Optional[str]:
+        entry = self.entries.get((cls_name, field_name))
+        return entry.classification if entry else None
+
+    def rows(self) -> List[OwnershipEntry]:
+        return [
+            self.entries[key] for key in sorted(self.entries)
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "classes": {
+                cls_name: {
+                    entry.field: {
+                        "classification": entry.classification,
+                        "blessing": entry.blessing,
+                        "write_sites": [
+                            "%s:%d" % site for site in sorted(set(entry.write_sites))
+                        ],
+                    }
+                    for entry in self.rows()
+                    if entry.cls == cls_name
+                }
+                for cls_name in sorted({e.cls for e in self.rows()})
+            },
+            "violations": [
+                {
+                    "code": v.code, "path": v.path,
+                    "line": v.line, "message": v.message,
+                }
+                for v in self.violations
+            ],
+        }
+
+
+def _chain_class(
+    graph: EffectsGraph, summary: FunctionSummary, chain: Chain
+) -> Optional[str]:
+    root = graph.root_type(summary, chain[0])
+    if root is None:
+        return None
+    if len(chain) == 1:
+        return root
+    resolved = graph._chain_type_from(root, chain[1:])
+    return resolved
+
+
+def _describe(summary: FunctionSummary) -> str:
+    if summary.class_name:
+        return "%s.%s" % (summary.class_name, summary.name)
+    return summary.name

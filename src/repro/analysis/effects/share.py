@@ -1,0 +1,320 @@
+"""Runtime share sanitizer: observe batch-sharing in a live process.
+
+The dynamic half of the ownership analysis: where the static side
+*predicts* which fields are batch-shared-immutable versus
+shared-mutable-guarded, the sanitizer *observes* the containers in a
+live lockstep batch and cross-checks the two — the same
+static-vs-dynamic move the CONC sanitizer makes for lock order.
+
+Mechanism (zero-cost when inactive — nothing is installed at all):
+
+* :meth:`ShareSanitizer.watch_store` / :meth:`~ShareSanitizer.watch_suite`
+  swap the shared containers (``DecodeStore._programs``/``_fifo``,
+  ``WorkloadSuite._cache``) for mutation-recording subclasses.  The
+  subclasses are real dicts/deques — same iteration order, same
+  contents, same C fast paths on reads — so a sanitized batch stays
+  bit-identical to a plain one.
+* :meth:`~ShareSanitizer.seal` arms recording once ``BatchRunner`` has
+  built its drivers: build-phase population (program assembly, store
+  warming during ``Core.load``) is free, steady-state mutation is
+  checked against the static map — a write to a field the map calls
+  ``shared-mutable-guarded`` is counted as blessed, a write to one it
+  calls ``batch-shared-immutable`` is a violation (either the blessing
+  discipline or the static analysis lost coverage).
+* ``Program`` images are too hot to proxy (every fetch reads them), so
+  they are content-*fingerprinted* at seal and re-verified at unseal;
+  any drift is a violation with the program named.
+
+Violations never raise at the mutation site (that would perturb the
+batch mid-flight); they accumulate and are asserted on by
+:meth:`ShareSanitizer.assert_quiet` after the batch completes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "SANITIZE_ENV",
+    "ShareSanitizer",
+    "ShareViolation",
+    "sanitizer_from_env",
+]
+
+#: Environment switch checked by :class:`~repro.sim.batch.BatchRunner`.
+SANITIZE_ENV = "REPRO_SHARE_SANITIZE"
+
+#: Classification label under which sealed mutations are tolerated.
+_GUARDED = "shared-mutable-guarded"
+
+
+@dataclass(frozen=True)
+class ShareViolation:
+    """One observed mutation the static map does not bless."""
+
+    kind: str  # "shared-mutation" | "program-mutated"
+    message: str
+
+
+class _WatchedDict(dict):
+    """A dict that reports sealed mutations to the sanitizer."""
+
+    __slots__ = ("_share_label", "_share_sanitizer")
+
+    def _note(self, op: str) -> None:
+        self._share_sanitizer.note_mutation(self._share_label, op)
+
+    def __setitem__(self, key, value):
+        self._note("setitem")
+        dict.__setitem__(self, key, value)
+
+    def __delitem__(self, key):
+        self._note("delitem")
+        dict.__delitem__(self, key)
+
+    def pop(self, *args):
+        self._note("pop")
+        return dict.pop(self, *args)
+
+    def popitem(self):
+        self._note("popitem")
+        return dict.popitem(self)
+
+    def clear(self):
+        self._note("clear")
+        dict.clear(self)
+
+    def update(self, *args, **kwargs):
+        self._note("update")
+        dict.update(self, *args, **kwargs)
+
+    def setdefault(self, key, default=None):
+        if key not in self:  # a pure read when the key exists
+            self._note("setdefault")
+        return dict.setdefault(self, key, default)
+
+
+def _make_watched_deque():
+    """Build the deque subclass lazily: keeps the module importable even
+    where collections is trimmed (it never is; symmetry with conc)."""
+    from collections import deque
+
+    class _WatchedDeque(deque):
+        def __init__(self, iterable=(), maxlen=None):
+            super().__init__(iterable, maxlen)
+            self._share_label = "?"
+            self._share_sanitizer = None
+
+        def _note(self, op):
+            if self._share_sanitizer is not None:
+                self._share_sanitizer.note_mutation(self._share_label, op)
+
+        def append(self, item):
+            self._note("append")
+            deque.append(self, item)
+
+        def appendleft(self, item):
+            self._note("appendleft")
+            deque.appendleft(self, item)
+
+        def extend(self, iterable):
+            self._note("extend")
+            deque.extend(self, iterable)
+
+        def extendleft(self, iterable):
+            self._note("extendleft")
+            deque.extendleft(self, iterable)
+
+        def pop(self):
+            self._note("pop")
+            return deque.pop(self)
+
+        def popleft(self):
+            self._note("popleft")
+            return deque.popleft(self)
+
+        def remove(self, value):
+            self._note("remove")
+            deque.remove(self, value)
+
+        def clear(self):
+            self._note("clear")
+            deque.clear(self)
+
+        def rotate(self, n=1):
+            self._note("rotate")
+            deque.rotate(self, n)
+
+        def insert(self, index, item):
+            self._note("insert")
+            deque.insert(self, index, item)
+
+        def __setitem__(self, index, value):
+            self._note("setitem")
+            deque.__setitem__(self, index, value)
+
+        def __delitem__(self, index):
+            self._note("delitem")
+            deque.__delitem__(self, index)
+
+    return _WatchedDeque
+
+
+_WatchedDeque = _make_watched_deque()
+
+
+def _program_fingerprint(program) -> Tuple:
+    """Content identity of a Program image (no proxying of hot reads)."""
+    return (
+        program.name,
+        program.text_base,
+        program.data_base,
+        program.entry,
+        program.data,
+        tuple(sorted(program.labels.items())),
+        tuple(repr(ins) for ins in program.instructions),
+    )
+
+
+class ShareSanitizer:
+    """Watches shared batch containers and verifies the ownership map."""
+
+    def __init__(self, policy: Optional[Mapping[Tuple[str, str], str]] = None):
+        #: (class, field) -> static classification; ``None`` means "no
+        #: static map" and every sealed mutation is a violation.
+        self.policy = dict(policy) if policy is not None else None
+        self.sealed = False
+        self.violations: List[ShareViolation] = []
+        self.blessed_mutations = 0
+        self.build_mutations = 0
+        self._fingerprints: List[Tuple[Any, Tuple]] = []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_static_facts(cls) -> "ShareSanitizer":
+        """Run the static analysis over the installed batch sources and
+        use its ownership map as the blessing policy."""
+        from .facts import batch_facts
+
+        facts = batch_facts()
+        policy = {
+            (entry.cls, entry.field): entry.classification
+            for entry in facts.ownership.rows()
+        }
+        return cls(policy=policy)
+
+    # ------------------------------------------------------------------
+    # Watch installation (call before seal; build-phase writes are free)
+    # ------------------------------------------------------------------
+    def watch_dict(self, owner: Any, attr: str, label: Tuple[str, str]) -> None:
+        current = getattr(owner, attr)
+        if isinstance(current, _WatchedDict):
+            # Already watched (a previous batch's sanitizer): rebind so
+            # the *live* sanitizer sees the mutations, not the stale one.
+            current._share_label = label
+            current._share_sanitizer = self
+            return
+        watched = _WatchedDict(current)
+        watched._share_label = label
+        watched._share_sanitizer = self
+        setattr(owner, attr, watched)
+
+    def watch_deque(self, owner: Any, attr: str, label: Tuple[str, str]) -> None:
+        current = getattr(owner, attr)
+        if isinstance(current, _WatchedDeque):
+            current._share_label = label
+            current._share_sanitizer = self
+            return
+        watched = _WatchedDeque(current)
+        watched._share_label = label
+        watched._share_sanitizer = self
+        setattr(owner, attr, watched)
+
+    def watch_store(self, store) -> None:
+        """Watch one shared :class:`~repro.pipeline.uopcache.DecodeStore`."""
+        self.watch_dict(store, "_programs", ("DecodeStore", "_programs"))
+        self.watch_deque(store, "_fifo", ("DecodeStore", "_fifo"))
+
+    def watch_suite(self, suite) -> None:
+        """Watch a shared suite's program cache and fingerprint every
+        already-assembled :class:`~repro.isa.program.Program`."""
+        self.watch_dict(suite, "_cache", ("WorkloadSuite", "_cache"))
+        for program in suite._cache.values():
+            self._fingerprints.append((program, _program_fingerprint(program)))
+
+    # ------------------------------------------------------------------
+    # Seal / unseal
+    # ------------------------------------------------------------------
+    def seal(self) -> None:
+        self.sealed = True
+
+    def unseal(self) -> None:
+        """Stop recording and verify the program fingerprints."""
+        self.sealed = False
+        for program, expected in self._fingerprints:
+            observed = _program_fingerprint(program)
+            if observed != expected:
+                self.violations.append(ShareViolation(
+                    "program-mutated",
+                    "batch-shared Program %r mutated during the lockstep "
+                    "run: content fingerprint drifted" % (program.name,),
+                ))
+
+    # ------------------------------------------------------------------
+    # Mutation events (called by the watched containers)
+    # ------------------------------------------------------------------
+    def note_mutation(self, label: Tuple[str, str], op: str) -> None:
+        if not self.sealed:
+            self.build_mutations += 1
+            return
+        classification = (
+            self.policy.get(label) if self.policy is not None else None
+        )
+        if classification == _GUARDED:
+            self.blessed_mutations += 1
+            return
+        self.violations.append(ShareViolation(
+            "shared-mutation",
+            "sealed-phase %s on batch-shared %s.%s, which the static "
+            "ownership map classifies as %s — bless the write site with "
+            "'# shr-ok:' (and re-run repro-sim analyze --ownership) or "
+            "stop mutating shared state" % (
+                op, label[0], label[1], classification or "unknown",
+            ),
+        ))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> List[ShareViolation]:
+        return list(self.violations)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "build_mutations": self.build_mutations,
+            "blessed_mutations": self.blessed_mutations,
+            "fingerprinted_programs": len(self._fingerprints),
+            "violations": len(self.violations),
+        }
+
+    def assert_quiet(self) -> None:
+        violations = self.report()
+        if violations:
+            lines = "\n".join(
+                "  [%s] %s" % (v.kind, v.message) for v in violations
+            )
+            raise AssertionError(
+                "share sanitizer recorded %d violation(s):\n%s"
+                % (len(violations), lines)
+            )
+
+
+def sanitizer_from_env() -> Optional[ShareSanitizer]:
+    """A policy-loaded sanitizer when :data:`SANITIZE_ENV` is ``1``."""
+    if os.environ.get(SANITIZE_ENV) != "1":
+        return None
+    return ShareSanitizer.from_static_facts()

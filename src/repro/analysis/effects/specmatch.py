@@ -1,0 +1,189 @@
+"""Spec-vs-inlined region matching (the SHR002 contract).
+
+PR 8 deliberately keeps two copies of the rename/issue hot loops: a
+readable *spec* method and a hand-inlined column version.  Each inlined
+stretch is bracketed by markers naming the spec methods it mirrors::
+
+    # spec-inline begin rename-fetched spec=resources_ok,rename_one
+    ...inlined body...
+    # spec-inline end rename-fetched
+
+Several begin/end pairs may share one region id — the rename loop
+splits its inlined body around caller-side bookkeeping — and their
+line ranges union into a single region.  The check: the region's
+comparable effect set (setitem chains + outward attribute calls, alias-
+expanded, LOCAL-rooted excluded — see
+:meth:`~.summaries.FunctionSummary.comparable_effects`) must equal the
+union of the named spec methods'.  Editing either copy alone breaks the
+equality, which is exactly the drift the golden fixtures used to catch
+only after the fact.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import EffectsGraph
+from .summaries import Chain, FunctionSummary
+
+__all__ = ["InlineRegion", "SpecMismatch", "check_regions", "parse_regions"]
+
+_BEGIN_RE = re.compile(
+    r"#\s*spec-inline\s+begin\s+(?P<rid>[\w-]+)\s+spec=(?P<specs>[\w,]+)\s*$"
+)
+_END_RE = re.compile(r"#\s*spec-inline\s+end\s+(?P<rid>[\w-]+)\s*$")
+
+
+@dataclass
+class InlineRegion:
+    """One marker-delimited inlined region (possibly multi-span)."""
+
+    region_id: str
+    path: str
+    specs: Tuple[str, ...]
+    #: inclusive (begin, end) line spans of the inlined body, marker
+    #: lines excluded
+    spans: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def line(self) -> int:
+        return self.spans[0][0] if self.spans else 0
+
+    def lines(self) -> Set[int]:
+        out: Set[int] = set()
+        for begin, end in self.spans:
+            out.update(range(begin, end + 1))
+        return out
+
+
+@dataclass(frozen=True)
+class SpecMismatch:
+    """One SHR002 violation."""
+
+    region: InlineRegion
+    message: str
+    line: int
+
+
+def parse_regions(path: str, source: str) -> Tuple[List[InlineRegion], List[SpecMismatch]]:
+    """Scan marker comments; malformed pairs come back as mismatches."""
+    regions: Dict[str, InlineRegion] = {}
+    open_spans: Dict[str, int] = {}
+    errors: List[SpecMismatch] = []
+    for number, text in enumerate(source.splitlines(), start=1):
+        stripped = text.strip()
+        match = _BEGIN_RE.search(stripped)
+        if match:
+            rid = match.group("rid")
+            specs = tuple(
+                s for s in match.group("specs").split(",") if s
+            )
+            region = regions.get(rid)
+            if region is None:
+                region = InlineRegion(region_id=rid, path=path, specs=specs)
+                regions[rid] = region
+            elif region.specs != specs:
+                errors.append(SpecMismatch(
+                    region,
+                    "region %r re-opened with different spec list" % rid,
+                    number,
+                ))
+            if rid in open_spans:
+                errors.append(SpecMismatch(
+                    region, "region %r begun twice without end" % rid, number,
+                ))
+            open_spans[rid] = number + 1
+            continue
+        match = _END_RE.search(stripped)
+        if match:
+            rid = match.group("rid")
+            begin = open_spans.pop(rid, None)
+            region = regions.get(rid)
+            if begin is None or region is None:
+                dangling = InlineRegion(region_id=rid, path=path, specs=())
+                dangling.spans.append((number, number))
+                errors.append(SpecMismatch(
+                    dangling, "spec-inline end %r without begin" % rid, number,
+                ))
+                continue
+            region.spans.append((begin, number - 1))
+    for rid, begin in sorted(open_spans.items()):
+        region = regions[rid]
+        errors.append(SpecMismatch(
+            region, "spec-inline begin %r never closed" % rid, begin - 1,
+        ))
+    ordered = sorted(regions.values(), key=lambda r: r.line)
+    return [r for r in ordered if r.spans], errors
+
+
+def _enclosing_function(
+    graph: EffectsGraph, path: str, region: InlineRegion
+) -> Optional[FunctionSummary]:
+    best: Optional[FunctionSummary] = None
+    for summary in graph.functions.values():
+        if summary.path != path:
+            continue
+        if summary.line <= region.line <= summary.end_line:
+            if best is None or summary.line > best.line:
+                best = summary  # innermost
+    return best
+
+
+def _format_effects(effects: Set[Tuple[str, Chain]]) -> str:
+    rendered = sorted(
+        "%s %s" % (kind, ".".join(chain)) for kind, chain in effects
+    )
+    return ", ".join(rendered)
+
+
+def check_regions(
+    graph: EffectsGraph, path: str, source: str
+) -> List[SpecMismatch]:
+    """All SHR002 violations for one file."""
+    regions, mismatches = parse_regions(path, source)
+    for region in regions:
+        host = _enclosing_function(graph, path, region)
+        if host is None:
+            mismatches.append(SpecMismatch(
+                region,
+                "spec-inline region %r is not inside a function" % region.region_id,
+                region.line,
+            ))
+            continue
+        spec_effects: Set[Tuple[str, Chain]] = set()
+        missing = []
+        for spec_name in region.specs:
+            spec = graph.functions.get((host.class_name or "", spec_name))
+            if spec is None and host.class_name:
+                spec = graph.functions.get(("", spec_name))
+            if spec is None:
+                missing.append(spec_name)
+                continue
+            spec_effects |= spec.comparable_effects()
+        if missing:
+            mismatches.append(SpecMismatch(
+                region,
+                "region %r names unknown spec method(s): %s"
+                % (region.region_id, ", ".join(missing)),
+                region.line,
+            ))
+            continue
+        inline_effects = host.comparable_effects(lines=region.lines())
+        if inline_effects == spec_effects:
+            continue
+        only_inline = inline_effects - spec_effects
+        only_spec = spec_effects - inline_effects
+        parts = []
+        if only_inline:
+            parts.append("inlined-only {%s}" % _format_effects(only_inline))
+        if only_spec:
+            parts.append("spec-only {%s}" % _format_effects(only_spec))
+        mismatches.append(SpecMismatch(
+            region,
+            "inlined region %r drifted from spec %s: %s"
+            % (region.region_id, "+".join(region.specs), "; ".join(parts)),
+            region.line,
+        ))
+    return mismatches

@@ -1,0 +1,382 @@
+"""Per-function effect summaries over normalized access chains.
+
+Every effect is recorded against a *chain* — a tuple of attribute
+names rooted at a name, with subscripts normalized to ``"[]"``:
+``self.state.uop_cols.nsrcs[uid] = n`` is a *setitem* on
+``("self", "state", "uop_cols", "nsrcs", "[]")``.  Local aliases are
+resolved flow-insensitively: the hand-inlined hot loops hoist
+``cols = state.uop_cols`` out of the body, and expansion maps an
+effect on ``cols`` back to the same chain the readable spec method
+produces, which is what makes the SHR002 spec-vs-inline comparison a
+plain set equality.
+
+Roots are kept meaningful: ``self``, parameters and loop targets stay
+as bare names (a spec method's ``ctx`` parameter and the inlined
+loop's ``ctx`` iteration variable normalize identically), while names
+bound to call results or literals root at :data:`LOCAL` — effects on
+fresh objects are private by construction and excluded from sharing
+checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+__all__ = [
+    "Chain",
+    "EffectSite",
+    "FunctionSummary",
+    "LOCAL",
+    "MUTATORS",
+    "summarize_function",
+]
+
+Chain = Tuple[str, ...]
+
+#: Root marker for chains anchored at a fresh value (call result,
+#: literal, comprehension): mutations of these never alias caller or
+#: shared state.
+LOCAL = "<local>"
+
+#: Method names that mutate their receiver in place.
+MUTATORS = frozenset({
+    "append", "appendleft", "add", "insert", "extend", "extendleft",
+    "update", "setdefault", "pop", "popleft", "popitem", "remove",
+    "discard", "clear", "sort", "reverse", "rotate",
+})
+
+#: Expansion guards: alias chains can in principle blow up through
+#: branchy ternaries; real hot loops stay tiny, so cap and move on.
+_MAX_EXPANSION = 32
+_MAX_DEPTH = 12
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """One effect occurrence inside a function body."""
+
+    kind: str  # "attr-write" | "setitem" | "mutator-call" | "call"
+    chain: Chain  # raw (pre-expansion) chain
+    line: int
+    #: raw chains of values stored by this effect (assignment RHS,
+    #: mutator-call arguments) — the escape edge for SHR004
+    values: Tuple[Chain, ...] = ()
+
+
+@dataclass
+class FunctionSummary:
+    """Effects and aliases of one function or method body."""
+
+    name: str
+    class_name: Optional[str]
+    path: str
+    line: int
+    end_line: int
+    #: parameter name -> annotation text (raw, unparsed)
+    params: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: flow-insensitive alias map: local name -> raw chains it may denote
+    aliases: Dict[str, Set[Chain]] = field(default_factory=dict)
+    mutations: List[EffectSite] = field(default_factory=list)
+    calls: List[EffectSite] = field(default_factory=list)
+    #: (published-name, line) pairs: ``...publish(<name>)`` sites (SHR003)
+    publishes: List[Tuple[str, int]] = field(default_factory=list)
+    #: def-line numbers of mutable argument defaults (SHR005)
+    mutable_defaults: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def expand(self, chain: Chain) -> FrozenSet[Chain]:
+        """Resolve the chain's root through the alias map, recursively."""
+        return _expand(chain, self.aliases, frozenset())
+
+    def expanded_mutations(self) -> List[Tuple[EffectSite, FrozenSet[Chain]]]:
+        return [(site, self.expand(site.chain)) for site in self.mutations]
+
+    def expanded_calls(self) -> List[Tuple[EffectSite, FrozenSet[Chain]]]:
+        return [(site, self.expand(site.chain)) for site in self.calls]
+
+    def comparable_effects(
+        self, lines: Optional[Set[int]] = None
+    ) -> Set[Tuple[str, Chain]]:
+        """The SHR002 comparison set: expanded setitem chains plus
+        expanded attribute-chain call targets.
+
+        Attribute *writes* and anything rooted at :data:`LOCAL` are
+        excluded — the spec methods legitimately write bookkeeping
+        attributes (``stats.renamed_recycled``) and build fresh uops
+        that the inlined copy accounts for differently; what must match
+        is every write into a column/table and every outward call.
+        Bare single-name calls (``len``, constructors) carry no effect
+        identity and are excluded too.
+        """
+        out: Set[Tuple[str, Chain]] = set()
+        for site in self.mutations:
+            if site.kind != "setitem":
+                continue
+            if lines is not None and site.line not in lines:
+                continue
+            for chain in self.expand(site.chain):
+                if chain[0] != LOCAL:
+                    out.add(("setitem", chain))
+        for site in self.calls:
+            if lines is not None and site.line not in lines:
+                continue
+            for chain in self.expand(site.chain):
+                if len(chain) >= 2 and chain[0] != LOCAL:
+                    out.add(("call", chain))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Chain extraction
+# ----------------------------------------------------------------------
+def _raw_chains(node: ast.AST) -> Set[Chain]:
+    """Raw chains an expression may denote (before alias expansion)."""
+    if isinstance(node, ast.Name):
+        return {(node.id,)}
+    if isinstance(node, ast.Attribute):
+        return {base + (node.attr,) for base in _raw_chains(node.value)}
+    if isinstance(node, ast.Subscript):
+        return {base + ("[]",) for base in _raw_chains(node.value)}
+    if isinstance(node, ast.IfExp):
+        return _raw_chains(node.body) | _raw_chains(node.orelse)
+    if isinstance(node, ast.BoolOp):
+        out: Set[Chain] = set()
+        for value in node.values:
+            out |= _raw_chains(value)
+        return out
+    if isinstance(node, ast.Starred):
+        return _raw_chains(node.value)
+    if isinstance(node, ast.Await):
+        return _raw_chains(node.value)
+    if isinstance(node, ast.NamedExpr):
+        return _raw_chains(node.value)
+    # Calls, literals, operators: a fresh (or at least untracked) value.
+    return {(LOCAL,)}
+
+
+def _value_chains(node: ast.AST) -> Set[Chain]:
+    """Chains *escaping through* a stored value: containers spill their
+    elements (storing ``(view, pc)`` escapes ``view``)."""
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out: Set[Chain] = set()
+        for element in node.elts:
+            out |= _value_chains(element)
+        return out or {(LOCAL,)}
+    if isinstance(node, ast.Dict):
+        out = set()
+        for value in node.values:
+            if value is not None:
+                out |= _value_chains(value)
+        return out or {(LOCAL,)}
+    return _raw_chains(node)
+
+
+def _expand(
+    chain: Chain, aliases: Dict[str, Set[Chain]], seen: FrozenSet[str]
+) -> FrozenSet[Chain]:
+    root = chain[0]
+    if root not in aliases or root in seen or len(seen) >= _MAX_DEPTH:
+        return frozenset({chain})
+    out: Set[Chain] = set()
+    for base in aliases[root]:
+        for expanded_base in _expand(base, aliases, seen | {root}):
+            out.add(expanded_base + chain[1:])
+            if len(out) >= _MAX_EXPANSION:
+                return frozenset(out)
+    return frozenset(out or {chain})
+
+
+# ----------------------------------------------------------------------
+# Extraction visitor
+# ----------------------------------------------------------------------
+_MUTABLE_DEFAULT_CALLS = frozenset({"list", "dict", "set", "deque", "defaultdict"})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_DEFAULT_CALLS
+    return False
+
+
+def _annotation_text(node: Optional[ast.AST]) -> Optional[str]:
+    if node is None:
+        return None
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - malformed annotation
+        return None
+
+
+class _BodyVisitor(ast.NodeVisitor):
+    """Walks one function body; nested def/class bodies are skipped
+    (they are separate scopes summarized on their own)."""
+
+    def __init__(self, summary: FunctionSummary):
+        self.summary = summary
+
+    # -- scope boundaries ----------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scope
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass  # nested scope
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass  # nested scope
+
+    # -- aliases --------------------------------------------------------
+    def _record_alias(self, name: str, value: ast.AST) -> None:
+        self.summary.aliases.setdefault(name, set()).update(_raw_chains(value))
+
+    def _assign_target(self, target: ast.AST, value: Optional[ast.AST],
+                       line: int) -> None:
+        if isinstance(target, ast.Name):
+            if value is not None:
+                self._record_alias(target.id, value)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            elements: List[Optional[ast.AST]]
+            if isinstance(value, (ast.Tuple, ast.List)) and (
+                len(value.elts) == len(target.elts)
+            ):
+                elements = list(value.elts)
+            else:
+                elements = [None] * len(target.elts)
+            for sub_target, sub_value in zip(target.elts, elements):
+                # Unpacking from an untracked source binds locals fresh.
+                self._assign_target(
+                    sub_target,
+                    sub_value if sub_value is not None else ast.Constant(0),
+                    line,
+                )
+            return
+        if isinstance(target, ast.Attribute):
+            values = tuple(sorted(_value_chains(value))) if value is not None else ()
+            for base in _raw_chains(target.value):
+                self.summary.mutations.append(
+                    EffectSite("attr-write", base + (target.attr,), line, values)
+                )
+            return
+        if isinstance(target, ast.Subscript):
+            values = tuple(sorted(_value_chains(value))) if value is not None else ()
+            for base in _raw_chains(target.value):
+                self.summary.mutations.append(
+                    EffectSite("setitem", base + ("[]",), line, values)
+                )
+            return
+        if isinstance(target, ast.Starred):
+            self._assign_target(target.value, None, line)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._assign_target(target, node.value, node.lineno)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._assign_target(node.target, node.value, node.lineno)
+            self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # ``x += 1`` on a bare name stays a local rebind; on an
+        # attribute or subscript it is a read-modify-write mutation.
+        if not isinstance(node.target, ast.Name):
+            self._assign_target(node.target, node.value, node.lineno)
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._assign_target(target, None, target.lineno)
+
+    def visit_For(self, node: ast.For) -> None:
+        # Loop targets deliberately stay bare roots (see module doc).
+        self.visit(node.iter)
+        for statement in node.body:
+            self.visit(statement)
+        for statement in node.orelse:
+            self.visit(statement)
+
+    visit_AsyncFor = visit_For  # type: ignore[assignment]
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None and isinstance(
+                item.optional_vars, ast.Name
+            ):
+                # A with-target is a fresh handle, not an alias.
+                self.summary.aliases.setdefault(
+                    item.optional_vars.id, set()
+                ).add((LOCAL,))
+        for statement in node.body:
+            self.visit(statement)
+
+    visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+    # -- calls ----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        chains = _raw_chains(node.func)
+        line = node.lineno
+        arg_values: Tuple[Chain, ...] = tuple(sorted(
+            chain for argument in node.args
+            for chain in _value_chains(argument)
+        ))
+        for chain in chains:
+            if chain[0] == LOCAL and len(chain) == 1:
+                continue
+            self.summary.calls.append(EffectSite("call", chain, line))
+            if len(chain) >= 2 and chain[-1] in MUTATORS:
+                self.summary.mutations.append(
+                    EffectSite("mutator-call", chain[:-1], line, arg_values)
+                )
+            if chain[-1] == "publish" and node.args:
+                argument = node.args[0]
+                if isinstance(argument, ast.Name):
+                    self.summary.publishes.append((argument.id, line))
+        self.generic_visit(node)
+
+
+def summarize_function(
+    node: ast.FunctionDef,
+    path: str,
+    class_name: Optional[str] = None,
+) -> FunctionSummary:
+    """Build the effect summary for one function/method definition."""
+    summary = FunctionSummary(
+        name=node.name,
+        class_name=class_name,
+        path=path,
+        line=node.lineno,
+        end_line=getattr(node, "end_lineno", node.lineno) or node.lineno,
+    )
+    arguments = node.args
+    all_params = (
+        list(arguments.posonlyargs) + list(arguments.args)
+        + list(arguments.kwonlyargs)
+    )
+    for parameter in all_params:
+        summary.params[parameter.arg] = _annotation_text(parameter.annotation)
+    if arguments.vararg is not None:
+        summary.params[arguments.vararg.arg] = None
+    if arguments.kwarg is not None:
+        summary.params[arguments.kwarg.arg] = None
+    for default in list(arguments.defaults) + [
+        d for d in arguments.kw_defaults if d is not None
+    ]:
+        if _is_mutable_default(default):
+            summary.mutable_defaults.append(node.lineno)
+    visitor = _BodyVisitor(summary)
+    for statement in node.body:
+        visitor.visit(statement)
+    return summary

@@ -16,6 +16,7 @@ from .baseline import DEFAULT_BASELINE_PATH, Baseline
 from .engine import (
     CONC_PROFILE,
     DETERMINISM_PROFILE,
+    EFFECTS_PROFILE,
     LintResult,
     LintTarget,
     collect_files,
@@ -40,6 +41,7 @@ __all__ = [
     "CONC_PROFILE",
     "DEFAULT_BASELINE_PATH",
     "DETERMINISM_PROFILE",
+    "EFFECTS_PROFILE",
     "LintResult",
     "LintTarget",
     "collect_files",

@@ -26,6 +26,7 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 from ...exec.fanout import fanout_map
 from . import rules_concurrency  # noqa: F401 - registers the CONC rules
 from . import rules_determinism  # noqa: F401 - registers the DET rules
+from . import rules_sharing  # noqa: F401 - registers the SHR rules
 from .baseline import Baseline
 from .registry import FileContext, Finding, ProgramContext, all_rules
 
@@ -34,6 +35,7 @@ __all__ = [
     "LintTarget",
     "CONC_PROFILE",
     "DETERMINISM_PROFILE",
+    "EFFECTS_PROFILE",
     "collect_files",
     "lint_source",
     "lint_files",
@@ -70,6 +72,22 @@ CONC_PROFILE = (
     LintTarget(
         paths=("src/repro/service", "src/repro/exec", "src/repro/analysis/conc"),
         codes=rules_concurrency.CONC_RULE_CODES,
+    ),
+)
+
+#: The batch-sharing sweep: whole-program SHR rules over the subsystems
+#: a lockstep batch shares.  One target — the effect analysis must see
+#: the pipeline, the batch runner and the workload suite together to
+#: resolve cross-class chains and run-phase reachability.
+EFFECTS_PROFILE = (
+    LintTarget(
+        paths=(
+            "src/repro/pipeline",
+            "src/repro/sim",
+            "src/repro/workloads",
+            "src/repro/isa/program.py",
+        ),
+        codes=rules_sharing.SHR_RULE_CODES,
     ),
 )
 
@@ -125,6 +143,7 @@ def _file_context(path: str, source: str) -> FileContext:
         path, source, tree,
         _suppressed_lines(source),
         conc_suppressed=_suppressed_lines(source, "conc-ok:"),
+        shr_suppressed=_suppressed_lines(source, "shr-ok:"),
     )
 
 
@@ -165,6 +184,13 @@ def lint_files(
     return sorted(findings, key=lambda f: (f.path, f.line, f.code))
 
 
+def _is_blocking(code: str) -> bool:
+    from .registry import _REGISTRY
+
+    rule = _REGISTRY.get(code)
+    return rule.blocking if rule is not None else True
+
+
 def lint_program(
     files: Sequence[Union[str, Path]],
     codes: Optional[Tuple[str, ...]] = None,
@@ -195,10 +221,21 @@ def lint_program(
         for finding in rule.check_program(pctx):
             ctx = by_path.get(finding.path)
             if ctx is not None:
-                suppressed = (
-                    ctx.conc_suppressed if finding.code.startswith("CONC")
-                    else ctx.suppressed
-                )
+                if finding.code.startswith("CONC"):
+                    suppressed = ctx.conc_suppressed
+                elif finding.code.startswith("SHR"):
+                    # A blessing tolerates warn-first sharing debt; the
+                    # blocking SHR rules (spec drift, per-core escape)
+                    # cannot be waved through on the mutation line —
+                    # SHR004's whole point is that the *write* may be
+                    # blessed while the *escape* still blocks.
+                    suppressed = (
+                        frozenset()
+                        if _is_blocking(finding.code)
+                        else ctx.shr_suppressed
+                    )
+                else:
+                    suppressed = ctx.suppressed
                 if finding.line in suppressed:
                     continue
             findings.append(finding)
@@ -241,13 +278,19 @@ def run_lint(
             result.blocking.append(finding)
 
     # Stale baseline entries: this run re-checked them (code ran, file
-    # was linted) and they no longer fire.
+    # was linted) and they no longer fire — or their rule id no longer
+    # exists in the registry at all (a retired rule can never fire
+    # again, so its debt is dead weight no matter what was linted).
     live = {f.fingerprint for f in findings}
+    known_codes = {r.code for r in all_rules()}
+    known_codes.add(SYNTAX_ERROR_CODE)
     for fingerprint in sorted(baseline.entries):
         parts = fingerprint.split("::", 2)
         if len(parts) != 3:
             continue
         path, code, _ = parts
-        if code in ran_codes and path in linted_paths and fingerprint not in live:
+        if code not in known_codes:
+            result.stale.append(fingerprint)
+        elif code in ran_codes and path in linted_paths and fingerprint not in live:
             result.stale.append(fingerprint)
     return result

@@ -68,7 +68,8 @@ class FileContext:
     themselves.
     """
 
-    __slots__ = ("path", "source", "tree", "suppressed", "conc_suppressed")
+    __slots__ = ("path", "source", "tree", "suppressed", "conc_suppressed",
+                 "shr_suppressed")
 
     def __init__(
         self,
@@ -77,6 +78,7 @@ class FileContext:
         tree: ast.AST,
         suppressed: Set[int],
         conc_suppressed: Set[int] = frozenset(),
+        shr_suppressed: Set[int] = frozenset(),
     ):
         self.path = path
         self.source = source
@@ -84,6 +86,8 @@ class FileContext:
         self.suppressed = suppressed
         #: lines carrying ``# conc-ok: <reason>`` (CONC-family suppression)
         self.conc_suppressed = conc_suppressed
+        #: lines carrying ``# shr-ok: <reason>`` (SHR-family suppression)
+        self.shr_suppressed = shr_suppressed
 
 
 class ProgramContext:

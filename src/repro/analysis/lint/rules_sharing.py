@@ -1,0 +1,101 @@
+"""SHR001–SHR005: batch-sharing rules for the lockstep simulator.
+
+Thin adapters over the whole-program effect & ownership analysis in
+:mod:`repro.analysis.effects` — the expensive model (per-function
+effect summaries, the typed call graph, run-phase reachability, the
+ownership map) is built once per lint target and shared by all five
+rules through the :class:`ProgramContext` cache.
+
+Failure semantics follow the engine's ratchet convention:
+
+* **Blocking** (a hit always fails the run): SHR002 spec-vs-inlined
+  drift and SHR004 per-core state escaping into a shared container —
+  the first silently breaks the readable-spec contract, the second
+  breaks batch isolation outright.
+* **Warn-first** (baseline ratchet): SHR001 run-phase mutation of
+  batch-shared state, SHR003 publish-then-mutate, SHR005 shared
+  mutable defaults/globals — real designs sometimes do these
+  deliberately (the decode store's bounded warm FIFO, a monotone test
+  counter), so the escape hatch is an explicit ``# shr-ok: <reason>``
+  annotation or a baselined fingerprint.
+
+Suppression: a ``# shr-ok: <reason>`` comment on the reported line
+silences SHR rules only — and, unlike the other families, it also
+*reclassifies*: the effects driver reads the same marker, so a blessed
+write site turns its field ``shared-mutable-guarded`` in the ownership
+map and whitelists it for the runtime share sanitizer
+(``REPRO_SHARE_SANITIZE=1``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..effects.facts import EffectsProgram
+from .registry import Finding, ProgramContext, Rule, register
+
+__all__ = ["SHR_RULE_CODES"]
+
+SHR_RULE_CODES = ("SHR001", "SHR002", "SHR003", "SHR004", "SHR005")
+
+_CACHE_KEY = "effects_program"
+
+
+def _program(pctx: ProgramContext) -> EffectsProgram:
+    """The shared EffectsProgram for this target (built once)."""
+    program = pctx.cache.get(_CACHE_KEY)
+    if program is None:
+        program = EffectsProgram.from_sources(
+            [(ctx.path, ctx.source) for ctx in pctx.files]
+        )
+        pctx.cache[_CACHE_KEY] = program
+    return program
+
+
+class _ShrRule(Rule):
+    """Base: emit the driver's findings for this rule's code."""
+
+    scope = "program"
+
+    def check_program(self, pctx: ProgramContext) -> Iterator[Finding]:
+        for fact in _program(pctx).findings([self.code]):
+            yield Finding(fact.path, fact.line, fact.code, fact.message)
+
+
+@register
+class SharedMutation(_ShrRule):
+    code = "SHR001"
+    summary = ("run-phase mutation of a batch-shared object reachable "
+               "from BatchRunner")
+    blocking = False
+
+
+@register
+class SpecInlineDrift(_ShrRule):
+    code = "SHR002"
+    summary = ("spec-vs-inlined drift: a marker-delimited inlined "
+               "region's effect set differs from its spec methods'")
+    blocking = True
+
+
+@register
+class PublishThenMutate(_ShrRule):
+    code = "SHR003"
+    summary = "event payload mutated after publish"
+    blocking = False
+
+
+@register
+class PerCoreEscape(_ShrRule):
+    code = "SHR004"
+    summary = ("per-core state escaping into a batch-shared container "
+               "(breaks batch isolation)")
+    blocking = True
+
+
+@register
+class SharedMutableState(_ShrRule):
+    code = "SHR005"
+    summary = ("mutable default argument, class attribute or module "
+               "global mutated — one instance shared across cores")
+    blocking = False

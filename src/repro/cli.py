@@ -371,6 +371,9 @@ def _cmd_fetch(args) -> int:
 
 def _cmd_analyze(args) -> int:
     """Static analysis report, optionally cross-checked against a run."""
+    if args.ownership:
+        return _analyze_ownership(args)
+
     from .analysis.program import ProgramAnalysis
 
     suite = WorkloadSuite()
@@ -493,12 +496,78 @@ def _cmd_analyze(args) -> int:
     return 1 if total_violations else 0
 
 
+def _analyze_ownership(args) -> int:
+    """The batch-sharing ownership map (the SHR facts, as a report)."""
+    from .analysis.effects import batch_facts
+
+    facts = batch_facts()
+    if args.json:
+        print(json.dumps(facts.ownership.to_dict(), indent=2, sort_keys=True))
+        return 1 if facts.ownership.violations else 0
+
+    rows = facts.ownership.rows()
+    width = max((len(f"{e.cls}.{e.field}") for e in rows), default=10)
+    for entry in rows:
+        blessing = f"  [{entry.blessing}]" if entry.blessing else ""
+        sites = len(set(entry.write_sites))
+        writes = f"  writes={sites}" if sites else ""
+        print(f"{entry.cls + '.' + entry.field:<{width}s}  "
+              f"{entry.classification}{blessing}{writes}")
+    findings = facts.findings()
+    if findings:
+        print()
+        for finding in findings:
+            print(f"{finding.path}:{finding.line}: {finding.code} "
+                  f"{finding.message}")
+        print(f"{len(findings)} sharing violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+#: Suppression conventions per rule family (``--explain``).
+_SUPPRESS_BY_FAMILY = {
+    "DET": "# det-ok: <reason>",
+    "CONC": "# conc-ok: <reason>",
+    "SHR": "# shr-ok: <reason>",
+}
+
+
+def _explain_rules(query: str) -> int:
+    """Print one rule (or a family) with scope/severity/suppression."""
+    from .analysis.lint import all_rules
+
+    want = query.upper()
+    matched = [
+        r for r in all_rules() if r.code == want or (
+            len(want) < 6 and r.code.startswith(want)
+        )
+    ]
+    if want in ("ALL", "*"):
+        matched = all_rules()
+    if not matched:
+        known = ", ".join(r.code for r in all_rules())
+        print(f"lint: unknown rule {query!r}; know {known}", file=sys.stderr)
+        return 2
+    for rule in matched:
+        family = next(
+            (f for f in _SUPPRESS_BY_FAMILY if rule.code.startswith(f)), None
+        )
+        suppression = _SUPPRESS_BY_FAMILY.get(family or "", "(none)")
+        severity = "blocking" if rule.blocking else "warn-first (baseline ratchet)"
+        print(f"{rule.code}: {rule.summary}")
+        print(f"  scope:       {rule.scope}")
+        print(f"  severity:    {severity}")
+        print(f"  suppression: {suppression}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     """Whole-repo lint over the pluggable rule engine."""
     from .analysis.lint import (
         CONC_PROFILE,
         DEFAULT_BASELINE_PATH,
         DETERMINISM_PROFILE,
+        EFFECTS_PROFILE,
         Baseline,
         LintTarget,
         all_rules,
@@ -513,6 +582,8 @@ def _cmd_lint(args) -> int:
             kind = "blocking" if rule.blocking else "warn-first"
             print(f"{rule.code}  [{kind:>10s}]  {rule.summary}")
         return 0
+    if args.explain:
+        return _explain_rules(args.explain)
 
     codes = tuple(args.rules) if args.rules else None
     if args.paths:
@@ -526,6 +597,8 @@ def _cmd_lint(args) -> int:
         targets = list(DETERMINISM_PROFILE)
     if args.conc and not args.paths:
         targets.extend(CONC_PROFILE)
+    if args.effects and not args.paths:
+        targets.extend(EFFECTS_PROFILE)
 
     baseline_path = args.baseline or DEFAULT_BASELINE_PATH
     try:
@@ -850,6 +923,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="measurement window for --check runs")
     analyze_parser.add_argument("--json", action="store_true",
                                 help="machine-readable output")
+    analyze_parser.add_argument("--ownership", action="store_true",
+                                help="print the batch-sharing ownership map "
+                                     "(per-core-private / batch-shared-"
+                                     "immutable / shared-mutable-guarded) "
+                                     "instead of the workload analysis")
 
     profile_parser = sub.add_parser(
         "profile",
@@ -890,7 +968,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser = sub.add_parser(
         "lint",
         help="whole-repo lint (determinism DET001-DET005, "
-             "concurrency CONC001-CONC006)",
+             "concurrency CONC001-CONC006, sharing SHR001-SHR005)",
     )
     lint_parser.add_argument("paths", nargs="*", default=None,
                              help="files/dirs to lint; default: the "
@@ -901,6 +979,14 @@ def build_parser() -> argparse.ArgumentParser:
                              help="also run the whole-program concurrency "
                                   "profile (CONC rules over the service/"
                                   "exec layers)")
+    lint_parser.add_argument("--effects", action="store_true",
+                             help="also run the whole-program batch-sharing "
+                                  "profile (SHR rules over the pipeline/"
+                                  "sim/workloads layers)")
+    lint_parser.add_argument("--explain", default=None, metavar="RULE",
+                             help="explain one rule code or family prefix "
+                                  "(summary, scope, severity, suppression "
+                                  "convention) and exit")
     lint_parser.add_argument("--jobs", type=int, default=1,
                              help="parallel per-file analysis processes")
     lint_parser.add_argument("--json", action="store_true",

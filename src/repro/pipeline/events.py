@@ -54,7 +54,7 @@ class Event:
     cycle: int
 
     def __post_init__(self) -> None:
-        Event.constructed += 1
+        Event.constructed += 1  # shr-ok: monotone test-hook counter, never read by simulation
 
 
 # ----------------------------------------------------------------------

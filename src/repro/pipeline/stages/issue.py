@@ -72,10 +72,13 @@ class IssueStage(Stage):
                 dec = uop.dec
                 if dec is None:
                     dec = uop.dec = decode_standalone(uop.instr, uop.pc)
-                if (
+                # spec-inline begin issue-memcheck spec=memory_order_ok
+                blocked_mem = (
                     dec.kind == K_LOAD
                     and contexts[uop.ctx].older_store_pending(uop.seq)
-                ) or not try_issue_code(dec.fu_code):
+                )
+                # spec-inline end issue-memcheck
+                if blocked_mem or not try_issue_code(dec.fu_code):
                     if blocked is None:
                         blocked = [uop]
                     else:

@@ -103,7 +103,7 @@ class RenameStage(Stage):
                     )
                     budget -= 1
                     continue
-                # --- inline resources_ok -----------------------------
+                # spec-inline begin rename-fetched spec=resources_ok,rename_one
                 if al.tail_pos - al.commit_pos >= al.capacity:
                     break
                 dst = dec.dst
@@ -123,10 +123,11 @@ class RenameStage(Stage):
                     if occ >= int_size or (occ >= int_alt_cap and not is_primary):
                         break
                     queue = int_queue
+                # spec-inline end rename-fetched
                 buf.popleft()
                 budget -= 1
                 renamed_here += 1
-                # --- inline rename_one (fetched path) ----------------
+                # spec-inline begin rename-fetched spec=resources_ok,rename_one
                 instr = fi.instr
                 pc = fi.pc
                 next_pc = fi.next_pc
@@ -189,6 +190,7 @@ class RenameStage(Stage):
             if renamed_here:
                 stats.renamed += renamed_here
                 note(ctx)
+                # spec-inline end rename-fetched
         # Recycle streams, prioritised by the separate (pre-issue)
         # counter.  Ties must keep stream-creation (dict insertion)
         # order — a stable insertion sort over the tiny snapshot

@@ -201,7 +201,7 @@ class DecodeStore:
         rec = self._programs.get(id(program))
         if rec is None:
             rec = (program, {}, loop_pcs_of(program))
-            self._programs[id(program)] = rec
+            self._programs[id(program)] = rec  # shr-ok: warm-once per program; contents never feed back into core state
         return rec
 
     def insert(self, view: Dict[int, DecodedUop], pc: int, dec: DecodedUop) -> int:
@@ -210,12 +210,12 @@ class DecodeStore:
         evicted = 0
         if pc not in view:
             while self._size >= self.capacity:
-                old_view, old_pc = self._fifo.popleft()
+                old_view, old_pc = self._fifo.popleft()  # shr-ok: bounded-FIFO eviction, deterministic in lockstep order
                 if old_view.pop(old_pc, None) is not None:
-                    self._size -= 1
+                    self._size -= 1  # shr-ok: FIFO bookkeeping, cache-only state
                     evicted += 1
-            self._fifo.append((view, pc))
-            self._size += 1
+            self._fifo.append((view, pc))  # shr-ok: shared warm cache; decode results are content-pure
+            self._size += 1  # shr-ok: FIFO bookkeeping, cache-only state
         view[pc] = dec
         return evicted
 

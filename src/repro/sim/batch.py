@@ -40,6 +40,7 @@ runs to completion.
 from __future__ import annotations
 
 import gc
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -253,6 +254,9 @@ class BatchRunner:
         #: (cache disabled) shares an always-empty store, which keeps the
         #: disable semantics per point.
         stores: Dict[int, DecodeStore] = {}
+        #: capacity -> shared store; kept for introspection and for the
+        #: share sanitizer's watch installation.
+        self.stores = stores
         drivers = []
         for job in self.jobs:
             config = job.resolved_config()
@@ -269,11 +273,31 @@ class BatchRunner:
         return drivers
 
     def run(self) -> List[BatchPoint]:
-        """Execute the batch; one :class:`BatchPoint` per job, input order."""
+        """Execute the batch; one :class:`BatchPoint` per job, input order.
+
+        With ``REPRO_SHARE_SANITIZE=1`` the shared decode stores and the
+        workload suite are wrapped in mutation-recording containers and
+        sealed for the lockstep phase; any steady-state mutation the
+        static ownership map does not bless fails the run *after* the
+        batch completes (never mid-flight, so the observed interleaving
+        is the real one).
+        """
+        # Lazy import: the sanitizer pulls in the whole static-analysis
+        # stack, which a plain batch run must not pay for.
+        sanitizer = None
+        if os.environ.get("REPRO_SHARE_SANITIZE") == "1":
+            from ..analysis.effects.share import sanitizer_from_env
+
+            sanitizer = sanitizer_from_env()
         drivers = self._build_drivers()
         #: Kept for post-run introspection (utilization parity tests, the
         #: benchmark harness); one driver per job, same order as ``jobs``.
         self.drivers = drivers
+        if sanitizer is not None:
+            for store in self.stores.values():
+                sanitizer.watch_store(store)
+            sanitizer.watch_suite(self.suite)
+            sanitizer.seal()
         points = [BatchPoint(job=d.job) for d in drivers]
         quantum = self.quantum
         progress = self.progress
@@ -309,6 +333,10 @@ class BatchRunner:
             if gc_was_enabled:
                 gc.enable()
             gc.collect()
+            if sanitizer is not None:
+                sanitizer.unseal()
+        if sanitizer is not None:
+            sanitizer.assert_quiet()
         return points
 
     @staticmethod

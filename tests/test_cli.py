@@ -322,3 +322,58 @@ class TestServiceCli:
         rc = main(["submit", "--server", "http://127.0.0.1:1",
                    "--workload", "compress"])
         assert rc == 1
+
+
+class TestEffectsCli:
+    """The SHR front end: ``lint --effects``, ``lint --explain`` and
+    ``analyze --ownership``."""
+
+    def test_lint_effects_clean_on_committed_tree(self, monkeypatch, capsys):
+        import pathlib
+
+        monkeypatch.chdir(pathlib.Path(__file__).resolve().parent.parent)
+        assert main(["lint", "--effects", "--fail-stale"]) == 0, (
+            capsys.readouterr().err
+        )
+
+    def test_explain_single_rule(self, capsys):
+        assert main(["lint", "--explain", "SHR002"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("SHR002:")
+        assert "scope:       program" in out
+        assert "severity:    blocking" in out
+        assert "suppression: # shr-ok: <reason>" in out
+
+    def test_explain_family_prefix(self, capsys):
+        assert main(["lint", "--explain", "SHR"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SHR001", "SHR002", "SHR003", "SHR004", "SHR005"):
+            assert f"{code}:" in out
+        assert "warn-first (baseline ratchet)" in out
+
+    def test_explain_all(self, capsys):
+        assert main(["lint", "--explain", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "DET001:" in out and "CONC001:" in out and "SHR001:" in out
+
+    def test_explain_unknown_rule_exits_2(self, capsys):
+        assert main(["lint", "--explain", "NOPE999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_analyze_ownership_text(self, capsys):
+        assert main(["analyze", "--ownership"]) == 0
+        out = capsys.readouterr().out
+        assert "DecodeStore._programs" in out
+        assert "shared-mutable-guarded  [shr-ok]" in out
+        assert "WorkloadSuite._cache" in out
+        assert "batch-shared-immutable" in out
+
+    def test_analyze_ownership_json(self, capsys):
+        import json
+
+        assert main(["analyze", "--ownership", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        store = payload["classes"]["DecodeStore"]
+        assert store["_programs"]["classification"] == "shared-mutable-guarded"
+        assert store["_programs"]["blessing"] == "shr-ok"
+        assert payload["violations"] == []

@@ -1,0 +1,541 @@
+"""The effect/ownership analysis stack: summaries, call graph,
+spec-vs-inline matching, ownership classification.
+
+Everything here runs over small synthetic programs using the canonical
+batch class names (``BatchRunner``, ``Core``, ``DecodeStore``...), so
+the shared/per-core vocabularies in :mod:`repro.analysis.effects.ownership`
+apply exactly as they do on the real tree.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.effects import (
+    LOCAL,
+    EffectsGraph,
+    EffectsProgram,
+    FieldType,
+    OwnershipMap,
+    check_regions,
+    parse_regions,
+    summarize_function,
+)
+
+
+def summarize(source, name=None, class_name=None):
+    tree = ast.parse(textwrap.dedent(source))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and (
+            name is None or node.name == name
+        ):
+            return summarize_function(node, "t.py", class_name=class_name)
+    raise AssertionError("no function found")
+
+
+def program(*sources):
+    return EffectsProgram.from_sources(
+        [("mod%d.py" % i, textwrap.dedent(s)) for i, s in enumerate(sources)]
+    )
+
+
+def graph_of(*sources):
+    return EffectsGraph.build(
+        [("mod%d.py" % i, textwrap.dedent(s)) for i, s in enumerate(sources)]
+    )
+
+
+# ----------------------------------------------------------------------
+# Function summaries
+# ----------------------------------------------------------------------
+class TestSummaries:
+    def test_setitem_chain_with_subscript_normalized(self):
+        s = summarize("""
+            def f(self):
+                self.state.cols.nsrcs[3] = 1
+        """)
+        (site,) = s.mutations
+        assert site.kind == "setitem"
+        assert site.chain == ("self", "state", "cols", "nsrcs", "[]")
+
+    def test_alias_expansion_restores_spec_chain(self):
+        """The hand-inlined hoist ``cols = state.cols`` must normalize
+        to the same chain the readable spec produces."""
+        s = summarize("""
+            def f(self, state):
+                cols = state.cols
+                cols.nsrcs[0] = 1
+        """)
+        (site,) = s.mutations
+        assert s.expand(site.chain) == frozenset(
+            {("state", "cols", "nsrcs", "[]")}
+        )
+
+    def test_call_result_roots_at_local(self):
+        s = summarize("""
+            def f(self):
+                fresh = build()
+                fresh.items.append(1)
+        """)
+        mutator = [m for m in s.mutations if m.kind == "mutator-call"]
+        assert len(mutator) == 1
+        expanded = s.expand(mutator[0].chain)
+        assert all(chain[0] == LOCAL for chain in expanded)
+
+    def test_mutator_call_records_argument_values(self):
+        s = summarize("""
+            def f(self, uop):
+                self.queue.append(uop)
+        """)
+        (site,) = [m for m in s.mutations if m.kind == "mutator-call"]
+        assert site.chain == ("self", "queue")
+        assert ("uop",) in site.values
+
+    def test_tuple_store_spills_elements_into_values(self):
+        s = summarize("""
+            def f(self, view, pc):
+                self.fifo.append((view, pc))
+        """)
+        (site,) = [m for m in s.mutations if m.kind == "mutator-call"]
+        assert ("view",) in site.values and ("pc",) in site.values
+
+    def test_augassign_on_attribute_is_a_mutation(self):
+        s = summarize("""
+            def f(self):
+                self.size += 1
+                local = 0
+                local += 1
+        """)
+        assert [m.chain for m in s.mutations] == [("self", "size")]
+
+    def test_publish_records_first_argument(self):
+        s = summarize("""
+            def f(self, bus, event):
+                bus.publish(event)
+        """)
+        assert s.publishes == [("event", 3)]
+
+    def test_mutable_default_detected(self):
+        s = summarize("""
+            def f(x, acc=[]):
+                acc.append(x)
+        """)
+        assert s.mutable_defaults == [2]
+
+    def test_for_target_stays_bare_root(self):
+        """The spec's ``ctx`` parameter and the inlined loop's ``ctx``
+        iteration variable must normalize identically (SHR002)."""
+        spec = summarize("""
+            def spec(self, ctx):
+                self.table[ctx.uid] = 1
+        """)
+        inline = summarize("""
+            def hot(self):
+                for ctx in self.contexts:
+                    self.table[ctx.uid] = 1
+        """)
+        assert spec.comparable_effects() == inline.comparable_effects()
+
+    def test_comparable_effects_exclude_attr_writes_and_bare_calls(self):
+        s = summarize("""
+            def f(self):
+                self.count = 1
+                len(self.items)
+                self.sink.note(2)
+                self.table[0] = 1
+        """)
+        assert s.comparable_effects() == {
+            ("call", ("self", "sink", "note")),
+            ("setitem", ("self", "table", "[]")),
+        }
+
+    def test_nested_function_bodies_are_skipped(self):
+        s = summarize("""
+            def f(self):
+                def inner():
+                    self.table[0] = 1
+                return inner
+        """, name="f")
+        assert s.mutations == []
+
+
+# ----------------------------------------------------------------------
+# Call graph: field typing, edges, reachability
+# ----------------------------------------------------------------------
+CHAIN_PROGRAM = """
+    class DecodeStore:
+        def __init__(self):
+            self._programs = {}
+        def record(self, key, value):
+            self._programs[key] = value
+
+    class DecodedUopCache:
+        def __init__(self, store: DecodeStore):
+            self.store = store
+
+    class CoreState:
+        def __init__(self, store: DecodeStore):
+            self.uop_cache = DecodedUopCache(store)
+
+    class Core:
+        def __init__(self, store: DecodeStore):
+            self.state = CoreState(store)
+        def step(self):
+            self.state.uop_cache.store.record(1, 2)
+"""
+
+
+class TestCallGraph:
+    def test_constructor_calls_type_fields(self):
+        g = graph_of(CHAIN_PROGRAM)
+        assert g.classes["Core"].fields["state"] == FieldType(cls="CoreState")
+        assert g.classes["CoreState"].fields["uop_cache"] == FieldType(
+            cls="DecodedUopCache"
+        )
+
+    def test_parameter_annotation_types_field(self):
+        g = graph_of(CHAIN_PROGRAM)
+        assert g.classes["DecodedUopCache"].fields["store"] == FieldType(
+            cls="DecodeStore"
+        )
+
+    def test_deep_chain_call_resolves_across_classes(self):
+        g = graph_of(CHAIN_PROGRAM)
+        assert ("DecodeStore", "record") in g.edges[("Core", "step")]
+
+    def test_annotated_container_field_gets_element_type(self):
+        g = graph_of("""
+            from typing import Dict
+
+            class Program:
+                pass
+
+            class WorkloadSuite:
+                def __init__(self):
+                    self._cache: Dict[tuple, Program] = {}
+        """)
+        field = g.classes["WorkloadSuite"].fields["_cache"]
+        assert field == FieldType(elem="Program")
+
+    def test_callable_field_becomes_call_edge(self):
+        g = graph_of("""
+            class IssueStage:
+                def execute(self, uop):
+                    self.table[uop] = 1
+
+            class Core:
+                def __init__(self):
+                    self.issue = IssueStage()
+                    self._execute = self.issue.execute
+                def step(self):
+                    self._execute(0)
+        """)
+        info = g.classes["Core"]
+        assert info.callable_fields["_execute"] == ("IssueStage", "execute")
+        assert ("IssueStage", "execute") in g.edges[("Core", "step")]
+
+    def test_reachability_stops_at_build_phase_cut(self):
+        g = graph_of("""
+            class DecodeStore:
+                def __init__(self):
+                    self._programs = {}
+                def warm(self, k):
+                    self._programs[k] = 1
+
+            class Core:
+                def load(self, store):
+                    store.warm(0)
+                def step(self):
+                    pass
+        """)
+        reached = g.reachable()
+        assert ("Core", "step") in reached
+        assert ("Core", "load") not in reached
+        assert ("DecodeStore", "warm") not in reached
+
+    def test_resolve_owner_lands_on_untyped_container_field(self):
+        g = graph_of(CHAIN_PROGRAM)
+        record = g.functions[("DecodeStore", "record")]
+        (site,) = record.mutations
+        assert g.resolve_owner(record, site.chain) == (
+            "DecodeStore", "_programs",
+        )
+
+    def test_resolve_owner_walks_to_deepest_known_class(self):
+        g = graph_of(CHAIN_PROGRAM + """
+    class Driver:
+        def __init__(self, core: Core):
+            self.core = core
+        def poke(self):
+            self.core.state.uop_cache.store._programs[0] = 1
+""")
+        poke = g.functions[("Driver", "poke")]
+        (site,) = poke.mutations
+        assert g.resolve_owner(poke, site.chain) == (
+            "DecodeStore", "_programs",
+        )
+
+
+# ----------------------------------------------------------------------
+# Spec-vs-inline regions
+# ----------------------------------------------------------------------
+SPEC_OK = """
+    class Stage:
+        def spec_one(self, ctx):
+            self.table[ctx.uid] = 1
+            self.sink.note(ctx)
+
+        def hot(self):
+            for ctx in self.work:
+                # spec-inline begin r1 spec=spec_one
+                self.table[ctx.uid] = 1
+                self.sink.note(ctx)
+                # spec-inline end r1
+"""
+
+
+class TestSpecMatch:
+    def test_matching_region_is_quiet(self):
+        g = graph_of(SPEC_OK)
+        assert check_regions(g, "mod0.py", textwrap.dedent(SPEC_OK)) == []
+
+    def test_drift_is_reported_with_both_diffs(self):
+        drifted = SPEC_OK.replace(
+            "self.sink.note(ctx)\n                # spec-inline end",
+            "self.other.note(ctx)\n                # spec-inline end",
+        )
+        g = graph_of(drifted)
+        (mismatch,) = check_regions(g, "mod0.py", textwrap.dedent(drifted))
+        assert "inlined-only {call self.other.note}" in mismatch.message
+        assert "spec-only {call self.sink.note}" in mismatch.message
+
+    def test_multi_span_region_unions_lines(self):
+        source = textwrap.dedent("""
+            class Stage:
+                def spec_one(self, ctx):
+                    self.table[ctx.uid] = 1
+                    self.sink.note(ctx)
+
+                def hot(self, ctx):
+                    # spec-inline begin r1 spec=spec_one
+                    self.table[ctx.uid] = 1
+                    # spec-inline end r1
+                    bookkeeping = 1
+                    # spec-inline begin r1 spec=spec_one
+                    self.sink.note(ctx)
+                    # spec-inline end r1
+        """)
+        g = EffectsGraph.build([("m.py", source)])
+        assert check_regions(g, "m.py", source) == []
+
+    def test_unclosed_begin_is_an_error(self):
+        regions, errors = parse_regions(
+            "m.py", "# spec-inline begin r1 spec=a\n"
+        )
+        assert regions == []
+        assert "never closed" in errors[0].message
+
+    def test_end_without_begin_is_an_error(self):
+        _, errors = parse_regions("m.py", "# spec-inline end r1\n")
+        assert "without begin" in errors[0].message
+
+    def test_reopen_with_different_specs_is_an_error(self):
+        _, errors = parse_regions("m.py", (
+            "# spec-inline begin r1 spec=a\n"
+            "# spec-inline end r1\n"
+            "# spec-inline begin r1 spec=b\n"
+            "# spec-inline end r1\n"
+        ))
+        assert any("different spec list" in e.message for e in errors)
+
+    def test_unknown_spec_method_is_an_error(self):
+        source = textwrap.dedent("""
+            class Stage:
+                def hot(self, ctx):
+                    # spec-inline begin r1 spec=no_such_method
+                    self.table[ctx.uid] = 1
+                    # spec-inline end r1
+        """)
+        g = EffectsGraph.build([("m.py", source)])
+        (mismatch,) = check_regions(g, "m.py", source)
+        assert "unknown spec method" in mismatch.message
+
+
+# ----------------------------------------------------------------------
+# Ownership classification
+# ----------------------------------------------------------------------
+SHARED_WRITE = """
+    class DecodeStore:
+        def __init__(self):
+            self._programs = {}
+        def record(self, key, value):
+            self._programs[key] = value
+
+    class Core:
+        def __init__(self, store: DecodeStore):
+            self.store = store
+        def step(self):
+            self.store.record(1, 2)
+"""
+
+
+class TestOwnership:
+    def test_unblessed_shared_write_is_shr001(self):
+        p = program(SHARED_WRITE)
+        (violation,) = p.ownership.violations
+        assert violation.code == "SHR001"
+        assert "DecodeStore._programs" in violation.message
+
+    def test_blessed_write_reclassifies_as_guarded(self):
+        blessed = SHARED_WRITE.replace(
+            "self._programs[key] = value",
+            "self._programs[key] = value  # shr-ok: warm-once",
+        )
+        p = program(blessed)
+        assert p.ownership.violations == []
+        entry = p.ownership.entries[("DecodeStore", "_programs")]
+        assert entry.classification == "shared-mutable-guarded"
+        assert entry.blessing == "shr-ok"
+
+    def test_lock_guarded_write_reclassifies_as_guarded(self):
+        """The PR 7 CONC guard facts join in: a lock-guarded attribute
+        needs no ``# shr-ok`` blessing."""
+        p = program("""
+            import threading
+
+            class DecodeStore:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._programs = {}
+                def record(self, key, value):
+                    with self._lock:
+                        self._programs[key] = value
+                def get(self, key):
+                    with self._lock:
+                        return self._programs.get(key)
+
+            class Core:
+                def __init__(self, store: DecodeStore):
+                    self.store = store
+                def step(self):
+                    self.store.record(1, 2)
+        """)
+        assert p.ownership.violations == []
+        entry = p.ownership.entries[("DecodeStore", "_programs")]
+        assert entry.classification == "shared-mutable-guarded"
+        assert entry.blessing == "guarded"
+
+    def test_build_phase_write_is_not_a_violation(self):
+        p = program("""
+            class DecodeStore:
+                def __init__(self):
+                    self._programs = {}
+                def warm(self, k):
+                    self._programs[k] = 1
+
+            class Core:
+                def load(self, store: DecodeStore):
+                    store.warm(0)
+                def step(self):
+                    pass
+        """)
+        assert p.ownership.violations == []
+
+    def test_per_core_write_is_private_not_violating(self):
+        p = program("""
+            class CoreState:
+                def __init__(self):
+                    self.table = {}
+
+            class Core:
+                def __init__(self):
+                    self.state = CoreState()
+                def step(self):
+                    self.state.table[0] = 1
+        """)
+        assert p.ownership.violations == []
+        assert p.ownership.classification("CoreState", "table") == (
+            "per-core-private"
+        )
+
+    def test_per_core_escape_into_shared_container_is_shr004(self):
+        p = program("""
+            class CoreState:
+                def __init__(self):
+                    self.table = {}
+
+            class DecodeStore:
+                def __init__(self):
+                    self._programs = {}
+
+            class Core:
+                def __init__(self, store: DecodeStore):
+                    self.state = CoreState()
+                    self.store = store
+                def step(self):
+                    self.store._programs[0] = self.state  # the escape
+        """)
+        codes = {v.code for v in p.ownership.violations}
+        assert "SHR004" in codes
+        (escape,) = [v for v in p.ownership.violations if v.code == "SHR004"]
+        assert "per-core CoreState escapes" in escape.message
+
+    def test_inventory_covers_untouched_report_class_fields(self):
+        p = program("""
+            class WorkloadSuite:
+                def __init__(self):
+                    self._cache = {}
+                def lookup(self, key):
+                    return self._cache.get(key)
+        """)
+        assert p.ownership.classification("WorkloadSuite", "_cache") == (
+            "batch-shared-immutable"
+        )
+
+    def test_to_dict_round_trips_entries_and_violations(self):
+        p = program(SHARED_WRITE)
+        data = p.ownership.to_dict()
+        assert "DecodeStore" in data["classes"]
+        classification = data["classes"]["DecodeStore"]["_programs"]
+        assert classification["classification"] == "batch-shared-immutable"
+        assert data["violations"][0]["code"] == "SHR001"
+
+
+# ----------------------------------------------------------------------
+# The real tree
+# ----------------------------------------------------------------------
+class TestRealTree:
+    def test_batch_facts_build_and_classify_the_decode_store(self):
+        from repro.analysis.effects.facts import batch_facts
+
+        facts = batch_facts()
+        ownership = facts.ownership
+        assert ownership.classification("DecodeStore", "_programs") == (
+            "shared-mutable-guarded"
+        )
+        assert ownership.classification("DecodeStore", "_fifo") == (
+            "shared-mutable-guarded"
+        )
+        assert ownership.classification("WorkloadSuite", "_cache") == (
+            "batch-shared-immutable"
+        )
+
+    def test_core_step_reaches_every_stage(self):
+        from repro.analysis.effects.facts import batch_facts
+
+        reached = batch_facts().graph.reachable()
+        stages = {
+            cls for cls, _name in reached if cls.endswith("Stage")
+        }
+        assert {
+            "FetchStage", "RenameStage", "IssueStage",
+            "ResolveStage", "CommitStage",
+        } <= stages
+
+    def test_committed_tree_has_no_effect_findings(self):
+        from repro.analysis.effects.facts import batch_facts
+
+        findings = batch_facts().findings()
+        assert findings == [], [
+            "%s:%d %s %s" % (f.path, f.line, f.code, f.message)
+            for f in findings
+        ]

@@ -110,6 +110,43 @@ class TestPrune:
         assert len(baseline) == 1
 
 
+class TestDeadRuleEntries:
+    """Entries whose rule id left the registry are stale no matter what
+    was linted: a retired rule can never fire again, so its debt is
+    dead weight."""
+
+    def test_dead_rule_entry_is_stale_without_relinting(self, tmp_path):
+        path = write_module(tmp_path, FIXED)
+        baseline = Baseline({"elsewhere.py::DET999::long gone": 1})
+        result = run_lint(conc001_target(path), baseline=baseline)
+        assert result.stale == ["elsewhere.py::DET999::long gone"]
+
+    def test_live_rule_entry_for_unlinted_file_survives(self, tmp_path):
+        """Contrast: a *known* rule's entry for a file this run never
+        looked at must not be condemned."""
+        path = write_module(tmp_path, FIXED)
+        baseline = Baseline({"elsewhere.py::CONC001::maybe still real": 1})
+        result = run_lint(conc001_target(path), baseline=baseline)
+        assert result.stale == []
+
+    def test_malformed_fingerprints_are_left_alone(self, tmp_path):
+        path = write_module(tmp_path, FIXED)
+        baseline = Baseline({"not-a-fingerprint": 1})
+        assert run_lint(conc001_target(path), baseline=baseline).stale == []
+
+    def test_prune_baseline_drops_dead_rule_entries(self, tmp_path, capsys):
+        path = write_module(tmp_path, FIXED)
+        baseline_path = tmp_path / "baseline.json"
+        Baseline({"elsewhere.py::DET999::long gone": 1}).save(baseline_path)
+        code = main([
+            "lint", str(path), "--rules", "CONC001",
+            "--baseline", str(baseline_path), "--prune-baseline",
+        ])
+        assert code == 0
+        assert "pruned 1 stale entry" in capsys.readouterr().out
+        assert json.loads(baseline_path.read_text())["entries"] == {}
+
+
 class TestCliHygieneFlags:
     def lint(self, *argv):
         return main(["lint", *argv])

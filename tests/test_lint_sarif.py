@@ -1,0 +1,93 @@
+"""Golden SARIF 2.1.0 snapshot: the exported document is byte-stable.
+
+GitHub code scanning diffs SARIF uploads, so rule order (registry code
+order with the DET000 pseudo-rule appended last), result order
+(blocking before baselined, each in finding sort order) and the level
+mapping must not drift silently.  The fixture is regenerated with::
+
+    PYTHONPATH=src python tests/test_lint_sarif.py
+
+after a deliberate registry change.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint import Finding, LintResult, all_rules, to_sarif
+from repro.analysis.lint.engine import SYNTAX_ERROR_CODE
+
+GOLDEN = Path(__file__).resolve().parent / "golden" / "lint_sarif_seed.json"
+
+
+def synthetic_result() -> LintResult:
+    """One finding per family in each severity bucket, pre-sorted the
+    way ``run_lint`` sorts."""
+    blocking = [
+        Finding("src/a.py", 0, SYNTAX_ERROR_CODE, "syntax error: bad token"),
+        Finding("src/b.py", 7, "DET004", "core module monkey-patched"),
+        Finding("src/c.py", 12, "SHR002",
+                "inlined region 'r1' drifted from spec spec_one"),
+        Finding("src/c.py", 31, "SHR004",
+                "per-core CoreState escapes into batch-shared "
+                "DecodeStore._programs"),
+    ]
+    baselined = [
+        Finding("src/d.py", 3, "CONC001", "unguarded access to S.items"),
+        Finding("src/e.py", 9, "SHR001",
+                "run-phase mutation of batch-shared WorkloadSuite._cache"),
+        Finding("src/e.py", 22, "SHR005", "mutable default argument in f"),
+    ]
+    return LintResult(
+        findings=blocking + baselined,
+        blocking=blocking,
+        baselined=baselined,
+    )
+
+
+def test_sarif_document_matches_golden_snapshot():
+    document = to_sarif(synthetic_result())
+    expected = json.loads(GOLDEN.read_text())
+    assert document == expected, (
+        "SARIF output drifted from tests/golden/lint_sarif_seed.json; "
+        "if the change is deliberate, regenerate with "
+        "`PYTHONPATH=src python tests/test_lint_sarif.py`"
+    )
+
+
+def test_rule_order_is_registry_order_plus_syntax_pseudo_rule():
+    rules = to_sarif(synthetic_result())["runs"][0]["tool"]["driver"]["rules"]
+    ids = [rule["id"] for rule in rules]
+    assert ids == [r.code for r in all_rules()] + [SYNTAX_ERROR_CODE]
+    # The registry is sorted, so families arrive in a stable block order.
+    assert ids[-1] == "DET000"
+    assert ids == sorted(ids[:-1]) + ["DET000"]
+
+
+def test_levels_follow_blocking_semantics():
+    document = to_sarif(synthetic_result())
+    run = document["runs"][0]
+    by_id = {rule["id"]: rule for rule in run["tool"]["driver"]["rules"]}
+    assert by_id["SHR002"]["defaultConfiguration"]["level"] == "error"
+    assert by_id["SHR004"]["defaultConfiguration"]["level"] == "error"
+    for code in ("SHR001", "SHR003", "SHR005"):
+        assert by_id[code]["defaultConfiguration"]["level"] == "warning"
+    levels = [result["level"] for result in run["results"]]
+    assert levels == ["error"] * 4 + ["warning"] * 3
+
+
+def test_every_registered_family_is_present():
+    ids = {
+        rule["id"]
+        for rule in to_sarif(synthetic_result())
+        ["runs"][0]["tool"]["driver"]["rules"]
+    }
+    for family in ("DET", "CONC", "SHR"):
+        assert any(code.startswith(family) for code in ids), family
+
+
+if __name__ == "__main__":  # regenerate the golden fixture
+    GOLDEN.write_text(
+        json.dumps(to_sarif(synthetic_result()), indent=2, sort_keys=True)
+        + "\n"
+    )
+    print("wrote", GOLDEN)

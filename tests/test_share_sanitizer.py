@@ -1,0 +1,198 @@
+"""The runtime share sanitizer: watched containers, seal semantics,
+static-map cross-checking, and batch parity under instrumentation.
+
+The contract: a sanitized batch is *bit-identical* to a plain one
+(watched containers are real dicts/deques), build-phase mutation is
+free, sealed mutation is judged against the static ownership map, and
+``Program`` images are fingerprint-verified rather than proxied.
+"""
+
+import pytest
+
+from repro.analysis.effects.share import (
+    SANITIZE_ENV,
+    ShareSanitizer,
+    _program_fingerprint,
+    sanitizer_from_env,
+)
+from repro.exec.jobs import Job, stats_to_payload
+from repro.isa.program import Program
+from repro.sim.batch import BatchRunner
+from repro.sim.runner import RunSpec
+from repro.workloads.suite import WorkloadSuite
+
+GUARDED_POLICY = {("DecodeStore", "_programs"): "shared-mutable-guarded"}
+IMMUTABLE_POLICY = {("WorkloadSuite", "_cache"): "batch-shared-immutable"}
+
+
+class Holder:
+    """Anything with a dict-ish and a deque-ish attribute."""
+
+    def __init__(self):
+        self._programs = {"seed": 1}
+        from collections import deque
+
+        self._fifo = deque([1, 2])
+        self._cache = {}
+
+
+# ----------------------------------------------------------------------
+# Watched containers
+# ----------------------------------------------------------------------
+class TestWatchedContainers:
+    def test_watched_dict_preserves_contents_and_reads(self):
+        sanitizer = ShareSanitizer(policy={})
+        holder = Holder()
+        sanitizer.watch_dict(holder, "_programs", ("DecodeStore", "_programs"))
+        assert isinstance(holder._programs, dict)
+        assert holder._programs == {"seed": 1}
+        assert holder._programs.get("seed") == 1
+        assert sanitizer.counts()["build_mutations"] == 0  # reads are free
+
+    def test_unsealed_mutations_are_build_phase(self):
+        sanitizer = ShareSanitizer(policy={})
+        holder = Holder()
+        sanitizer.watch_store(holder)
+        holder._programs["warm"] = 2
+        holder._fifo.append(3)
+        holder._fifo.popleft()
+        assert sanitizer.counts()["build_mutations"] == 3
+        assert sanitizer.counts()["violations"] == 0
+
+    def test_sealed_guarded_mutation_is_blessed(self):
+        sanitizer = ShareSanitizer(policy=GUARDED_POLICY)
+        holder = Holder()
+        sanitizer.watch_dict(holder, "_programs", ("DecodeStore", "_programs"))
+        sanitizer.seal()
+        holder._programs["hot"] = 3
+        assert sanitizer.counts()["blessed_mutations"] == 1
+        assert sanitizer.counts()["violations"] == 0
+        sanitizer.assert_quiet()
+
+    def test_sealed_immutable_mutation_is_a_violation(self):
+        sanitizer = ShareSanitizer(policy=IMMUTABLE_POLICY)
+        holder = Holder()
+        sanitizer.watch_dict(holder, "_cache", ("WorkloadSuite", "_cache"))
+        sanitizer.seal()
+        holder._cache["bogus"] = 1
+        (violation,) = sanitizer.report()
+        assert violation.kind == "shared-mutation"
+        assert "WorkloadSuite._cache" in violation.message
+        with pytest.raises(AssertionError, match="1 violation"):
+            sanitizer.assert_quiet()
+
+    def test_sealed_unknown_label_is_a_violation(self):
+        sanitizer = ShareSanitizer(policy=None)
+        holder = Holder()
+        sanitizer.watch_dict(holder, "_programs", ("DecodeStore", "_programs"))
+        sanitizer.seal()
+        holder._programs.pop("seed")
+        assert sanitizer.counts()["violations"] == 1
+
+    def test_setdefault_on_present_key_is_a_pure_read(self):
+        sanitizer = ShareSanitizer(policy=IMMUTABLE_POLICY)
+        holder = Holder()
+        sanitizer.watch_dict(holder, "_cache", ("WorkloadSuite", "_cache"))
+        holder._cache["k"] = 1
+        sanitizer.seal()
+        assert holder._cache.setdefault("k", 2) == 1
+        assert sanitizer.counts()["violations"] == 0
+        holder._cache.setdefault("fresh", 3)
+        assert sanitizer.counts()["violations"] == 1
+
+    def test_rewatching_rebinds_to_the_live_sanitizer(self):
+        stale = ShareSanitizer(policy={})
+        live = ShareSanitizer(policy={})
+        holder = Holder()
+        stale.watch_store(holder)
+        live.watch_store(holder)
+        live.seal()
+        holder._programs["x"] = 1
+        assert stale.counts()["violations"] == 0
+        assert live.counts()["violations"] == 1
+
+
+# ----------------------------------------------------------------------
+# Program fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprints:
+    def test_untouched_program_passes_unseal(self):
+        sanitizer = ShareSanitizer(policy={})
+        suite = Holder()
+        suite._cache = {("p",): Program(name="p", instructions=[])}
+        sanitizer.watch_suite(suite)
+        sanitizer.seal()
+        sanitizer.unseal()
+        assert sanitizer.counts()["violations"] == 0
+        assert sanitizer.counts()["fingerprinted_programs"] == 1
+
+    def test_mutated_program_is_reported_at_unseal(self):
+        sanitizer = ShareSanitizer(policy={})
+        program = Program(name="p", instructions=[], labels={"main": 0x1000})
+        suite = Holder()
+        suite._cache = {("p",): program}
+        sanitizer.watch_suite(suite)
+        sanitizer.seal()
+        program.labels["sneaky"] = 0x2000
+        sanitizer.unseal()
+        (violation,) = sanitizer.report()
+        assert violation.kind == "program-mutated"
+        assert "'p'" in violation.message
+
+    def test_fingerprint_covers_data_and_entry(self):
+        base = Program(name="p", instructions=[], data=b"ab")
+        assert _program_fingerprint(base) != _program_fingerprint(
+            Program(name="p", instructions=[], data=b"xy")
+        )
+        assert _program_fingerprint(base) != _program_fingerprint(
+            Program(name="p", instructions=[], data=b"ab", entry=0x1040)
+        )
+
+
+# ----------------------------------------------------------------------
+# Env wiring and the static-facts policy
+# ----------------------------------------------------------------------
+class TestWiring:
+    def test_env_off_installs_nothing(self, monkeypatch):
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        assert sanitizer_from_env() is None
+
+    def test_env_on_loads_the_static_policy(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        sanitizer = sanitizer_from_env()
+        assert sanitizer is not None
+        assert sanitizer.policy[("DecodeStore", "_programs")] == (
+            "shared-mutable-guarded"
+        )
+        assert sanitizer.policy[("WorkloadSuite", "_cache")] == (
+            "batch-shared-immutable"
+        )
+
+
+# ----------------------------------------------------------------------
+# End to end: a sanitized batch is bit-identical and quiet
+# ----------------------------------------------------------------------
+SPECS = [
+    RunSpec(workload=("li",), features="REC/RS/RU", commit_target=400),
+    RunSpec(workload=("compress",), features="REC", commit_target=400),
+]
+
+
+def run_batch(monkeypatch, sanitize):
+    if sanitize:
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+    else:
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+    jobs = [Job(spec=spec) for spec in SPECS]
+    runner = BatchRunner(jobs, suite=WorkloadSuite())
+    return runner.run()
+
+
+def test_sanitized_batch_is_bit_identical_and_quiet(monkeypatch):
+    plain = run_batch(monkeypatch, sanitize=False)
+    sanitized = run_batch(monkeypatch, sanitize=True)
+    assert [p.ok for p in plain] == [p.ok for p in sanitized] == [True, True]
+    for before, after in zip(plain, sanitized):
+        assert stats_to_payload(before.result.stats) == (
+            stats_to_payload(after.result.stats)
+        )
